@@ -1,0 +1,354 @@
+// Package repro holds the benchmark harness: one benchmark per
+// experiment (E1–E10 in DESIGN.md) plus ablation benches for the design
+// choices called out there. Run:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/corpus"
+	"repro/internal/cq"
+	"repro/internal/experiments"
+	"repro/internal/learn"
+	"repro/internal/mangrove"
+	"repro/internal/match"
+	"repro/internal/pdms"
+	"repro/internal/rdf"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+	"repro/internal/webgen"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1Matching regenerates the LSD accuracy table (paper §4.3.2).
+func BenchmarkE1Matching(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.E1Matching(42, 3, 4)
+		acc = res.MetaAccuracy["courses"]
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkE2Transitive measures full transitive query answering at
+// several network sizes (the Figure 2 property).
+func BenchmarkE2Transitive(b *testing.B) {
+	for _, peers := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			g, err := workload.GenNetwork(workload.NetworkSpec{
+				Topology: workload.Chain, Peers: peers, Seed: 42, RowsPerPeer: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := g.TitleQuery(0)
+			b.ResetTimer()
+			answers := 0
+			for i := 0; i < b.N; i++ {
+				res, err := g.Net.Answer(workload.PeerName(0), q,
+					pdms.ReformOptions{MaxDepth: peers + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				answers = res.Answers.Len()
+			}
+			b.ReportMetric(float64(answers), "answers")
+		})
+	}
+}
+
+// BenchmarkE3MappingEffort regenerates the PDMS-vs-mediated table.
+func BenchmarkE3MappingEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3MappingEffort(42, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Reformulation compares reformulation with the pruning
+// heuristics on and off (the §3.1.1 ablation).
+func BenchmarkE4Reformulation(b *testing.B) {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: 8, Seed: 42, RowsPerPeer: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := g.TitleQuery(0)
+	for _, cfg := range []struct {
+		name string
+		opts pdms.ReformOptions
+	}{
+		{"pruned", pdms.ReformOptions{MaxDepth: 9}},
+		{"unpruned", pdms.ReformOptions{MaxDepth: 9, NoContainmentPruning: true, MaxRewritings: 4096}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var kept int
+			for i := 0; i < b.N; i++ {
+				rf := pdms.NewReformulator(g.Net, cfg.opts)
+				rws, _, err := rf.Reformulate(workload.PeerName(0), q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept = len(rws)
+			}
+			b.ReportMetric(float64(kept), "rewritings")
+		})
+	}
+}
+
+// BenchmarkE5Publish regenerates the instant-vs-crawl latency table.
+func BenchmarkE5Publish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5Publish(42, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Advisor regenerates the DesignAdvisor quality table.
+func BenchmarkE6Advisor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6Advisor(42, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Integrity regenerates the cleaning-policy table.
+func BenchmarkE7Integrity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Integrity(42, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Updategrams regenerates the incremental-vs-recompute table.
+func BenchmarkE8Updategrams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Updategrams(42, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Templates regenerates the XML-template table.
+func BenchmarkE9Templates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Templates(42, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Stats regenerates the corpus-statistics table.
+func BenchmarkE10Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10Stats(42, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRDFIndexes ablates the triple-store index choice: probing by
+// predicate with all three indexes vs a subject-only store forcing scans.
+func BenchmarkRDFIndexes(b *testing.B) {
+	build := func() *rdf.Store {
+		s := rdf.NewStore()
+		for i := 0; i < 2000; i++ {
+			s.Add(rdf.Triple{
+				S:      fmt.Sprintf("subj%d", i%500),
+				P:      fmt.Sprintf("pred%d", i%20),
+				O:      fmt.Sprintf("obj%d", i%100),
+				Source: "bench",
+			})
+		}
+		return s
+	}
+	s := build()
+	b.Run("indexed-PO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := s.Match("", "pred7", "obj7"); len(got) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, t := range s.Match("", "", "") {
+				if t.P == "pred7" && t.O == "obj7" {
+					n++
+				}
+			}
+			if n == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+// BenchmarkMetaVsVote ablates the meta-learner's reliability weighting
+// against the unweighted vote.
+func BenchmarkMetaVsVote(b *testing.B) {
+	d, _ := workload.DomainByName("courses")
+	opts := workload.SourceOptions{Rows: 25, DropRate: 0.1, ObfuscateRate: 0.35}
+	var train, test []learn.Example
+	for i := 0; i < 3; i++ {
+		train = append(train, workload.GenSource(d, i, 42, opts).Columns()...)
+	}
+	for i := 3; i < 7; i++ {
+		test = append(test, workload.GenSource(d, i, 42, opts).Columns()...)
+	}
+	syn := strutil.DefaultSynonyms()
+	b.Run("meta", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			lsd := match.NewLSD(syn)
+			lsd.Train(train)
+			acc = learn.Evaluate(lsd.Meta, test)
+		}
+		b.ReportMetric(acc, "accuracy")
+	})
+	b.Run("vote", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			v := &learn.VoteLearner{Base: []learn.Learner{
+				&learn.NameLearner{Synonyms: syn}, &learn.BayesLearner{},
+				&learn.FormatLearner{}, &learn.ContextLearner{Synonyms: syn}}}
+			v.Train(train)
+			acc = learn.Evaluate(v, test)
+		}
+		b.ReportMetric(acc, "accuracy")
+	})
+}
+
+// BenchmarkAdvisorAlphaBeta sweeps the DESIGNADVISOR weighting.
+func BenchmarkAdvisorAlphaBeta(b *testing.B) {
+	c := corpus.New(strutil.DefaultSynonyms())
+	for _, d := range workload.Domains() {
+		for i := 0; i < 4; i++ {
+			src := workload.GenSource(d, i, 42, workload.SourceOptions{Rows: 5})
+			c.Add(&corpus.Entry{Name: fmt.Sprintf("%s_%d", d.Name, i),
+				Relations: []relation.Schema{src.Schema}})
+		}
+	}
+	c.Build()
+	partial := relation.NewSchema("x",
+		relation.Attr("title"), relation.Attr("teacher"), relation.Attr("seats"))
+	for _, w := range []struct{ a, bw float64 }{{1, 0.001}, {0.7, 0.3}, {0.001, 1}} {
+		b.Run(fmt.Sprintf("alpha=%.1f", w.a), func(b *testing.B) {
+			adv := advisorWith(c, w.a, w.bw)
+			for i := 0; i < b.N; i++ {
+				if got := adv.Propose(partial, 3); len(got) == 0 {
+					b.Fatal("no proposals")
+				}
+			}
+		})
+	}
+}
+
+func advisorWith(c *corpus.Corpus, alpha, beta float64) *advisor.DesignAdvisor {
+	return &advisor.DesignAdvisor{Corpus: c, Alpha: alpha, Beta: beta}
+}
+
+// BenchmarkViewPlacement measures query cost with and without the
+// §3.1.2 data-placement optimizer (answers via local copies).
+func BenchmarkViewPlacement(b *testing.B) {
+	mk := func(place bool) (*workload.GeneratedNetwork, cq.Query) {
+		g, err := workload.GenNetwork(workload.NetworkSpec{
+			Topology: workload.Star, Peers: 5, Seed: 42, RowsPerPeer: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := g.TitleQuery(1)
+		if place {
+			wl := []pdms.WorkloadQuery{{Peer: workload.PeerName(1), Query: q, Freq: 10}}
+			if _, err := g.Net.PlaceViews(wl, 4, pdms.CostModel{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return g, q
+	}
+	b.Run("remote", func(b *testing.B) {
+		g, q := mk(false)
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			c, err := g.Net.EstimateCost(workload.PeerName(1), q, pdms.CostModel{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = c
+		}
+		b.ReportMetric(cost, "est_cost")
+	})
+	b.Run("placed", func(b *testing.B) {
+		g, q := mk(true)
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			c, err := g.Net.EstimateCost(workload.PeerName(1), q, pdms.CostModel{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = c
+		}
+		b.ReportMetric(cost, "est_cost")
+	})
+}
+
+// BenchmarkCQEval measures the conjunctive-query evaluator's join
+// throughput at growing relation sizes.
+func BenchmarkCQEval(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			db := relation.NewDatabase()
+			course := relation.New(relation.NewSchema("course",
+				relation.Attr("title"), relation.Attr("instr")))
+			person := relation.New(relation.NewSchema("person",
+				relation.Attr("name"), relation.Attr("dept")))
+			for i := 0; i < rows; i++ {
+				course.MustInsert(relation.SV(fmt.Sprintf("c%d", i)),
+					relation.SV(fmt.Sprintf("p%d", i%50)))
+			}
+			for i := 0; i < 50; i++ {
+				person.MustInsert(relation.SV(fmt.Sprintf("p%d", i)),
+					relation.SV("cs"))
+			}
+			db.Put(course)
+			db.Put(person)
+			q := cq.MustParse("q(T, I) :- course(T, I), person(I, D)")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := cq.Eval(db, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Len() == 0 {
+					b.Fatal("no answers")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublish measures the MANGROVE publish pipeline end to end
+// (parse → extract → replace → index).
+func BenchmarkPublish(b *testing.B) {
+	g := webgen.Generate(webgen.Options{Seed: 42, NPeople: 3, NCourses: 3})
+	if err := webgen.AnnotateAll(g); err != nil {
+		b.Fatal(err)
+	}
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	urls := g.Site.URLs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := urls[i%len(urls)]
+		if _, err := repo.Publish(url, g.Site.Get(url)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates every experiment of the reproduction
+// (E1–E10 in DESIGN.md) and prints the result tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed for all workloads")
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	run := func() ([]*experiments.Table, error) {
+		if *only == "" {
+			return experiments.All(*seed)
+		}
+		switch *only {
+		case "E1":
+			return []*experiments.Table{experiments.E1Matching(*seed, 3, 4).Table}, nil
+		case "E1b":
+			return []*experiments.Table{experiments.E1LearningCurve(*seed, 4, 3)}, nil
+		case "E2":
+			t, err := experiments.E2Transitive(*seed, 8)
+			return []*experiments.Table{t}, err
+		case "E3":
+			t, err := experiments.E3MappingEffort(*seed, 16)
+			return []*experiments.Table{t}, err
+		case "E4":
+			t, err := experiments.E4Reformulation(*seed, 8)
+			return []*experiments.Table{t}, err
+		case "E5":
+			t, err := experiments.E5Publish(*seed, 20)
+			return []*experiments.Table{t}, err
+		case "E6":
+			t, err := experiments.E6Advisor(*seed, 4)
+			return []*experiments.Table{t}, err
+		case "E7":
+			t, err := experiments.E7Integrity(*seed, 12)
+			return []*experiments.Table{t}, err
+		case "E8":
+			t, err := experiments.E8Updategrams(*seed, 20)
+			return []*experiments.Table{t}, err
+		case "E9":
+			t, err := experiments.E9Templates(*seed, 8)
+			return []*experiments.Table{t}, err
+		case "E10":
+			t, err := experiments.E10Stats(*seed, 8)
+			return []*experiments.Table{t}, err
+		case "E11":
+			t, err := experiments.E11Degradation(*seed, 10)
+			return []*experiments.Table{t}, err
+		case "E12":
+			t, err := experiments.E12Normalizers(*seed)
+			return []*experiments.Table{t}, err
+		default:
+			return nil, fmt.Errorf("unknown experiment %q", *only)
+		}
+	}
+	tables, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			continue
+		}
+		fmt.Println(t)
+	}
+}

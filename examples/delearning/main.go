@@ -1,0 +1,84 @@
+// DElearning: the paper's running example (§1.1–§3). Universities with
+// independently evolved schemas join a peer data management system by
+// mapping to their nearest neighbor; a student then queries the whole
+// coalition's course inventory through their local university's
+// vocabulary — including across a language boundary (Rome ↔ Trento).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func main() {
+	rev := core.New(core.Options{})
+
+	// Figure 2's coalition, abridged: Berkeley, MIT, Oxford, Rome, Trento.
+	// Each uses its own schema.
+	add := func(peer string, schema relation.Schema, rows ...[]string) {
+		p, err := rev.AddPeer(peer, schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			t := make(relation.Tuple, len(r))
+			for i, v := range r {
+				t[i] = relation.SV(v)
+			}
+			if err := p.Insert(schema.Name, t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	add("berkeley", relation.NewSchema("course", relation.Attr("title"), relation.Attr("instructor")),
+		[]string{"Ancient History 101", "Prof. Stone"},
+		[]string{"Intro to Databases", "Prof. Rivers"})
+	add("mit", relation.NewSchema("subject", relation.Attr("name"), relation.Attr("teacher")),
+		[]string{"Intermediate Ancient History", "Prof. Brick"})
+	add("oxford", relation.NewSchema("offering", relation.Attr("label"), relation.Attr("don")),
+		[]string{"Graduate Seminar: Antiquity", "Prof. Spire"})
+	add("rome", relation.NewSchema("corso", relation.Attr("titolo"), relation.Attr("docente")),
+		[]string{"Storia Romana", "Prof.ssa Bianchi"})
+	add("trento", relation.NewSchema("insegnamento", relation.Attr("titolo"), relation.Attr("docente")),
+		[]string{"Archeologia Alpina", "Prof. Verdi"})
+
+	// Local mappings between neighbors only — no global schema. Trento
+	// maps to Rome ("it would be much easier for Trento to provide a
+	// mapping to the Rome schema and leverage their previous mapping
+	// efforts").
+	mapPair := func(id, a, qa, b, qb string) {
+		if err := rev.MapPeers(id+"_f", a, qa, b, qb); err != nil {
+			log.Fatal(err)
+		}
+		if err := rev.MapPeers(id+"_b", b, qb, a, qa); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mapPair("bm", "berkeley", "m(T, I) :- course(T, I)", "mit", "m(T, I) :- subject(T, I)")
+	mapPair("mo", "mit", "m(T, I) :- subject(T, I)", "oxford", "m(T, I) :- offering(T, I)")
+	mapPair("or", "oxford", "m(T, I) :- offering(T, I)", "rome", "m(T, I) :- corso(T, I)")
+	mapPair("rt", "rome", "m(T, I) :- corso(T, I)", "trento", "m(T, I) :- insegnamento(T, I)")
+
+	// A Trento student builds a custom curriculum: every course in the
+	// coalition, asked for in Italian vocabulary.
+	res, err := rev.Ask("trento", "q(T, D) :- insegnamento(T, D)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("courses visible from Trento (%d peers touched, %d rewritings):\n",
+		res.Stats.PeersTouched, res.Stats.Kept)
+	res.Answers.SortRows()
+	for _, row := range res.Answers.Rows() {
+		fmt.Printf("  %-35s %s\n", row[0], row[1])
+	}
+
+	// The same query at Berkeley sees the same inventory, in its terms.
+	res2, err := rev.Ask("berkeley", "q(T) :- course(T, I)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBerkeley sees %d courses through the same mapping web\n", res2.Answers.Len())
+}

@@ -1,0 +1,306 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cq"
+	"repro/internal/mangrove"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+	"repro/internal/view"
+	"repro/internal/webgen"
+	"repro/internal/workload"
+	"repro/internal/xmlq"
+)
+
+// TestIntegrationWebOfData drives the full REVERE story the paper tells:
+// annotate a department site, publish it, consume it from applications,
+// join a PDMS, and answer cross-schema queries.
+func TestIntegrationWebOfData(t *testing.T) {
+	// MANGROVE side.
+	g := webgen.Generate(webgen.Options{Seed: 99, NPeople: 5, NCourses: 6,
+		NTalks: 2, ConflictRate: 0.5, Malicious: true})
+	if err := webgen.AnnotateAll(g); err != nil {
+		t.Fatal(err)
+	}
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	for _, url := range g.Site.URLs() {
+		if _, err := repo.Publish(url, g.Site.Get(url)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cal := &apps.Calendar{Repo: repo}
+	if len(cal.Entries()) != 8 {
+		t.Errorf("calendar entries = %d", len(cal.Entries()))
+	}
+	dir := &apps.WhosWho{Repo: repo,
+		Policy: mangrove.PreferSourcePolicy{Prefix: "http://dept.example.edu/people/"}}
+	for _, p := range g.People {
+		e, ok := dir.Lookup(p.Name)
+		if !ok || len(e.Phones) != 1 || e.Phones[0] != p.Phone {
+			t.Errorf("directory entry for %s = %+v", p.Name, e)
+		}
+	}
+
+	// PDMS side: the department's structured data joins a network.
+	net, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Tree, Peers: 7, Seed: 99, RowsPerPeer: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.Net.NumPeers(); i++ {
+		res, err := net.Net.Answer(workload.PeerName(i), net.TitleQuery(i), pdms.ReformOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Answers.Len() != len(net.AllTitles) {
+			t.Errorf("peer %d sees %d/%d titles", i, res.Answers.Len(), len(net.AllTitles))
+		}
+	}
+}
+
+// TestIntegrationPDMSSoundness checks, on random networks, that PDMS
+// answers always contain the local answers and never exceed the oracle
+// (tag-aligned union of all peers).
+func TestIntegrationPDMSSoundness(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		topo := []workload.Topology{workload.Chain, workload.Star,
+			workload.Tree, workload.Random}[seed%4]
+		g, err := workload.GenNetwork(workload.NetworkSpec{
+			Topology: topo, Peers: 5, Seed: seed, RowsPerPeer: 4, ExtraEdgeProb: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 5; p++ {
+			q := g.TitleQuery(p)
+			local, err := g.Net.LocalAnswer(workload.PeerName(p), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.Net.Answer(workload.PeerName(p), q, pdms.ReformOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range local.Rows() {
+				if !res.Answers.Contains(row) {
+					t.Errorf("seed %d peer %d: local answer %v missing", seed, p, row)
+				}
+			}
+			if res.Answers.Len() > len(g.AllTitles) {
+				t.Errorf("seed %d peer %d: %d answers exceed oracle %d",
+					seed, p, res.Answers.Len(), len(g.AllTitles))
+			}
+		}
+	}
+}
+
+// TestIntegrationRewritingSoundness: every rewriting returned by the
+// view rewriter, executed over materialized view extents, yields only
+// tuples the original query yields — on randomized databases.
+func TestIntegrationRewritingSoundness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		db := relation.NewDatabase()
+		r := relation.New(relation.NewSchema("r", relation.Attr("a"), relation.Attr("b")))
+		s := relation.New(relation.NewSchema("s", relation.Attr("b"), relation.Attr("c")))
+		for i := 0; i < 8; i++ {
+			r.MustInsert(rv(rnd), rv(rnd))
+			s.MustInsert(rv(rnd), rv(rnd))
+		}
+		db.Put(r)
+		db.Put(s)
+		views := []view.View{
+			view.NewView("v_r", cq.MustParse("v(A, B) :- r(A, B)")),
+			view.NewView("v_s", cq.MustParse("v(B, C) :- s(B, C)")),
+			view.NewView("v_join", cq.MustParse("v(A, C) :- r(A, B), s(B, C)")),
+		}
+		q := cq.MustParse("q(A, C) :- r(A, B), s(B, C)")
+		rws, err := view.Rewrite(q, views, view.RewriteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rws) == 0 {
+			t.Fatal("no rewritings")
+		}
+		direct, err := cq.Eval(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Materialize views into a view-database.
+		vdb := relation.NewDatabase()
+		for _, v := range views {
+			mv := view.NewMaterialized(v)
+			if err := mv.Refresh(db); err != nil {
+				t.Fatal(err)
+			}
+			ext := relation.New(relation.Schema{Name: v.Name, Attrs: mv.Extent.Schema.Attrs})
+			for _, row := range mv.Extent.Rows() {
+				if err := ext.Insert(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			vdb.Put(ext)
+		}
+		for _, rw := range rws {
+			got, err := cq.Eval(vdb, rw.Query)
+			if err != nil {
+				t.Fatalf("eval %s: %v", rw.Query, err)
+			}
+			for _, row := range got.Rows() {
+				if !direct.Contains(row) {
+					t.Fatalf("trial %d: unsound rewriting %s produced %v",
+						trial, rw.Query, row)
+				}
+			}
+			if rw.Equivalent && !got.Equal(direct) {
+				t.Fatalf("trial %d: equivalent rewriting %s differs: %v vs %v",
+					trial, rw.Query, got.Rows(), direct.Rows())
+			}
+		}
+	}
+}
+
+func rv(rnd *rand.Rand) relation.Value {
+	return relation.SV(string(rune('a' + rnd.Intn(4))))
+}
+
+// TestIntegrationXMLPeersViaTemplate ties Figures 3 and 4 into Piazza:
+// Berkeley and MIT join as XML peers (shredded schemas), the
+// Berkeley→MIT template compiles into GLAV mappings, and a query in
+// MIT's vocabulary sees Berkeley's courses.
+func TestIntegrationXMLPeersViaTemplate(t *testing.T) {
+	berkeleyDTD := xmlq.MustDTD("schedule",
+		xmlq.Elem("schedule", xmlq.ChildMany("college")),
+		xmlq.Elem("college", xmlq.ChildOne("name"), xmlq.ChildMany("dept")),
+		xmlq.Elem("dept", xmlq.ChildOne("name"), xmlq.ChildMany("course")),
+		xmlq.Elem("course", xmlq.ChildOne("title"), xmlq.ChildOne("size")),
+		xmlq.Leaf("name"), xmlq.Leaf("title"), xmlq.Leaf("size"))
+	mitDTD := xmlq.MustDTD("catalog",
+		xmlq.Elem("catalog", xmlq.ChildMany("course")),
+		xmlq.Elem("course", xmlq.ChildOne("name"), xmlq.ChildMany("subject")),
+		xmlq.Elem("subject", xmlq.ChildOne("title"), xmlq.ChildOne("enrollment")),
+		xmlq.Leaf("name"), xmlq.Leaf("title"), xmlq.Leaf("enrollment"))
+	tpl := &xmlq.Template{Root: xmlq.TElem("catalog",
+		xmlq.TBind("course", "c", "", "schedule/college/dept",
+			xmlq.TValue("name", "c", "name/text()"),
+			xmlq.TBind("subject", "s", "c", "course",
+				xmlq.TValue("title", "s", "title/text()"),
+				xmlq.TValue("enrollment", "s", "size/text()"))))}
+
+	berkeleyDoc := xmlq.NewNode("schedule",
+		xmlq.NewNode("college", xmlq.TextNode("name", "L&S"),
+			xmlq.NewNode("dept", xmlq.TextNode("name", "History"),
+				xmlq.NewNode("course", xmlq.TextNode("title", "Ancient History"), xmlq.TextNode("size", "40")),
+				xmlq.NewNode("course", xmlq.TextNode("title", "Modern Europe"), xmlq.TextNode("size", "55")))))
+	mitDoc := xmlq.NewNode("catalog",
+		xmlq.NewNode("course", xmlq.TextNode("name", "EECS"),
+			xmlq.NewNode("subject", xmlq.TextNode("title", "Databases"), xmlq.TextNode("enrollment", "80"))))
+
+	net := pdms.NewNetwork()
+	addXMLPeer := func(name string, dtd *xmlq.DTD, doc *xmlq.Node) {
+		t.Helper()
+		schemas, err := xmlq.ShredSchemas(dtd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rels []relation.Schema
+		for _, s := range schemas {
+			rels = append(rels, s.Schema())
+		}
+		p := pdms.NewPeer(name, rels...)
+		if err := net.AddPeer(p); err != nil {
+			t.Fatal(err)
+		}
+		db, err := xmlq.ShredDoc(dtd, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range db.Relations() {
+			for _, row := range r.Rows() {
+				if err := p.Insert(r.Schema.Name, row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addXMLPeer("berkeley", berkeleyDTD, berkeleyDoc)
+	addXMLPeer("mit", mitDTD, mitDoc)
+
+	mappings, err := xmlq.TemplateToGLAV("b2m", "berkeley", tpl, berkeleyDTD, "mit", mitDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mappings) != 2 {
+		t.Fatalf("mappings = %v", mappings)
+	}
+	for _, m := range mappings {
+		if err := net.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query in MIT's vocabulary: all subject titles with enrollments.
+	res, err := net.Answer("mit", cq.MustParse(
+		"q(T, E) :- course_subject(CN, T, E)"), pdms.ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIT's own Databases + Berkeley's two history courses.
+	if res.Answers.Len() != 3 {
+		t.Fatalf("answers = %v (rewritings %v)", res.Answers.Rows(), res.Rewritings)
+	}
+	want := relation.Tuple{relation.SV("Ancient History"), relation.SV("40")}
+	if !res.Answers.Contains(want) {
+		t.Errorf("Berkeley course missing: %v", res.Answers.Rows())
+	}
+}
+
+// TestIntegrationPlacementWorkflow: optimize placement for a workload,
+// then answer through copies and through the network, with updates in
+// between.
+func TestIntegrationPlacementWorkflow(t *testing.T) {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Star, Peers: 5, Seed: 3, RowsPerPeer: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.TitleQuery(1)
+	wl := []pdms.WorkloadQuery{{Peer: workload.PeerName(1), Query: q, Freq: 10}}
+	cm := pdms.CostModel{RemoteFactor: 8}
+	before, err := g.Net.EstimateCost(workload.PeerName(1), q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Net.PlaceViews(wl, 3, cm); err != nil {
+		t.Fatal(err)
+	}
+	after, err := g.Net.EstimateCost(workload.PeerName(1), q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("placement did not help: %v -> %v", before, after)
+	}
+	// Publish an update at the hub, then check copy-based answers match.
+	spec := g.Specs[0]
+	row := make(relation.Tuple, spec.Schema.Arity())
+	for i := range row {
+		row[i] = relation.SV("fresh")
+	}
+	if _, err := g.Net.Publish(workload.PeerName(0), spec.Schema.Name,
+		view.Updategram{Relation: spec.Schema.Name, Inserts: []relation.Tuple{row}}); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := g.Net.Answer(workload.PeerName(1), q, pdms.ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copies, err := g.Net.AnswerUsingCopies(workload.PeerName(1), q, pdms.ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Answers.Equal(copies.Answers) {
+		t.Errorf("copy answers diverge after publish")
+	}
+}

@@ -1,0 +1,172 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+func builtCorpus() *corpus.Corpus {
+	c := corpus.New(strutil.DefaultSynonyms())
+	c.Add(&corpus.Entry{Name: "uw_courses", Relations: []relation.Schema{
+		relation.NewSchema("course",
+			relation.Attr("title"), relation.Attr("instructor"),
+			relation.Attr("day"), relation.Attr("time"), relation.Attr("room")),
+		relation.NewSchema("ta",
+			relation.Attr("name"), relation.Attr("email"), relation.Attr("course_title")),
+	}})
+	c.Add(&corpus.Entry{Name: "mit_catalog", Relations: []relation.Schema{
+		relation.NewSchema("subject",
+			relation.Attr("title"), relation.Attr("teacher"), relation.Attr("enrollment")),
+	}})
+	c.Add(&corpus.Entry{Name: "zillow", Relations: []relation.Schema{
+		relation.NewSchema("listing",
+			relation.Attr("address"), relation.Attr("price"),
+			relation.Attr("bedrooms"), relation.Attr("bathrooms"), relation.Attr("agent")),
+	}})
+	c.Add(&corpus.Entry{Name: "dblp", Relations: []relation.Schema{
+		relation.NewSchema("publication",
+			relation.Attr("title"), relation.Attr("author"),
+			relation.Attr("venue"), relation.Attr("year")),
+	}})
+	return c
+}
+
+func TestProposeRanksRightDomainFirst(t *testing.T) {
+	d := &DesignAdvisor{Corpus: builtCorpus()}
+	partial := relation.NewSchema("myclasses",
+		relation.Attr("title"), relation.Attr("lecturer"), relation.Attr("room"))
+	props := d.Propose(partial, 0)
+	if len(props) != 4 {
+		t.Fatalf("proposals = %d", len(props))
+	}
+	if props[0].Entry.Name != "uw_courses" && props[0].Entry.Name != "mit_catalog" {
+		t.Errorf("top proposal = %s", props[0].Entry.Name)
+	}
+	// Real-estate corpus entry must rank below the course entries.
+	for i, p := range props {
+		if p.Entry.Name == "zillow" && i < 2 {
+			t.Errorf("zillow ranked %d for a course schema", i)
+		}
+	}
+	// Fit must be populated and the mapping must align lecturer.
+	top := props[0]
+	if top.Fit <= 0 || top.Sim <= 0 {
+		t.Errorf("top proposal scores: %+v", top)
+	}
+	found := false
+	for a := range top.Mapping {
+		if a == "lecturer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lecturer unmapped in %v", top.Mapping)
+	}
+	// k limits output.
+	if got := d.Propose(partial, 2); len(got) != 2 {
+		t.Errorf("k ignored: %d", len(got))
+	}
+}
+
+func TestAlphaBetaWeighting(t *testing.T) {
+	c := builtCorpus()
+	partial := relation.NewSchema("x", relation.Attr("title"))
+	// Pure preference ranking (α=0) is driven by commonness/conciseness,
+	// not fit: ranking may differ from the fit-driven one.
+	fitDriven := &DesignAdvisor{Corpus: c, Alpha: 1, Beta: 0.0001}
+	prefDriven := &DesignAdvisor{Corpus: c, Alpha: 0.0001, Beta: 1}
+	pf := fitDriven.Propose(partial, 0)
+	pp := prefDriven.Propose(partial, 0)
+	if pf[0].Sim <= 0 || pp[0].Sim <= 0 {
+		t.Error("weighted sims should be positive")
+	}
+	// The default weighting is between the extremes.
+	def := &DesignAdvisor{Corpus: c}
+	if got := def.Propose(partial, 1); len(got) != 1 {
+		t.Error("default weights broken")
+	}
+}
+
+func TestAutoComplete(t *testing.T) {
+	d := &DesignAdvisor{Corpus: builtCorpus()}
+	partial := relation.NewSchema("myclasses",
+		relation.Attr("title"), relation.Attr("instructor"))
+	suggestions := d.AutoComplete(partial, 5)
+	if len(suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	joined := strings.Join(suggestions, " ")
+	// Course-schema vocabulary should dominate the suggestions.
+	if !strings.Contains(joined, "room") && !strings.Contains(joined, "day") &&
+		!strings.Contains(joined, "time") && !strings.Contains(joined, "enrollment") {
+		t.Errorf("suggestions = %v", suggestions)
+	}
+	for _, s := range suggestions {
+		if s == "title" || s == "instructor" {
+			t.Errorf("suggested an attribute the user already has: %v", suggestions)
+		}
+	}
+}
+
+func TestReviewDesignSuggestsTASplit(t *testing.T) {
+	// The paper's exact scenario: the coordinator adds TA attributes to
+	// the course table; the advisor notices other universities separate
+	// them.
+	d := &DesignAdvisor{Corpus: builtCorpus()}
+	mixed := relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instructor"), relation.Attr("room"),
+		relation.Attr("ta_name"), relation.Attr("ta_email"))
+	advice := d.ReviewDesign(mixed)
+	if len(advice) == 0 {
+		t.Fatal("no advice for mixed course/TA table")
+	}
+	if advice[0].Kind != "split-table" {
+		t.Errorf("advice = %+v", advice[0])
+	}
+	if !strings.Contains(advice[0].Detail, "ta") {
+		t.Errorf("detail misses TA group: %s", advice[0].Detail)
+	}
+	// A clean single-concept table draws no advice.
+	clean := relation.NewSchema("listing",
+		relation.Attr("address"), relation.Attr("price"), relation.Attr("bedrooms"))
+	if got := d.ReviewDesign(clean); len(got) != 0 {
+		t.Errorf("clean table advice = %v", got)
+	}
+}
+
+func TestMatchViaCorpus(t *testing.T) {
+	c := builtCorpus()
+	c.AddMapping(corpus.KnownMapping{
+		From: "uw_courses", To: "mit_catalog",
+		Corr: map[string]string{
+			"course.title":      "subject.title",
+			"course.instructor": "subject.teacher",
+		}})
+	d := &DesignAdvisor{Corpus: c}
+	// s1 carries enough of UW's vocabulary (day/time/room) that
+	// uw_courses wins the fit ranking despite being larger.
+	s1 := relation.NewSchema("klass",
+		relation.Attr("title"), relation.Attr("instructor"), relation.Attr("room"),
+		relation.Attr("day"), relation.Attr("time"))
+	s2 := relation.NewSchema("offering", relation.Attr("title"), relation.Attr("teacher"))
+	corrs := d.MatchViaCorpus(s1, s2)
+	if len(corrs) != 2 {
+		t.Fatalf("corrs = %v", corrs)
+	}
+	got := map[string]string{}
+	for _, cr := range corrs {
+		got[cr.A] = cr.B
+	}
+	if got["title"] != "title" || got["instructor"] != "teacher" {
+		t.Errorf("composed correspondences = %v", got)
+	}
+	// No known mapping between top entries → no correspondences.
+	s3 := relation.NewSchema("home", relation.Attr("address"), relation.Attr("price"))
+	if got := d.MatchViaCorpus(s3, s2); len(got) != 0 {
+		t.Errorf("unexpected corrs = %v", got)
+	}
+}

@@ -1,0 +1,291 @@
+// Package advisor implements the corpus-backed interactive tools of §4.3:
+// DESIGNADVISOR (ranked schema proposals, auto-complete, design advice
+// such as the TA-table suggestion) and the corpus-mapping-reuse variant
+// of MATCHINGADVISOR.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/match"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+// DesignAdvisor proposes schemas from the corpus for a partial design.
+// Ranking follows the paper's template: sim(S', (S,D)) = α·fit + β·pref.
+type DesignAdvisor struct {
+	Corpus *corpus.Corpus
+	// Alpha weights fit, Beta weights preference (defaults 0.7 / 0.3).
+	Alpha, Beta float64
+	// MatchThreshold for attribute alignment (default 0.6).
+	MatchThreshold float64
+}
+
+func (d *DesignAdvisor) alpha() float64 {
+	if d.Alpha == 0 && d.Beta == 0 {
+		return 0.7
+	}
+	return d.Alpha
+}
+
+func (d *DesignAdvisor) beta() float64 {
+	if d.Alpha == 0 && d.Beta == 0 {
+		return 0.3
+	}
+	return d.Beta
+}
+
+func (d *DesignAdvisor) threshold() float64 {
+	if d.MatchThreshold == 0 {
+		return 0.6
+	}
+	return d.MatchThreshold
+}
+
+// Proposal is one ranked corpus schema with its alignment to the user's
+// partial schema.
+type Proposal struct {
+	Entry      *corpus.Entry
+	Sim        float64
+	Fit        float64
+	Preference float64
+	// Mapping aligns the partial schema's attributes (keys) with the
+	// proposal's "relation.attr" elements.
+	Mapping map[string]string
+}
+
+// flatAttrs lists "relation.attr" element names of an entry.
+func flatAttrs(e *corpus.Entry) []string {
+	var out []string
+	for _, r := range e.Relations {
+		for _, a := range r.Attrs {
+			out = append(out, r.Name+"."+a.Name)
+		}
+	}
+	return out
+}
+
+// Propose returns corpus entries ranked by decreasing similarity to the
+// partial schema S (data D influences nothing yet beyond attribute
+// names; the paper leaves the data term open).
+func (d *DesignAdvisor) Propose(partial relation.Schema, k int) []Proposal {
+	userAttrs := partial.AttrNames()
+	var out []Proposal
+	for _, e := range d.Corpus.Entries() {
+		entryAttrs := flatAttrs(e)
+		bare := make([]string, len(entryAttrs))
+		for i, ea := range entryAttrs {
+			if dot := strings.IndexByte(ea, '.'); dot >= 0 {
+				bare[i] = ea[dot+1:]
+			} else {
+				bare[i] = ea
+			}
+		}
+		matches := d.Corpus.MatchAttrs(userAttrs, bare, d.threshold())
+		// Paper: fit = ratio of #mappings to total #elements of S' and S.
+		fit := 0.0
+		if len(userAttrs)+len(entryAttrs) > 0 {
+			fit = 2 * float64(len(matches)) / float64(len(userAttrs)+len(entryAttrs))
+		}
+		pref := d.preference(e)
+		mapping := make(map[string]string, len(matches))
+		for _, m := range matches {
+			for i, b := range bare {
+				if b == m.B {
+					mapping[m.A] = entryAttrs[i]
+					break
+				}
+			}
+		}
+		out = append(out, Proposal{
+			Entry: e, Fit: fit, Preference: pref,
+			Sim:     d.alpha()*fit + d.beta()*pref,
+			Mapping: mapping,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Entry.Name < out[j].Entry.Name
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// preference scores commonness and conciseness: schemas whose vocabulary
+// pervades the corpus rank higher; enormous schemas rank lower.
+func (d *DesignAdvisor) preference(e *corpus.Entry) float64 {
+	attrs := flatAttrs(e)
+	if len(attrs) == 0 {
+		return 0
+	}
+	usage := 0.0
+	for _, fa := range attrs {
+		name := fa
+		if dot := strings.IndexByte(fa, '.'); dot >= 0 {
+			name = fa[dot+1:]
+		}
+		for _, tok := range strutil.Tokenize(name) {
+			usage += d.Corpus.Usage(tok).StructureShare
+		}
+	}
+	usage /= float64(len(attrs))
+	concise := 1.0 / (1.0 + float64(len(attrs))/10.0)
+	return 0.7*usage + 0.3*concise
+}
+
+// AutoComplete suggests attributes to add to the partial schema: the
+// unmatched attributes of the best proposals plus strong co-occurrence
+// companions — the paper's "auto-complete tool to suggest more complete
+// schemas".
+func (d *DesignAdvisor) AutoComplete(partial relation.Schema, k int) []string {
+	props := d.Propose(partial, 3)
+	have := make(map[string]bool)
+	for _, a := range partial.AttrNames() {
+		have[strings.ToLower(a)] = true
+	}
+	mappedTargets := make(map[string]bool)
+	score := make(map[string]float64)
+	for rank, p := range props {
+		for _, tgt := range p.Mapping {
+			mappedTargets[tgt] = true
+		}
+		for _, fa := range flatAttrs(p.Entry) {
+			if mappedTargets[fa] {
+				continue
+			}
+			name := fa[strings.IndexByte(fa, '.')+1:]
+			if have[strings.ToLower(name)] {
+				continue
+			}
+			score[name] += p.Sim / float64(rank+1)
+		}
+	}
+	for _, a := range partial.AttrNames() {
+		for _, comp := range d.Corpus.CompanionAttrs(a, 5) {
+			if !have[strings.ToLower(comp.Item)] {
+				score[comp.Item] += 0.3 * comp.Score
+			}
+		}
+	}
+	type sugg struct {
+		name string
+		s    float64
+	}
+	var all []sugg
+	for n, s := range score {
+		all = append(all, sugg{n, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// Advice is one design suggestion.
+type Advice struct {
+	Kind   string
+	Detail string
+	Groups [][]string
+}
+
+// ReviewDesign monitors a relation the way DESIGNADVISOR watches the
+// coordinator (§4.3.1): if the relation's attributes align with several
+// distinct corpus relations (e.g. course fields and TA fields), it
+// suggests splitting them into separate tables — "in similar schemas at
+// most other universities, TA information has been modeled in a table
+// separate from the course table."
+func (d *DesignAdvisor) ReviewDesign(rel relation.Schema) []Advice {
+	groups := make(map[string][]string) // corpus relation name -> user attrs
+	for _, attr := range rel.AttrNames() {
+		best, bestScore := "", 0.0
+		for _, e := range d.Corpus.Entries() {
+			for _, r := range e.Relations {
+				for _, ca := range r.Attrs {
+					s := strutil.NameSimilarity(attr, ca.Name)
+					if s > bestScore {
+						bestScore = s
+						best = r.Name
+					}
+				}
+			}
+		}
+		if best != "" && bestScore >= d.threshold() {
+			groups[best] = append(groups[best], attr)
+		}
+	}
+	var names []string
+	for n, attrs := range groups {
+		if len(attrs) >= 1 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var meaningful [][]string
+	for _, n := range names {
+		if len(groups[n]) >= 1 {
+			meaningful = append(meaningful, append([]string{n}, groups[n]...))
+		}
+	}
+	if len(meaningful) < 2 {
+		return nil
+	}
+	var parts []string
+	for _, g := range meaningful {
+		parts = append(parts, fmt.Sprintf("%s(%s)", g[0], strings.Join(g[1:], ", ")))
+	}
+	return []Advice{{
+		Kind: "split-table",
+		Detail: fmt.Sprintf("attributes of %s align with %d distinct corpus concepts; consider separate tables: %s",
+			rel.Name, len(meaningful), strings.Join(parts, "; ")),
+		Groups: meaningful,
+	}}
+}
+
+// MatchViaCorpus is the alternative MATCHINGADVISOR path (§4.3.2): "find
+// two example schemas in the corpus that are deemed ... similar to S1
+// and S2 ... then use mappings between those schemas within the corpus
+// to map between S1 and S2." It aligns S1→E1 and S2→E2 by name matching
+// and composes through the known E1→E2 mapping.
+func (d *DesignAdvisor) MatchViaCorpus(s1, s2 relation.Schema) []match.Correspondence {
+	p1 := d.Propose(s1, 1)
+	p2 := d.Propose(s2, 1)
+	if len(p1) == 0 || len(p2) == 0 {
+		return nil
+	}
+	e1, e2 := p1[0].Entry, p2[0].Entry
+	var out []match.Correspondence
+	for _, km := range d.Corpus.MappingsBetween(e1.Name, e2.Name) {
+		// Compose: s1attr → e1elem → e2elem → s2attr.
+		inv2 := make(map[string]string) // e2 element -> s2 attr
+		for a2, tgt := range p2[0].Mapping {
+			inv2[tgt] = a2
+		}
+		for a1, tgt1 := range p1[0].Mapping {
+			if tgt2, ok := km.Corr[tgt1]; ok {
+				if a2, ok2 := inv2[tgt2]; ok2 {
+					out = append(out, match.Correspondence{A: a1, B: a2, Score: 1})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
+	return out
+}

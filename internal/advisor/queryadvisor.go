@@ -1,0 +1,167 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+// QueryAdvisor implements §4.4's sketch: "a user should be able to
+// access a database the schema of which she does not know, and pose a
+// query using her own terminology ... a tool that uses the corpus to
+// propose reformulations of the user's query that are well formed
+// w.r.t. the schema at hand. The tool may propose a few such queries
+// (possibly with example answers), and let the user choose among them."
+type QueryAdvisor struct {
+	// Corpus supplies name canonicalization (synonyms, dictionary,
+	// stemming); may be shared with a DesignAdvisor.
+	Corpus canonicalizer
+	// MinScore drops weak attribute alignments (default 0.45).
+	MinScore float64
+}
+
+// canonicalizer is the slice of corpus behaviour the advisor needs.
+type canonicalizer interface {
+	CanonicalAttr(name string) string
+}
+
+func (qa *QueryAdvisor) minScore() float64 {
+	if qa.MinScore == 0 {
+		return 0.45
+	}
+	return qa.MinScore
+}
+
+// Intent is a query in the user's own vocabulary: a concept name, the
+// attributes she wants back, and equality filters — what a keyword-ish
+// user can articulate without knowing the schema.
+type Intent struct {
+	// Concept is what the user calls the thing ("class", "corso").
+	Concept string
+	// Wants are the user's names for the output attributes.
+	Wants []string
+	// Filters are user-vocabulary attribute = value constraints.
+	Filters map[string]string
+}
+
+// QueryProposal is one well-formed reformulation with evidence.
+type QueryProposal struct {
+	Query cq.Query
+	// Relation is the schema relation the concept was resolved to.
+	Relation string
+	// Bindings maps the user's terms to schema attributes.
+	Bindings map[string]string
+	Score    float64
+	// SampleAnswers are example tuples (≤ 3) if a database was supplied.
+	SampleAnswers []relation.Tuple
+}
+
+// Propose resolves the intent against the target schema and returns up
+// to k ranked well-formed queries, each optionally with sample answers
+// evaluated over db (db may be nil).
+func (qa *QueryAdvisor) Propose(intent Intent, schema []relation.Schema, db *relation.Database, k int) ([]QueryProposal, error) {
+	if len(intent.Wants) == 0 {
+		return nil, fmt.Errorf("advisor: intent wants nothing")
+	}
+	var out []QueryProposal
+	for _, rel := range schema {
+		p, ok := qa.tryRelation(intent, rel)
+		if !ok {
+			continue
+		}
+		if db != nil {
+			r, err := cq.Eval(db, p.Query)
+			if err == nil {
+				rows := r.Rows()
+				if len(rows) > 3 {
+					rows = rows[:3]
+				}
+				for _, row := range rows {
+					p.SampleAnswers = append(p.SampleAnswers, row.Clone())
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Relation < out[j].Relation
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// tryRelation aligns the intent with one relation.
+func (qa *QueryAdvisor) tryRelation(intent Intent, rel relation.Schema) (QueryProposal, bool) {
+	conceptSim := qa.nameSim(intent.Concept, rel.Name)
+	attrs := rel.AttrNames()
+	bindings := make(map[string]string)
+	used := make(map[string]bool)
+	var alignTotal float64
+	// Align wants then filters, greedily, one-to-one.
+	terms := append(append([]string(nil), intent.Wants...), sortedKeys(intent.Filters)...)
+	for _, term := range terms {
+		bestAttr, bestScore := "", 0.0
+		for _, a := range attrs {
+			if used[a] {
+				continue
+			}
+			if s := qa.nameSim(term, a); s > bestScore {
+				bestAttr, bestScore = a, s
+			}
+		}
+		if bestScore < qa.minScore() {
+			return QueryProposal{}, false
+		}
+		bindings[term] = bestAttr
+		used[bestAttr] = true
+		alignTotal += bestScore
+	}
+	// Build the conjunctive query: one atom over rel with fresh vars,
+	// wants projected, filters constrained.
+	args := make([]cq.Term, len(attrs))
+	attrVar := make(map[string]string, len(attrs))
+	for i, a := range attrs {
+		v := "X" + strconv.Itoa(i)
+		attrVar[a] = v
+		args[i] = cq.V(v)
+	}
+	for term, val := range intent.Filters {
+		col := rel.AttrIndex(bindings[term])
+		args[col] = cq.C(relation.ParseValue("'" + val + "'"))
+	}
+	head := make([]string, len(intent.Wants))
+	for i, w := range intent.Wants {
+		head[i] = attrVar[bindings[w]]
+	}
+	q := cq.Query{HeadPred: "q", HeadVars: head,
+		Body: []cq.Atom{{Pred: rel.Name, Args: args}}}
+	score := 0.4*conceptSim + 0.6*alignTotal/float64(len(terms))
+	return QueryProposal{Query: q, Relation: rel.Name, Bindings: bindings, Score: score}, true
+}
+
+// nameSim uses corpus canonicalization when available, falling back to
+// surface similarity.
+func (qa *QueryAdvisor) nameSim(a, b string) float64 {
+	if qa.Corpus != nil && qa.Corpus.CanonicalAttr(a) == qa.Corpus.CanonicalAttr(b) {
+		return 1
+	}
+	return strutil.NameSimilarity(a, b)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+func targetSchema() []relation.Schema {
+	return []relation.Schema{
+		relation.NewSchema("subject",
+			relation.Attr("title"), relation.Attr("teacher"), relation.Attr("enrollment")),
+		relation.NewSchema("staff",
+			relation.Attr("name"), relation.Attr("telephone")),
+	}
+}
+
+func targetDB() *relation.Database {
+	db := relation.NewDatabase()
+	s := relation.New(targetSchema()[0])
+	s.MustInsert(relation.SV("Databases"), relation.SV("halevy"), relation.SV("60"))
+	s.MustInsert(relation.SV("AI"), relation.SV("etzioni"), relation.SV("80"))
+	db.Put(s)
+	p := relation.New(targetSchema()[1])
+	p.MustInsert(relation.SV("halevy"), relation.SV("543-1111"))
+	db.Put(p)
+	return db
+}
+
+func advisorWithCorpus() *QueryAdvisor {
+	c := corpus.New(strutil.DefaultSynonyms())
+	c.Dictionary = strutil.DefaultDictionary()
+	return &QueryAdvisor{Corpus: c}
+}
+
+func TestQueryAdvisorResolvesUserVocabulary(t *testing.T) {
+	qa := advisorWithCorpus()
+	// User says "class / name / instructor"; schema says
+	// "subject / title / teacher".
+	props, err := qa.Propose(Intent{
+		Concept: "class",
+		Wants:   []string{"name"},
+		Filters: map[string]string{"instructor": "halevy"},
+	}, targetSchema(), targetDB(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) == 0 {
+		t.Fatal("no proposals")
+	}
+	top := props[0]
+	if top.Relation != "subject" {
+		t.Fatalf("top relation = %s (%+v)", top.Relation, top)
+	}
+	if top.Bindings["instructor"] != "teacher" {
+		t.Errorf("bindings = %v", top.Bindings)
+	}
+	if len(top.SampleAnswers) != 1 || top.SampleAnswers[0][0] != relation.SV("Databases") {
+		t.Errorf("sample answers = %v", top.SampleAnswers)
+	}
+	if !top.Query.IsSafe() {
+		t.Error("proposed query unsafe")
+	}
+}
+
+func TestQueryAdvisorItalianUser(t *testing.T) {
+	// A Rome user asks in Italian against an English schema; the
+	// inter-language dictionary carries the day (§4.2.1 normalizers).
+	qa := advisorWithCorpus()
+	props, err := qa.Propose(Intent{
+		Concept: "corso",
+		Wants:   []string{"titolo", "docente"},
+	}, targetSchema(), targetDB(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 || props[0].Relation != "subject" {
+		t.Fatalf("props = %+v", props)
+	}
+	if props[0].Bindings["docente"] != "teacher" {
+		t.Errorf("bindings = %v", props[0].Bindings)
+	}
+}
+
+func TestQueryAdvisorRanksRelations(t *testing.T) {
+	qa := advisorWithCorpus()
+	props, err := qa.Propose(Intent{
+		Concept: "person",
+		Wants:   []string{"phone"},
+	}, targetSchema(), targetDB(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) == 0 || props[0].Relation != "staff" {
+		t.Fatalf("props = %+v", props)
+	}
+}
+
+func TestQueryAdvisorNoAlignment(t *testing.T) {
+	qa := advisorWithCorpus()
+	props, err := qa.Propose(Intent{
+		Concept: "spacecraft",
+		Wants:   []string{"thrust_vector"},
+	}, targetSchema(), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 0 {
+		t.Errorf("nonsense intent matched: %+v", props)
+	}
+	if _, err := qa.Propose(Intent{Concept: "class"}, targetSchema(), nil, 3); err == nil {
+		t.Error("empty wants should fail")
+	}
+}
+
+func TestQueryAdvisorWithoutCorpus(t *testing.T) {
+	qa := &QueryAdvisor{}
+	props, err := qa.Propose(Intent{
+		Concept: "subject",
+		Wants:   []string{"title"},
+	}, targetSchema(), targetDB(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 || props[0].Bindings["title"] != "title" {
+		t.Fatalf("props = %+v", props)
+	}
+	// Surface similarity alone cannot bridge instructor→teacher.
+	props2, err := qa.Propose(Intent{Concept: "subject",
+		Wants: []string{"instructor"}}, targetSchema(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props2) != 0 {
+		t.Errorf("expected no match without synonym table, got %+v", props2)
+	}
+}
+
+func TestCorpusDictionaryCanonicalization(t *testing.T) {
+	c := corpus.New(strutil.DefaultSynonyms())
+	c.Dictionary = strutil.DefaultDictionary()
+	if c.CanonicalAttr("corso") != c.CanonicalAttr("course") {
+		t.Error("dictionary canonicalization broken")
+	}
+	if c.CanonicalAttr("docente") != c.CanonicalAttr("instructor") {
+		t.Error("docente should fold with instructor")
+	}
+}

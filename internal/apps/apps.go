@@ -1,0 +1,332 @@
+// Package apps provides MANGROVE's instant-gratification applications
+// (§2.2): "an online department schedule is created based on the
+// annotations department members add ... Other applications that we are
+// constructing include a departmental paper database, a 'Who's Who,' and
+// an annotation-enabled search engine." Each application reads the
+// repository the moment content is published — that immediacy is the
+// feedback loop that entices authors to structure data.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mangrove"
+	"repro/internal/stats"
+	"repro/internal/strutil"
+)
+
+// CalendarEntry is one scheduled event (course meeting or talk).
+type CalendarEntry struct {
+	Kind  string // "course" or "talk"
+	Title string
+	Who   string
+	Day   string
+	Time  string
+	Room  string
+}
+
+// String implements fmt.Stringer.
+func (e CalendarEntry) String() string {
+	return fmt.Sprintf("[%s] %s %s — %s (%s, %s)", e.Kind, e.Day, e.Time, e.Title, e.Who, e.Room)
+}
+
+// Calendar is the department schedule application.
+type Calendar struct {
+	Repo *mangrove.Repository
+}
+
+// Entries assembles the schedule from course and talk annotations,
+// sorted by day (Mon..Fri) then time then title. Partial annotations
+// yield entries with empty fields rather than being dropped.
+func (c *Calendar) Entries() []CalendarEntry {
+	var out []CalendarEntry
+	for _, subj := range c.Repo.Subjects("course") {
+		f := c.Repo.Fields(subj)
+		out = append(out, CalendarEntry{
+			Kind:  "course",
+			Title: first(f["course.title"]),
+			Who:   first(f["course.instructor"]),
+			Day:   first(f["course.day"]),
+			Time:  first(f["course.time"]),
+			Room:  first(f["course.room"]),
+		})
+	}
+	for _, subj := range c.Repo.Subjects("talk") {
+		f := c.Repo.Fields(subj)
+		out = append(out, CalendarEntry{
+			Kind:  "talk",
+			Title: first(f["talk.title"]),
+			Who:   first(f["talk.speaker"]),
+			Day:   first(f["talk.day"]),
+			Time:  first(f["talk.time"]),
+			Room:  first(f["talk.room"]),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d := dayOrder(out[i].Day) - dayOrder(out[j].Day); d != 0 {
+			return d < 0
+		}
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Title < out[j].Title
+	})
+	return out
+}
+
+// Conflicts returns pairs of entries that occupy the same room at the
+// same day and time — an application-level integrity check.
+func (c *Calendar) Conflicts() [][2]CalendarEntry {
+	entries := c.Entries()
+	var out [][2]CalendarEntry
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			a, b := entries[i], entries[j]
+			if a.Room == "" || a.Day == "" || a.Time == "" {
+				continue
+			}
+			if a.Room == b.Room && a.Day == b.Day && a.Time == b.Time {
+				out = append(out, [2]CalendarEntry{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func dayOrder(day string) int {
+	order := map[string]int{"Monday": 0, "Tuesday": 1, "Wednesday": 2, "Thursday": 3, "Friday": 4,
+		"Saturday": 5, "Sunday": 6}
+	if n, ok := order[day]; ok {
+		return n
+	}
+	return 7
+}
+
+func first(vs []mangrove.ValueWithSource) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0].Value
+}
+
+// WhoEntry is one directory row.
+type WhoEntry struct {
+	Name     string
+	Phones   []string
+	Email    string
+	Office   string
+	Position string
+}
+
+// WhosWho is the people-directory application. It demonstrates
+// per-application cleaning: the Policy decides which phone numbers
+// survive when sources conflict.
+type WhosWho struct {
+	Repo   *mangrove.Repository
+	Policy mangrove.Policy
+}
+
+// Entries lists everyone, merging subjects that share a name (the same
+// person annotated on several pages) and cleaning phones per policy.
+func (w *WhosWho) Entries() []WhoEntry {
+	policy := w.Policy
+	if policy == nil {
+		policy = mangrove.AnyPolicy{}
+	}
+	byName := make(map[string]*WhoEntry)
+	phoneCands := make(map[string][]mangrove.ValueWithSource)
+	for _, subj := range w.Repo.Subjects("person") {
+		f := w.Repo.Fields(subj)
+		name := first(f["person.name"])
+		if name == "" {
+			continue
+		}
+		e, ok := byName[name]
+		if !ok {
+			e = &WhoEntry{Name: name}
+			byName[name] = e
+		}
+		if v := first(f["person.email"]); v != "" && e.Email == "" {
+			e.Email = v
+		}
+		if v := first(f["person.office"]); v != "" && e.Office == "" {
+			e.Office = v
+		}
+		if v := first(f["person.position"]); v != "" && e.Position == "" {
+			e.Position = v
+		}
+		phoneCands[name] = append(phoneCands[name], f["person.phone"]...)
+	}
+	var out []WhoEntry
+	for name, e := range byName {
+		e.Phones = policy.Resolve(phoneCands[name])
+		out = append(out, *e)
+		_ = name
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the entry for one person, if present.
+func (w *WhosWho) Lookup(name string) (WhoEntry, bool) {
+	for _, e := range w.Entries() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return WhoEntry{}, false
+}
+
+// Publication is one deduplicated paper.
+type Publication struct {
+	Title   string
+	Authors []string
+	Venue   string
+	Year    string
+	Sources []string
+}
+
+// PubsDB is the departmental paper database. Publications annotated on
+// several pages (author homepages, group pages) are merged when their
+// titles are near-duplicates.
+type PubsDB struct {
+	Repo *mangrove.Repository
+	// TitleSimilarity above which two titles are the same paper
+	// (default 0.85).
+	TitleSimilarity float64
+}
+
+// Entries lists deduplicated publications sorted by title.
+func (p *PubsDB) Entries() []Publication {
+	thresh := p.TitleSimilarity
+	if thresh == 0 {
+		thresh = 0.85
+	}
+	var pubs []Publication
+	for _, subj := range p.Repo.Subjects("publication") {
+		f := p.Repo.Fields(subj)
+		title := first(f["publication.title"])
+		if title == "" {
+			continue
+		}
+		var authors []string
+		for _, a := range f["publication.author"] {
+			authors = append(authors, a.Value)
+		}
+		entry := Publication{
+			Title:   title,
+			Authors: authors,
+			Venue:   first(f["publication.venue"]),
+			Year:    first(f["publication.year"]),
+		}
+		for _, v := range f["publication.title"] {
+			entry.Sources = append(entry.Sources, v.Source)
+		}
+		merged := false
+		for i := range pubs {
+			if strutil.NameSimilarity(strings.ToLower(pubs[i].Title), strings.ToLower(title)) >= thresh {
+				pubs[i].Sources = append(pubs[i].Sources, entry.Sources...)
+				pubs[i].Authors = mergeStrings(pubs[i].Authors, authors)
+				if pubs[i].Venue == "" {
+					pubs[i].Venue = entry.Venue
+				}
+				if pubs[i].Year == "" {
+					pubs[i].Year = entry.Year
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pubs = append(pubs, entry)
+		}
+	}
+	sort.Slice(pubs, func(i, j int) bool { return pubs[i].Title < pubs[j].Title })
+	return pubs
+}
+
+func mergeStrings(a, b []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range append(a, b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SearchHit is one ranked result of the annotation-enabled search engine.
+type SearchHit struct {
+	Subject string
+	Type    string
+	Score   float64
+	Snippet string
+}
+
+// Search is the annotation-enabled search engine: keyword search over
+// annotation values with TF/IDF ranking — U-WORLD access to S-WORLD data.
+type Search struct {
+	Repo *mangrove.Repository
+
+	model *stats.TFIDF
+	docs  map[string][]string // subject -> tokens
+	types map[string]string
+	text  map[string]string
+}
+
+// Reindex rebuilds the inverted statistics from the repository.
+func (s *Search) Reindex() {
+	s.model = stats.NewTFIDF()
+	s.docs = make(map[string][]string)
+	s.types = make(map[string]string)
+	s.text = make(map[string]string)
+	for _, tr := range s.Repo.Store.Match("", mangrove.TypePredicate, "") {
+		subj := tr.S
+		s.types[subj] = tr.O
+		var tokens []string
+		var texts []string
+		for path, vs := range s.Repo.Fields(subj) {
+			_ = path
+			for _, v := range vs {
+				tokens = append(tokens, strutil.TokenizeAndStem(v.Value)...)
+				texts = append(texts, v.Value)
+			}
+		}
+		sort.Strings(texts)
+		s.docs[subj] = tokens
+		s.text[subj] = strings.Join(texts, " · ")
+		s.model.AddDoc(tokens)
+	}
+}
+
+// Query returns the top-k subjects ranked by TF/IDF cosine similarity to
+// the keyword query. Stemming means "databases" finds "database" — the
+// U-WORLD's graceful degradation (§1.1 point 2).
+func (s *Search) Query(keywords string, k int) []SearchHit {
+	if s.model == nil {
+		s.Reindex()
+	}
+	qv := s.model.Vector(strutil.TokenizeAndStem(keywords))
+	var hits []SearchHit
+	for subj, tokens := range s.docs {
+		score := strutil.Cosine(qv, s.model.Vector(tokens))
+		if score > 0 {
+			hits = append(hits, SearchHit{Subject: subj, Type: s.types[subj],
+				Score: score, Snippet: s.text[subj]})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Subject < hits[j].Subject
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}

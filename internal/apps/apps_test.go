@@ -1,0 +1,269 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+	"repro/internal/webgen"
+)
+
+func publishedRepo(t *testing.T, opts webgen.Options) (*mangrove.Repository, *webgen.Generated) {
+	t.Helper()
+	g := webgen.Generate(opts)
+	if err := webgen.AnnotateAll(g); err != nil {
+		t.Fatal(err)
+	}
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	for _, url := range g.Site.URLs() {
+		if _, err := repo.Publish(url, g.Site.Get(url)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo, g
+}
+
+func TestCalendarEntries(t *testing.T) {
+	repo, g := publishedRepo(t, webgen.Options{Seed: 11, NPeople: 3, NCourses: 5, NTalks: 2})
+	cal := &Calendar{Repo: repo}
+	entries := cal.Entries()
+	if len(entries) != 7 {
+		t.Fatalf("entries = %d, want 7", len(entries))
+	}
+	// Sorted by day order.
+	for i := 1; i < len(entries); i++ {
+		if dayOrder(entries[i-1].Day) > dayOrder(entries[i].Day) {
+			t.Errorf("entries out of day order: %v before %v", entries[i-1], entries[i])
+		}
+	}
+	// Every generated course appears.
+	titles := map[string]bool{}
+	for _, e := range entries {
+		titles[e.Title] = true
+		if e.String() == "" {
+			t.Error("entry renders empty")
+		}
+	}
+	for _, c := range g.Courses {
+		if !titles[c.Title] {
+			t.Errorf("course %q missing from calendar", c.Title)
+		}
+	}
+}
+
+func TestCalendarInstantUpdate(t *testing.T) {
+	repo, _ := publishedRepo(t, webgen.Options{Seed: 11, NPeople: 1, NCourses: 1})
+	cal := &Calendar{Repo: repo}
+	before := len(cal.Entries())
+	// Author publishes a new talk page; calendar reflects it immediately.
+	doc, err := htmlx.Parse(`<html><body><div><p>Data Sharing</p><p>Maya Rodrig</p><p>Friday</p><p>15:00</p><p>Allen 305</p></div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{
+		{"Data Sharing", "title"}, {"Maya Rodrig", "speaker"},
+		{"Friday", "day"}, {"15:00", "time"}, {"Allen 305", "room"}} {
+		if err := htmlx.AnnotateText(doc, pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "talk"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://dept.example.edu/talks/new.html", doc); err != nil {
+		t.Fatal(err)
+	}
+	after := cal.Entries()
+	if len(after) != before+1 {
+		t.Fatalf("calendar not updated: %d -> %d", before, len(after))
+	}
+}
+
+func TestCalendarConflicts(t *testing.T) {
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	for i, name := range []string{"A", "B"} {
+		doc, err := htmlx.Parse(`<html><body><div><p>Course ` + name + `</p><p>Monday</p><p>9:00</p><p>EE1 100</p></div></body></html>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]string{{"Course " + name, "title"},
+			{"Monday", "day"}, {"9:00", "time"}, {"EE1 100", "room"}} {
+			if err := htmlx.AnnotateText(doc, pair[0], pair[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+		if err := htmlx.AnnotateElement(doc, div, "course"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repo.Publish("http://c"+string(rune('0'+i)), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cal := &Calendar{Repo: repo}
+	if got := cal.Conflicts(); len(got) != 1 {
+		t.Errorf("conflicts = %v", got)
+	}
+}
+
+func TestWhosWhoPolicies(t *testing.T) {
+	repo, g := publishedRepo(t, webgen.Options{Seed: 21, NPeople: 6, ConflictRate: 1.0, Malicious: true})
+	// AnyPolicy: victims of conflicts show several phones.
+	anyDir := &WhosWho{Repo: repo, Policy: mangrove.AnyPolicy{}}
+	multi := 0
+	for _, e := range anyDir.Entries() {
+		if len(e.Phones) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("conflict injection produced no multi-phone entries")
+	}
+	// PreferSource policy scoped to personal pages picks the home-page
+	// phone — the paper's exact cleaning example.
+	cleanDir := &WhosWho{Repo: repo, Policy: mangrove.PreferSourcePolicy{Prefix: "http://dept.example.edu/people/"}}
+	for _, p := range g.People {
+		e, ok := cleanDir.Lookup(p.Name)
+		if !ok {
+			t.Fatalf("person %q missing", p.Name)
+		}
+		if len(e.Phones) != 1 || e.Phones[0] != p.Phone {
+			t.Errorf("%s phones = %v, want [%s]", p.Name, e.Phones, p.Phone)
+		}
+	}
+	// Default policy is AnyPolicy.
+	defDir := &WhosWho{Repo: repo}
+	if len(defDir.Entries()) == 0 {
+		t.Error("default policy returned nothing")
+	}
+	if _, ok := defDir.Lookup("Nobody Here"); ok {
+		t.Error("Lookup found a ghost")
+	}
+}
+
+func TestPubsDBDedup(t *testing.T) {
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	pubPage := func(url, title, author string) {
+		doc, err := htmlx.Parse(`<html><body><div><p>` + title + `</p><p>` + author + `</p></div></body></html>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := htmlx.AnnotateText(doc, title, "title"); err != nil {
+			t.Fatal(err)
+		}
+		if err := htmlx.AnnotateText(doc, author, "author"); err != nil {
+			t.Fatal(err)
+		}
+		div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+		if err := htmlx.AnnotateElement(doc, div, "publication"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repo.Publish(url, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pubPage("http://a", "Crossing the Structure Chasm", "Halevy")
+	pubPage("http://b", "Crossing the structure chasm", "Etzioni") // near-dup
+	pubPage("http://c", "Schema Mediation in PDMS", "Halevy")
+	db := &PubsDB{Repo: repo}
+	pubs := db.Entries()
+	if len(pubs) != 2 {
+		t.Fatalf("pubs = %v", pubs)
+	}
+	var chasm Publication
+	for _, p := range pubs {
+		if strings.Contains(p.Title, "Chasm") || strings.Contains(p.Title, "chasm") {
+			chasm = p
+		}
+	}
+	if len(chasm.Authors) != 2 || len(chasm.Sources) != 2 {
+		t.Errorf("merged pub = %+v", chasm)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	repo, g := publishedRepo(t, webgen.Options{Seed: 31, NPeople: 5, NCourses: 8, NTalks: 3})
+	s := &Search{Repo: repo}
+	// Find a course by a word of its title; stemming tolerates plurals.
+	target := g.Courses[0]
+	word := strings.Fields(target.Title)[0]
+	hits := s.Query(word+"s", 5)
+	if len(hits) == 0 {
+		t.Fatalf("no hits for %q", word)
+	}
+	found := false
+	for _, h := range hits {
+		if strings.Contains(h.Snippet, target.Title) {
+			found = true
+		}
+		if h.Score <= 0 {
+			t.Error("non-positive score returned")
+		}
+	}
+	if !found {
+		t.Errorf("course %q not in hits for %q: %v", target.Title, word, hits)
+	}
+	// Nonsense query: no hits.
+	if got := s.Query("xyzzyplugh", 5); len(got) != 0 {
+		t.Errorf("nonsense query hits = %v", got)
+	}
+	// k limits results.
+	if got := s.Query(word, 1); len(got) > 1 {
+		t.Errorf("k ignored: %d hits", len(got))
+	}
+}
+
+func TestDayOrderEdgeCases(t *testing.T) {
+	if dayOrder("Saturday") != 5 || dayOrder("Sunday") != 6 {
+		t.Error("weekend ordering")
+	}
+	if dayOrder("") != 7 || dayOrder("Blursday") != 7 {
+		t.Error("unknown days must sort last")
+	}
+}
+
+func TestCalendarPartialEntriesSortLast(t *testing.T) {
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	// A talk with no day annotated (partial data is legal).
+	doc, err := htmlx.Parse(`<html><body><div><p>Mystery Talk</p></div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := htmlx.AnnotateText(doc, "Mystery Talk", "title"); err != nil {
+		t.Fatal(err)
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "talk"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://t1", doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := htmlx.Parse(`<html><body><div><p>Early Course</p><p>Monday</p></div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := htmlx.AnnotateText(doc2, "Early Course", "title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := htmlx.AnnotateText(doc2, "Monday", "day"); err != nil {
+		t.Fatal(err)
+	}
+	div2 := doc2.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc2, div2, "course"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://c1", doc2); err != nil {
+		t.Fatal(err)
+	}
+	cal := &Calendar{Repo: repo}
+	entries := cal.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Title != "Early Course" || entries[1].Title != "Mystery Talk" {
+		t.Errorf("dayless entry should sort last: %v", entries)
+	}
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+)
+
+// SummaryPage dynamically generates the department-wide course summary
+// page from repository data — §2.3: "MANGROVE also enables some web
+// pages that are currently compiled by hand, such as department-wide
+// course summaries, to be dynamically generated in the spirit of systems
+// like Strudel." The output is itself annotated MANGROVE content, so the
+// generated page can be republished and queried like any hand-authored
+// one.
+func SummaryPage(repo *mangrove.Repository, title string) *htmlx.Node {
+	doc := &htmlx.Node{Type: htmlx.DocumentNode}
+	html := &htmlx.Node{Type: htmlx.ElementNode, Tag: "html"}
+	body := &htmlx.Node{Type: htmlx.ElementNode, Tag: "body"}
+	head := &htmlx.Node{Type: htmlx.ElementNode, Tag: "head",
+		Children: []*htmlx.Node{{Type: htmlx.ElementNode, Tag: "title",
+			Children: []*htmlx.Node{{Type: htmlx.TextNode, Text: title}}}}}
+	html.Children = append(html.Children, head, body)
+	doc.Children = append(doc.Children, html)
+
+	h1 := &htmlx.Node{Type: htmlx.ElementNode, Tag: "h1",
+		Children: []*htmlx.Node{{Type: htmlx.TextNode, Text: title}}}
+	body.Children = append(body.Children, h1)
+
+	table := &htmlx.Node{Type: htmlx.ElementNode, Tag: "table"}
+	header := rowOf("th", "Course", "Instructor", "Day", "Time", "Room")
+	table.Children = append(table.Children, header)
+
+	type courseRow struct {
+		title, instr, day, time, room string
+	}
+	var rows []courseRow
+	for _, subj := range repo.Subjects("course") {
+		f := repo.Fields(subj)
+		rows = append(rows, courseRow{
+			title: first(f["course.title"]),
+			instr: first(f["course.instructor"]),
+			day:   first(f["course.day"]),
+			time:  first(f["course.time"]),
+			room:  first(f["course.room"]),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if d := dayOrder(rows[i].day) - dayOrder(rows[j].day); d != 0 {
+			return d < 0
+		}
+		if rows[i].time != rows[j].time {
+			return rows[i].time < rows[j].time
+		}
+		return rows[i].title < rows[j].title
+	})
+	for _, r := range rows {
+		// Each cell is wrapped in a MANGROVE annotation span so the
+		// generated page is structured content too.
+		tr := &htmlx.Node{Type: htmlx.ElementNode, Tag: "tr"}
+		cells := []struct{ tag, val string }{
+			{"title", r.title}, {"instructor", r.instr},
+			{"day", r.day}, {"time", r.time}, {"room", r.room},
+		}
+		span := htmlx.NewAnnotationSpan("course")
+		for _, c := range cells {
+			td := &htmlx.Node{Type: htmlx.ElementNode, Tag: "td"}
+			if c.val != "" {
+				td.Children = append(td.Children,
+					htmlx.NewAnnotationSpan(c.tag, &htmlx.Node{Type: htmlx.TextNode, Text: c.val}))
+			}
+			span.Children = append(span.Children, td)
+		}
+		tr.Children = append(tr.Children, span)
+		table.Children = append(table.Children, tr)
+	}
+	body.Children = append(body.Children, table)
+	footer := &htmlx.Node{Type: htmlx.ElementNode, Tag: "p",
+		Children: []*htmlx.Node{{Type: htmlx.TextNode,
+			Text: fmt.Sprintf("Generated from %d published course annotations.", len(rows))}}}
+	body.Children = append(body.Children, footer)
+	return doc
+}
+
+func rowOf(cellTag string, vals ...string) *htmlx.Node {
+	tr := &htmlx.Node{Type: htmlx.ElementNode, Tag: "tr"}
+	for _, v := range vals {
+		tr.Children = append(tr.Children, &htmlx.Node{Type: htmlx.ElementNode, Tag: cellTag,
+			Children: []*htmlx.Node{{Type: htmlx.TextNode, Text: v}}})
+	}
+	return tr
+}
+
+// RenderSummary renders the summary page to an HTML string.
+func RenderSummary(repo *mangrove.Repository, title string) string {
+	return strings.TrimSpace(htmlx.Render(SummaryPage(repo, title)))
+}

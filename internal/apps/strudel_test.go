@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+	"repro/internal/webgen"
+)
+
+func TestSummaryPageGeneratedAndRepublishable(t *testing.T) {
+	repo, g := publishedRepo(t, webgen.Options{Seed: 17, NPeople: 2, NCourses: 4})
+	page := SummaryPage(repo, "Course Summary")
+	html := htmlx.Render(page)
+	if !strings.Contains(html, "<table>") || !strings.Contains(html, "Course Summary") {
+		t.Fatalf("summary rendering:\n%s", html)
+	}
+	// Every course title appears.
+	for _, c := range g.Courses {
+		if !strings.Contains(html, c.Title) {
+			t.Errorf("course %q missing from summary", c.Title)
+		}
+	}
+	// The generated page is itself annotated: republishing it into a
+	// second repository reconstructs the course data ("a web of data").
+	repo2 := mangrove.NewRepository(mangrove.DepartmentSchema())
+	rep, err := repo2.Publish("http://dept.example.edu/summary.html", page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compounds != 4 {
+		t.Errorf("republished compounds = %d", rep.Compounds)
+	}
+	cal := &Calendar{Repo: repo2}
+	if len(cal.Entries()) != 4 {
+		t.Errorf("calendar from generated page = %d entries", len(cal.Entries()))
+	}
+}
+
+func TestSummaryPageRoundTripThroughText(t *testing.T) {
+	repo, _ := publishedRepo(t, webgen.Options{Seed: 23, NPeople: 1, NCourses: 2})
+	html := RenderSummary(repo, "T")
+	parsed, err := htmlx.Parse(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := htmlx.Extract(parsed)
+	if len(anns) != 2 {
+		t.Errorf("annotations after text round trip = %d", len(anns))
+	}
+	for _, a := range anns {
+		if a.Tag != "course" || len(a.Children) == 0 {
+			t.Errorf("annotation = %v", a)
+		}
+	}
+}
+
+func TestSummaryPageEmptyRepo(t *testing.T) {
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	html := RenderSummary(repo, "Empty")
+	if !strings.Contains(html, "Generated from 0 published course annotations") {
+		t.Errorf("empty summary:\n%s", html)
+	}
+}

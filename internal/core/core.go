@@ -1,0 +1,119 @@
+// Package core is the REVERE facade: it wires the three components of
+// the paper's Figure 1 — MANGROVE content structuring, the Piazza peer
+// data management system, and the corpus-based design tools — behind one
+// API that examples and applications program against.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/corpus"
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+// Revere is one deployment of the system: a local MANGROVE repository, a
+// PDMS overlay, and a corpus with its advisors.
+type Revere struct {
+	// Repo is the MANGROVE annotation repository.
+	Repo *mangrove.Repository
+	// Net is the Piazza overlay.
+	Net *pdms.Network
+	// Corpus is the corpus of structures behind the advisors.
+	Corpus *corpus.Corpus
+	// Design is the DESIGNADVISOR/MATCHINGADVISOR instance.
+	Design *advisor.DesignAdvisor
+}
+
+// Options configures a deployment.
+type Options struct {
+	// Schema is the MANGROVE annotation schema (default: the department
+	// schema from the paper's examples).
+	Schema *mangrove.Schema
+	// Synonyms feed corpus canonicalization (default: the built-in
+	// domain table).
+	Synonyms *strutil.SynonymTable
+}
+
+// New creates a deployment.
+func New(opts Options) *Revere {
+	schema := opts.Schema
+	if schema == nil {
+		schema = mangrove.DepartmentSchema()
+	}
+	syn := opts.Synonyms
+	if syn == nil {
+		syn = strutil.DefaultSynonyms()
+	}
+	c := corpus.New(syn)
+	return &Revere{
+		Repo:   mangrove.NewRepository(schema),
+		Net:    pdms.NewNetwork(),
+		Corpus: c,
+		Design: &advisor.DesignAdvisor{Corpus: c},
+	}
+}
+
+// Annotate highlights text on a page and assigns it a schema tag — the
+// programmatic equivalent of the graphical annotation tool.
+func (r *Revere) Annotate(page *htmlx.Node, text, tag string) error {
+	return htmlx.AnnotateText(page, text, tag)
+}
+
+// Publish stores a page's annotations; applications see them instantly.
+func (r *Revere) Publish(url string, page *htmlx.Node) (*mangrove.PublishReport, error) {
+	return r.Repo.Publish(url, page)
+}
+
+// AddPeer joins a peer (with its schema and data) to the overlay.
+func (r *Revere) AddPeer(name string, schemas ...relation.Schema) (*pdms.Peer, error) {
+	p := pdms.NewPeer(name, schemas...)
+	if err := r.Net.AddPeer(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MapPeers establishes a GLAV mapping between two peers.
+func (r *Revere) MapPeers(id, srcPeer, srcQuery, tgtPeer, tgtQuery string) error {
+	sq, err := cq.Parse(srcQuery)
+	if err != nil {
+		return fmt.Errorf("core: source query: %w", err)
+	}
+	tq, err := cq.Parse(tgtQuery)
+	if err != nil {
+		return fmt.Errorf("core: target query: %w", err)
+	}
+	m, err := glav.New(id, srcPeer, sq, tgtPeer, tq)
+	if err != nil {
+		return err
+	}
+	return r.Net.AddMapping(m)
+}
+
+// Ask poses a query in the given peer's own schema and answers it over
+// the transitive closure of mappings.
+func (r *Revere) Ask(peer, query string) (*pdms.AnswerResult, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return r.Net.Answer(peer, q, pdms.ReformOptions{})
+}
+
+// LearnSchema adds a peer's schema (and optionally sample data) to the
+// corpus so future design sessions benefit from it.
+func (r *Revere) LearnSchema(name string, sample *relation.Database, schemas ...relation.Schema) {
+	r.Corpus.Add(&corpus.Entry{Name: name, Relations: schemas, Sample: sample})
+}
+
+// Suggest runs the DESIGNADVISOR over a partial schema.
+func (r *Revere) Suggest(partial relation.Schema, k int) []advisor.Proposal {
+	return r.Design.Propose(partial, k)
+}

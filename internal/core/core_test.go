@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/htmlx"
+	"repro/internal/relation"
+)
+
+func TestEndToEndFacade(t *testing.T) {
+	r := New(Options{})
+
+	// MANGROVE path: annotate and publish a page, see it in the repo.
+	page2, err := htmlx.Parse(`<html><body><div><p>Alon Halevy</p><p>206-543-1111</p></div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Annotate(page2, "Alon Halevy", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Annotate(page2, "206-543-1111", "phone"); err != nil {
+		t.Fatal(err)
+	}
+	div := page2.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(page2, div, "person"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Publish("http://uw/halevy", page2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triples != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// PDMS path: two peers, a mapping, a cross-schema query.
+	uw, err := r.AddPeer("uw", relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instructor")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddPeer("rome", relation.NewSchema("corso",
+		relation.Attr("titolo"), relation.Attr("docente"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := uw.Insert("course", relation.Tuple{relation.SV("Databases"), relation.SV("halevy")}); err != nil {
+		t.Fatal(err)
+	}
+	rome := r.Net.Peer("rome")
+	if err := rome.Insert("corso", relation.Tuple{relation.SV("Storia Antica"), relation.SV("rossi")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MapPeers("r2u", "rome", "m(T, I) :- corso(T, I)", "uw", "m(T, I) :- course(T, I)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Ask("uw", "q(T) :- course(T, I)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != 2 {
+		t.Errorf("answers = %v", res.Answers.Rows())
+	}
+
+	// Advisor path: learn schemas, get proposals.
+	r.LearnSchema("uw", nil, relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instructor")))
+	r.LearnSchema("zillow", nil, relation.NewSchema("listing",
+		relation.Attr("address"), relation.Attr("price")))
+	props := r.Suggest(relation.NewSchema("x", relation.Attr("title"), relation.Attr("teacher")), 1)
+	if len(props) != 1 || props[0].Entry.Name != "uw" {
+		t.Errorf("proposals = %v", props)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	r := New(Options{})
+	if err := r.MapPeers("x", "a", "not a query", "b", "m(X) :- r(X)"); err == nil {
+		t.Error("bad source query should fail")
+	}
+	if err := r.MapPeers("x", "a", "m(X) :- r(X)", "b", "nope"); err == nil {
+		t.Error("bad target query should fail")
+	}
+	if err := r.MapPeers("x", "a", "m(X) :- r(X)", "b", "m(X) :- s(X)"); err == nil {
+		t.Error("unknown peers should fail")
+	}
+	if _, err := r.Ask("ghost", "q(X) :- r(X)"); err == nil {
+		t.Error("unknown peer should fail")
+	}
+	if _, err := r.Ask("ghost", "broken"); err == nil {
+		t.Error("unparsable query should fail")
+	}
+}

@@ -1,0 +1,306 @@
+// Package corpus implements REVERE's corpus of structures (§4.1): a
+// collection of schemas, sample data and known mappings over which the
+// basic and composite statistics of §4.2 are computed. "We are adapting
+// the Information Retrieval paradigm, namely the extraction of
+// statistical information from text corpora, to the S-WORLD."
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/strutil"
+)
+
+// KnownMapping records a previously established attribute correspondence
+// between two entries — the corpus keeps "known mappings between schemas
+// in the corpus" for reuse.
+type KnownMapping struct {
+	From, To string
+	// Corr maps "relation.attr" of From to "relation.attr" of To.
+	Corr map[string]string
+}
+
+// Entry is one structure in the corpus: a named schema (set of
+// relations) with optional sample data.
+type Entry struct {
+	Name      string
+	Relations []relation.Schema
+	Sample    *relation.Database
+}
+
+// AttrCount returns the total number of attributes.
+func (e *Entry) AttrCount() int {
+	n := 0
+	for _, r := range e.Relations {
+		n += r.Arity()
+	}
+	return n
+}
+
+// Corpus holds entries plus the statistics computed over them.
+type Corpus struct {
+	entries  []*Entry
+	mappings []KnownMapping
+	Synonyms *strutil.SynonymTable
+	// Dictionary translates foreign terms to English before
+	// canonicalization, so an Italian peer schema ("corso") folds into
+	// the English statistics ("course") — the paper's Rome/Trento
+	// example (§3), and one of the three §4.2.1 normalizers.
+	Dictionary *strutil.Dictionary
+
+	// Roles tracks term usage as relation name / attribute name / value.
+	Roles *stats.RoleStats
+	// Cooc tracks attribute-name co-occurrence within a relation.
+	Cooc *stats.Cooccurrence
+	// TF weighs schema terms by corpus rarity.
+	TF *stats.TFIDF
+	// Freq mines frequently co-occurring attribute sets (§4.2.2).
+	Freq  *stats.FrequentSets
+	built bool
+}
+
+// New creates an empty corpus.
+func New(syn *strutil.SynonymTable) *Corpus {
+	return &Corpus{Synonyms: syn}
+}
+
+// Add registers an entry (statistics become stale until Build).
+func (c *Corpus) Add(e *Entry) {
+	c.entries = append(c.entries, e)
+	c.built = false
+}
+
+// AddMapping registers a known mapping between two entries.
+func (c *Corpus) AddMapping(m KnownMapping) {
+	c.mappings = append(c.mappings, m)
+}
+
+// Entries returns all entries.
+func (c *Corpus) Entries() []*Entry { return c.entries }
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Entry finds an entry by name.
+func (c *Corpus) Entry(name string) *Entry {
+	for _, e := range c.entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// MappingsBetween returns known mappings from one entry to another.
+func (c *Corpus) MappingsBetween(from, to string) []KnownMapping {
+	var out []KnownMapping
+	for _, m := range c.mappings {
+		if m.From == from && m.To == to {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// canonical normalizes a term: translate, lowercase, synonym-canonical,
+// stemmed — the stacked normalizers of §4.2.1 ("word stemming, synonym
+// tables, inter-language dictionaries, or any combination").
+func (c *Corpus) canonical(term string) string {
+	if c.Dictionary != nil {
+		term = c.Dictionary.ToEnglish(term)
+	}
+	if c.Synonyms != nil {
+		term = c.Synonyms.Canonical(term)
+	}
+	return strutil.Stem(term)
+}
+
+// canonTokens tokenizes and canonicalizes an identifier.
+func (c *Corpus) canonTokens(name string) []string {
+	toks := strutil.Tokenize(name)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = c.canonical(t)
+	}
+	return out
+}
+
+// Build (re)computes all statistics. Value statistics sample at most 20
+// rows per relation to keep builds cheap on large corpora.
+func (c *Corpus) Build() {
+	c.Roles = stats.NewRoleStats()
+	c.Cooc = stats.NewCooccurrence()
+	c.TF = stats.NewTFIDF()
+	c.Freq = stats.NewFrequentSets()
+	for _, e := range c.entries {
+		var doc []string
+		for _, r := range e.Relations {
+			for _, t := range c.canonTokens(r.Name) {
+				c.Roles.Observe(t, stats.RoleRelation, e.Name)
+				doc = append(doc, t)
+			}
+			var group []string
+			for _, a := range r.Attrs {
+				key := c.attrKey(a.Name)
+				group = append(group, key)
+				for _, t := range c.canonTokens(a.Name) {
+					c.Roles.Observe(t, stats.RoleAttribute, e.Name)
+					doc = append(doc, t)
+				}
+			}
+			c.Cooc.AddGroup(group)
+			c.Freq.AddGroup(group)
+			if e.Sample != nil {
+				if rel := e.Sample.Get(r.Name); rel != nil {
+					rows := rel.Rows()
+					if len(rows) > 20 {
+						rows = rows[:20]
+					}
+					for _, row := range rows {
+						for _, v := range row {
+							for _, t := range strutil.TokenizeAndStem(v.String()) {
+								c.Roles.Observe(t, stats.RoleValue, e.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		c.TF.AddDoc(doc)
+	}
+	c.built = true
+}
+
+// attrKey canonicalizes a whole attribute name to a co-occurrence item.
+func (c *Corpus) attrKey(name string) string {
+	toks := c.canonTokens(name)
+	out := ""
+	for i, t := range toks {
+		if i > 0 {
+			out += "_"
+		}
+		out += t
+	}
+	return out
+}
+
+// CanonicalAttr exposes the canonical (synonym-folded, stemmed) form of
+// an attribute name — the key under which co-occurrence statistics are
+// kept.
+func (c *Corpus) CanonicalAttr(name string) string { return c.attrKey(name) }
+
+// ensureBuilt builds statistics lazily.
+func (c *Corpus) ensureBuilt() {
+	if !c.built {
+		c.Build()
+	}
+}
+
+// SimilarNames returns attribute names used in statistically similar
+// contexts to name — the §4.2.1 "similar names" statistic: "which other
+// words tend to be used with similar statistical characteristics?" —
+// combined with the mutual-exclusivity statistic: true alternative names
+// share companions but almost never co-occur directly.
+func (c *Corpus) SimilarNames(name string, k int) []stats.Companion {
+	c.ensureBuilt()
+	return c.Cooc.SynonymCandidates(c.attrKey(name), k)
+}
+
+// CompanionAttrs returns the attributes that most often co-occur with
+// name in corpus relations.
+func (c *Corpus) CompanionAttrs(name string, k int) []stats.Companion {
+	c.ensureBuilt()
+	return c.Cooc.Top(c.attrKey(name), k)
+}
+
+// TermUsage describes how a term is used across the corpus.
+type TermUsage struct {
+	Term           string
+	RelationShare  float64
+	AttributeShare float64
+	ValueShare     float64
+	StructureShare float64
+}
+
+// Usage reports the §4.2.1 term-usage statistic for a term.
+func (c *Corpus) Usage(term string) TermUsage {
+	c.ensureBuilt()
+	t := c.canonical(term)
+	return TermUsage{
+		Term:           t,
+		RelationShare:  c.Roles.RoleShare(t, stats.RoleRelation),
+		AttributeShare: c.Roles.RoleShare(t, stats.RoleAttribute),
+		ValueShare:     c.Roles.RoleShare(t, stats.RoleValue),
+		StructureShare: c.Roles.StructureShare(t, len(c.entries)),
+	}
+}
+
+// FrequentAttrSets mines attribute sets appearing in at least minSupport
+// corpus relations — the composite statistics over "partial structures
+// that appear frequently".
+func (c *Corpus) FrequentAttrSets(minSupport, minSize, maxSize int) []stats.ItemSet {
+	c.ensureBuilt()
+	return c.Freq.Mine(minSupport, minSize, maxSize)
+}
+
+// AttrMatch is a scored correspondence between two attribute names.
+type AttrMatch struct {
+	A, B  string
+	Score float64
+}
+
+// MatchAttrs greedily aligns two attribute-name lists using name
+// similarity with synonym canonicalization, returning pairs above the
+// threshold. This is the mapping estimator behind the fit measure.
+func (c *Corpus) MatchAttrs(as, bs []string, threshold float64) []AttrMatch {
+	type cand struct {
+		i, j  int
+		score float64
+	}
+	var cands []cand
+	for i, a := range as {
+		for j, b := range bs {
+			s := c.nameSim(a, b)
+			if s >= threshold {
+				cands = append(cands, cand{i, j, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x].score != cands[y].score {
+			return cands[x].score > cands[y].score
+		}
+		if cands[x].i != cands[y].i {
+			return cands[x].i < cands[y].i
+		}
+		return cands[x].j < cands[y].j
+	})
+	usedA := make(map[int]bool)
+	usedB := make(map[int]bool)
+	var out []AttrMatch
+	for _, cd := range cands {
+		if usedA[cd.i] || usedB[cd.j] {
+			continue
+		}
+		usedA[cd.i] = true
+		usedB[cd.j] = true
+		out = append(out, AttrMatch{A: as[cd.i], B: bs[cd.j], Score: cd.score})
+	}
+	return out
+}
+
+// nameSim compares two attribute names after canonicalization.
+func (c *Corpus) nameSim(a, b string) float64 {
+	if c.attrKey(a) == c.attrKey(b) {
+		return 1
+	}
+	return strutil.NameSimilarity(a, b)
+}
+
+// String summarizes the corpus.
+func (c *Corpus) String() string {
+	return fmt.Sprintf("corpus[%d entries, %d known mappings]", len(c.entries), len(c.mappings))
+}

@@ -1,0 +1,193 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/strutil"
+)
+
+func universityCorpus() *Corpus {
+	c := New(strutil.DefaultSynonyms())
+	c.Add(&Entry{Name: "uw", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("instructor"), relation.Attr("room")),
+		relation.NewSchema("person", relation.Attr("name"), relation.Attr("phone"), relation.Attr("email")),
+	}})
+	c.Add(&Entry{Name: "mit", Relations: []relation.Schema{
+		relation.NewSchema("subject", relation.Attr("title"), relation.Attr("teacher"), relation.Attr("enrollment")),
+	}})
+	c.Add(&Entry{Name: "berkeley", Relations: []relation.Schema{
+		relation.NewSchema("class", relation.Attr("title"), relation.Attr("lecturer"), relation.Attr("room")),
+	}})
+	c.Add(&Entry{Name: "zillow", Relations: []relation.Schema{
+		relation.NewSchema("listing", relation.Attr("address"), relation.Attr("price"), relation.Attr("bedrooms")),
+	}})
+	return c
+}
+
+func TestCorpusBasics(t *testing.T) {
+	c := universityCorpus()
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Entry("uw") == nil || c.Entry("ghost") != nil {
+		t.Error("Entry lookup broken")
+	}
+	if c.Entry("uw").AttrCount() != 6 {
+		t.Errorf("AttrCount = %d", c.Entry("uw").AttrCount())
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestUsageStatistics(t *testing.T) {
+	c := universityCorpus()
+	u := c.Usage("title")
+	if u.AttributeShare != 1 {
+		t.Errorf("title attribute share = %v", u.AttributeShare)
+	}
+	if u.StructureShare != 0.75 {
+		t.Errorf("title structure share = %v (3 of 4 entries)", u.StructureShare)
+	}
+	// "course"/"subject"/"class" are synonyms: canonicalized together,
+	// used as relation names.
+	cu := c.Usage("course")
+	if cu.RelationShare != 1 {
+		t.Errorf("course relation share = %v", cu.RelationShare)
+	}
+	if cu.StructureShare != 0.75 {
+		t.Errorf("course structure share = %v", cu.StructureShare)
+	}
+}
+
+func TestValueStatistics(t *testing.T) {
+	c := New(nil)
+	db := relation.NewDatabase()
+	r := relation.New(relation.NewSchema("course", relation.Attr("title")))
+	r.MustInsert(relation.SV("Databases"))
+	db.Put(r)
+	c.Add(&Entry{Name: "x", Relations: []relation.Schema{r.Schema}, Sample: db})
+	u := c.Usage("databases")
+	if u.ValueShare != 1 {
+		t.Errorf("value share = %v", u.ValueShare)
+	}
+}
+
+func TestSimilarNames(t *testing.T) {
+	c := universityCorpus()
+	// instructor / teacher / lecturer share context {title, ...}. With
+	// synonyms they canonicalize identically; test the distributional
+	// path with a synonym-free corpus.
+	c2 := New(nil)
+	c2.Add(&Entry{Name: "a", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("instructor"), relation.Attr("room"))}})
+	c2.Add(&Entry{Name: "b", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("teacher"), relation.Attr("room"))}})
+	c2.Add(&Entry{Name: "c", Relations: []relation.Schema{
+		relation.NewSchema("listing", relation.Attr("price"), relation.Attr("bedrooms"))}})
+	sims := c2.SimilarNames("instructor", 3)
+	if len(sims) == 0 {
+		t.Fatal("no similar names")
+	}
+	foundTeacher := false
+	for _, s := range sims {
+		if s.Item == "teacher" {
+			foundTeacher = true
+		}
+		if s.Item == "price" && s.Score > 0.5 {
+			t.Errorf("price should not be similar to instructor: %v", s)
+		}
+	}
+	if !foundTeacher {
+		t.Errorf("teacher missing from %v", sims)
+	}
+	_ = c
+}
+
+func TestCompanionAttrs(t *testing.T) {
+	c := universityCorpus()
+	comps := c.CompanionAttrs("title", 5)
+	if len(comps) == 0 {
+		t.Fatal("no companions")
+	}
+	// Companions are reported in canonical form; "room" should co-occur
+	// with title in 2 of 3 course relations.
+	roomKey := c.CanonicalAttr("room")
+	found := false
+	for _, comp := range comps {
+		if comp.Item == roomKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%q missing from companions %v", roomKey, comps)
+	}
+}
+
+func TestFrequentAttrSets(t *testing.T) {
+	c := universityCorpus()
+	sets := c.FrequentAttrSets(3, 2, 3)
+	// {title, instructor-canonical} appears in all 3 course relations.
+	found := false
+	for _, s := range sets {
+		if s.Support >= 3 && len(s.Items) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a frequent pair, got %v", sets)
+	}
+}
+
+func TestMatchAttrs(t *testing.T) {
+	c := universityCorpus()
+	ms := c.MatchAttrs(
+		[]string{"title", "instructor", "size"},
+		[]string{"teacher", "title", "enrollment"},
+		0.6)
+	got := make(map[string]string)
+	for _, m := range ms {
+		got[m.A] = m.B
+	}
+	if got["title"] != "title" {
+		t.Errorf("title match = %v", got)
+	}
+	if got["instructor"] != "teacher" {
+		t.Errorf("instructor match = %v (synonyms should align)", got)
+	}
+	if got["size"] != "enrollment" {
+		t.Errorf("size match = %v (synonyms should align)", got)
+	}
+	// One-to-one: no B attr used twice.
+	used := map[string]bool{}
+	for _, m := range ms {
+		if used[m.B] {
+			t.Errorf("attribute %s matched twice", m.B)
+		}
+		used[m.B] = true
+	}
+}
+
+func TestKnownMappings(t *testing.T) {
+	c := universityCorpus()
+	c.AddMapping(KnownMapping{From: "uw", To: "mit",
+		Corr: map[string]string{"course.title": "subject.title"}})
+	if got := c.MappingsBetween("uw", "mit"); len(got) != 1 {
+		t.Errorf("mappings = %v", got)
+	}
+	if got := c.MappingsBetween("mit", "uw"); len(got) != 0 {
+		t.Errorf("reverse mappings = %v", got)
+	}
+}
+
+func TestBuildIdempotent(t *testing.T) {
+	c := universityCorpus()
+	c.Build()
+	first := c.Usage("title")
+	c.Build()
+	second := c.Usage("title")
+	if first != second {
+		t.Errorf("Build not idempotent: %v vs %v", first, second)
+	}
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Model-management operators. The paper stores the corpus's schema
+// information "using tools for model management, which provides a basic
+// set of operations for manipulating models of data" (§4.1, citing
+// Bernstein et al.). This file supplies the operator suite the corpus
+// tools compose: Compose, Invert, Diff, and Merge over entries and
+// their attribute correspondences. (Match is provided by the matching
+// tools in internal/match and internal/advisor.)
+
+// ComposeMappings composes A→B with B→C into A→C, keeping only elements
+// that chain all the way through.
+func ComposeMappings(ab, bc KnownMapping) (KnownMapping, error) {
+	if ab.To != bc.From {
+		return KnownMapping{}, fmt.Errorf("corpus: cannot compose %s→%s with %s→%s",
+			ab.From, ab.To, bc.From, bc.To)
+	}
+	out := KnownMapping{From: ab.From, To: bc.To, Corr: make(map[string]string)}
+	for a, b := range ab.Corr {
+		if c, ok := bc.Corr[b]; ok {
+			out.Corr[a] = c
+		}
+	}
+	return out, nil
+}
+
+// InvertMapping flips a correspondence set. Non-injective mappings lose
+// information: when two elements map to the same target, the
+// lexicographically smaller source wins (deterministically).
+func InvertMapping(m KnownMapping) KnownMapping {
+	out := KnownMapping{From: m.To, To: m.From, Corr: make(map[string]string, len(m.Corr))}
+	keys := make([]string, 0, len(m.Corr))
+	for k := range m.Corr {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, a := range keys {
+		b := m.Corr[a]
+		if _, taken := out.Corr[b]; !taken {
+			out.Corr[b] = a
+		}
+	}
+	return out
+}
+
+// Diff returns the elements ("relation.attr") of entry a that have no
+// correspondence under m — the part of a the mapping fails to cover.
+func Diff(a *Entry, m KnownMapping) []string {
+	var out []string
+	for _, r := range a.Relations {
+		for _, attr := range r.Attrs {
+			el := r.Name + "." + attr.Name
+			if _, ok := m.Corr[el]; !ok {
+				out = append(out, el)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Coverage returns the fraction of a's elements covered by m.
+func Coverage(a *Entry, m KnownMapping) float64 {
+	total := a.AttrCount()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-len(Diff(a, m))) / float64(total)
+}
+
+// Merge builds a merged entry from a and b under correspondence m
+// (a→b): corresponded attributes appear once (a's name wins), relations
+// of b that received no correspondences are carried over verbatim, and
+// relations of b that partially correspond contribute their uncovered
+// attributes to the corresponding a relation. This is the model-merge
+// the DESIGNADVISOR scenario needs when the coordinator adopts a corpus
+// schema and grafts local additions onto it.
+func Merge(name string, a, b *Entry, m KnownMapping) (*Entry, error) {
+	// Map b relations to the a relation their attributes correspond into.
+	targetRel := make(map[string]string) // b relation -> a relation
+	covered := make(map[string]bool)     // b "rel.attr" covered
+	for aEl, bEl := range m.Corr {
+		aRel, _, okA := cutElement(aEl)
+		bRel, _, okB := cutElement(bEl)
+		if !okA || !okB {
+			return nil, fmt.Errorf("corpus: malformed correspondence %q -> %q", aEl, bEl)
+		}
+		if prev, ok := targetRel[bRel]; ok && prev != aRel {
+			return nil, fmt.Errorf("corpus: relation %s of %s corresponds to both %s and %s",
+				bRel, b.Name, prev, aRel)
+		}
+		targetRel[bRel] = aRel
+		covered[bEl] = true
+	}
+	out := &Entry{Name: name}
+	// Start from a's relations. Index by position, not pointer: later
+	// appends may reallocate the slice.
+	byName := make(map[string]int)
+	for _, r := range a.Relations {
+		out.Relations = append(out.Relations, r.Clone())
+		byName[r.Name] = len(out.Relations) - 1
+	}
+	// Fold in b.
+	for _, r := range b.Relations {
+		tgtName, corresponded := targetRel[r.Name]
+		if !corresponded {
+			// Whole relation is new; avoid name clashes.
+			c := r.Clone()
+			if _, clash := byName[c.Name]; clash {
+				c.Name = b.Name + "_" + c.Name
+			}
+			out.Relations = append(out.Relations, c)
+			byName[c.Name] = len(out.Relations) - 1
+			continue
+		}
+		idx, ok := byName[tgtName]
+		if !ok {
+			return nil, fmt.Errorf("corpus: correspondence targets unknown relation %q", tgtName)
+		}
+		for _, attr := range r.Attrs {
+			if covered[r.Name+"."+attr.Name] {
+				continue // represented by a's attribute
+			}
+			n := attr.Name
+			if out.Relations[idx].AttrIndex(n) >= 0 {
+				n = b.Name + "_" + n
+			}
+			out.Relations[idx].Attrs = append(out.Relations[idx].Attrs,
+				relation.Attribute{Name: n, Type: attr.Type})
+		}
+	}
+	return out, nil
+}
+
+func cutElement(el string) (rel, attr string, ok bool) {
+	i := strings.IndexByte(el, '.')
+	if i <= 0 || i == len(el)-1 {
+		return "", "", false
+	}
+	return el[:i], el[i+1:], true
+}

@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestComposeMappings(t *testing.T) {
+	ab := KnownMapping{From: "a", To: "b", Corr: map[string]string{
+		"course.title": "subject.name",
+		"course.size":  "subject.enrollment",
+		"course.extra": "subject.ghost",
+	}}
+	bc := KnownMapping{From: "b", To: "c", Corr: map[string]string{
+		"subject.name":       "offering.label",
+		"subject.enrollment": "offering.seats",
+	}}
+	ac, err := ComposeMappings(ab, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.From != "a" || ac.To != "c" {
+		t.Errorf("endpoints = %s→%s", ac.From, ac.To)
+	}
+	want := map[string]string{
+		"course.title": "offering.label",
+		"course.size":  "offering.seats",
+	}
+	if !reflect.DeepEqual(ac.Corr, want) {
+		t.Errorf("composed = %v", ac.Corr)
+	}
+	if _, err := ComposeMappings(ab, KnownMapping{From: "x", To: "c"}); err == nil {
+		t.Error("mismatched endpoints should fail")
+	}
+}
+
+func TestInvertMapping(t *testing.T) {
+	m := KnownMapping{From: "a", To: "b", Corr: map[string]string{
+		"r.x": "s.u",
+		"r.y": "s.v",
+		"r.z": "s.u", // non-injective: r.x wins (lexicographic)
+	}}
+	inv := InvertMapping(m)
+	if inv.From != "b" || inv.To != "a" {
+		t.Errorf("endpoints = %s→%s", inv.From, inv.To)
+	}
+	if inv.Corr["s.u"] != "r.x" || inv.Corr["s.v"] != "r.y" {
+		t.Errorf("inverted = %v", inv.Corr)
+	}
+}
+
+func TestDiffAndCoverage(t *testing.T) {
+	e := &Entry{Name: "uw", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("room")),
+	}}
+	m := KnownMapping{From: "uw", To: "mit",
+		Corr: map[string]string{"course.title": "subject.title"}}
+	d := Diff(e, m)
+	if !reflect.DeepEqual(d, []string{"course.room"}) {
+		t.Errorf("diff = %v", d)
+	}
+	if got := Coverage(e, m); got != 0.5 {
+		t.Errorf("coverage = %v", got)
+	}
+	empty := &Entry{Name: "empty"}
+	if got := Coverage(empty, m); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Entry{Name: "uw", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("instructor")),
+	}}
+	b := &Entry{Name: "mit", Relations: []relation.Schema{
+		relation.NewSchema("subject",
+			relation.Attr("name"), relation.Attr("enrollment")),
+		relation.NewSchema("textbook",
+			relation.Attr("isbn"), relation.Attr("title")),
+	}}
+	m := KnownMapping{From: "uw", To: "mit", Corr: map[string]string{
+		"course.title": "subject.name",
+	}}
+	merged, err := Merge("combined", a, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Name != "combined" || len(merged.Relations) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	course := merged.Relations[0]
+	// a's attrs + b's uncovered attr (enrollment).
+	if !reflect.DeepEqual(courseAttrNames(course), []string{"title", "instructor", "enrollment"}) {
+		t.Errorf("course attrs = %v", courseAttrNames(course))
+	}
+	// b's uncorresponded relation carried over.
+	if merged.Relations[1].Name != "textbook" {
+		t.Errorf("relations = %v", merged.Relations)
+	}
+}
+
+func courseAttrNames(s relation.Schema) []string { return s.AttrNames() }
+
+func TestMergeNameClashes(t *testing.T) {
+	a := &Entry{Name: "a", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title")),
+	}}
+	b := &Entry{Name: "b", Relations: []relation.Schema{
+		relation.NewSchema("course", relation.Attr("title"), relation.Attr("size")),
+	}}
+	// No correspondences: b's "course" clashes with a's → renamed.
+	merged, err := Merge("m", a, b, KnownMapping{From: "a", To: "b", Corr: map[string]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Relations[1].Name != "b_course" {
+		t.Errorf("clash handling = %v", merged.Relations[1].Name)
+	}
+	// Attribute clash inside a corresponded relation.
+	m := KnownMapping{From: "a", To: "b", Corr: map[string]string{
+		"course.title": "course.size", // size corresponds to title...
+	}}
+	merged2, err := Merge("m2", a, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := merged2.Relations[0].AttrNames()
+	// b's uncovered "title" clashes with a's "title" → prefixed.
+	if !reflect.DeepEqual(attrs, []string{"title", "b_title"}) {
+		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := &Entry{Name: "a", Relations: []relation.Schema{
+		relation.NewSchema("r", relation.Attr("x")),
+		relation.NewSchema("r2", relation.Attr("y")),
+	}}
+	b := &Entry{Name: "b", Relations: []relation.Schema{
+		relation.NewSchema("s", relation.Attr("u"), relation.Attr("v")),
+	}}
+	// One b relation corresponding into two a relations is ambiguous.
+	m := KnownMapping{From: "a", To: "b", Corr: map[string]string{
+		"r.x":  "s.u",
+		"r2.y": "s.v",
+	}}
+	if _, err := Merge("m", a, b, m); err == nil {
+		t.Error("split correspondence should fail")
+	}
+	bad := KnownMapping{From: "a", To: "b", Corr: map[string]string{"nodot": "s.u"}}
+	if _, err := Merge("m", a, b, bad); err == nil {
+		t.Error("malformed element should fail")
+	}
+}

@@ -1,0 +1,136 @@
+package cq
+
+import "repro/internal/relation"
+
+// Contains reports whether q1 contains q2 (i.e., on every database, the
+// answers of q2 are a subset of q1's). By the Chandra–Merlin theorem this
+// holds iff there is a containment mapping from q1 to q2: a variable
+// substitution h with h(head(q1)) = head(q2) and h(body(q1)) ⊆ body(q2).
+// The search is exponential in the worst case but our queries are small.
+func Contains(q1, q2 Query) bool {
+	if len(q1.HeadVars) != len(q2.HeadVars) {
+		return false
+	}
+	// Freeze q2: treat its variables as distinct constants.
+	frozen := make(map[string]Term)
+	for _, v := range q2.BodyVars() {
+		frozen[v] = C(relation.SV("\x00frozen:" + v))
+	}
+	var frozenBody []Atom
+	for _, a := range q2.Body {
+		na := a.Clone()
+		for i, t := range na.Args {
+			if t.IsVar {
+				na.Args[i] = frozen[t.Var]
+			}
+		}
+		frozenBody = append(frozenBody, na)
+	}
+	// Required head mapping: q1's head var i must map to q2's head var i
+	// (frozen).
+	h := make(map[string]Term)
+	for i, v1 := range q1.HeadVars {
+		target := frozen[q2.HeadVars[i]]
+		if prev, ok := h[v1]; ok {
+			if !sameTerm(prev, target) {
+				return false
+			}
+			continue
+		}
+		h[v1] = target
+	}
+	return mapBody(q1.Body, frozenBody, h)
+}
+
+// Equivalent reports mutual containment.
+func Equivalent(q1, q2 Query) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+func sameTerm(a, b Term) bool {
+	if a.IsVar != b.IsVar {
+		return false
+	}
+	if a.IsVar {
+		return a.Var == b.Var
+	}
+	return a.Const == b.Const
+}
+
+// mapBody tries to extend h so every atom of src maps to some atom of dst.
+func mapBody(src, dst []Atom, h map[string]Term) bool {
+	if len(src) == 0 {
+		return true
+	}
+	atom := src[0]
+	for _, target := range dst {
+		if target.Pred != atom.Pred || len(target.Args) != len(atom.Args) {
+			continue
+		}
+		added, ok := unifyInto(atom, target, h)
+		if ok {
+			if mapBody(src[1:], dst, h) {
+				return true
+			}
+		}
+		for _, v := range added {
+			delete(h, v)
+		}
+	}
+	return false
+}
+
+// unifyInto extends h to map atom onto target (whose args are constants,
+// being frozen). Returns the newly added variables for backtracking.
+func unifyInto(atom, target Atom, h map[string]Term) (added []string, ok bool) {
+	for i, t := range atom.Args {
+		want := target.Args[i]
+		if t.IsVar {
+			if cur, bound := h[t.Var]; bound {
+				if !sameTerm(cur, want) {
+					return added, false
+				}
+				continue
+			}
+			h[t.Var] = want
+			added = append(added, t.Var)
+		} else if !sameTerm(t, want) {
+			return added, false
+		}
+	}
+	return added, true
+}
+
+// Minimize removes redundant body atoms: an atom is redundant when the
+// query without it is equivalent to the original. The result is the core
+// of the query (unique up to isomorphism for CQs).
+func Minimize(q Query) Query {
+	cur := q.Clone()
+	for i := 0; i < len(cur.Body); {
+		if len(cur.Body) == 1 {
+			break
+		}
+		cand := cur.Clone()
+		cand.Body = append(cand.Body[:i], cand.Body[i+1:]...)
+		if cand.IsSafe() && Equivalent(cand, cur) {
+			cur = cand
+			// restart scan: removal can expose more redundancy
+			i = 0
+			continue
+		}
+		i++
+	}
+	return cur
+}
+
+// ContainedInUnion reports whether q is contained in the union of the
+// given queries (sound, not complete for CQ-in-UCQ in general, but exact
+// when one disjunct alone contains q — the common case here).
+func ContainedInUnion(q Query, union []Query) bool {
+	for _, u := range union {
+		if Contains(u, q) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,496 @@
+package cq
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func universityDB() *relation.Database {
+	db := relation.NewDatabase()
+	course := relation.New(relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instructor"), relation.IntAttr("size")))
+	course.MustInsert(relation.SV("DB"), relation.SV("halevy"), relation.IV(40))
+	course.MustInsert(relation.SV("AI"), relation.SV("etzioni"), relation.IV(60))
+	course.MustInsert(relation.SV("OS"), relation.SV("levy"), relation.IV(30))
+	course.MustInsert(relation.SV("ML"), relation.SV("etzioni"), relation.IV(80))
+	db.Put(course)
+	person := relation.New(relation.NewSchema("person",
+		relation.Attr("name"), relation.Attr("dept")))
+	person.MustInsert(relation.SV("halevy"), relation.SV("cs"))
+	person.MustInsert(relation.SV("etzioni"), relation.SV("cs"))
+	person.MustInsert(relation.SV("smith"), relation.SV("history"))
+	db.Put(person)
+	return db
+}
+
+func TestParse(t *testing.T) {
+	q, err := Parse("q(X, Y) :- course(X, Y, S), person(Y, 'cs')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HeadPred != "q" || !reflect.DeepEqual(q.HeadVars, []string{"X", "Y"}) {
+		t.Errorf("head = %s %v", q.HeadPred, q.HeadVars)
+	}
+	if len(q.Body) != 2 || q.Body[1].Pred != "person" {
+		t.Errorf("body = %v", q.Body)
+	}
+	if q.Body[1].Args[1].IsVar || q.Body[1].Args[1].Const != relation.SV("cs") {
+		t.Errorf("constant arg = %v", q.Body[1].Args[1])
+	}
+	rendered := q.String()
+	if !strings.Contains(rendered, "person(Y, 'cs')") {
+		t.Errorf("String = %q", rendered)
+	}
+	// Round-trip.
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("round-trip changed: %q vs %q", q2.String(), rendered)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"q(X) course(X)",           // no :-
+		"q(X) :- ",                 // empty body
+		"q('c') :- course('c')",    // constant in head
+		"q(X) :- course(Y)",        // unsafe
+		"q(X) :- (X)",              // empty predicate
+		"q(X) :- course(X,)",       // empty arg
+		"q(X) :- course(X, 'oops)", // unterminated quote
+		"q(X) :- course X",         // malformed atom
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseNumericAndBareConstants(t *testing.T) {
+	q := MustParse("q(X) :- course(X, teacher, 42)")
+	if q.Body[0].Args[1].Const != relation.SV("teacher") {
+		t.Errorf("bare word constant = %v", q.Body[0].Args[1])
+	}
+	if q.Body[0].Args[2].Const != relation.IV(42) {
+		t.Errorf("numeric constant = %v", q.Body[0].Args[2])
+	}
+}
+
+func TestEvalSingleAtom(t *testing.T) {
+	db := universityDB()
+	rows, err := SortedAnswers(db, MustParse("q(T) :- course(T, I, S)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != relation.SV("AI") {
+		t.Errorf("first = %v", rows[0])
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	db := universityDB()
+	// Courses taught by CS faculty.
+	rows, err := SortedAnswers(db, MustParse("q(T, I) :- course(T, I, S), person(I, 'cs')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DB/halevy, AI/etzioni, ML/etzioni; OS/levy excluded (levy not in person).
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r[1] == relation.SV("smith") || r[1] == relation.SV("levy") {
+			t.Errorf("non-cs instructor leaked: %v", r)
+		}
+	}
+}
+
+func TestEvalConstantFilter(t *testing.T) {
+	db := universityDB()
+	rows, err := SortedAnswers(db, MustParse("q(T) :- course(T, 'etzioni', S)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{{relation.SV("AI")}, {relation.SV("ML")}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	e := relation.New(relation.NewSchema("edge", relation.Attr("a"), relation.Attr("b")))
+	e.MustInsert(relation.SV("x"), relation.SV("x"))
+	e.MustInsert(relation.SV("x"), relation.SV("y"))
+	db.Put(e)
+	rows, err := SortedAnswers(db, MustParse("loop(X) :- edge(X, X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != relation.SV("x") {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestEvalCrossProductAndDedup(t *testing.T) {
+	db := universityDB()
+	q := MustParse("q(D) :- person(N, D), course(T, I, S)")
+	r, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedup: only distinct dept values remain.
+	if r.Len() != 2 {
+		t.Errorf("deduped len = %d, rows %v", r.Len(), r.Rows())
+	}
+}
+
+func TestEvalEmptyAnswerTypes(t *testing.T) {
+	db := universityDB()
+	q := MustParse("q(S) :- course(T, 'nobody', S)")
+	r, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("rows = %v", r.Rows())
+	}
+	// Head type inferred from schema even with no rows.
+	if r.Schema.Attrs[0].Type != relation.TInt {
+		t.Errorf("type = %v, want int", r.Schema.Attrs[0].Type)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := universityDB()
+	if _, err := Eval(db, MustParse("q(X) :- nosuch(X)")); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := Eval(db, MustParse("q(X) :- course(X)")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	unsafe := Query{HeadPred: "q", HeadVars: []string{"Z"},
+		Body: []Atom{NewAtom("course", V("X"), V("Y"), V("S"))}}
+	if _, err := Eval(db, unsafe); err == nil {
+		t.Error("unsafe query should fail")
+	}
+}
+
+func TestEvalUnion(t *testing.T) {
+	db := universityDB()
+	qs := []Query{
+		MustParse("q(T) :- course(T, 'halevy', S)"),
+		MustParse("q(T) :- course(T, 'etzioni', S)"),
+	}
+	r, err := EvalUnion(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("union len = %d", r.Len())
+	}
+	if _, err := EvalUnion(db, nil); err == nil {
+		t.Error("empty union should fail")
+	}
+}
+
+func TestUnfoldGAV(t *testing.T) {
+	// Mediated relation taught_by defined over course.
+	def := MustParse("taught_by(T, I) :- course(T, I, S)")
+	u := NewUnfolder(nil)
+	u.AddDef(def)
+	q := MustParse("q(T) :- taught_by(T, 'halevy')")
+	out, err := u.Unfold(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("unfolded = %v", out)
+	}
+	if out[0].Predicates()[0] != "course" {
+		t.Errorf("unfolded preds = %v", out[0].Predicates())
+	}
+	// Evaluating unfolded query gives same answers as materializing view.
+	db := universityDB()
+	rows, err := SortedAnswers(db, out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != relation.SV("DB") {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestUnfoldUnionOfDefs(t *testing.T) {
+	u := NewUnfolder(nil)
+	u.AddDef(MustParse("all_people(N) :- person(N, D)"))
+	u.AddDef(MustParse("all_people(N) :- course(T, N, S)"))
+	out, err := u.Unfold(MustParse("q(N) :- all_people(N)"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 disjuncts, got %v", out)
+	}
+	db := universityDB()
+	r, err := EvalUnion(db, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// person names ∪ instructors = halevy, etzioni, smith, levy
+	if r.Len() != 4 {
+		t.Errorf("union answers = %v", r.Rows())
+	}
+}
+
+func TestUnfoldChained(t *testing.T) {
+	u := NewUnfolder(nil)
+	u.AddDef(MustParse("a(X) :- b(X)"))
+	u.AddDef(MustParse("b(X) :- c(X, Y)"))
+	out, err := u.Unfold(MustParse("q(X) :- a(X)"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Predicates()[0] != "c" {
+		t.Errorf("chained unfold = %v", out)
+	}
+}
+
+func TestUnfoldCycleGuard(t *testing.T) {
+	u := NewUnfolder(nil)
+	u.AddDef(MustParse("a(X) :- a(X)"))
+	if _, err := u.Unfold(MustParse("q(X) :- a(X)"), 4); err == nil {
+		t.Error("cyclic definition should exhaust depth")
+	}
+}
+
+func TestUnfoldArityMismatch(t *testing.T) {
+	u := NewUnfolder(nil)
+	u.AddDef(MustParse("a(X, Y) :- b(X, Y)"))
+	if _, err := u.Unfold(MustParse("q(X) :- a(X)"), 4); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestUnfoldConstantPropagation(t *testing.T) {
+	u := NewUnfolder(nil)
+	u.AddDef(MustParse("v(T) :- course(T, 'halevy', S)"))
+	out, err := u.Unfold(MustParse("q(T) :- v(T)"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := universityDB()
+	rows, err := SortedAnswers(db, out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != relation.SV("DB") {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestContainment(t *testing.T) {
+	general := MustParse("q(X) :- edge(X, Y)")
+	specific := MustParse("q(X) :- edge(X, Y), edge(Y, Z)")
+	if !Contains(general, specific) {
+		t.Error("general should contain specific")
+	}
+	if Contains(specific, general) {
+		t.Error("specific should not contain general")
+	}
+	if !Contains(general, general) {
+		t.Error("containment must be reflexive")
+	}
+}
+
+func TestContainmentWithConstants(t *testing.T) {
+	anyCourse := MustParse("q(T) :- course(T, I, S)")
+	halevy := MustParse("q(T) :- course(T, 'halevy', S)")
+	if !Contains(anyCourse, halevy) {
+		t.Error("unconstrained contains constant-constrained")
+	}
+	if Contains(halevy, anyCourse) {
+		t.Error("constant-constrained cannot contain unconstrained")
+	}
+	other := MustParse("q(T) :- course(T, 'etzioni', S)")
+	if Contains(halevy, other) || Contains(other, halevy) {
+		t.Error("different constants are incomparable")
+	}
+}
+
+func TestContainmentHeadMismatch(t *testing.T) {
+	a := MustParse("q(X, Y) :- edge(X, Y)")
+	b := MustParse("q(X) :- edge(X, Y)")
+	if Contains(a, b) || Contains(b, a) {
+		t.Error("different head arities are incomparable")
+	}
+	// Head variable order matters.
+	fwd := MustParse("q(X, Y) :- edge(X, Y)")
+	rev := MustParse("q(Y, X) :- edge(X, Y)")
+	if Contains(fwd, rev) {
+		t.Error("edge(X,Y) answers (X,Y); rev answers (Y,X): not contained")
+	}
+}
+
+func TestEquivalentRenaming(t *testing.T) {
+	a := MustParse("q(X) :- edge(X, Y), edge(Y, Z)")
+	b := MustParse("q(A) :- edge(A, B), edge(B, C)")
+	if !Equivalent(a, b) {
+		t.Error("alpha-renamed queries must be equivalent")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Redundant atom: edge(X, W) is subsumed by edge(X, Y).
+	q := MustParse("q(X) :- edge(X, Y), edge(X, W)")
+	m := Minimize(q)
+	if len(m.Body) != 1 {
+		t.Errorf("Minimize left %v", m.Body)
+	}
+	if !Equivalent(m, q) {
+		t.Error("minimized query must stay equivalent")
+	}
+	// Non-redundant path query stays intact.
+	path := MustParse("q(X, Z) :- edge(X, Y), edge(Y, Z)")
+	if m := Minimize(path); len(m.Body) != 2 {
+		t.Errorf("path wrongly minimized: %v", m.Body)
+	}
+}
+
+func TestContainedInUnion(t *testing.T) {
+	u := []Query{
+		MustParse("q(T) :- course(T, 'halevy', S)"),
+		MustParse("q(T) :- course(T, 'etzioni', S)"),
+	}
+	q := MustParse("q(T) :- course(T, 'halevy', S), person('halevy', D)")
+	if !ContainedInUnion(q, u) {
+		t.Error("q should be contained in union")
+	}
+	q2 := MustParse("q(T) :- course(T, 'levy', S)")
+	if ContainedInUnion(q2, u) {
+		t.Error("q2 not contained")
+	}
+}
+
+func TestContainmentSoundnessProperty(t *testing.T) {
+	// If Contains(q1, q2) then answers(q2) ⊆ answers(q1) on random DBs.
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		db := relation.NewDatabase()
+		e := relation.New(relation.NewSchema("edge", relation.Attr("a"), relation.Attr("b")))
+		n := 2 + rnd.Intn(4)
+		for i := 0; i < 8; i++ {
+			e.MustInsert(relation.SV(string(rune('a'+rnd.Intn(n)))), relation.SV(string(rune('a'+rnd.Intn(n)))))
+		}
+		db.Put(e)
+		q1 := randomPathQuery(rnd)
+		q2 := randomPathQuery(rnd)
+		if !Contains(q1, q2) {
+			continue
+		}
+		r1, err1 := Eval(db, q1)
+		r2, err2 := Eval(db, q2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval: %v %v", err1, err2)
+		}
+		for _, row := range r2.Rows() {
+			if !r1.Contains(row) {
+				t.Fatalf("containment unsound: %s ⊇ %s but row %v missing", q1, q2, row)
+			}
+		}
+	}
+}
+
+func randomPathQuery(rnd *rand.Rand) Query {
+	// q(X0) :- edge(X0,X1), edge(X1,X2)... with occasional repeats.
+	hops := 1 + rnd.Intn(3)
+	var body []Atom
+	for i := 0; i < hops; i++ {
+		a := V("X" + string(rune('0'+i)))
+		b := V("X" + string(rune('0'+i+1)))
+		if rnd.Intn(4) == 0 {
+			b = a
+		}
+		body = append(body, NewAtom("edge", a, b))
+	}
+	return Query{HeadPred: "q", HeadVars: []string{"X0"}, Body: body}
+}
+
+func TestRenameVarsDisjoint(t *testing.T) {
+	q := MustParse("q(X) :- edge(X, Y)")
+	r := q.RenameVars("p_")
+	for _, v := range r.BodyVars() {
+		if !strings.HasPrefix(v, "p_") {
+			t.Errorf("var %q not renamed", v)
+		}
+	}
+	if !Equivalent(q, r) {
+		t.Error("renaming must preserve equivalence")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	q := MustParse("q(X) :- edge(X, Y)")
+	out, err := q.Substitute(map[string]Term{"Y": CS("home")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Body[0].Args[1].IsVar {
+		t.Errorf("substitution failed: %v", out.Body[0])
+	}
+	if _, err := q.Substitute(map[string]Term{"X": CS("bad")}); err == nil {
+		t.Error("substituting head var with constant must fail")
+	}
+	out2, err := q.Substitute(map[string]Term{"X": V("Z")})
+	if err != nil || out2.HeadVars[0] != "Z" {
+		t.Errorf("head rename failed: %v %v", out2, err)
+	}
+}
+
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomPathQuery(rnd)
+		c := q.Clone()
+		if len(c.Body) > 0 {
+			c.Body[0].Pred = "mutated"
+		}
+		return q.Body[0].Pred == "edge"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		q := randomPathQuery(rnd)
+		// Add an occasional constant argument.
+		if rnd.Intn(2) == 0 && len(q.Body) > 0 {
+			q.Body[0].Args[len(q.Body[0].Args)-1] = CS("home base")
+			if !q.IsSafe() {
+				q.HeadVars = []string{q.Body[0].Args[0].Var}
+			}
+		}
+		parsed, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == q.String() && Equivalent(parsed, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

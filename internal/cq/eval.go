@@ -1,0 +1,237 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Eval evaluates a conjunctive query against a database and returns a
+// relation holding the head projection. Atoms are joined greedily: at
+// each step the evaluator picks the unprocessed atom sharing the most
+// bound variables (a simple join-order heuristic), binding variables and
+// filtering on constants and repeated variables.
+func Eval(db *relation.Database, q Query) (*relation.Relation, error) {
+	if !q.IsSafe() {
+		return nil, fmt.Errorf("cq: unsafe query %s", q)
+	}
+	for _, a := range q.Body {
+		r := db.Get(a.Pred)
+		if r == nil {
+			return nil, fmt.Errorf("cq: unknown relation %q in %s", a.Pred, q)
+		}
+		if r.Schema.Arity() != len(a.Args) {
+			return nil, fmt.Errorf("cq: atom %s has %d args, relation has arity %d",
+				a, len(a.Args), r.Schema.Arity())
+		}
+	}
+	bindings := []map[string]relation.Value{{}}
+	remaining := make([]Atom, len(q.Body))
+	copy(remaining, q.Body)
+	for len(remaining) > 0 {
+		i := pickNextAtom(remaining, bindings)
+		atom := remaining[i]
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		bindings = joinAtom(db, atom, bindings)
+		if len(bindings) == 0 {
+			break
+		}
+	}
+	return projectHead(db, q, bindings)
+}
+
+// pickNextAtom chooses the atom with the most variables already bound
+// (ties broken by fewer total variables, then order).
+func pickNextAtom(atoms []Atom, bindings []map[string]relation.Value) int {
+	if len(bindings) == 0 {
+		return 0
+	}
+	bound := bindings[0]
+	best, bestScore, bestFree := 0, -1, 1<<30
+	for i, a := range atoms {
+		score, free := 0, 0
+		for _, v := range a.Vars() {
+			if _, ok := bound[v]; ok {
+				score++
+			} else {
+				free++
+			}
+		}
+		if score > bestScore || (score == bestScore && free < bestFree) {
+			best, bestScore, bestFree = i, score, free
+		}
+	}
+	return best
+}
+
+// joinAtom extends each binding with matching rows of the atom's relation.
+func joinAtom(db *relation.Database, atom Atom, bindings []map[string]relation.Value) []map[string]relation.Value {
+	rel := db.Get(atom.Pred)
+	// Choose an index column: first arg position that is a constant or a
+	// variable bound in all bindings (bindings share a bound-var set).
+	idxCol := -1
+	if len(bindings) > 0 {
+		for col, t := range atom.Args {
+			if !t.IsVar {
+				idxCol = col
+				break
+			}
+			if _, ok := bindings[0][t.Var]; ok {
+				idxCol = col
+				break
+			}
+		}
+	}
+	if idxCol >= 0 && rel.Len() > 16 && !rel.HasIndex(idxCol) {
+		rel.BuildIndex(idxCol)
+	}
+	var out []map[string]relation.Value
+	for _, b := range bindings {
+		var rowIDs []int
+		if idxCol >= 0 {
+			probe := atom.Args[idxCol]
+			var v relation.Value
+			if probe.IsVar {
+				v = b[probe.Var]
+			} else {
+				v = probe.Const
+			}
+			rowIDs = rel.Lookup(idxCol, v)
+		} else {
+			rowIDs = allRows(rel.Len())
+		}
+		for _, id := range rowIDs {
+			row := rel.Row(id)
+			nb, ok := matchRow(atom, row, b)
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// matchRow unifies an atom's args against a concrete row under binding b.
+func matchRow(atom Atom, row relation.Tuple, b map[string]relation.Value) (map[string]relation.Value, bool) {
+	nb := b
+	copied := false
+	for col, t := range atom.Args {
+		v := row[col]
+		if t.IsVar {
+			if bound, ok := nb[t.Var]; ok {
+				if bound != v {
+					return nil, false
+				}
+				continue
+			}
+			if !copied {
+				cp := make(map[string]relation.Value, len(nb)+2)
+				for k, val := range nb {
+					cp[k] = val
+				}
+				nb = cp
+				copied = true
+			}
+			nb[t.Var] = v
+		} else if t.Const != v {
+			return nil, false
+		}
+	}
+	if !copied {
+		// No new variables bound: still need a private copy? No — nb is
+		// unchanged, sharing is safe.
+		return nb, true
+	}
+	return nb, true
+}
+
+// projectHead builds the answer relation from the final bindings.
+func projectHead(db *relation.Database, q Query, bindings []map[string]relation.Value) (*relation.Relation, error) {
+	attrs := make([]relation.Attribute, len(q.HeadVars))
+	// Infer head types from the first binding; default to string.
+	for i, v := range q.HeadVars {
+		attrs[i] = relation.Attribute{Name: v, Type: relation.TString}
+		if len(bindings) > 0 {
+			if val, ok := bindings[0][v]; ok {
+				attrs[i].Type = val.Kind
+			}
+		} else if typ, ok := headTypeFromSchema(db, q, v); ok {
+			attrs[i].Type = typ
+		}
+	}
+	out := relation.New(relation.Schema{Name: q.HeadPred, Attrs: attrs})
+	for _, b := range bindings {
+		t := make(relation.Tuple, len(q.HeadVars))
+		for i, v := range q.HeadVars {
+			t[i] = b[v]
+		}
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	out.Dedup()
+	return out, nil
+}
+
+// headTypeFromSchema infers a head variable's type from the schema of the
+// first body atom mentioning it (used when there are no bindings).
+func headTypeFromSchema(db *relation.Database, q Query, varName string) (relation.Type, bool) {
+	for _, a := range q.Body {
+		rel := db.Get(a.Pred)
+		if rel == nil {
+			continue
+		}
+		for col, t := range a.Args {
+			if t.IsVar && t.Var == varName {
+				return rel.Schema.Attrs[col].Type, true
+			}
+		}
+	}
+	return relation.TString, false
+}
+
+// EvalUnion evaluates a union of conjunctive queries (a UCQ) and returns
+// the set union of their answers. All queries must share head arity.
+func EvalUnion(db *relation.Database, queries []Query) (*relation.Relation, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("cq: empty union")
+	}
+	var out *relation.Relation
+	for _, q := range queries {
+		r, err := Eval(db, q)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = r
+			continue
+		}
+		if err := out.Union(r); err != nil {
+			return nil, err
+		}
+	}
+	out.Dedup()
+	return out, nil
+}
+
+// SortedAnswers is a convenience for tests: evaluates and returns tuples
+// in sorted order.
+func SortedAnswers(db *relation.Database, q Query) ([]relation.Tuple, error) {
+	r, err := Eval(db, q)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]relation.Tuple, len(r.Rows()))
+	copy(rows, r.Rows())
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Less(rows[j]) })
+	return rows, nil
+}

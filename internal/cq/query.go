@@ -1,0 +1,207 @@
+// Package cq implements conjunctive (datalog-style) queries: the logical
+// language Piazza's query answering is built on. The paper's PDMS work
+// (§3.1.1) "examined how the techniques used for conjunctive queries in
+// data integration can be combined and extended"; this package supplies
+// those techniques: representation, parsing, evaluation, view unfolding,
+// containment checking and minimization.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Term is either a variable or a constant argument of an atom.
+type Term struct {
+	IsVar bool
+	Var   string
+	Const relation.Value
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{IsVar: true, Var: name} }
+
+// C makes a constant term.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// CS makes a string-constant term.
+func CS(s string) Term { return C(relation.SV(s)) }
+
+// CI makes an int-constant term.
+func CI(i int64) Term { return C(relation.IV(i)) }
+
+// String implements fmt.Stringer.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return t.Const.Quoted()
+}
+
+// Atom is a predicate applied to terms, e.g. course(T, I, S).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// String implements fmt.Stringer.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Vars returns the distinct variables of the atom in first-occurrence order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the atom.
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Query is a conjunctive query head(X̄) :- body. Head arguments are
+// variables; body arguments may be variables or constants. A query is
+// safe when every head variable occurs in the body.
+type Query struct {
+	HeadPred string
+	HeadVars []string
+	Body     []Atom
+}
+
+// NewQuery builds a query.
+func NewQuery(headPred string, headVars []string, body ...Atom) Query {
+	return Query{HeadPred: headPred, HeadVars: headVars, Body: body}
+}
+
+// String renders "q(X, Y) :- r(X, 'a'), s(Y)".
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.HeadPred)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(q.HeadVars, ", "))
+	b.WriteString(") :- ")
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Clone deep-copies the query.
+func (q Query) Clone() Query {
+	hv := make([]string, len(q.HeadVars))
+	copy(hv, q.HeadVars)
+	body := make([]Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+	return Query{HeadPred: q.HeadPred, HeadVars: hv, Body: body}
+}
+
+// BodyVars returns the distinct body variables in first-occurrence order.
+func (q Query) BodyVars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsVar && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// IsSafe reports whether every head variable appears in the body.
+func (q Query) IsSafe() bool {
+	bv := make(map[string]bool)
+	for _, v := range q.BodyVars() {
+		bv[v] = true
+	}
+	for _, v := range q.HeadVars {
+		if !bv[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predicates returns the distinct body predicate names, sorted.
+func (q Query) Predicates() []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Body {
+		seen[a.Pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenameVars returns a copy of q with every variable prefixed, giving the
+// query a disjoint variable namespace (used during unfolding/rewriting).
+func (q Query) RenameVars(prefix string) Query {
+	out := q.Clone()
+	for i, v := range out.HeadVars {
+		out.HeadVars[i] = prefix + v
+	}
+	for i := range out.Body {
+		for j := range out.Body[i].Args {
+			if out.Body[i].Args[j].IsVar {
+				out.Body[i].Args[j].Var = prefix + out.Body[i].Args[j].Var
+			}
+		}
+	}
+	return out
+}
+
+// Substitute applies a variable substitution to the body and head.
+// Head variables mapped to constants are an error (heads hold variables
+// only), so callers performing unification must keep head vars variable.
+func (q Query) Substitute(sub map[string]Term) (Query, error) {
+	out := q.Clone()
+	for i, v := range out.HeadVars {
+		if t, ok := sub[v]; ok {
+			if !t.IsVar {
+				return Query{}, fmt.Errorf("substitution maps head variable %s to constant %v", v, t)
+			}
+			out.HeadVars[i] = t.Var
+		}
+	}
+	for i := range out.Body {
+		for j := range out.Body[i].Args {
+			arg := out.Body[i].Args[j]
+			if arg.IsVar {
+				if t, ok := sub[arg.Var]; ok {
+					out.Body[i].Args[j] = t
+				}
+			}
+		}
+	}
+	return out, nil
+}

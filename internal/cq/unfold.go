@@ -1,0 +1,117 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Unfolder expands atoms whose predicates are defined by views (global-
+// as-view style): each definition is a query whose head predicate is the
+// defined relation. A predicate may have several definitions, making the
+// expansion a union of conjunctive queries.
+type Unfolder struct {
+	defs    map[string][]Query
+	counter int
+}
+
+// NewUnfolder builds an unfolder over the given view definitions.
+func NewUnfolder(defs map[string][]Query) *Unfolder {
+	return &Unfolder{defs: defs}
+}
+
+// AddDef registers one more definition for its head predicate.
+func (u *Unfolder) AddDef(def Query) {
+	if u.defs == nil {
+		u.defs = make(map[string][]Query)
+	}
+	u.defs[def.HeadPred] = append(u.defs[def.HeadPred], def)
+}
+
+// HasDef reports whether pred has at least one definition.
+func (u *Unfolder) HasDef(pred string) bool { return len(u.defs[pred]) > 0 }
+
+// fresh returns a unique variable namespace prefix.
+func (u *Unfolder) fresh() string {
+	u.counter++
+	return "_u" + strconv.Itoa(u.counter) + "_"
+}
+
+// Unfold rewrites q so no body atom uses a defined predicate, expanding
+// definitions recursively up to maxDepth (guarding against cyclic
+// definitions). The result is a union of conjunctive queries.
+func (u *Unfolder) Unfold(q Query, maxDepth int) ([]Query, error) {
+	return u.unfold(q, maxDepth)
+}
+
+func (u *Unfolder) unfold(q Query, depth int) ([]Query, error) {
+	idx := -1
+	for i, a := range q.Body {
+		if u.HasDef(a.Pred) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return []Query{q}, nil
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("cq: unfold depth exhausted at atom %s", q.Body[idx])
+	}
+	atom := q.Body[idx]
+	var results []Query
+	for _, def := range u.defs[atom.Pred] {
+		expanded, err := u.expandAtom(q, idx, def)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := u.unfold(expanded, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, sub...)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("cq: predicate %q has no definitions", atom.Pred)
+	}
+	return results, nil
+}
+
+// expandAtom replaces q.Body[idx] with def's body, unifying def's head
+// variables with the atom's arguments.
+func (u *Unfolder) expandAtom(q Query, idx int, def Query) (Query, error) {
+	return ExpandAtom(q, idx, def, u.fresh())
+}
+
+// ExpandAtom replaces q.Body[idx] with def's body, renaming def's
+// variables with freshPrefix and unifying def's head variables with the
+// atom's arguments. This is the single unfolding step shared by GAV view
+// expansion and PDMS mapping traversal.
+func ExpandAtom(q Query, idx int, def Query, freshPrefix string) (Query, error) {
+	atom := q.Body[idx]
+	if len(def.HeadVars) != len(atom.Args) {
+		return Query{}, fmt.Errorf("cq: definition %s arity %d, atom %s has %d args",
+			def.HeadPred, len(def.HeadVars), atom, len(atom.Args))
+	}
+	d := def.RenameVars(freshPrefix)
+	sub := make(map[string]Term, len(d.HeadVars))
+	for i, hv := range d.HeadVars {
+		sub[hv] = atom.Args[i]
+	}
+	newBody := make([]Atom, 0, len(q.Body)-1+len(d.Body))
+	newBody = append(newBody, q.Body[:idx]...)
+	for _, a := range d.Body {
+		na := a.Clone()
+		for j, t := range na.Args {
+			if t.IsVar {
+				if repl, ok := sub[t.Var]; ok {
+					na.Args[j] = repl
+				}
+			}
+		}
+		newBody = append(newBody, na)
+	}
+	newBody = append(newBody, q.Body[idx+1:]...)
+	out := q.Clone()
+	out.Body = newBody
+	return out, nil
+}

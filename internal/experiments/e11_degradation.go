@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/mangrove"
+	"repro/internal/rdf"
+	"repro/internal/webgen"
+)
+
+// E11Degradation quantifies the §1.1 contrast the whole paper rests on:
+// "in the U-WORLD ... even if those are not the exact words used by the
+// authors, the system will typically still find relevant documents using
+// techniques such as stemming. In the S-WORLD ... otherwise, the query
+// will fail. There is no graceful degradation." We publish a department
+// site, then look for each course under three vocabularies — exact,
+// morphological variant (pluralized), and synonym — via (a) the
+// annotation-enabled keyword search and (b) an exact structured lookup.
+func E11Degradation(seed int64, nCourses int) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  fmt.Sprintf("Graceful degradation: keyword search vs exact lookup (%d courses)", nCourses),
+		Header: []string{"vocabulary", "search_recall@5", "exact_lookup_recall"},
+		Notes: []string{
+			"the S-WORLD column collapses off exact vocabulary — §1.1's brittleness",
+		},
+	}
+	g := webgen.Generate(webgen.Options{Seed: seed, NCourses: nCourses, NPeople: 2})
+	if err := webgen.AnnotateAll(g); err != nil {
+		return nil, err
+	}
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	for _, url := range g.Site.URLs() {
+		if _, err := repo.Publish(url, g.Site.Get(url)); err != nil {
+			return nil, err
+		}
+	}
+	search := &apps.Search{Repo: repo}
+
+	variants := []struct {
+		name string
+		f    func(title string) string
+	}{
+		{"exact", func(s string) string { return s }},
+		{"pluralized", pluralizeWords},
+		{"partial", func(s string) string { return strings.Fields(s)[len(strings.Fields(s))-1] }},
+	}
+	for _, v := range variants {
+		var searchHits, exactHits int
+		for _, c := range g.Courses {
+			probe := v.f(c.Title)
+			// U-WORLD: keyword search, top 5.
+			for _, h := range search.Query(probe, 5) {
+				if strings.Contains(h.Snippet, c.Title) {
+					searchHits++
+					break
+				}
+			}
+			// S-WORLD: exact structured lookup on the title value.
+			if len(repo.Store.Query(rdf.Pattern{S: "?c", P: "course.title", O: probe})) > 0 {
+				exactHits++
+			}
+		}
+		n := float64(len(g.Courses))
+		t.AddRow(v.name, float64(searchHits)/n, float64(exactHits)/n)
+	}
+	return t, nil
+}
+
+// pluralizeWords naively pluralizes each word ≥ 4 letters.
+func pluralizeWords(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if len(w) >= 4 && !strings.HasSuffix(w, "s") {
+			words[i] = w + "s"
+		}
+	}
+	return strings.Join(words, " ")
+}

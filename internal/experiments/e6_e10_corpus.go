@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/corpus"
+	"repro/internal/relation"
+	"repro/internal/strutil"
+	"repro/internal/workload"
+)
+
+// buildCorpus assembles a corpus of generated sources across all
+// domains, sourcesPerDomain each, tagging entries with their domain.
+func buildCorpus(seed int64, sourcesPerDomain int) (*corpus.Corpus, map[string]string) {
+	c := corpus.New(strutil.DefaultSynonyms())
+	domainOf := make(map[string]string)
+	for _, d := range workload.Domains() {
+		for i := 0; i < sourcesPerDomain; i++ {
+			src := workload.GenSource(d, i, seed, workload.SourceOptions{
+				Rows: 15, DropRate: 0.15, ObfuscateRate: 0.25})
+			db := relation.NewDatabase()
+			db.Put(src.Data)
+			name := fmt.Sprintf("%s_%d", d.Name, i)
+			c.Add(&corpus.Entry{Name: name,
+				Relations: []relation.Schema{src.Schema}, Sample: db})
+			domainOf[name] = d.Name
+		}
+	}
+	c.Build()
+	return c, domainOf
+}
+
+// E6Advisor evaluates DESIGNADVISOR (§4.3.1): given a partial schema
+// holding a fraction of a fresh source's attributes, does the advisor
+// retrieve corpus schemas of the right domain (precision@k), and do its
+// auto-complete suggestions recover the held-out attributes?
+func E6Advisor(seed int64, sourcesPerDomain int) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("DesignAdvisor retrieval and auto-complete (corpus: %d schemas/domain)", sourcesPerDomain),
+		Header: []string{"fraction", "precision@1", "precision@3", "completion_recall"},
+		Notes: []string{
+			"sim = alpha*fit + beta*preference, the paper's §4.3.1 ranking",
+		},
+	}
+	c, domainOf := buildCorpus(seed, sourcesPerDomain)
+	adv := &advisor.DesignAdvisor{Corpus: c}
+	for _, frac := range []float64{0.3, 0.5, 0.8} {
+		var p1Hits, p3Hits, trials int
+		var recovered, heldOut int
+		for _, d := range workload.Domains() {
+			// A fresh source the corpus has not seen.
+			src := workload.GenSource(d, 1000, seed+1, workload.SourceOptions{Rows: 5})
+			attrs := src.Schema.AttrNames()
+			nKeep := int(frac * float64(len(attrs)))
+			if nKeep < 1 {
+				nKeep = 1
+			}
+			partial := relation.Schema{Name: src.Schema.Name}
+			for _, a := range attrs[:nKeep] {
+				partial.Attrs = append(partial.Attrs, relation.Attr(a))
+			}
+			props := adv.Propose(partial, 3)
+			trials++
+			if len(props) > 0 && domainOf[props[0].Entry.Name] == d.Name {
+				p1Hits++
+			}
+			for _, p := range props {
+				if domainOf[p.Entry.Name] == d.Name {
+					p3Hits++
+					break
+				}
+			}
+			// Auto-complete: do suggestions cover the held-out tags?
+			sugg := adv.AutoComplete(partial, 8)
+			for _, held := range attrs[nKeep:] {
+				heldOut++
+				tag := src.Truth[held]
+				for _, s := range sugg {
+					if suggestionMatchesTag(c, s, tag, held) {
+						recovered++
+						break
+					}
+				}
+			}
+		}
+		rec := 0.0
+		if heldOut > 0 {
+			rec = float64(recovered) / float64(heldOut)
+		}
+		t.AddRow(fmt.Sprintf("%.1f", frac),
+			float64(p1Hits)/float64(trials),
+			float64(p3Hits)/float64(trials),
+			rec)
+	}
+	return t, nil
+}
+
+// suggestionMatchesTag accepts a suggestion when it canonicalizes with
+// the held-out attribute or with its mediated tag.
+func suggestionMatchesTag(c *corpus.Corpus, suggestion, tag, heldAttr string) bool {
+	s := c.CanonicalAttr(suggestion)
+	if s == c.CanonicalAttr(tag) || s == c.CanonicalAttr(heldAttr) {
+		return true
+	}
+	return strutil.NameSimilarity(suggestion, tag) >= 0.75 ||
+		strutil.NameSimilarity(suggestion, heldAttr) >= 0.75
+}
+
+// E10Stats measures corpus-statistics construction cost and the quality
+// of the "similar names" statistic (§4.2.1): for alias pairs of the same
+// mediated tag planted in different schemas, is the counterpart found
+// among the top-k distributionally similar names?
+func E10Stats(seed int64, maxSourcesPerDomain int) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Corpus statistics: build time and similar-name precision",
+		Header: []string{"schemas", "attrs", "build_us", "similar@5_hit_rate"},
+	}
+	for n := 2; n <= maxSourcesPerDomain; n *= 2 {
+		// Synonym-free corpus so distributional similarity does the work.
+		c := corpus.New(nil)
+		attrCount := 0
+		type probe struct {
+			alias  string
+			others []string
+		}
+		var probes []probe
+		for _, d := range workload.Domains() {
+			for i := 0; i < n; i++ {
+				src := workload.GenSource(d, i, seed, workload.SourceOptions{Rows: 5})
+				c.Add(&corpus.Entry{Name: fmt.Sprintf("%s_%d", d.Name, i),
+					Relations: []relation.Schema{src.Schema}})
+				attrCount += src.Schema.Arity()
+			}
+			// Probe each attribute's first alias; a hit is finding ANY
+			// other alias of the same mediated tag among the similar
+			// names — the statistic a mapping designer would consume.
+			for _, a := range d.Attrs {
+				if len(a.Aliases) >= 2 {
+					probes = append(probes, probe{alias: a.Aliases[0], others: a.Aliases[1:]})
+				}
+			}
+		}
+		t0 := time.Now()
+		c.Build()
+		buildTime := time.Since(t0)
+		hits, total := 0, 0
+		for _, p := range probes {
+			sims := c.SimilarNames(p.alias, 5)
+			if len(sims) == 0 {
+				continue // alias absent from this corpus sample
+			}
+			total++
+			hit := false
+			for _, s := range sims {
+				for _, other := range p.others {
+					want := c.CanonicalAttr(other)
+					if s.Item == want || strings.HasPrefix(s.Item, want) || strings.HasPrefix(want, s.Item) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					break
+				}
+			}
+			if hit {
+				hits++
+			}
+		}
+		rate := 0.0
+		if total > 0 {
+			rate = float64(hits) / float64(total)
+		}
+		t.AddRow(5*n, attrCount, buildTime.Microseconds(), rate)
+	}
+	return t, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+	"repro/internal/view"
+	"repro/internal/workload"
+	"repro/internal/xmlq"
+)
+
+// E8Updategrams reproduces §3.1.2: incremental view maintenance via
+// updategrams versus full recomputation, as materialized views are
+// placed at peers and base data changes.
+func E8Updategrams(seed int64, updates int) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("Updategram propagation vs recompute (%d updates)", updates),
+		Header: []string{"views", "incr_us", "recompute_us", "tuples_shipped", "speedup"},
+		Notes: []string{
+			"updategrams 'on base data can be combined to create updategrams for views' (§3.1.2)",
+		},
+	}
+	for _, nViews := range []int{1, 4, 16} {
+		g, err := workload.GenNetwork(workload.NetworkSpec{
+			Topology: workload.Star, Peers: 4, Seed: seed, RowsPerPeer: 40})
+		if err != nil {
+			return nil, err
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		// Place nViews materialized views of peer0's relation at other
+		// peers.
+		relName := g.Specs[0].Schema.Name
+		def := g.TitleQuery(0)
+		for i := range def.Body {
+			def.Body[i].Pred = workload.PeerName(0) + "." + def.Body[i].Pred
+		}
+		for v := 0; v < nViews; v++ {
+			host := workload.PeerName(1 + v%3)
+			if _, err := g.Net.Subscribe(host, fmt.Sprintf("v%d", v), def); err != nil {
+				return nil, err
+			}
+		}
+		// Incremental: publish updates through the network.
+		shipped := 0
+		t0 := time.Now()
+		for u := 0; u < updates; u++ {
+			row := randomCourseRow(rnd, g.Specs[0].Schema, u)
+			st, err := g.Net.InsertAndPublish(workload.PeerName(0), relName, row)
+			if err != nil {
+				return nil, err
+			}
+			shipped += st.TuplesShipped
+		}
+		incr := time.Since(t0)
+		// Recompute: same updates, refreshing all views from scratch.
+		g2, err := workload.GenNetwork(workload.NetworkSpec{
+			Topology: workload.Star, Peers: 4, Seed: seed, RowsPerPeer: 40})
+		if err != nil {
+			return nil, err
+		}
+		rnd2 := rand.New(rand.NewSource(seed))
+		var mvs []*view.MaterializedView
+		for v := 0; v < nViews; v++ {
+			mv := view.NewMaterialized(view.NewView(fmt.Sprintf("v%d", v), def))
+			if err := mv.Refresh(g2.Net.GlobalDB()); err != nil {
+				return nil, err
+			}
+			mvs = append(mvs, mv)
+		}
+		t1 := time.Now()
+		p0 := g2.Net.Peer(workload.PeerName(0))
+		for u := 0; u < updates; u++ {
+			row := randomCourseRow(rnd2, g2.Specs[0].Schema, u)
+			if err := p0.Insert(relName, row); err != nil {
+				return nil, err
+			}
+			db := g2.Net.GlobalDB()
+			for _, mv := range mvs {
+				if err := mv.Refresh(db); err != nil {
+					return nil, err
+				}
+			}
+		}
+		recompute := time.Since(t1)
+		speedup := float64(recompute.Microseconds()) / float64(max64(1, incr.Microseconds()))
+		t.AddRow(nViews, incr.Microseconds(), recompute.Microseconds(), shipped, speedup)
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func randomCourseRow(rnd *rand.Rand, schema relation.Schema, i int) relation.Tuple {
+	row := make(relation.Tuple, schema.Arity())
+	for c := range row {
+		row[c] = relation.SV(fmt.Sprintf("upd%d_%d_%d", i, c, rnd.Intn(1000)))
+	}
+	return row
+}
+
+// E9Templates exercises the Figure-4 mapping language end to end:
+// instantiate the Berkeley→MIT template over growing source documents,
+// verify the compiled-GLAV consistency property, and report throughput.
+func E9Templates(seed int64, maxColleges int) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "XML template mappings (Fig. 4): translate + compile consistency",
+		Header: []string{"colleges", "courses", "instantiate_us", "shred_us", "consistent"},
+	}
+	srcDTD := berkeleyDTD()
+	tgtDTD := mitDTD()
+	tpl := figure4Template()
+	queries, err := xmlq.CompileTemplate(tpl, srcDTD, tgtDTD)
+	if err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	for n := 2; n <= maxColleges; n *= 2 {
+		doc, courses := genBerkeleyDoc(rnd, n)
+		t0 := time.Now()
+		out, err := tpl.Instantiate(doc)
+		if err != nil {
+			return nil, err
+		}
+		instTime := time.Since(t0)
+		if err := tgtDTD.Validate(out); err != nil {
+			return nil, fmt.Errorf("E9: invalid output: %w", err)
+		}
+		t1 := time.Now()
+		srcDB, err := xmlq.ShredDoc(srcDTD, doc)
+		if err != nil {
+			return nil, err
+		}
+		tgtDB, err := xmlq.ShredDoc(tgtDTD, out)
+		if err != nil {
+			return nil, err
+		}
+		shredTime := time.Since(t1)
+		consistent := true
+		for _, q := range queries {
+			got, err := cq.Eval(srcDB, q)
+			if err != nil {
+				return nil, err
+			}
+			want := tgtDB.Get(q.HeadPred)
+			if want == nil || !got.Equal(want.Clone().Dedup()) {
+				consistent = false
+			}
+		}
+		t.AddRow(n, courses, instTime.Microseconds(), shredTime.Microseconds(), consistent)
+	}
+	return t, nil
+}
+
+// berkeleyDTD/mitDTD/figure4Template mirror the paper's Figure 3/4.
+func berkeleyDTD() *xmlq.DTD {
+	return xmlq.MustDTD("schedule",
+		xmlq.Elem("schedule", xmlq.ChildMany("college")),
+		xmlq.Elem("college", xmlq.ChildOne("name"), xmlq.ChildMany("dept")),
+		xmlq.Elem("dept", xmlq.ChildOne("name"), xmlq.ChildMany("course")),
+		xmlq.Elem("course", xmlq.ChildOne("title"), xmlq.ChildOne("size")),
+		xmlq.Leaf("name"), xmlq.Leaf("title"), xmlq.Leaf("size"),
+	)
+}
+
+func mitDTD() *xmlq.DTD {
+	return xmlq.MustDTD("catalog",
+		xmlq.Elem("catalog", xmlq.ChildMany("course")),
+		xmlq.Elem("course", xmlq.ChildOne("name"), xmlq.ChildMany("subject")),
+		xmlq.Elem("subject", xmlq.ChildOne("title"), xmlq.ChildOne("enrollment")),
+		xmlq.Leaf("name"), xmlq.Leaf("title"), xmlq.Leaf("enrollment"),
+	)
+}
+
+func figure4Template() *xmlq.Template {
+	return &xmlq.Template{Root: xmlq.TElem("catalog",
+		xmlq.TBind("course", "c", "", "schedule/college/dept",
+			xmlq.TValue("name", "c", "name/text()"),
+			xmlq.TBind("subject", "s", "c", "course",
+				xmlq.TValue("title", "s", "title/text()"),
+				xmlq.TValue("enrollment", "s", "size/text()"),
+			),
+		),
+	)}
+}
+
+func genBerkeleyDoc(rnd *rand.Rand, colleges int) (*xmlq.Node, int) {
+	doc := xmlq.NewNode("schedule")
+	courses := 0
+	for c := 0; c < colleges; c++ {
+		college := xmlq.NewNode("college",
+			xmlq.TextNode("name", fmt.Sprintf("College %d", c)))
+		for d := 0; d < 2+rnd.Intn(3); d++ {
+			dept := xmlq.NewNode("dept",
+				xmlq.TextNode("name", fmt.Sprintf("Dept %d-%d", c, d)))
+			for k := 0; k < 1+rnd.Intn(4); k++ {
+				courses++
+				dept.AddChild(xmlq.NewNode("course",
+					xmlq.TextNode("title", fmt.Sprintf("Course %d-%d-%d", c, d, k)),
+					xmlq.TextNode("size", fmt.Sprint(10+rnd.Intn(200)))))
+			}
+			college.AddChild(dept)
+		}
+		doc.AddChild(college)
+	}
+	return doc, courses
+}
+
+// AnswersFromPDMS is a small helper for the E2 bench: count answers.
+func AnswersFromPDMS(res *pdms.AnswerResult) int { return res.Answers.Len() }

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *Table, row, col int) string { return t.Rows[row][col] }
+
+func cellF(tt *testing.T, t *Table, row, col int) float64 {
+	tt.Helper()
+	f, err := strconv.ParseFloat(cell(t, row, col), 64)
+	if err != nil {
+		tt.Fatalf("cell %d,%d = %q not a float", row, col, cell(t, row, col))
+	}
+	return f
+}
+
+func TestE1AccuracyBand(t *testing.T) {
+	res := E1Matching(42, 3, 4)
+	if len(res.Table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	for domain, acc := range res.MetaAccuracy {
+		if acc < 0.70 {
+			t.Errorf("domain %s meta accuracy %.2f below paper band (70-90%%)", domain, acc)
+		}
+	}
+	// Meta should not lose badly to any single base learner on average.
+	var metaSum, bestBaseSum float64
+	for i := range res.Table.Rows {
+		metaSum += cellF(t, res.Table, i, 6)
+		best := 0.0
+		for c := 1; c <= 4; c++ {
+			if v := cellF(t, res.Table, i, c); v > best {
+				best = v
+			}
+		}
+		bestBaseSum += best
+	}
+	if metaSum < bestBaseSum-0.5 {
+		t.Errorf("meta (%f) clearly worse than best base (%f)", metaSum, bestBaseSum)
+	}
+}
+
+func TestE1LearningCurveClimbs(t *testing.T) {
+	tab := E1LearningCurve(42, 4, 3)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Per domain: the 4-source accuracy should not be far below the
+	// 1-source accuracy, and at least one domain must improve.
+	improved := false
+	for col := 1; col <= 5; col++ {
+		first := cellF(t, tab, 0, col)
+		last := cellF(t, tab, len(tab.Rows)-1, col)
+		if last < first-0.1 {
+			t.Errorf("column %d degrades with training: %v -> %v", col, first, last)
+		}
+		if last > first+0.001 {
+			improved = true
+		}
+		if last < 0.7 {
+			t.Errorf("column %d final accuracy %v below paper band", col, last)
+		}
+	}
+	if !improved {
+		t.Log("no domain improved with more training (already saturated)")
+	}
+}
+
+func TestE2ReachesFullRecall(t *testing.T) {
+	tab, err := E2Transitive(42, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every topology, the deepest row must reach recall 1.0, and
+	// recall must be monotone in depth.
+	lastByTopo := map[string]float64{}
+	prevByTopo := map[string]float64{}
+	for i := range tab.Rows {
+		topo := cell(tab, i, 0)
+		r := cellF(t, tab, i, 4)
+		if r+1e-9 < prevByTopo[topo] {
+			t.Errorf("recall not monotone for %s: %v -> %v", topo, prevByTopo[topo], r)
+		}
+		prevByTopo[topo] = r
+		lastByTopo[topo] = r
+	}
+	for topo, r := range lastByTopo {
+		if r < 0.999 {
+			t.Errorf("topology %s never reached full recall: %v", topo, r)
+		}
+	}
+}
+
+func TestE3PDMSCheaperThanMediated(t *testing.T) {
+	tab, err := E3MappingEffort(42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With enough peers to choose from, mapping to the most similar
+	// neighbor costs less than aligning against the fixed mediated
+	// vocabulary — §3's Trento-maps-to-Rome argument.
+	last := len(tab.Rows) - 1
+	pdmsCost := cellF(t, tab, last, 3)
+	medCost := cellF(t, tab, last, 4)
+	if pdmsCost > medCost {
+		t.Errorf("largest network: PDMS align cost %v exceeds mediated %v", pdmsCost, medCost)
+	}
+	// More peers → no worse a best-neighbor choice (weak monotonicity up
+	// to generator noise: each row regenerates the network, so allow a
+	// small tolerance).
+	prev := cellF(t, tab, 0, 3)
+	for i := 1; i < len(tab.Rows); i++ {
+		cur := cellF(t, tab, i, 3)
+		if cur > prev+1.5 {
+			t.Errorf("row %d: PDMS align cost jumped %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestE4PruningHelps(t *testing.T) {
+	tab, err := E4Reformulation(42, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		kept := cellF(t, tab, i, 2)
+		noKept := cellF(t, tab, i, 5)
+		if kept > noKept {
+			t.Errorf("row %d: pruning kept more rewritings (%v) than no pruning (%v)", i, kept, noKept)
+		}
+	}
+}
+
+func TestE5InstantBeatsCrawl(t *testing.T) {
+	tab, err := E5Publish(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(tab, 0, 0) != "publish-on-save" {
+		t.Fatalf("first row = %v", tab.Rows[0])
+	}
+	instant := cellF(t, tab, 0, 1)
+	if instant != 0 {
+		t.Errorf("instant latency = %v", instant)
+	}
+	// Crawl latencies grow with the interval.
+	prev := instant
+	for i := 1; i < len(tab.Rows); i++ {
+		lat := cellF(t, tab, i, 1)
+		if lat < prev {
+			t.Errorf("crawl latency not increasing with interval: row %d = %v", i, lat)
+		}
+		prev = lat
+	}
+}
+
+func TestE6AdvisorQuality(t *testing.T) {
+	tab, err := E6Advisor(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		p3 := cellF(t, tab, i, 2)
+		if p3 < 0.6 {
+			t.Errorf("precision@3 at fraction %s = %v, too low", cell(tab, i, 0), p3)
+		}
+	}
+	// More context → at least as good precision@1 (weak monotonicity:
+	// allow small dips but the 0.8 row should beat the 0.3 row).
+	if cellF(t, tab, len(tab.Rows)-1, 1) < cellF(t, tab, 0, 1)-0.21 {
+		t.Errorf("precision@1 degrades sharply with more context: %v", tab.Rows)
+	}
+}
+
+func TestE7PolicyOrdering(t *testing.T) {
+	tab, err := E7Integrity(42, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]float64{}
+	for i := range tab.Rows {
+		byPolicy[cell(tab, i, 0)] = cellF(t, tab, i, 2)
+	}
+	prefer := byPolicy["prefer-source(http://dept.example.edu/people/)"]
+	anyAcc := byPolicy["any"]
+	if prefer < 0.99 {
+		t.Errorf("prefer-source accuracy = %v, want ~1 (paper's cleaning example)", prefer)
+	}
+	if anyAcc >= prefer {
+		t.Errorf("any-policy (%v) should underperform prefer-source (%v) under conflicts", anyAcc, prefer)
+	}
+}
+
+func TestE8IncrementalFaster(t *testing.T) {
+	tab, err := E8Updategrams(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With several views the incremental path must win.
+	last := tab.Rows[len(tab.Rows)-1]
+	speedup, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1 {
+		t.Errorf("no speedup from updategrams at %s views: %v", last[0], speedup)
+	}
+}
+
+func TestE9Consistent(t *testing.T) {
+	tab, err := E9Templates(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if cell(tab, i, 4) != "true" {
+			t.Errorf("row %d: compiled GLAV inconsistent with instantiation", i)
+		}
+	}
+}
+
+func TestE10SimilarNames(t *testing.T) {
+	tab, err := E10Stats(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	rate, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.4 {
+		t.Errorf("similar-name hit rate = %v, too low at largest corpus", rate)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("x", 1.5)
+	tab.Notes = append(tab.Notes, "hello")
+	s := tab.String()
+	for _, want := range []string{"== T: demo ==", "a", "bb", "x", "1.500", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE11GracefulDegradation(t *testing.T) {
+	tab, err := E11Degradation(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		vocab := cell(tab, i, 0)
+		searchR := cellF(t, tab, i, 1)
+		exactR := cellF(t, tab, i, 2)
+		if vocab == "exact" {
+			if searchR < 0.9 || exactR < 0.9 {
+				t.Errorf("exact vocabulary should succeed both ways: %v %v", searchR, exactR)
+			}
+			continue
+		}
+		// Off-vocabulary: search degrades gracefully, lookup collapses.
+		if searchR < 0.8 {
+			t.Errorf("%s: keyword search recall %v too low", vocab, searchR)
+		}
+		if exactR > 0.5 {
+			t.Errorf("%s: exact lookup recall %v suspiciously high", vocab, exactR)
+		}
+		if searchR <= exactR {
+			t.Errorf("%s: search (%v) should beat exact lookup (%v)", vocab, searchR, exactR)
+		}
+	}
+}
+
+func TestE12NormalizerStack(t *testing.T) {
+	tab, err := E12Normalizers(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(row string) (float64, float64) {
+		for i := range tab.Rows {
+			if cell(tab, i, 0) == row {
+				return cellF(t, tab, i, 1), cellF(t, tab, i, 2)
+			}
+		}
+		t.Fatalf("row %q missing", row)
+		return 0, 0
+	}
+	stemA, stemI := get("stem only")
+	synA, synI := get("stem+synonyms")
+	dictA, dictI := get("stem+dictionary")
+	allA, allI := get("stem+syn+dict")
+	if synA <= stemA {
+		t.Errorf("synonyms should lift alias accuracy: %v -> %v", stemA, synA)
+	}
+	if dictI <= stemI {
+		t.Errorf("dictionary should lift Italian accuracy: %v -> %v", stemI, dictI)
+	}
+	if dictA > synA || synI > dictI {
+		t.Errorf("normalizers should be orthogonal: %v %v %v %v", dictA, synA, synI, dictI)
+	}
+	if allA < synA || allI < dictI {
+		t.Errorf("stacked normalizers regressed: %v %v", allA, allI)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Header: []string{"a", "b"}}
+	tab.AddRow("x,comma", 2)
+	got := tab.CSV()
+	if !strings.Contains(got, "a,b\n") || !strings.Contains(got, `"x,comma",2`) {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	// A larger random network must still answer completely and within
+	// the rewriting caps.
+	tab, err := E2Transitive(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := map[string]float64{}
+	for i := range tab.Rows {
+		final[cell(tab, i, 0)] = cellF(t, tab, i, 4)
+	}
+	for topo, r := range final {
+		if r < 0.999 {
+			t.Errorf("12-peer %s never reached full recall: %v", topo, r)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	tables, err := All(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Errorf("tables = %d", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+		if len(tab.Rows) == 0 {
+			t.Errorf("experiment %s produced no rows", tab.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

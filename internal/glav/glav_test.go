@@ -1,0 +1,106 @@
+package glav
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestNewValidation(t *testing.T) {
+	good, err := New("m1", "a", cq.MustParse("m(X) :- r(X)"), "b", cq.MustParse("m(X) :- s(X)"))
+	if err != nil || good == nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	if _, err := New("m2", "a", cq.MustParse("m(X, Y) :- r(X, Y)"), "b", cq.MustParse("m(X) :- s(X)")); err == nil {
+		t.Error("head arity mismatch should fail")
+	}
+	if _, err := New("m3", "a", cq.MustParse("m(X) :- r(X)"), "a", cq.MustParse("m(X) :- s(X)")); err == nil {
+		t.Error("self mapping should fail")
+	}
+	unsafe := cq.Query{HeadPred: "m", HeadVars: []string{"Z"},
+		Body: []cq.Atom{cq.NewAtom("r", cq.V("X"))}}
+	if _, err := New("m4", "a", unsafe, "b", cq.MustParse("m(Z) :- s(Z)")); err == nil {
+		t.Error("unsafe side should fail")
+	}
+}
+
+func TestGAVLAVClassification(t *testing.T) {
+	// Single distinct-var atom on both sides: both GAV and LAV usable.
+	both := MustNew("b", "a", cq.MustParse("m(X, Y) :- r(X, Y)"), "c", cq.MustParse("m(X, Y) :- s(X, Y)"))
+	if !both.IsGAV() || !both.IsLAV() {
+		t.Error("single-atom mapping should be GAV and LAV")
+	}
+	if both.TargetAtomPred() != "s" || both.SourceAtomPred() != "r" {
+		t.Errorf("atom preds = %q %q", both.TargetAtomPred(), both.SourceAtomPred())
+	}
+	// Join on the source side: GAV only.
+	gavOnly := MustNew("g", "a", cq.MustParse("m(X, Z) :- r(X, Y), r2(Y, Z)"),
+		"c", cq.MustParse("m(X, Z) :- s(X, Z)"))
+	if !gavOnly.IsGAV() || gavOnly.IsLAV() {
+		t.Error("join-source mapping misclassified")
+	}
+	if gavOnly.SourceAtomPred() != "" {
+		t.Error("SourceAtomPred should be empty for non-LAV")
+	}
+	// Repeated variable in the atom disqualifies the single-atom form.
+	rep := MustNew("r", "a", cq.MustParse("m(X) :- r(X, X)"), "c", cq.MustParse("m(X) :- s(X, X)"))
+	if rep.IsGAV() || rep.IsLAV() {
+		t.Error("repeated-variable atoms are not distinct-var atoms")
+	}
+	// Constant in the atom disqualifies it too.
+	konst := MustNew("k", "a", cq.MustParse("m(X) :- r(X, 'c')"), "c", cq.MustParse("m(X) :- s(X, 'c')"))
+	if konst.IsGAV() || konst.IsLAV() {
+		t.Error("constant-bearing atoms are not distinct-var atoms")
+	}
+	// Head order differing from atom order disqualifies.
+	swapped := MustNew("s", "a",
+		cq.Query{HeadPred: "m", HeadVars: []string{"Y", "X"},
+			Body: []cq.Atom{cq.NewAtom("r", cq.V("X"), cq.V("Y"))}},
+		"c",
+		cq.Query{HeadPred: "m", HeadVars: []string{"Y", "X"},
+			Body: []cq.Atom{cq.NewAtom("s", cq.V("X"), cq.V("Y"))}})
+	if swapped.IsGAV() {
+		t.Error("head-order-swapped atom should not be GAV form")
+	}
+}
+
+func TestQualify(t *testing.T) {
+	q := cq.MustParse("m(X) :- r(X, Y), s(Y)")
+	out := Qualify(q, "peer1")
+	if out.Body[0].Pred != "peer1.r" || out.Body[1].Pred != "peer1.s" {
+		t.Errorf("Qualify = %v", out.Body)
+	}
+	// Original untouched.
+	if q.Body[0].Pred != "r" {
+		t.Error("Qualify mutated the input")
+	}
+}
+
+func TestSplitQualified(t *testing.T) {
+	p, r := SplitQualified("mit.subject")
+	if p != "mit" || r != "subject" {
+		t.Errorf("split = %q %q", p, r)
+	}
+	p, r = SplitQualified("bare")
+	if p != "" || r != "bare" {
+		t.Errorf("bare split = %q %q", p, r)
+	}
+	p, r = SplitQualified("a.b.c")
+	if p != "a" || r != "b.c" {
+		t.Errorf("nested split = %q %q", p, r)
+	}
+	if QualifiedName("x", "y") != "x.y" {
+		t.Error("QualifiedName")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := MustNew("id1", "a", cq.MustParse("m(X) :- r(X)"), "b", cq.MustParse("m(X) :- s(X)"))
+	s := m.String()
+	for _, want := range []string{"id1", "@a", "@b", "r(X)", "s(X)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q misses %q", s, want)
+		}
+	}
+}

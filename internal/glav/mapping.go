@@ -1,0 +1,133 @@
+// Package glav defines the semantic mappings of Piazza's PDMS. The paper
+// uses "the GLAV formalism" (§3.1.1): a mapping is a containment between
+// two conjunctive queries, one over the source peer's schema and one over
+// the target peer's schema. A mapping whose target side is a single atom
+// behaves like global-as-view (unfoldable); one whose source side is a
+// single atom behaves like local-as-view (usable for rewriting); the
+// general case combines both, which is why PDMS query answering "has
+// aspects of both global-as-view and local-as-view".
+package glav
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// Mapping asserts SrcQuery(source peer data) ⊆ TgtQuery(global instance):
+// every tuple the source query produces over the source peer's stored
+// data is a certain answer of the target query. Both queries share head
+// arity. Predicates in each query are unqualified relation names of the
+// respective peer's schema.
+type Mapping struct {
+	ID      string
+	SrcPeer string
+	SrcQ    cq.Query
+	TgtPeer string
+	TgtQ    cq.Query
+}
+
+// New builds a mapping, validating arity and safety.
+func New(id, srcPeer string, srcQ cq.Query, tgtPeer string, tgtQ cq.Query) (*Mapping, error) {
+	if len(srcQ.HeadVars) != len(tgtQ.HeadVars) {
+		return nil, fmt.Errorf("glav: mapping %s head arity mismatch: %d vs %d",
+			id, len(srcQ.HeadVars), len(tgtQ.HeadVars))
+	}
+	if !srcQ.IsSafe() || !tgtQ.IsSafe() {
+		return nil, fmt.Errorf("glav: mapping %s has unsafe side", id)
+	}
+	if srcPeer == tgtPeer {
+		return nil, fmt.Errorf("glav: mapping %s relates %s to itself", id, srcPeer)
+	}
+	return &Mapping{ID: id, SrcPeer: srcPeer, SrcQ: srcQ, TgtPeer: tgtPeer, TgtQ: tgtQ}, nil
+}
+
+// MustNew builds a mapping or panics (for literals in tests/generators).
+func MustNew(id, srcPeer string, srcQ cq.Query, tgtPeer string, tgtQ cq.Query) *Mapping {
+	m, err := New(id, srcPeer, srcQ, tgtPeer, tgtQ)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IsGAV reports whether the target side is a single atom with distinct
+// variable arguments — the unfoldable ("forward") form: the target
+// relation is defined to include the source query's answers.
+func (m *Mapping) IsGAV() bool { return isSingleDistinctVarAtom(m.TgtQ) }
+
+// IsLAV reports whether the source side is a single atom with distinct
+// variable arguments — the view form: the source relation's extent is a
+// view over the target schema, usable "backward" by rewriting.
+func (m *Mapping) IsLAV() bool { return isSingleDistinctVarAtom(m.SrcQ) }
+
+func isSingleDistinctVarAtom(q cq.Query) bool {
+	if len(q.Body) != 1 {
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, t := range q.Body[0].Args {
+		if !t.IsVar || seen[t.Var] {
+			return false
+		}
+		seen[t.Var] = true
+	}
+	// Head must expose exactly the atom's variables in order.
+	if len(q.HeadVars) != len(q.Body[0].Args) {
+		return false
+	}
+	for i, t := range q.Body[0].Args {
+		if q.HeadVars[i] != t.Var {
+			return false
+		}
+	}
+	return true
+}
+
+// TargetAtomPred returns the predicate of the single target atom for GAV
+// mappings ("" otherwise).
+func (m *Mapping) TargetAtomPred() string {
+	if !m.IsGAV() {
+		return ""
+	}
+	return m.TgtQ.Body[0].Pred
+}
+
+// SourceAtomPred returns the predicate of the single source atom for LAV
+// mappings ("" otherwise).
+func (m *Mapping) SourceAtomPred() string {
+	if !m.IsLAV() {
+		return ""
+	}
+	return m.SrcQ.Body[0].Pred
+}
+
+// String implements fmt.Stringer.
+func (m *Mapping) String() string {
+	return fmt.Sprintf("%s: %s@%s ⊆ %s@%s", m.ID, m.SrcQ, m.SrcPeer, m.TgtQ, m.TgtPeer)
+}
+
+// Qualify returns a copy of q whose body predicates are prefixed with
+// "peer." — the namespacing the PDMS reformulator uses so relations of
+// different peers never collide.
+func Qualify(q cq.Query, peer string) cq.Query {
+	out := q.Clone()
+	for i := range out.Body {
+		out.Body[i].Pred = QualifiedName(peer, out.Body[i].Pred)
+	}
+	return out
+}
+
+// QualifiedName joins peer and relation into the namespaced form.
+func QualifiedName(peer, rel string) string { return peer + "." + rel }
+
+// SplitQualified splits a qualified name back into (peer, relation);
+// names without a dot return ("", name).
+func SplitQualified(name string) (peer, rel string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return "", name
+}

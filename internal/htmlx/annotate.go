@@ -1,0 +1,189 @@
+package htmlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Annotation markup: MANGROVE wraps highlighted content in spans carrying
+// a data-tag attribute. A plain <span> does not change rendering, so the
+// annotation is "invisible to the browser"; nesting spans expresses the
+// schema's tag nesting (course > title, instructor, ...).
+const (
+	annotClass = "mangrove"
+	annotAttr  = "data-tag"
+)
+
+// Annotation is one extracted semantic annotation. Compound annotations
+// (schema tags with children) carry Children; leaves carry Value.
+type Annotation struct {
+	Tag      string
+	Value    string
+	Children []Annotation
+}
+
+// IsLeaf reports whether the annotation has no children.
+func (a Annotation) IsLeaf() bool { return len(a.Children) == 0 }
+
+// String renders "tag=value" or "tag{child, ...}".
+func (a Annotation) String() string {
+	if a.IsLeaf() {
+		return fmt.Sprintf("%s=%q", a.Tag, a.Value)
+	}
+	parts := make([]string, len(a.Children))
+	for i, c := range a.Children {
+		parts[i] = c.String()
+	}
+	return a.Tag + "{" + strings.Join(parts, ", ") + "}"
+}
+
+// IsAnnotationSpan reports whether n is a MANGROVE annotation element.
+func IsAnnotationSpan(n *Node) bool {
+	if n.Type != ElementNode || n.Tag != "span" {
+		return false
+	}
+	cls, _ := n.Attr("class")
+	_, hasTag := n.Attr(annotAttr)
+	return hasTag && strings.Contains(cls, annotClass)
+}
+
+// NewAnnotationSpan builds an annotation wrapper element.
+func NewAnnotationSpan(tag string, children ...*Node) *Node {
+	return &Node{Type: ElementNode, Tag: "span",
+		Attrs:    []Attr{{Key: "class", Val: annotClass}, {Key: annotAttr, Val: tag}},
+		Children: children}
+}
+
+// AnnotateText simulates the graphical annotation tool: the user
+// highlights the first occurrence of the exact text and assigns it a
+// schema tag. The text node containing it is split and the occurrence is
+// wrapped in an annotation span, in place.
+func AnnotateText(doc *Node, text, tag string) error {
+	if text == "" {
+		return fmt.Errorf("htmlx: empty selection")
+	}
+	if annotateIn(doc, text, tag) {
+		return nil
+	}
+	return fmt.Errorf("htmlx: text %q not found", text)
+}
+
+func annotateIn(n *Node, text, tag string) bool {
+	for i, c := range n.Children {
+		if c.Type == TextNode {
+			if idx := strings.Index(c.Text, text); idx >= 0 {
+				before, after := c.Text[:idx], c.Text[idx+len(text):]
+				span := NewAnnotationSpan(tag, &Node{Type: TextNode, Text: text})
+				repl := make([]*Node, 0, 3)
+				if before != "" {
+					repl = append(repl, &Node{Type: TextNode, Text: before})
+				}
+				repl = append(repl, span)
+				if after != "" {
+					repl = append(repl, &Node{Type: TextNode, Text: after})
+				}
+				n.Children = append(n.Children[:i], append(repl, n.Children[i+1:]...)...)
+				return true
+			}
+			continue
+		}
+		if c.Tag == "script" || c.Tag == "style" {
+			continue
+		}
+		if annotateIn(c, text, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotateElement wraps an existing element in an annotation span, making
+// the whole element's content one (possibly compound) annotation.
+func AnnotateElement(doc *Node, target *Node, tag string) error {
+	parent := findParent(doc, target)
+	if parent == nil {
+		return fmt.Errorf("htmlx: target element not in document")
+	}
+	for i, c := range parent.Children {
+		if c == target {
+			parent.Children[i] = NewAnnotationSpan(tag, target)
+			return nil
+		}
+	}
+	return fmt.Errorf("htmlx: target element not in document")
+}
+
+func findParent(n, target *Node) *Node {
+	for _, c := range n.Children {
+		if c == target {
+			return n
+		}
+		if got := findParent(c, target); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Extract walks the document and returns its annotation forest. Nested
+// annotation spans become child annotations; a span's Value is its inner
+// text with child-annotation text included (the rendered content the
+// user highlighted).
+func Extract(doc *Node) []Annotation {
+	var out []Annotation
+	extractInto(doc, &out)
+	return out
+}
+
+func extractInto(n *Node, out *[]Annotation) {
+	for _, c := range n.Children {
+		if IsAnnotationSpan(c) {
+			*out = append(*out, buildAnnotation(c))
+			continue
+		}
+		extractInto(c, out)
+	}
+}
+
+func buildAnnotation(span *Node) Annotation {
+	tag, _ := span.Attr(annotAttr)
+	a := Annotation{Tag: tag}
+	for _, c := range span.Children {
+		collectChildren(c, &a)
+	}
+	if a.IsLeaf() {
+		a.Value = strings.TrimSpace(span.InnerText())
+	}
+	return a
+}
+
+func collectChildren(n *Node, parent *Annotation) {
+	if IsAnnotationSpan(n) {
+		parent.Children = append(parent.Children, buildAnnotation(n))
+		return
+	}
+	for _, c := range n.Children {
+		collectChildren(c, parent)
+	}
+}
+
+// StripAnnotations removes annotation spans (keeping their content),
+// returning the page to its unannotated form — used to verify that
+// annotation does not alter rendered content.
+func StripAnnotations(doc *Node) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		var kids []*Node
+		for _, c := range n.Children {
+			if IsAnnotationSpan(c) {
+				walk(c)
+				kids = append(kids, c.Children...)
+				continue
+			}
+			walk(c)
+			kids = append(kids, c)
+		}
+		n.Children = kids
+	}
+	walk(doc)
+}

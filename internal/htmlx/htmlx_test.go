@@ -1,0 +1,245 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+const coursePage = `<!DOCTYPE html>
+<html>
+<head><title>CSE 544</title><meta charset="utf-8"></head>
+<body>
+<h1>CSE 544: Database Systems</h1>
+<p>Instructor: Alon Halevy</p>
+<p>Meets MWF at 10:30 in EE1 003.</p>
+<ul><li>Homework 1<li>Homework 2</ul>
+<script>var x = 1 < 2;</script>
+<!-- staff only -->
+<img src="logo.png">
+</body>
+</html>`
+
+func TestParseBasics(t *testing.T) {
+	doc, err := Parse(coursePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := doc.Find(func(n *Node) bool { return n.Tag == "h1" })
+	if h1 == nil || h1.InnerText() != "CSE 544: Database Systems" {
+		t.Fatalf("h1 = %v", h1)
+	}
+	if got := len(doc.ByTag("p")); got != 2 {
+		t.Errorf("p count = %d", got)
+	}
+	// Unclosed <li> items: forgiving parsing should still find both.
+	if got := len(doc.ByTag("li")); got != 2 {
+		t.Errorf("li count = %d", got)
+	}
+	img := doc.Find(func(n *Node) bool { return n.Tag == "img" })
+	if img == nil {
+		t.Fatal("img not found")
+	}
+	if src, ok := img.Attr("src"); !ok || src != "logo.png" {
+		t.Errorf("img src = %q %v", src, ok)
+	}
+	script := doc.Find(func(n *Node) bool { return n.Tag == "script" })
+	if script == nil || !strings.Contains(script.Children[0].Text, "1 < 2") {
+		t.Error("script raw text lost")
+	}
+}
+
+func TestParseAttrVariants(t *testing.T) {
+	doc, err := Parse(`<a href='x' data-empty checked class="a b">t</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := doc.Children[0]
+	if v, _ := a.Attr("href"); v != "x" {
+		t.Errorf("href = %q", v)
+	}
+	if _, ok := a.Attr("data-empty"); !ok {
+		t.Error("valueless attr missing")
+	}
+	if _, ok := a.Attr("checked"); !ok {
+		t.Error("bare attr missing")
+	}
+	a.SetAttr("href", "y")
+	if v, _ := a.Attr("href"); v != "y" {
+		t.Error("SetAttr replace failed")
+	}
+	a.SetAttr("new", "z")
+	if v, _ := a.Attr("new"); v != "z" {
+		t.Error("SetAttr add failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"<div", "<!-- unterminated", "</div", "<!unterminated"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	doc, err := Parse(coursePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(doc)
+	doc2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if Render(doc2) != out {
+		t.Error("render not stable after round trip")
+	}
+	if !strings.Contains(out, "<!-- staff only -->") {
+		t.Error("comment lost")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	doc, err := Parse(`<p>a &lt; b &amp; c</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Children[0].InnerText(); got != "a < b & c" {
+		t.Errorf("unescaped text = %q", got)
+	}
+	out := Render(doc)
+	if !strings.Contains(out, "a &lt; b &amp; c") {
+		t.Errorf("re-escaped render = %q", out)
+	}
+}
+
+func TestAnnotateText(t *testing.T) {
+	doc, err := Parse(coursePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "Alon Halevy", "course.instructor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "CSE 544: Database Systems", "course.title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "not on page", "x"); err == nil {
+		t.Error("missing text should fail")
+	}
+	if err := AnnotateText(doc, "", "x"); err == nil {
+		t.Error("empty selection should fail")
+	}
+	anns := Extract(doc)
+	if len(anns) != 2 {
+		t.Fatalf("annotations = %v", anns)
+	}
+	byTag := map[string]string{}
+	for _, a := range anns {
+		byTag[a.Tag] = a.Value
+	}
+	if byTag["course.instructor"] != "Alon Halevy" {
+		t.Errorf("instructor = %q", byTag["course.instructor"])
+	}
+	if byTag["course.title"] != "CSE 544: Database Systems" {
+		t.Errorf("title = %q", byTag["course.title"])
+	}
+}
+
+func TestAnnotationInvisibleToRendering(t *testing.T) {
+	doc, err := Parse(coursePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := doc.Find(func(n *Node) bool { return n.Tag == "body" }).InnerText()
+	if err := AnnotateText(doc, "Alon Halevy", "course.instructor"); err != nil {
+		t.Fatal(err)
+	}
+	after := doc.Find(func(n *Node) bool { return n.Tag == "body" }).InnerText()
+	if before != after {
+		t.Errorf("annotation changed rendered text:\n%q\nvs\n%q", before, after)
+	}
+	// Stripping annotations restores a document with identical text.
+	StripAnnotations(doc)
+	if Extract(doc) != nil {
+		t.Error("annotations survive stripping")
+	}
+	stripped := doc.Find(func(n *Node) bool { return n.Tag == "body" }).InnerText()
+	if stripped != before {
+		t.Error("stripping changed text")
+	}
+}
+
+func TestCompoundAnnotation(t *testing.T) {
+	doc, err := Parse(`<div><p>Title: Databases</p><p>By: Halevy</p></div>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "Databases", "title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "Halevy", "instructor"); err != nil {
+		t.Fatal(err)
+	}
+	div := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	if err := AnnotateElement(doc, div, "course"); err != nil {
+		t.Fatal(err)
+	}
+	anns := Extract(doc)
+	if len(anns) != 1 || anns[0].Tag != "course" {
+		t.Fatalf("annotations = %v", anns)
+	}
+	course := anns[0]
+	if len(course.Children) != 2 {
+		t.Fatalf("children = %v", course.Children)
+	}
+	if course.Children[0].Tag != "title" || course.Children[0].Value != "Databases" {
+		t.Errorf("child 0 = %v", course.Children[0])
+	}
+	if course.String() == "" || !strings.Contains(course.String(), "instructor") {
+		t.Errorf("String = %q", course.String())
+	}
+}
+
+func TestAnnotateElementNotInDoc(t *testing.T) {
+	doc, _ := Parse("<p>x</p>")
+	other := &Node{Type: ElementNode, Tag: "div"}
+	if err := AnnotateElement(doc, other, "t"); err == nil {
+		t.Error("foreign element should fail")
+	}
+}
+
+func TestAnnotationSurvivesRenderParse(t *testing.T) {
+	doc, err := Parse(coursePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "Alon Halevy", "course.instructor"); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse(Render(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := Extract(doc2)
+	if len(anns) != 1 || anns[0].Value != "Alon Halevy" {
+		t.Errorf("annotations after round trip = %v", anns)
+	}
+}
+
+func TestTextSplitPreservesSurroundings(t *testing.T) {
+	doc, err := Parse(`<p>Instructor: Alon Halevy, office EE2</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateText(doc, "Alon Halevy", "instructor"); err != nil {
+		t.Fatal(err)
+	}
+	p := doc.Children[0]
+	if got := p.InnerText(); got != "Instructor: Alon Halevy, office EE2" {
+		t.Errorf("text = %q", got)
+	}
+	if len(p.Children) != 3 {
+		t.Errorf("children = %d", len(p.Children))
+	}
+}

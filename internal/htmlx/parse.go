@@ -1,0 +1,321 @@
+// Package htmlx is MANGROVE's HTML substrate: a small, forgiving HTML
+// parser, a renderer, and in-place semantic annotation. Annotations wrap
+// page content in markup that is "embedded in the HTML files but
+// invisible to the browser" (§2.1) so the data stays where it already is
+// — no replication, no inconsistency between page and database.
+package htmlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType discriminates parse-tree nodes.
+type NodeType int
+
+const (
+	// DocumentNode is the synthetic root.
+	DocumentNode NodeType = iota
+	// ElementNode is a tag.
+	ElementNode
+	// TextNode is character data.
+	TextNode
+	// CommentNode is <!-- ... -->.
+	CommentNode
+)
+
+// Attr is one attribute.
+type Attr struct {
+	Key, Val string
+}
+
+// Node is an HTML parse-tree node.
+type Node struct {
+	Type     NodeType
+	Tag      string // lowercase element name
+	Attrs    []Attr
+	Text     string // for TextNode/CommentNode
+	Children []*Node
+}
+
+// voidElements never take children (HTML5 void elements).
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"source": true, "track": true, "wbr": true,
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets (or replaces) an attribute.
+func (n *Node) SetAttr(key, val string) {
+	for i, a := range n.Attrs {
+		if a.Key == key {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Key: key, Val: val})
+}
+
+// InnerText concatenates all descendant text.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.innerText(&b)
+	return b.String()
+}
+
+func (n *Node) innerText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.innerText(b)
+	}
+}
+
+// Find returns the first element (depth-first) satisfying pred, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	if n.Type == ElementNode && pred(n) {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := c.Find(pred); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// FindAll returns all elements satisfying pred, in document order.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Type == ElementNode && pred(m) {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// ByTag returns all elements with the given tag name.
+func (n *Node) ByTag(tag string) []*Node {
+	return n.FindAll(func(m *Node) bool { return m.Tag == tag })
+}
+
+// Parse reads an HTML document into a tree rooted at a DocumentNode. The
+// parser is forgiving: unknown or unbalanced close tags are dropped,
+// void elements self-close, and everything inside <script>/<style> is
+// raw text.
+func Parse(src string) (*Node, error) {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+	i := 0
+	n := len(src)
+	for i < n {
+		if src[i] != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = n - i
+			}
+			text := src[i : i+j]
+			if strings.TrimSpace(text) != "" || len(top().Children) > 0 {
+				top().Children = append(top().Children, &Node{Type: TextNode, Text: unescape(text)})
+			}
+			i += j
+			continue
+		}
+		// Comment.
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("htmlx: unterminated comment at %d", i)
+			}
+			top().Children = append(top().Children, &Node{Type: CommentNode, Text: src[i+4 : i+4+end]})
+			i += 4 + end + 3
+			continue
+		}
+		// Doctype and processing instructions: skip.
+		if strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("htmlx: unterminated declaration at %d", i)
+			}
+			i += end + 1
+			continue
+		}
+		// Close tag.
+		if strings.HasPrefix(src[i:], "</") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("htmlx: unterminated close tag at %d", i)
+			}
+			tag := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			// Pop to the matching open element if present.
+			for d := len(stack) - 1; d > 0; d-- {
+				if stack[d].Tag == tag {
+					stack = stack[:d]
+					break
+				}
+			}
+			i += end + 1
+			continue
+		}
+		// Open tag.
+		end := strings.IndexByte(src[i:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("htmlx: unterminated tag at %d", i)
+		}
+		raw := src[i+1 : i+end]
+		selfClose := strings.HasSuffix(raw, "/")
+		if selfClose {
+			raw = raw[:len(raw)-1]
+		}
+		tag, attrs := parseTag(raw)
+		el := &Node{Type: ElementNode, Tag: tag, Attrs: attrs}
+		top().Children = append(top().Children, el)
+		i += end + 1
+		if tag == "script" || tag == "style" {
+			closer := "</" + tag
+			j := strings.Index(strings.ToLower(src[i:]), closer)
+			if j < 0 {
+				j = n - i
+			}
+			if j > 0 {
+				el.Children = append(el.Children, &Node{Type: TextNode, Text: src[i : i+j]})
+			}
+			i += j
+			continue
+		}
+		if !selfClose && !voidElements[tag] {
+			stack = append(stack, el)
+		}
+	}
+	return doc, nil
+}
+
+func parseTag(raw string) (string, []Attr) {
+	raw = strings.TrimSpace(raw)
+	sp := strings.IndexAny(raw, " \t\n\r")
+	if sp < 0 {
+		return strings.ToLower(raw), nil
+	}
+	tag := strings.ToLower(raw[:sp])
+	rest := raw[sp:]
+	var attrs []Attr
+	i := 0
+	for i < len(rest) {
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		start := i
+		for i < len(rest) && rest[i] != '=' && !isSpace(rest[i]) {
+			i++
+		}
+		key := strings.ToLower(rest[start:i])
+		if key == "" {
+			i++
+			continue
+		}
+		val := ""
+		if i < len(rest) && rest[i] == '=' {
+			i++
+			if i < len(rest) && (rest[i] == '"' || rest[i] == '\'') {
+				q := rest[i]
+				i++
+				vstart := i
+				for i < len(rest) && rest[i] != q {
+					i++
+				}
+				val = rest[vstart:i]
+				i++ // skip closing quote
+			} else {
+				vstart := i
+				for i < len(rest) && !isSpace(rest[i]) {
+					i++
+				}
+				val = rest[vstart:i]
+			}
+		}
+		attrs = append(attrs, Attr{Key: key, Val: unescape(val)})
+	}
+	return tag, attrs
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// Render serializes the tree back to HTML.
+func Render(n *Node) string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			render(b, c)
+		}
+	case TextNode:
+		b.WriteString(escape(n.Text))
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Val))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidElements[n.Tag] {
+			return
+		}
+		if n.Tag == "script" || n.Tag == "style" {
+			for _, c := range n.Children {
+				b.WriteString(c.Text) // raw
+			}
+		} else {
+			for _, c := range n.Children {
+				render(b, c)
+			}
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+var (
+	escaper      = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper  = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	unescaperMap = strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&amp;", "&")
+)
+
+func escape(s string) string     { return escaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }
+func unescape(s string) string   { return unescaperMap.Replace(s) }

@@ -1,0 +1,113 @@
+package htmlx
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a small random HTML element tree.
+func randomTree(r *rand.Rand, depth int) *Node {
+	tags := []string{"div", "p", "span", "ul", "li", "b"}
+	n := &Node{Type: ElementNode, Tag: tags[r.Intn(len(tags))]}
+	if r.Intn(3) == 0 {
+		n.Attrs = append(n.Attrs, Attr{Key: "class", Val: randWord(r)})
+	}
+	kids := r.Intn(3)
+	if depth <= 0 {
+		kids = 0
+	}
+	for i := 0; i < kids; i++ {
+		if r.Intn(2) == 0 {
+			n.Children = append(n.Children, &Node{Type: TextNode, Text: randWord(r)})
+		} else {
+			n.Children = append(n.Children, randomTree(r, depth-1))
+		}
+	}
+	if len(n.Children) == 0 {
+		n.Children = append(n.Children, &Node{Type: TextNode, Text: randWord(r)})
+	}
+	return n
+}
+
+func randWord(r *rand.Rand) string {
+	n := 1 + r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// TestRenderParseStableProperty: Render∘Parse is a fixpoint after one
+// round (normalization happens once, then the form is stable).
+func TestRenderParseStableProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			doc := &Node{Type: DocumentNode, Children: []*Node{randomTree(r, 3)}}
+			vals[0] = reflect.ValueOf(Render(doc))
+		},
+	}
+	f := func(html string) bool {
+		doc, err := Parse(html)
+		if err != nil {
+			return false
+		}
+		once := Render(doc)
+		doc2, err := Parse(once)
+		if err != nil {
+			return false
+		}
+		return Render(doc2) == once
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnnotationPreservesTextProperty: annotating any present text span
+// never changes the rendered text of the page.
+func TestAnnotationPreservesTextProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			doc := &Node{Type: DocumentNode, Children: []*Node{randomTree(r, 3)}}
+			vals[0] = reflect.ValueOf(Render(doc))
+		},
+	}
+	f := func(html string) bool {
+		doc, err := Parse(html)
+		if err != nil {
+			return false
+		}
+		before := doc.InnerText()
+		// Pick the first text node's content as the selection.
+		var sel string
+		var find func(n *Node)
+		find = func(n *Node) {
+			if sel != "" {
+				return
+			}
+			if n.Type == TextNode && len(n.Text) > 0 {
+				sel = n.Text
+				return
+			}
+			for _, c := range n.Children {
+				find(c)
+			}
+		}
+		find(doc)
+		if sel == "" {
+			return true
+		}
+		if err := AnnotateText(doc, sel, "tag"); err != nil {
+			return false
+		}
+		return doc.InnerText() == before && len(Extract(doc)) >= 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

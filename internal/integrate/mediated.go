@@ -1,0 +1,130 @@
+// Package integrate implements the classical data-integration baseline
+// the paper contrasts Piazza with (§3): a single mediated schema with
+// global-as-view mappings from every source. It exists so experiments can
+// compare mapping effort and reachability against the PDMS.
+package integrate
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// Source is one data provider: a named store plus GAV mappings defining
+// mediated relations over its local relations.
+type Source struct {
+	Name  string
+	Store *relation.Database
+	// Mappings define mediated-schema relations over this source's local
+	// relations (head predicate = mediated relation name; body predicates
+	// = local relation names).
+	Mappings []cq.Query
+}
+
+// System is a mediated-schema data integration system: "create a common,
+// mediated schema ... and define mappings between each source's schema
+// and the mediated schema".
+type System struct {
+	Mediated []relation.Schema
+	sources  []*Source
+}
+
+// NewSystem creates a system with the given mediated schema.
+func NewSystem(mediated ...relation.Schema) *System {
+	return &System{Mediated: mediated}
+}
+
+// mediatedSchema returns the schema of the named mediated relation.
+func (s *System) mediatedSchema(name string) (relation.Schema, bool) {
+	for _, m := range s.Mediated {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return relation.Schema{}, false
+}
+
+// AddSource registers a source, validating that each mapping's head is a
+// mediated relation with matching arity.
+func (s *System) AddSource(src *Source) error {
+	for _, m := range src.Mappings {
+		sch, ok := s.mediatedSchema(m.HeadPred)
+		if !ok {
+			return fmt.Errorf("integrate: source %s maps unknown mediated relation %q", src.Name, m.HeadPred)
+		}
+		if len(m.HeadVars) != sch.Arity() {
+			return fmt.Errorf("integrate: source %s mapping for %s has arity %d, want %d",
+				src.Name, m.HeadPred, len(m.HeadVars), sch.Arity())
+		}
+		if !m.IsSafe() {
+			return fmt.Errorf("integrate: source %s has unsafe mapping %s", src.Name, m)
+		}
+	}
+	s.sources = append(s.sources, src)
+	return nil
+}
+
+// NumSources returns the number of registered sources.
+func (s *System) NumSources() int { return len(s.sources) }
+
+// NumMappings returns the total number of GAV mapping rules.
+func (s *System) NumMappings() int {
+	n := 0
+	for _, src := range s.sources {
+		n += len(src.Mappings)
+	}
+	return n
+}
+
+// Answer evaluates a query phrased over the mediated schema by unfolding
+// each mediated atom through every source's mappings and unioning the
+// results — textbook GAV query answering.
+func (s *System) Answer(q cq.Query) (*relation.Relation, error) {
+	for _, pred := range q.Predicates() {
+		if _, ok := s.mediatedSchema(pred); !ok {
+			return nil, fmt.Errorf("integrate: query uses %q, not in mediated schema", pred)
+		}
+	}
+	// Build one global DB with source-qualified names, and an unfolder
+	// whose definitions rewrite mediated relations to qualified ones.
+	db := relation.NewDatabase()
+	unfolder := cq.NewUnfolder(nil)
+	for _, src := range s.sources {
+		for _, r := range src.Store.Relations() {
+			qr := relation.New(relation.Schema{Name: src.Name + "." + r.Schema.Name, Attrs: r.Schema.Attrs})
+			for _, row := range r.Rows() {
+				if err := qr.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+			db.Put(qr)
+		}
+		for _, m := range src.Mappings {
+			d := m.Clone()
+			for i := range d.Body {
+				d.Body[i].Pred = src.Name + "." + d.Body[i].Pred
+			}
+			unfolder.AddDef(d)
+		}
+	}
+	rewritings, err := unfolder.Unfold(q, len(q.Body)*2+2)
+	if err != nil {
+		return nil, err
+	}
+	return cq.EvalUnion(db, rewritings)
+}
+
+// JoinEffort reports how many schema elements the k-th joining source
+// must understand and map. Under a mediated schema every source maps all
+// its relations to the global schema (and must first learn it); the
+// returned count is #mediated attributes (to learn) + #local attributes
+// (to map). The PDMS counterpart, by contrast, is the size of the nearest
+// neighbor's schema only — see pdms-side experiment E3.
+func (s *System) JoinEffort(localAttrs int) int {
+	global := 0
+	for _, m := range s.Mediated {
+		global += m.Arity()
+	}
+	return global + localAttrs
+}

@@ -1,0 +1,82 @@
+package integrate
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+func system(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(relation.NewSchema("course", relation.Attr("title"), relation.IntAttr("size")))
+	b := &Source{Name: "berkeley", Store: relation.NewDatabase(),
+		Mappings: []cq.Query{cq.MustParse("course(T, S) :- klass(T, S)")}}
+	kl := relation.New(relation.NewSchema("klass", relation.Attr("t"), relation.IntAttr("s")))
+	kl.MustInsert(relation.SV("Databases"), relation.IV(60))
+	b.Store.Put(kl)
+	m := &Source{Name: "mit", Store: relation.NewDatabase(),
+		Mappings: []cq.Query{cq.MustParse("course(T, S) :- subject(T, S, I)")}}
+	sub := relation.New(relation.NewSchema("subject",
+		relation.Attr("t"), relation.IntAttr("s"), relation.Attr("i")))
+	sub.MustInsert(relation.SV("AI"), relation.IV(80), relation.SV("minsky"))
+	m.Store.Put(sub)
+	if err := sys.AddSource(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSource(m); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMediatedAnswer(t *testing.T) {
+	sys := system(t)
+	r, err := sys.Answer(cq.MustParse("q(T) :- course(T, S)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("answers = %v", r.Rows())
+	}
+}
+
+func TestMediatedAnswerWithConstant(t *testing.T) {
+	sys := system(t)
+	r, err := sys.Answer(cq.MustParse("q(S) :- course('AI', S)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Row(0)[0] != relation.IV(80) {
+		t.Errorf("answers = %v", r.Rows())
+	}
+}
+
+func TestMediatedValidation(t *testing.T) {
+	sys := system(t)
+	if _, err := sys.Answer(cq.MustParse("q(X) :- nothere(X)")); err == nil {
+		t.Error("query off mediated schema should fail")
+	}
+	bad := &Source{Name: "x", Store: relation.NewDatabase(),
+		Mappings: []cq.Query{cq.MustParse("nothere(T) :- r(T)")}}
+	if err := sys.AddSource(bad); err == nil {
+		t.Error("mapping to unknown mediated relation should fail")
+	}
+	badArity := &Source{Name: "y", Store: relation.NewDatabase(),
+		Mappings: []cq.Query{cq.MustParse("course(T) :- r(T)")}}
+	if err := sys.AddSource(badArity); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if sys.NumSources() != 2 || sys.NumMappings() != 2 {
+		t.Errorf("counts = %d sources, %d mappings", sys.NumSources(), sys.NumMappings())
+	}
+}
+
+func TestJoinEffort(t *testing.T) {
+	sys := system(t)
+	// Mediated schema has 2 attributes; joining with 3 local attrs costs
+	// 2 (learn global) + 3 (map local).
+	if got := sys.JoinEffort(3); got != 5 {
+		t.Errorf("JoinEffort = %d", got)
+	}
+}

@@ -1,0 +1,385 @@
+// Package learn is the machine-learning substrate behind REVERE's
+// corpus-based tools. It reimplements the multi-strategy learning
+// architecture of LSD (§4.3.2): several base learners that each exploit
+// a different kind of evidence — "values of the data instances, names of
+// attributes, proximity of attributes, structure of the schema" — plus a
+// meta-learner that combines their predictions.
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/strutil"
+)
+
+// Column is one attribute instance to classify: its name, a sample of
+// its values, and the names of sibling attributes (its structural
+// context).
+type Column struct {
+	Name    string
+	Values  []string
+	Context []string
+}
+
+// Example pairs a column with its true mediated-schema label.
+type Example struct {
+	Column Column
+	Label  string
+}
+
+// ScoredLabel is one prediction with confidence in [0,1].
+type ScoredLabel struct {
+	Label string
+	Score float64
+}
+
+// Prediction is a ranked list of scored labels (descending score).
+type Prediction []ScoredLabel
+
+// Best returns the top label, or "" for an empty prediction.
+func (p Prediction) Best() string {
+	if len(p) == 0 {
+		return ""
+	}
+	return p[0].Label
+}
+
+// Score returns the score assigned to a label (0 if absent).
+func (p Prediction) Score(label string) float64 {
+	for _, s := range p {
+		if s.Label == label {
+			return s.Score
+		}
+	}
+	return 0
+}
+
+// Learner is a trainable column classifier.
+type Learner interface {
+	Name() string
+	Train(examples []Example)
+	Predict(c Column) Prediction
+}
+
+// normalize sorts descending and rescales scores to sum to 1 (when the
+// total is positive), giving comparable confidences across learners.
+func normalize(scores map[string]float64) Prediction {
+	var total float64
+	for _, v := range scores {
+		if v > 0 {
+			total += v
+		}
+	}
+	out := make(Prediction, 0, len(scores))
+	for l, v := range scores {
+		if v <= 0 {
+			continue
+		}
+		s := v
+		if total > 0 {
+			s = v / total
+		}
+		out = append(out, ScoredLabel{Label: l, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// NameLearner classifies by attribute name: TF/IDF-weighted token overlap
+// with names seen in training, with synonym canonicalization — the
+// "names of attributes" evidence.
+type NameLearner struct {
+	Synonyms *strutil.SynonymTable
+	byLabel  map[string]map[string]float64 // label -> token centroid
+}
+
+// Name implements Learner.
+func (l *NameLearner) Name() string { return "name" }
+
+func (l *NameLearner) tokens(name string) []string {
+	toks := strutil.Tokenize(name)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if l.Synonyms != nil {
+			t = l.Synonyms.Canonical(t)
+		}
+		out = append(out, strutil.Stem(t))
+	}
+	return out
+}
+
+// Train implements Learner.
+func (l *NameLearner) Train(examples []Example) {
+	l.byLabel = make(map[string]map[string]float64)
+	for _, ex := range examples {
+		c, ok := l.byLabel[ex.Label]
+		if !ok {
+			c = make(map[string]float64)
+			l.byLabel[ex.Label] = c
+		}
+		for _, t := range l.tokens(ex.Column.Name) {
+			c[t]++
+		}
+		// The label's own name is evidence too (matching "phone" against
+		// the mediated tag "phone" requires no training source).
+		for _, t := range l.tokens(ex.Label) {
+			c[t] += 0.5
+		}
+	}
+}
+
+// Predict implements Learner.
+func (l *NameLearner) Predict(c Column) Prediction {
+	probe := make(map[string]float64)
+	for _, t := range l.tokens(c.Name) {
+		probe[t]++
+	}
+	scores := make(map[string]float64, len(l.byLabel))
+	for label, centroid := range l.byLabel {
+		s := strutil.Cosine(probe, centroid)
+		// Edit-distance fallback handles abbreviations the tokenizer
+		// cannot split ("instr" vs "instructor").
+		if e := strutil.NameSimilarity(c.Name, label); e > s {
+			s = e
+		}
+		if s > 0 {
+			scores[label] = s
+		}
+	}
+	return normalize(scores)
+}
+
+// BayesLearner is a multinomial naive Bayes classifier over value tokens
+// — the "values of the data instances" evidence, LSD's content learner.
+type BayesLearner struct {
+	tokenCount map[string]map[string]float64 // label -> token -> count
+	totalCount map[string]float64            // label -> total tokens
+	prior      map[string]float64            // label -> #examples
+	vocab      map[string]bool
+	examples   float64
+}
+
+// Name implements Learner.
+func (l *BayesLearner) Name() string { return "bayes" }
+
+// Train implements Learner.
+func (l *BayesLearner) Train(examples []Example) {
+	l.tokenCount = make(map[string]map[string]float64)
+	l.totalCount = make(map[string]float64)
+	l.prior = make(map[string]float64)
+	l.vocab = make(map[string]bool)
+	l.examples = 0
+	for _, ex := range examples {
+		l.examples++
+		l.prior[ex.Label]++
+		tc, ok := l.tokenCount[ex.Label]
+		if !ok {
+			tc = make(map[string]float64)
+			l.tokenCount[ex.Label] = tc
+		}
+		for _, v := range ex.Column.Values {
+			for _, t := range strutil.TokenizeAndStem(v) {
+				tc[t]++
+				l.totalCount[ex.Label]++
+				l.vocab[t] = true
+			}
+		}
+	}
+}
+
+// Predict implements Learner.
+func (l *BayesLearner) Predict(c Column) Prediction {
+	if l.examples == 0 {
+		return nil
+	}
+	var tokens []string
+	for _, v := range c.Values {
+		tokens = append(tokens, strutil.TokenizeAndStem(v)...)
+	}
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Cap token count so long columns don't saturate log-probabilities.
+	if len(tokens) > 64 {
+		tokens = tokens[:64]
+	}
+	v := float64(len(l.vocab)) + 1
+	logs := make(map[string]float64, len(l.prior))
+	for label := range l.prior {
+		lp := math.Log(l.prior[label] / l.examples)
+		denom := l.totalCount[label] + v
+		for _, t := range tokens {
+			lp += math.Log((l.tokenCount[label][t] + 1) / denom)
+		}
+		logs[label] = lp
+	}
+	// Convert log-probabilities to a softmax for comparable scores.
+	maxLp := math.Inf(-1)
+	for _, lp := range logs {
+		if lp > maxLp {
+			maxLp = lp
+		}
+	}
+	scores := make(map[string]float64, len(logs))
+	for label, lp := range logs {
+		scores[label] = math.Exp(lp - maxLp)
+	}
+	return normalize(scores)
+}
+
+// formatFeatures summarizes value shape: digit/letter/punct ratios,
+// length statistics and marker characters.
+func formatFeatures(values []string) []float64 {
+	var digits, letters, punct, total, length, ats, dashes, colons, spaces float64
+	n := float64(len(values))
+	if n == 0 {
+		return make([]float64, 9)
+	}
+	for _, v := range values {
+		length += float64(len(v))
+		for _, r := range v {
+			total++
+			switch {
+			case r >= '0' && r <= '9':
+				digits++
+			case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+				letters++
+			case r == '@':
+				ats++
+			case r == '-':
+				dashes++
+			case r == ':':
+				colons++
+			case r == ' ':
+				spaces++
+			default:
+				punct++
+			}
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	return []float64{
+		digits / total, letters / total, punct / total,
+		length / n / 32.0, // mean length, scaled
+		ats / n, dashes / n, colons / n, spaces / n,
+		math.Min(n, 32) / 32.0,
+	}
+}
+
+// FormatLearner classifies by value format — distinguishing phone
+// numbers from emails from prose regardless of vocabulary.
+type FormatLearner struct {
+	centroids map[string][]float64
+	counts    map[string]float64
+}
+
+// Name implements Learner.
+func (l *FormatLearner) Name() string { return "format" }
+
+// Train implements Learner.
+func (l *FormatLearner) Train(examples []Example) {
+	sums := make(map[string][]float64)
+	l.counts = make(map[string]float64)
+	for _, ex := range examples {
+		f := formatFeatures(ex.Column.Values)
+		s, ok := sums[ex.Label]
+		if !ok {
+			s = make([]float64, len(f))
+			sums[ex.Label] = s
+		}
+		for i, v := range f {
+			s[i] += v
+		}
+		l.counts[ex.Label]++
+	}
+	l.centroids = make(map[string][]float64, len(sums))
+	for label, s := range sums {
+		c := make([]float64, len(s))
+		for i, v := range s {
+			c[i] = v / l.counts[label]
+		}
+		l.centroids[label] = c
+	}
+}
+
+// Predict implements Learner.
+func (l *FormatLearner) Predict(c Column) Prediction {
+	if len(l.centroids) == 0 || len(c.Values) == 0 {
+		return nil
+	}
+	f := formatFeatures(c.Values)
+	scores := make(map[string]float64, len(l.centroids))
+	for label, cent := range l.centroids {
+		d := 0.0
+		for i := range f {
+			diff := f[i] - cent[i]
+			d += diff * diff
+		}
+		scores[label] = 1 / (1 + math.Sqrt(d)*4)
+	}
+	return normalize(scores)
+}
+
+// ContextLearner classifies by the names of sibling attributes — the
+// "proximity of attributes, structure of the schema" evidence.
+type ContextLearner struct {
+	Synonyms *strutil.SynonymTable
+	byLabel  map[string]map[string]float64
+}
+
+// Name implements Learner.
+func (l *ContextLearner) Name() string { return "context" }
+
+func (l *ContextLearner) tokens(ctx []string) []string {
+	var out []string
+	for _, name := range ctx {
+		for _, t := range strutil.Tokenize(name) {
+			if l.Synonyms != nil {
+				t = l.Synonyms.Canonical(t)
+			}
+			out = append(out, strutil.Stem(t))
+		}
+	}
+	return out
+}
+
+// Train implements Learner.
+func (l *ContextLearner) Train(examples []Example) {
+	l.byLabel = make(map[string]map[string]float64)
+	for _, ex := range examples {
+		c, ok := l.byLabel[ex.Label]
+		if !ok {
+			c = make(map[string]float64)
+			l.byLabel[ex.Label] = c
+		}
+		for _, t := range l.tokens(ex.Column.Context) {
+			c[t]++
+		}
+	}
+}
+
+// Predict implements Learner.
+func (l *ContextLearner) Predict(c Column) Prediction {
+	probe := make(map[string]float64)
+	for _, t := range l.tokens(c.Context) {
+		probe[t]++
+	}
+	if len(probe) == 0 {
+		return nil
+	}
+	scores := make(map[string]float64, len(l.byLabel))
+	for label, centroid := range l.byLabel {
+		if s := strutil.Cosine(probe, centroid); s > 0 {
+			scores[label] = s
+		}
+	}
+	return normalize(scores)
+}

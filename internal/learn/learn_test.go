@@ -1,0 +1,181 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/strutil"
+)
+
+func phoneCol(name string) Column {
+	return Column{Name: name,
+		Values:  []string{"206-543-1234", "425-555-0000", "206-616-9999"},
+		Context: []string{"name", "email"}}
+}
+
+func emailCol(name string) Column {
+	return Column{Name: name,
+		Values:  []string{"alon@cs.edu", "oren@cs.edu", "maya@uni.org"},
+		Context: []string{"name", "phone"}}
+}
+
+func titleCol(name string) Column {
+	return Column{Name: name,
+		Values:  []string{"Introduction to Databases", "Advanced Compilers", "Topics in AI"},
+		Context: []string{"instructor", "room"}}
+}
+
+func trainingSet() []Example {
+	return []Example{
+		{Column: phoneCol("phone"), Label: "phone"},
+		{Column: phoneCol("telephone"), Label: "phone"},
+		{Column: emailCol("email"), Label: "email"},
+		{Column: emailCol("mail"), Label: "email"},
+		{Column: titleCol("title"), Label: "title"},
+		{Column: titleCol("course_title"), Label: "title"},
+	}
+}
+
+func TestNameLearner(t *testing.T) {
+	l := &NameLearner{Synonyms: strutil.DefaultSynonyms()}
+	l.Train(trainingSet())
+	if got := l.Predict(Column{Name: "contact_phone"}).Best(); got != "phone" {
+		t.Errorf("contact_phone -> %q", got)
+	}
+	// Synonym: "tel" canonicalizes with phone.
+	if got := l.Predict(Column{Name: "tel"}).Best(); got != "phone" {
+		t.Errorf("tel -> %q", got)
+	}
+	if l.Name() != "name" {
+		t.Error("Name()")
+	}
+}
+
+func TestBayesLearnerClassifiesByValues(t *testing.T) {
+	l := &BayesLearner{}
+	l.Train(trainingSet())
+	// Column with a meaningless name but email-shaped values.
+	got := l.Predict(Column{Name: "field7", Values: []string{"igor@cs.edu", "dan@uni.org"}})
+	if got.Best() != "email" {
+		t.Errorf("email values -> %v", got)
+	}
+	got = l.Predict(Column{Name: "x", Values: []string{"Foundations of Networks"}})
+	if got.Best() != "title" {
+		t.Errorf("title values -> %v", got)
+	}
+	if l.Predict(Column{Name: "x"}) != nil {
+		t.Error("no values should yield nil prediction")
+	}
+	empty := &BayesLearner{}
+	empty.Train(nil)
+	if empty.Predict(phoneCol("p")) != nil {
+		t.Error("untrained learner should predict nil")
+	}
+}
+
+func TestFormatLearner(t *testing.T) {
+	l := &FormatLearner{}
+	l.Train(trainingSet())
+	got := l.Predict(Column{Name: "zzz", Values: []string{"509-555-1111", "206-543-0000"}})
+	if got.Best() != "phone" {
+		t.Errorf("phone-shaped -> %v", got)
+	}
+	got = l.Predict(Column{Name: "zzz", Values: []string{"a@b.c", "d@e.f"}})
+	if got.Best() != "email" {
+		t.Errorf("email-shaped -> %v", got)
+	}
+	if l.Predict(Column{Name: "zzz"}) != nil {
+		t.Error("no values → nil")
+	}
+}
+
+func TestContextLearner(t *testing.T) {
+	l := &ContextLearner{Synonyms: strutil.DefaultSynonyms()}
+	l.Train(trainingSet())
+	// Unknown name/values, but phone-like context.
+	got := l.Predict(Column{Name: "??", Context: []string{"name", "email"}})
+	if got.Best() != "phone" {
+		t.Errorf("context -> %v", got)
+	}
+	if l.Predict(Column{Name: "??"}) != nil {
+		t.Error("no context → nil")
+	}
+}
+
+func TestMetaLearnerBeatsWorstAndCombines(t *testing.T) {
+	train := trainingSet()
+	meta := NewMetaLearner(
+		&NameLearner{Synonyms: strutil.DefaultSynonyms()},
+		&BayesLearner{},
+		&FormatLearner{},
+		&ContextLearner{Synonyms: strutil.DefaultSynonyms()},
+	)
+	meta.Train(train)
+	if meta.Name() != "meta" {
+		t.Error("Name()")
+	}
+	if len(meta.Weights()) != 4 {
+		t.Errorf("weights = %v", meta.Weights())
+	}
+	// Conflicting evidence: name says email, values say phone; the meta
+	// learner must still pick a sensible label (one of the two).
+	tricky := Column{Name: "contact", Values: []string{"206-543-8888", "425-555-7777"},
+		Context: []string{"name", "email"}}
+	best := meta.Predict(tricky).Best()
+	if best != "phone" {
+		t.Errorf("tricky -> %q, want phone (values+context dominate)", best)
+	}
+	// Test accuracy on held-out renamings.
+	test := []Example{
+		{Column: phoneCol("tel"), Label: "phone"},
+		{Column: emailCol("email_address"), Label: "email"},
+		{Column: titleCol("label"), Label: "title"},
+	}
+	if acc := Evaluate(meta, test); acc < 0.66 {
+		t.Errorf("meta accuracy = %v", acc)
+	}
+	if Evaluate(meta, nil) != 0 {
+		t.Error("empty test accuracy should be 0")
+	}
+}
+
+func TestVoteLearner(t *testing.T) {
+	v := &VoteLearner{Base: []Learner{
+		&NameLearner{Synonyms: strutil.DefaultSynonyms()},
+		&BayesLearner{},
+	}}
+	v.Train(trainingSet())
+	if v.Name() != "vote" {
+		t.Error("Name()")
+	}
+	if got := v.Predict(phoneCol("phone")).Best(); got != "phone" {
+		t.Errorf("vote -> %q", got)
+	}
+}
+
+func TestPredictionHelpers(t *testing.T) {
+	p := Prediction{{Label: "a", Score: 0.7}, {Label: "b", Score: 0.3}}
+	if p.Best() != "a" || p.Score("b") != 0.3 || p.Score("c") != 0 {
+		t.Error("Prediction helpers broken")
+	}
+	var empty Prediction
+	if empty.Best() != "" {
+		t.Error("empty Best should be empty string")
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	p := normalize(map[string]float64{"a": 2, "b": 1, "neg": -1})
+	var sum float64
+	for _, sl := range p {
+		sum += sl.Score
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("sum = %v", sum)
+	}
+	if len(p) != 2 {
+		t.Errorf("negative scores should be dropped: %v", p)
+	}
+	if p[0].Label != "a" {
+		t.Error("not sorted")
+	}
+}

@@ -1,0 +1,125 @@
+package learn
+
+import "sort"
+
+// MetaLearner implements LSD's multi-strategy combination: base learners
+// predict independently, and per-(learner, label) weights — learned from
+// how well each base learner predicts each label on training data —
+// blend their scores. "The system uses a multi-strategy learning method
+// that can employ multiple learners."
+type MetaLearner struct {
+	Base []Learner
+	// weights[learnerIdx][label] in [0,1].
+	weights []map[string]float64
+	labels  []string
+}
+
+// NewMetaLearner builds a stack over the given base learners.
+func NewMetaLearner(base ...Learner) *MetaLearner {
+	return &MetaLearner{Base: base}
+}
+
+// Name implements Learner.
+func (m *MetaLearner) Name() string { return "meta" }
+
+// Train implements Learner: trains every base learner, then computes
+// per-label reliability weights by replaying the training examples
+// through each learner (training-set stacking; LSD used the manually
+// mapped sources the same way).
+func (m *MetaLearner) Train(examples []Example) {
+	labelSet := make(map[string]bool)
+	for _, ex := range examples {
+		labelSet[ex.Label] = true
+	}
+	m.labels = m.labels[:0]
+	for l := range labelSet {
+		m.labels = append(m.labels, l)
+	}
+	sort.Strings(m.labels)
+	for _, b := range m.Base {
+		b.Train(examples)
+	}
+	m.weights = make([]map[string]float64, len(m.Base))
+	for i, b := range m.Base {
+		correct := make(map[string]float64)
+		seen := make(map[string]float64)
+		for _, ex := range examples {
+			seen[ex.Label]++
+			if b.Predict(ex.Column).Best() == ex.Label {
+				correct[ex.Label]++
+			}
+		}
+		w := make(map[string]float64, len(seen))
+		for label, n := range seen {
+			// Laplace-smoothed reliability so a learner that never saw a
+			// label keeps a small voice.
+			w[label] = (correct[label] + 0.5) / (n + 1)
+		}
+		m.weights[i] = w
+	}
+}
+
+// Predict implements Learner: weighted sum of base predictions.
+func (m *MetaLearner) Predict(c Column) Prediction {
+	scores := make(map[string]float64)
+	for i, b := range m.Base {
+		p := b.Predict(c)
+		for _, sl := range p {
+			w := 0.5
+			if m.weights != nil {
+				if lw, ok := m.weights[i][sl.Label]; ok {
+					w = lw
+				}
+			}
+			scores[sl.Label] += w * sl.Score
+		}
+	}
+	return normalize(scores)
+}
+
+// Weights exposes the learned reliabilities (learner index -> label ->
+// weight) for inspection and the ablation experiments.
+func (m *MetaLearner) Weights() []map[string]float64 { return m.weights }
+
+// VoteLearner is the unweighted-combination ablation: every base learner
+// votes with its full prediction, no reliability weighting.
+type VoteLearner struct {
+	Base []Learner
+}
+
+// Name implements Learner.
+func (v *VoteLearner) Name() string { return "vote" }
+
+// Train implements Learner.
+func (v *VoteLearner) Train(examples []Example) {
+	for _, b := range v.Base {
+		b.Train(examples)
+	}
+}
+
+// Predict implements Learner.
+func (v *VoteLearner) Predict(c Column) Prediction {
+	scores := make(map[string]float64)
+	for _, b := range v.Base {
+		for _, sl := range b.Predict(c) {
+			scores[sl.Label] += sl.Score
+		}
+	}
+	return normalize(scores)
+}
+
+// Evaluate returns the matching accuracy of a learner on labeled test
+// columns: the fraction whose best prediction equals the truth — the
+// measure behind the paper's "accuracies in the 70%-90% range".
+func Evaluate(l Learner, test []Example) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range test {
+		if l.Predict(ex.Column).Best() == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}

@@ -1,0 +1,92 @@
+package mangrove
+
+import (
+	"sort"
+
+	"repro/internal/learn"
+	"repro/internal/strutil"
+)
+
+// TagSuggester assists the graphical annotation tool: when the user
+// highlights a span of text, it proposes likely schema tags, learned
+// from values already published under each tag. This is the
+// corpus-statistics idea of §4 applied inside MANGROVE's authoring loop
+// ("while authoring data, a corpus-tool can be used as an auto-complete
+// tool"): the more the community annotates, the better the suggestions.
+type TagSuggester struct {
+	repo   *Repository
+	bayes  *learn.BayesLearner
+	format *learn.FormatLearner
+	tags   []string
+}
+
+// NewTagSuggester trains a suggester from the repository's current
+// contents. Retrain (rebuild) after substantial publishing activity.
+func NewTagSuggester(repo *Repository) *TagSuggester {
+	s := &TagSuggester{repo: repo,
+		bayes: &learn.BayesLearner{}, format: &learn.FormatLearner{}}
+	var examples []learn.Example
+	byTag := make(map[string][]string)
+	for _, tr := range repo.Store.Match("", "", "") {
+		if tr.P == TypePredicate {
+			continue
+		}
+		byTag[tr.P] = append(byTag[tr.P], tr.O)
+	}
+	s.tags = make([]string, 0, len(byTag))
+	for tag, values := range byTag {
+		s.tags = append(s.tags, tag)
+		examples = append(examples, learn.Example{
+			Column: learn.Column{Name: tag, Values: values},
+			Label:  tag,
+		})
+	}
+	sort.Strings(s.tags)
+	s.bayes.Train(examples)
+	s.format.Train(examples)
+	return s
+}
+
+// TagSuggestion is one proposed tag with confidence.
+type TagSuggestion struct {
+	Tag   string
+	Score float64
+}
+
+// Suggest ranks schema tags for a highlighted text span. An empty result
+// means the repository has no training signal yet.
+func (s *TagSuggester) Suggest(text string, k int) []TagSuggestion {
+	if text == "" || len(s.tags) == 0 {
+		return nil
+	}
+	col := learn.Column{Name: "", Values: []string{text}}
+	scores := make(map[string]float64)
+	for _, sl := range s.bayes.Predict(col) {
+		scores[sl.Label] += 0.6 * sl.Score
+	}
+	for _, sl := range s.format.Predict(col) {
+		scores[sl.Label] += 0.4 * sl.Score
+	}
+	// Tiny lexical prior: if the span's tokens resemble a tag name
+	// ("Prof. ..." vs instructor) it nudges nothing here, but keeps the
+	// suggester stable when value models tie.
+	for _, tag := range s.tags {
+		if sim := strutil.NameSimilarity(text, tag); sim > 0.8 {
+			scores[tag] += 0.1 * sim
+		}
+	}
+	out := make([]TagSuggestion, 0, len(scores))
+	for tag, sc := range scores {
+		out = append(out, TagSuggestion{Tag: tag, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package mangrove
+
+import (
+	"testing"
+
+	"repro/internal/htmlx"
+)
+
+func publishPerson(t *testing.T, repo *Repository, url, name, phone, email string) {
+	t.Helper()
+	doc := parse(t, "<html><body><div><p>"+name+"</p><p>"+phone+"</p><p>"+email+"</p></div></body></html>")
+	for _, pair := range [][2]string{{name, "name"}, {phone, "phone"}, {email, "email"}} {
+		if err := htmlx.AnnotateText(doc, pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish(url, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSuggester(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	publishPerson(t, repo, "http://p1", "Alon Halevy", "206-543-1111", "alon@cs.edu")
+	publishPerson(t, repo, "http://p2", "Oren Etzioni", "425-555-2222", "oren@cs.edu")
+	publishPerson(t, repo, "http://p3", "Dan Suciu", "206-616-3333", "dan@cs.edu")
+
+	s := NewTagSuggester(repo)
+	// A phone-shaped span suggests person.phone.
+	sugg := s.Suggest("360-222-9999", 3)
+	if len(sugg) == 0 || sugg[0].Tag != "person.phone" {
+		t.Errorf("phone suggestion = %v", sugg)
+	}
+	// An email-shaped span suggests person.email.
+	sugg = s.Suggest("maya@uni.org", 3)
+	if len(sugg) == 0 || sugg[0].Tag != "person.email" {
+		t.Errorf("email suggestion = %v", sugg)
+	}
+	// A name-shaped span suggests person.name.
+	sugg = s.Suggest("Zachary Ives", 3)
+	if len(sugg) == 0 || sugg[0].Tag != "person.name" {
+		t.Errorf("name suggestion = %v", sugg)
+	}
+	if got := s.Suggest("", 3); got != nil {
+		t.Errorf("empty span = %v", got)
+	}
+	if got := s.Suggest("anything", 1); len(got) > 1 {
+		t.Errorf("k ignored: %v", got)
+	}
+}
+
+func TestTagSuggesterEmptyRepository(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	s := NewTagSuggester(repo)
+	if got := s.Suggest("206-543-1111", 3); got != nil {
+		t.Errorf("untrained suggester = %v", got)
+	}
+}

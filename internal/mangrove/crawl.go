@@ -1,0 +1,76 @@
+package mangrove
+
+import (
+	"sort"
+
+	"repro/internal/htmlx"
+)
+
+// Site is a set of pages addressable by URL — the substrate both the
+// instant-publish path and the crawler read from.
+type Site struct {
+	pages map[string]*htmlx.Node
+}
+
+// NewSite builds an empty site.
+func NewSite() *Site { return &Site{pages: make(map[string]*htmlx.Node)} }
+
+// Put stores (or replaces) a page.
+func (s *Site) Put(url string, page *htmlx.Node) { s.pages[url] = page }
+
+// Get returns a page, or nil.
+func (s *Site) Get(url string) *htmlx.Node { return s.pages[url] }
+
+// URLs returns all page URLs, sorted.
+func (s *Site) URLs() []string {
+	out := make([]string, 0, len(s.pages))
+	for u := range s.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of pages.
+func (s *Site) Len() int { return len(s.pages) }
+
+// Crawler republishes a site's pages into a repository every Interval
+// logical ticks — the model the paper rejects: "this feedback cycle
+// would be crippled if changes relied upon periodic web crawls before
+// they took effect." It exists as the comparison point for experiment
+// E5.
+type Crawler struct {
+	Repo     *Repository
+	Site     *Site
+	Interval int64
+	lastRun  int64
+}
+
+// NewCrawler builds a crawler.
+func NewCrawler(repo *Repository, site *Site, interval int64) *Crawler {
+	return &Crawler{Repo: repo, Site: site, Interval: interval, lastRun: -interval}
+}
+
+// MaybeCrawl runs a full crawl if the interval has elapsed at the
+// repository's logical clock; it returns whether a crawl ran and how
+// many pages were published.
+func (c *Crawler) MaybeCrawl() (ran bool, pages int, err error) {
+	if c.Repo.Now()-c.lastRun < c.Interval {
+		return false, 0, nil
+	}
+	n, err := c.CrawlNow()
+	return err == nil, n, err
+}
+
+// CrawlNow unconditionally crawls every page.
+func (c *Crawler) CrawlNow() (int, error) {
+	c.lastRun = c.Repo.Now()
+	n := 0
+	for _, url := range c.Site.URLs() {
+		if _, err := c.Repo.Publish(url, c.Site.Get(url)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

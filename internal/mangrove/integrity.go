@@ -1,0 +1,247 @@
+package mangrove
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MANGROVE "frees authors from considering integrity constraints" (§2.3):
+// the repository accepts anything, and "the burden of cleaning up the
+// data is passed to the application". This file provides the two halves
+// of that story: violation finders (for the proactive inconsistency
+// applications the paper mentions) and cleaning policies applied at
+// query time.
+
+// TagViolation reports one integrity problem found in the repository.
+type TagViolation struct {
+	Constraint string
+	Subject    string
+	Detail     string
+}
+
+// String implements fmt.Stringer.
+func (v TagViolation) String() string {
+	return fmt.Sprintf("%s at %s: %s", v.Constraint, v.Subject, v.Detail)
+}
+
+// TagConstraint checks the repository without mutating it.
+type TagConstraint interface {
+	Check(r *Repository) []TagViolation
+	Name() string
+}
+
+// SingleValuedTag requires each subject of TypeTag to carry at most one
+// distinct value of LeafPath — the paper's phone-number example.
+type SingleValuedTag struct {
+	TypeTag  string
+	LeafPath string
+}
+
+// Name implements TagConstraint.
+func (c SingleValuedTag) Name() string {
+	return fmt.Sprintf("single-valued(%s/%s)", c.TypeTag, c.LeafPath)
+}
+
+// Check implements TagConstraint.
+func (c SingleValuedTag) Check(r *Repository) []TagViolation {
+	var out []TagViolation
+	vals := r.ValuesOf(c.TypeTag, c.LeafPath)
+	subjects := make([]string, 0, len(vals))
+	for s := range vals {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		distinct := make(map[string]bool)
+		for _, v := range vals[s] {
+			distinct[v.Value] = true
+		}
+		if len(distinct) > 1 {
+			out = append(out, TagViolation{
+				Constraint: c.Name(), Subject: s,
+				Detail: fmt.Sprintf("%d conflicting values", len(distinct)),
+			})
+		}
+	}
+	return out
+}
+
+// RequiredTag requires each subject of TypeTag to carry at least one
+// value of LeafPath (detects partial annotations; applications may still
+// tolerate them).
+type RequiredTag struct {
+	TypeTag  string
+	LeafPath string
+}
+
+// Name implements TagConstraint.
+func (c RequiredTag) Name() string {
+	return fmt.Sprintf("required(%s/%s)", c.TypeTag, c.LeafPath)
+}
+
+// Check implements TagConstraint.
+func (c RequiredTag) Check(r *Repository) []TagViolation {
+	var out []TagViolation
+	subjects := r.Subjects(c.TypeTag)
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		if len(r.Store.Match(s, c.LeafPath, "")) == 0 {
+			out = append(out, TagViolation{Constraint: c.Name(), Subject: s, Detail: "missing"})
+		}
+	}
+	return out
+}
+
+// ReferentialTag requires each value of FromType/FromPath to appear as a
+// value of ToType/ToPath somewhere (e.g. course.instructor must name a
+// person.name).
+type ReferentialTag struct {
+	FromType, FromPath string
+	ToType, ToPath     string
+}
+
+// Name implements TagConstraint.
+func (c ReferentialTag) Name() string {
+	return fmt.Sprintf("ref(%s/%s -> %s/%s)", c.FromType, c.FromPath, c.ToType, c.ToPath)
+}
+
+// Check implements TagConstraint.
+func (c ReferentialTag) Check(r *Repository) []TagViolation {
+	targets := make(map[string]bool)
+	for _, vs := range r.ValuesOf(c.ToType, c.ToPath) {
+		for _, v := range vs {
+			targets[v.Value] = true
+		}
+	}
+	var out []TagViolation
+	vals := r.ValuesOf(c.FromType, c.FromPath)
+	subjects := make([]string, 0, len(vals))
+	for s := range vals {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		for _, v := range vals[s] {
+			if !targets[v.Value] {
+				out = append(out, TagViolation{
+					Constraint: c.Name(), Subject: s,
+					Detail: fmt.Sprintf("dangling value %q", v.Value),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FindInconsistencies runs all constraints — the paper's "special
+// applications whose goal is to proactively find inconsistencies in the
+// database and notify the relevant authors".
+func FindInconsistencies(r *Repository, constraints ...TagConstraint) []TagViolation {
+	var out []TagViolation
+	for _, c := range constraints {
+		out = append(out, c.Check(r)...)
+	}
+	return out
+}
+
+// Policy resolves conflicting values at query time; "different
+// applications will have varying requirements for data integrity".
+type Policy interface {
+	// Resolve picks the values the application accepts from the
+	// candidates (possibly several, possibly none).
+	Resolve(candidates []ValueWithSource) []string
+	Name() string
+}
+
+// AnyPolicy keeps every distinct value — for applications where "users
+// can tell easily whether the answers they are receiving are correct".
+type AnyPolicy struct{}
+
+// Name implements Policy.
+func (AnyPolicy) Name() string { return "any" }
+
+// Resolve implements Policy.
+func (AnyPolicy) Resolve(candidates []ValueWithSource) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range candidates {
+		if !seen[c.Value] {
+			seen[c.Value] = true
+			out = append(out, c.Value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PreferSourcePolicy keeps only values whose provenance starts with the
+// given prefix — "the application can be instructed to extract a phone
+// number from the faculty's web space, rather than anywhere on the web".
+// If no value matches, it falls back to all values (graceful degradation)
+// unless Strict.
+type PreferSourcePolicy struct {
+	Prefix string
+	Strict bool
+}
+
+// Name implements Policy.
+func (p PreferSourcePolicy) Name() string { return "prefer-source(" + p.Prefix + ")" }
+
+// Resolve implements Policy.
+func (p PreferSourcePolicy) Resolve(candidates []ValueWithSource) []string {
+	var preferred []ValueWithSource
+	for _, c := range candidates {
+		if strings.HasPrefix(c.Source, p.Prefix) {
+			preferred = append(preferred, c)
+		}
+	}
+	if len(preferred) == 0 {
+		if p.Strict {
+			return nil
+		}
+		preferred = candidates
+	}
+	return (AnyPolicy{}).Resolve(preferred)
+}
+
+// MajorityPolicy keeps the value(s) asserted by the most distinct
+// sources — an "obvious heuristic on how to resolve conflicts".
+type MajorityPolicy struct{}
+
+// Name implements Policy.
+func (MajorityPolicy) Name() string { return "majority" }
+
+// Resolve implements Policy.
+func (MajorityPolicy) Resolve(candidates []ValueWithSource) []string {
+	votes := make(map[string]map[string]bool)
+	for _, c := range candidates {
+		if votes[c.Value] == nil {
+			votes[c.Value] = make(map[string]bool)
+		}
+		votes[c.Value][c.Source] = true
+	}
+	best := 0
+	for _, srcs := range votes {
+		if len(srcs) > best {
+			best = len(srcs)
+		}
+	}
+	var out []string
+	for v, srcs := range votes {
+		if len(srcs) == best && best > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CleanValues applies a policy per subject.
+func CleanValues(raw map[string][]ValueWithSource, p Policy) map[string][]string {
+	out := make(map[string][]string, len(raw))
+	for s, cands := range raw {
+		out[s] = p.Resolve(cands)
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package mangrove
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmlx"
+)
+
+func parse(t *testing.T, html string) *htmlx.Node {
+	t.Helper()
+	doc, err := htmlx.Parse(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func annotatedPersonPage(t *testing.T, name, phone string) *htmlx.Node {
+	t.Helper()
+	doc := parse(t, "<html><body><div><p>"+name+"</p><p>Tel: "+phone+"</p></div></body></html>")
+	if err := htmlx.AnnotateText(doc, name, "name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := htmlx.AnnotateText(doc, phone, "phone"); err != nil {
+		t.Fatal(err)
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "person"); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := DepartmentSchema()
+	if s.Lookup("course") == nil || s.Lookup("course.instructor") == nil {
+		t.Error("Lookup missed known tags")
+	}
+	if s.Lookup("course.ta.name") == nil {
+		t.Error("Lookup missed nested tag")
+	}
+	if s.Lookup("course.nonsense") != nil || s.Lookup("") != nil {
+		t.Error("Lookup found nonexistent tag")
+	}
+	if !s.AllowsChild("course", "title") {
+		t.Error("AllowsChild broken")
+	}
+	if s.AllowsChild("course", "phone") {
+		t.Error("AllowsChild accepted wrong nesting")
+	}
+	paths := s.LeafPaths()
+	found := false
+	for _, p := range paths {
+		if p == "course.ta.email" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("LeafPaths = %v", paths)
+	}
+	if !strings.Contains(s.String(), "instructor") {
+		t.Error("String rendering incomplete")
+	}
+}
+
+func TestPublishAndQuery(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	doc := annotatedPersonPage(t, "Alon Halevy", "206-543-1111")
+	rep, err := repo.Publish("http://uw/halevy", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compounds != 1 || rep.Triples != 3 { // type + name + phone
+		t.Errorf("report = %+v", rep)
+	}
+	subs := repo.Subjects("person")
+	if len(subs) != 1 {
+		t.Fatalf("subjects = %v", subs)
+	}
+	fields := repo.Fields(subs[0])
+	if len(fields["person.name"]) != 1 || fields["person.name"][0].Value != "Alon Halevy" {
+		t.Errorf("fields = %v", fields)
+	}
+	if fields["person.phone"][0].Source != "http://uw/halevy" {
+		t.Error("provenance lost")
+	}
+	if repo.PublishedAt("http://uw/halevy") < 0 {
+		t.Error("PublishedAt missing")
+	}
+	if repo.PublishedAt("http://nowhere") != -1 {
+		t.Error("PublishedAt should be -1 for unpublished")
+	}
+}
+
+func TestRepublishReplaces(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	url := "http://uw/halevy"
+	if _, err := repo.Publish(url, annotatedPersonPage(t, "Alon Halevy", "206-543-1111")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repo.Publish(url, annotatedPersonPage(t, "Alon Halevy", "206-543-9999"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replaced != 3 {
+		t.Errorf("Replaced = %d", rep.Replaced)
+	}
+	vals := repo.ValuesOf("person", "person.phone")
+	if len(vals) != 1 {
+		t.Fatalf("vals = %v", vals)
+	}
+	for _, vs := range vals {
+		if len(vs) != 1 || vs[0].Value != "206-543-9999" {
+			t.Errorf("stale phone survived: %v", vs)
+		}
+	}
+}
+
+func TestPublishRejectsUnknownTag(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	doc := parse(t, "<html><body><p>X</p></body></html>")
+	if err := htmlx.AnnotateText(doc, "X", "alien_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://x", doc); err == nil {
+		t.Error("unknown tag should be rejected (schema vocabulary is required)")
+	}
+	// Wrong nesting is also rejected.
+	doc2 := parse(t, "<html><body><div><p>Y</p></div></body></html>")
+	if err := htmlx.AnnotateText(doc2, "Y", "phone"); err != nil {
+		t.Fatal(err)
+	}
+	div := doc2.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc2, div, "course"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://y", doc2); err == nil {
+		t.Error("phone under course violates schema nesting")
+	}
+}
+
+func TestConflictingDataAccepted(t *testing.T) {
+	// Two pages assert different phones for the same person: MANGROVE
+	// accepts both (constraints deferred).
+	repo := NewRepository(DepartmentSchema())
+	if _, err := repo.Publish("http://uw/home", annotatedPersonPage(t, "Alon Halevy", "206-543-1111")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://other/page", annotatedPersonPage(t, "Alon Halevy", "555-0000")); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Store.Len() != 6 {
+		t.Errorf("store len = %d", repo.Store.Len())
+	}
+	vio := FindInconsistencies(repo, SingleValuedTag{TypeTag: "person", LeafPath: "person.phone"})
+	// Conflict is per subject anchor; the two pages mint different
+	// anchors, so single-valued per subject holds. Merge by name instead:
+	// the checker below groups by name via ValuesOf subjects, so here we
+	// assert no per-anchor violation...
+	if len(vio) != 0 {
+		t.Errorf("per-anchor violations = %v", vio)
+	}
+}
+
+func TestSingleValuedViolationSamePage(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	doc := parse(t, "<html><body><div><p>Bob</p><p>111</p><p>222</p></div></body></html>")
+	for _, pair := range [][2]string{{"Bob", "name"}, {"111", "phone"}, {"222", "phone"}} {
+		if err := htmlx.AnnotateText(doc, pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://p", doc); err != nil {
+		t.Fatal(err)
+	}
+	vio := FindInconsistencies(repo, SingleValuedTag{TypeTag: "person", LeafPath: "person.phone"})
+	if len(vio) != 1 {
+		t.Errorf("violations = %v", vio)
+	}
+	if vio[0].String() == "" {
+		t.Error("violation renders empty")
+	}
+}
+
+func TestRequiredAndReferential(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	// Person without phone.
+	doc := parse(t, "<html><body><div><p>Carol</p></div></body></html>")
+	if err := htmlx.AnnotateText(doc, "Carol", "name"); err != nil {
+		t.Fatal(err)
+	}
+	div := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(doc, div, "person"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://carol", doc); err != nil {
+		t.Fatal(err)
+	}
+	// Course taught by someone not in the person directory.
+	cdoc := parse(t, "<html><body><div><p>DB</p><p>Ghost Prof</p></div></body></html>")
+	if err := htmlx.AnnotateText(cdoc, "DB", "title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := htmlx.AnnotateText(cdoc, "Ghost Prof", "instructor"); err != nil {
+		t.Fatal(err)
+	}
+	cdiv := cdoc.Find(func(n *htmlx.Node) bool { return n.Tag == "div" })
+	if err := htmlx.AnnotateElement(cdoc, cdiv, "course"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish("http://db", cdoc); err != nil {
+		t.Fatal(err)
+	}
+	vio := FindInconsistencies(repo,
+		RequiredTag{TypeTag: "person", LeafPath: "person.phone"},
+		ReferentialTag{FromType: "course", FromPath: "course.instructor",
+			ToType: "person", ToPath: "person.name"})
+	if len(vio) != 2 {
+		t.Errorf("violations = %v", vio)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	cands := []ValueWithSource{
+		{Value: "111", Source: "http://uw/home"},
+		{Value: "222", Source: "http://other/a"},
+		{Value: "222", Source: "http://other/b"},
+	}
+	if got := (AnyPolicy{}).Resolve(cands); len(got) != 2 {
+		t.Errorf("any = %v", got)
+	}
+	if got := (PreferSourcePolicy{Prefix: "http://uw/"}).Resolve(cands); len(got) != 1 || got[0] != "111" {
+		t.Errorf("prefer-source = %v", got)
+	}
+	// No match + non-strict → fall back to all.
+	if got := (PreferSourcePolicy{Prefix: "http://none/"}).Resolve(cands); len(got) != 2 {
+		t.Errorf("fallback = %v", got)
+	}
+	if got := (PreferSourcePolicy{Prefix: "http://none/", Strict: true}).Resolve(cands); got != nil {
+		t.Errorf("strict = %v", got)
+	}
+	if got := (MajorityPolicy{}).Resolve(cands); len(got) != 1 || got[0] != "222" {
+		t.Errorf("majority = %v", got)
+	}
+	if got := (MajorityPolicy{}).Resolve(nil); got != nil {
+		t.Errorf("majority empty = %v", got)
+	}
+	for _, p := range []Policy{AnyPolicy{}, PreferSourcePolicy{Prefix: "x"}, MajorityPolicy{}} {
+		if p.Name() == "" {
+			t.Error("policy name empty")
+		}
+	}
+	cleaned := CleanValues(map[string][]ValueWithSource{"s": cands}, MajorityPolicy{})
+	if len(cleaned["s"]) != 1 {
+		t.Errorf("CleanValues = %v", cleaned)
+	}
+}
+
+func TestCrawlerInterval(t *testing.T) {
+	repo := NewRepository(DepartmentSchema())
+	site := NewSite()
+	site.Put("http://p1", annotatedPersonPage(t, "Ann", "111"))
+	c := NewCrawler(repo, site, 10)
+	ran, n, err := c.MaybeCrawl()
+	if err != nil || !ran || n != 1 {
+		t.Fatalf("first crawl: ran=%v n=%d err=%v", ran, n, err)
+	}
+	// Within the interval: no crawl.
+	repo.Tick()
+	ran, _, err = c.MaybeCrawl()
+	if err != nil || ran {
+		t.Fatalf("crawl ran inside interval")
+	}
+	// Advance past interval.
+	for i := 0; i < 10; i++ {
+		repo.Tick()
+	}
+	ran, _, err = c.MaybeCrawl()
+	if err != nil || !ran {
+		t.Fatalf("crawl did not run after interval")
+	}
+	if site.Len() != 1 || site.Get("http://p1") == nil || len(site.URLs()) != 1 {
+		t.Error("site accessors broken")
+	}
+}
+
+func TestInstantVisibilityVsCrawl(t *testing.T) {
+	// E5's core claim in miniature: publish-on-save is visible at the
+	// same tick; crawled content waits for the next crawl.
+	repo := NewRepository(DepartmentSchema())
+	site := NewSite()
+	crawler := NewCrawler(repo, site, 100)
+	if _, _, err := crawler.MaybeCrawl(); err != nil {
+		t.Fatal(err)
+	}
+	// Author saves a new page at tick t.
+	page := annotatedPersonPage(t, "New Person", "333")
+	site.Put("http://new", page)
+	editTick := repo.Tick()
+	// Instant path: publish immediately.
+	rep, err := repo.Publish("http://new", page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.At-editTick > 1 {
+		t.Errorf("instant publish latency = %d ticks", rep.At-editTick)
+	}
+	// Crawl path: not visible until interval elapses.
+	repo2 := NewRepository(DepartmentSchema())
+	site2 := NewSite()
+	crawler2 := NewCrawler(repo2, site2, 100)
+	if _, _, err := crawler2.MaybeCrawl(); err != nil {
+		t.Fatal(err)
+	}
+	site2.Put("http://new", annotatedPersonPage(t, "New Person", "333"))
+	edit2 := repo2.Tick()
+	visible := int64(-1)
+	for i := 0; i < 300; i++ {
+		repo2.Tick()
+		ran, _, err := crawler2.MaybeCrawl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran && repo2.PublishedAt("http://new") >= 0 {
+			visible = repo2.Now()
+			break
+		}
+	}
+	if visible < 0 {
+		t.Fatal("crawler never published the page")
+	}
+	if visible-edit2 < 50 {
+		t.Errorf("crawl latency suspiciously low: %d ticks", visible-edit2)
+	}
+}

@@ -1,0 +1,161 @@
+package mangrove
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/htmlx"
+	"repro/internal/rdf"
+)
+
+// Repository stores published annotations as a provenance-carrying graph
+// — "the annotations on web pages are stored in a repository for querying
+// and access by applications", "typically updated the moment a user
+// publishes new or revised content" (§2.2).
+type Repository struct {
+	Schema *Schema
+	Store  *rdf.Store
+	// clock is a logical tick counter; publishes stamp visibility times
+	// so the instant-gratification experiment (E5) can measure staleness
+	// without wall clocks.
+	clock     int64
+	published map[string]int64 // source URL -> publish tick
+}
+
+// TypePredicate links a compound annotation subject to its root tag name.
+const TypePredicate = "mangrove:type"
+
+// NewRepository builds an empty repository enforcing the given schema's
+// tag vocabulary (and only that — no integrity constraints).
+func NewRepository(schema *Schema) *Repository {
+	return &Repository{Schema: schema, Store: rdf.NewStore(), published: make(map[string]int64)}
+}
+
+// Tick advances the logical clock and returns the new time.
+func (r *Repository) Tick() int64 {
+	r.clock++
+	return r.clock
+}
+
+// Now returns the current logical time.
+func (r *Repository) Now() int64 { return r.clock }
+
+// PublishReport summarizes one publish.
+type PublishReport struct {
+	Source    string
+	Triples   int
+	Replaced  int
+	Compounds int
+	At        int64
+}
+
+// Publish extracts the annotations of a page and replaces the page's
+// previous contribution to the repository. Tag names must come from the
+// schema; values may be partial, redundant or conflicting — "users are
+// free to provide partial, redundant, or conflicting information".
+func (r *Repository) Publish(sourceURL string, page *htmlx.Node) (*PublishReport, error) {
+	anns := htmlx.Extract(page)
+	if err := r.validate(anns, ""); err != nil {
+		return nil, err
+	}
+	replaced := r.Store.RemoveBySource(sourceURL)
+	rep := &PublishReport{Source: sourceURL, Replaced: replaced, At: r.Tick()}
+	counter := 0
+	for _, a := range anns {
+		r.addAnnotation(sourceURL, sourceURL, a, "", &counter, rep)
+	}
+	r.published[sourceURL] = rep.At
+	return rep, nil
+}
+
+func (r *Repository) validate(anns []htmlx.Annotation, parentPath string) error {
+	for _, a := range anns {
+		var path string
+		if parentPath == "" {
+			path = a.Tag
+		} else {
+			path = parentPath + "." + a.Tag
+		}
+		if r.Schema.Lookup(path) == nil {
+			return fmt.Errorf("mangrove: tag %q not in schema %s", path, r.Schema.Name)
+		}
+		if err := r.validate(a.Children, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addAnnotation converts one annotation into triples. A compound
+// annotation mints a subject anchor sourceURL#tagN and typed triples;
+// leaves become (subject, fullTagPath, value).
+func (r *Repository) addAnnotation(sourceURL, subject string, a htmlx.Annotation, parentPath string, counter *int, rep *PublishReport) {
+	path := a.Tag
+	if parentPath != "" {
+		path = parentPath + "." + a.Tag
+	}
+	if a.IsLeaf() {
+		r.Store.Add(rdf.Triple{S: subject, P: path, O: a.Value, Source: sourceURL})
+		rep.Triples++
+		return
+	}
+	*counter++
+	anchor := sourceURL + "#" + a.Tag + strconv.Itoa(*counter)
+	r.Store.Add(rdf.Triple{S: anchor, P: TypePredicate, O: a.Tag, Source: sourceURL})
+	rep.Triples++
+	rep.Compounds++
+	for _, c := range a.Children {
+		r.addAnnotation(sourceURL, anchor, c, path, counter, rep)
+	}
+}
+
+// PublishedAt returns the tick at which source was last published, or
+// -1 if never.
+func (r *Repository) PublishedAt(source string) int64 {
+	if t, ok := r.published[source]; ok {
+		return t
+	}
+	return -1
+}
+
+// ValueWithSource is a queried value plus its provenance.
+type ValueWithSource struct {
+	Value  string
+	Source string
+}
+
+// ValuesOf returns, for all subjects of the given type, the values of one
+// leaf tag with provenance — the raw (possibly dirty) data applications
+// clean per their own policies.
+func (r *Repository) ValuesOf(typeTag, leafPath string) map[string][]ValueWithSource {
+	out := make(map[string][]ValueWithSource)
+	for _, t := range r.Store.Match("", TypePredicate, typeTag) {
+		subject := t.S
+		for _, vt := range r.Store.Match(subject, leafPath, "") {
+			out[subject] = append(out[subject], ValueWithSource{Value: vt.O, Source: vt.Source})
+		}
+	}
+	return out
+}
+
+// Subjects returns the anchors of all compound annotations of a type.
+func (r *Repository) Subjects(typeTag string) []string {
+	ts := r.Store.Match("", TypePredicate, typeTag)
+	out := make([]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.S)
+	}
+	return out
+}
+
+// Fields returns all leaf values of one subject keyed by tag path.
+func (r *Repository) Fields(subject string) map[string][]ValueWithSource {
+	out := make(map[string][]ValueWithSource)
+	for _, t := range r.Store.Match(subject, "", "") {
+		if t.P == TypePredicate {
+			continue
+		}
+		out[t.P] = append(out[t.P], ValueWithSource{Value: t.O, Source: t.Source})
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package mangrove implements REVERE's data structuring component (§2):
+// lightweight annotation schemas, a publish pipeline from annotated HTML
+// pages into an RDF repository with provenance, instant visibility on
+// publish (contrasted with periodic crawling), and deferred integrity
+// constraints with per-application cleaning policies.
+package mangrove
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tag is one node of an annotation schema: a name and allowed children.
+// Leaf tags carry text values; compound tags group children (the tree
+// view the annotation tool shows alongside the rendered page).
+type Tag struct {
+	Name     string
+	Children []*Tag
+}
+
+// NewTag builds a tag with children.
+func NewTag(name string, children ...*Tag) *Tag {
+	return &Tag{Name: name, Children: children}
+}
+
+// IsLeaf reports whether the tag has no children.
+func (t *Tag) IsLeaf() bool { return len(t.Children) == 0 }
+
+// Schema is a lightweight annotation schema: named tag trees. "In order
+// to entice people to structure their data, we offer a set of
+// lightweight schemas to which they can map their data easily." Users
+// must use these tag names and nesting, but integrity constraints are
+// NOT part of the schema (§2.1) — they are deferred.
+type Schema struct {
+	Name  string
+	Roots []*Tag
+}
+
+// NewSchema builds a schema.
+func NewSchema(name string, roots ...*Tag) *Schema {
+	return &Schema{Name: name, Roots: roots}
+}
+
+// Lookup resolves a dotted tag path ("course.instructor.name") to its
+// tag, or nil.
+func (s *Schema) Lookup(path string) *Tag {
+	parts := strings.Split(path, ".")
+	tags := s.Roots
+	var cur *Tag
+	for _, p := range parts {
+		cur = nil
+		for _, t := range tags {
+			if t.Name == p {
+				cur = t
+				break
+			}
+		}
+		if cur == nil {
+			return nil
+		}
+		tags = cur.Children
+	}
+	return cur
+}
+
+// AllowsChild reports whether childName may nest directly under the tag
+// at parentPath.
+func (s *Schema) AllowsChild(parentPath, childName string) bool {
+	p := s.Lookup(parentPath)
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Children {
+		if c.Name == childName {
+			return true
+		}
+	}
+	return false
+}
+
+// LeafPaths returns all dotted paths to leaf tags, sorted.
+func (s *Schema) LeafPaths() []string {
+	var out []string
+	var walk func(prefix string, tags []*Tag)
+	walk = func(prefix string, tags []*Tag) {
+		for _, t := range tags {
+			p := t.Name
+			if prefix != "" {
+				p = prefix + "." + t.Name
+			}
+			if t.IsLeaf() {
+				out = append(out, p)
+			} else {
+				walk(p, t.Children)
+			}
+		}
+	}
+	walk("", s.Roots)
+	sort.Strings(out)
+	return out
+}
+
+// String renders the tag tree.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s\n", s.Name)
+	var walk func(indent string, tags []*Tag)
+	walk = func(indent string, tags []*Tag) {
+		for _, t := range tags {
+			b.WriteString(indent)
+			b.WriteString(t.Name)
+			b.WriteByte('\n')
+			walk(indent+"  ", t.Children)
+		}
+	}
+	walk("  ", s.Roots)
+	return b.String()
+}
+
+// DepartmentSchema is the lightweight schema a MANGROVE administrator
+// would provide for a university department: courses, people, talks and
+// publications — the data the paper's applications consume.
+func DepartmentSchema() *Schema {
+	return NewSchema("department",
+		NewTag("course",
+			NewTag("code"), NewTag("title"), NewTag("instructor"),
+			NewTag("day"), NewTag("time"), NewTag("room"),
+			NewTag("textbook"), NewTag("ta",
+				NewTag("name"), NewTag("email"))),
+		NewTag("person",
+			NewTag("name"), NewTag("phone"), NewTag("email"),
+			NewTag("office"), NewTag("homepage"), NewTag("position")),
+		NewTag("talk",
+			NewTag("speaker"), NewTag("title"), NewTag("day"),
+			NewTag("time"), NewTag("room")),
+		NewTag("publication",
+			NewTag("title"), NewTag("author"), NewTag("venue"), NewTag("year")),
+	)
+}

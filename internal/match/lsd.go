@@ -1,0 +1,234 @@
+// Package match implements REVERE's schema-matching tools (§4.3.2): an
+// LSD-style multi-strategy matcher trained on manually mapped sources, a
+// prediction-correlation matcher for two previously unseen schemas (the
+// MATCHINGADVISOR), and a name-similarity baseline for the experiments.
+package match
+
+import (
+	"sort"
+
+	"repro/internal/learn"
+	"repro/internal/strutil"
+)
+
+// LSD wraps the multi-strategy learner stack: "the first few data
+// sources [are] manually mapped to the mediated schema. Based on this
+// training, the system should be able to predict mappings for subsequent
+// data sources."
+type LSD struct {
+	Meta *learn.MetaLearner
+}
+
+// NewLSD builds the standard four-learner stack.
+func NewLSD(syn *strutil.SynonymTable) *LSD {
+	return &LSD{Meta: learn.NewMetaLearner(
+		&learn.NameLearner{Synonyms: syn},
+		&learn.BayesLearner{},
+		&learn.FormatLearner{},
+		&learn.ContextLearner{Synonyms: syn},
+	)}
+}
+
+// Train consumes the manually mapped sources' labeled columns.
+func (l *LSD) Train(examples []learn.Example) { l.Meta.Train(examples) }
+
+// Match predicts a mediated label per column.
+func (l *LSD) Match(cols []learn.Column) map[string]learn.Prediction {
+	out := make(map[string]learn.Prediction, len(cols))
+	for _, c := range cols {
+		out[c.Name] = l.Meta.Predict(c)
+	}
+	return out
+}
+
+// Accuracy scores predicted best labels against ground truth (fraction
+// of columns matched correctly).
+func Accuracy(pred map[string]learn.Prediction, truth map[string]string) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	correct := 0
+	for col, label := range truth {
+		if pred[col].Best() == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+// Correspondence is one proposed attribute match between two schemas.
+type Correspondence struct {
+	A, B  string
+	Score float64
+}
+
+// Correlatepredictions implements the paper's MATCHINGADVISOR recipe:
+// "given two schemas S1 and S2, we apply the classifiers in the corpus to
+// their elements respectively, and find correlations in the predictions
+// ... if all (or most) of the classifiers had the same prediction on
+// s1 ∈ S1 and s2 ∈ S2, then we may hypothesize that s1 matches s2."
+// Prediction distributions are compared by histogram overlap, and
+// matches are assigned greedily one-to-one above the threshold.
+func (l *LSD) Correlate(s1, s2 []learn.Column, threshold float64) []Correspondence {
+	p1 := l.Match(s1)
+	p2 := l.Match(s2)
+	type cand struct {
+		a, b  string
+		score float64
+	}
+	var cands []cand
+	for _, c1 := range s1 {
+		for _, c2 := range s2 {
+			s := overlap(p1[c1.Name], p2[c2.Name])
+			if s >= threshold {
+				cands = append(cands, cand{c1.Name, c2.Name, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	usedA := make(map[string]bool)
+	usedB := make(map[string]bool)
+	var out []Correspondence
+	for _, c := range cands {
+		if usedA[c.a] || usedB[c.b] {
+			continue
+		}
+		usedA[c.a] = true
+		usedB[c.b] = true
+		out = append(out, Correspondence{A: c.a, B: c.b, Score: c.score})
+	}
+	return out
+}
+
+// overlap is the histogram intersection of two prediction distributions.
+func overlap(a, b learn.Prediction) float64 {
+	s := 0.0
+	for _, sa := range a {
+		if sb := b.Score(sa.Label); sb > 0 {
+			if sa.Score < sb {
+				s += sa.Score
+			} else {
+				s += sb
+			}
+		}
+	}
+	return s
+}
+
+// CorrespondenceQuality scores proposed correspondences against truth
+// maps (column → mediated tag for each schema): a correspondence is
+// correct when both sides carry the same tag. Returns precision, recall
+// and F1.
+func CorrespondenceQuality(corrs []Correspondence, truthA, truthB map[string]string) (precision, recall, f1 float64) {
+	correct := 0
+	for _, c := range corrs {
+		if ta, ok := truthA[c.A]; ok {
+			if tb, ok2 := truthB[c.B]; ok2 && ta == tb {
+				correct++
+			}
+		}
+	}
+	// Total true correspondences: tags present on both sides.
+	tagsB := make(map[string]bool)
+	for _, t := range truthB {
+		tagsB[t] = true
+	}
+	total := 0
+	for _, t := range truthA {
+		if tagsB[t] {
+			total++
+		}
+	}
+	if len(corrs) > 0 {
+		precision = float64(correct) / float64(len(corrs))
+	}
+	if total > 0 {
+		recall = float64(correct) / float64(total)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}
+
+// NameBaseline is the non-learning comparator: label each column by the
+// most name-similar mediated tag; correspond two schemas by raw name
+// similarity.
+type NameBaseline struct {
+	Labels   []string
+	Synonyms *strutil.SynonymTable
+}
+
+// Match predicts by name similarity to label names.
+func (n *NameBaseline) Match(cols []learn.Column) map[string]learn.Prediction {
+	out := make(map[string]learn.Prediction, len(cols))
+	for _, c := range cols {
+		var pred learn.Prediction
+		for _, label := range n.Labels {
+			s := n.sim(c.Name, label)
+			if s > 0 {
+				pred = append(pred, learn.ScoredLabel{Label: label, Score: s})
+			}
+		}
+		sort.Slice(pred, func(i, j int) bool {
+			if pred[i].Score != pred[j].Score {
+				return pred[i].Score > pred[j].Score
+			}
+			return pred[i].Label < pred[j].Label
+		})
+		out[c.Name] = pred
+	}
+	return out
+}
+
+func (n *NameBaseline) sim(a, b string) float64 {
+	if n.Synonyms != nil && n.Synonyms.AreSynonyms(a, b) {
+		return 1
+	}
+	return strutil.NameSimilarity(a, b)
+}
+
+// Correlate proposes correspondences by pairwise name similarity.
+func (n *NameBaseline) Correlate(s1, s2 []learn.Column, threshold float64) []Correspondence {
+	type cand struct {
+		a, b  string
+		score float64
+	}
+	var cands []cand
+	for _, c1 := range s1 {
+		for _, c2 := range s2 {
+			if s := n.sim(c1.Name, c2.Name); s >= threshold {
+				cands = append(cands, cand{c1.Name, c2.Name, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	usedA := make(map[string]bool)
+	usedB := make(map[string]bool)
+	var out []Correspondence
+	for _, c := range cands {
+		if usedA[c.a] || usedB[c.b] {
+			continue
+		}
+		usedA[c.a] = true
+		usedB[c.b] = true
+		out = append(out, Correspondence{A: c.a, B: c.b, Score: c.score})
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/learn"
+	"repro/internal/strutil"
+	"repro/internal/workload"
+)
+
+// trainAndTest splits a domain's generated sources into training
+// (manually mapped) and test sources, mirroring LSD's methodology.
+func trainAndTest(t *testing.T, domain string, nTrain, nTest int) (train []learn.Example, tests []*workload.Source) {
+	t.Helper()
+	d, ok := workload.DomainByName(domain)
+	if !ok {
+		t.Fatalf("no domain %s", domain)
+	}
+	opts := workload.SourceOptions{Rows: 25, DropRate: 0.1, ObfuscateRate: 0.3}
+	for i := 0; i < nTrain; i++ {
+		train = append(train, workload.GenSource(d, i, 100, opts).Columns()...)
+	}
+	for i := 0; i < nTest; i++ {
+		tests = append(tests, workload.GenSource(d, nTrain+i, 100, opts))
+	}
+	return
+}
+
+func TestLSDAccuracyInPaperRange(t *testing.T) {
+	// The paper's only quantitative claim (§4.3.2): "matching accuracies
+	// in the 70%-90% range" on real-world domains. Our synthetic domains
+	// should land at or above that band.
+	for _, domain := range []string{"courses", "faculty", "realestate", "bibliography", "products"} {
+		train, tests := trainAndTest(t, domain, 3, 4)
+		lsd := NewLSD(strutil.DefaultSynonyms())
+		lsd.Train(train)
+		var correct, total int
+		for _, src := range tests {
+			pred := lsd.Match(columnsOf(src))
+			for col, tag := range src.Truth {
+				total++
+				if pred[col].Best() == tag {
+					correct++
+				}
+			}
+		}
+		acc := float64(correct) / float64(total)
+		if acc < 0.70 {
+			t.Errorf("domain %s: LSD accuracy %.2f below the paper's 70%% floor", domain, acc)
+		}
+	}
+}
+
+func columnsOf(s *workload.Source) []learn.Column {
+	var out []learn.Column
+	for _, ex := range s.Columns() {
+		out = append(out, ex.Column)
+	}
+	return out
+}
+
+func TestLSDBeatsNameBaselineOnObfuscatedNames(t *testing.T) {
+	// Heavily obfuscated names starve the baseline; LSD's value/format
+	// learners still see the data.
+	d, _ := workload.DomainByName("faculty")
+	opts := workload.SourceOptions{Rows: 25, ObfuscateRate: 0.95}
+	var train []learn.Example
+	for i := 0; i < 3; i++ {
+		train = append(train, workload.GenSource(d, i, 200, opts).Columns()...)
+	}
+	lsd := NewLSD(strutil.DefaultSynonyms())
+	lsd.Train(train)
+	baseline := &NameBaseline{Labels: d.AttrTags(), Synonyms: strutil.DefaultSynonyms()}
+	var lsdOK, baseOK, total int
+	for i := 3; i < 8; i++ {
+		src := workload.GenSource(d, i, 200, opts)
+		cols := columnsOf(src)
+		lp := lsd.Match(cols)
+		bp := baseline.Match(cols)
+		for col, tag := range src.Truth {
+			total++
+			if lp[col].Best() == tag {
+				lsdOK++
+			}
+			if bp[col].Best() == tag {
+				baseOK++
+			}
+		}
+	}
+	if lsdOK <= baseOK {
+		t.Errorf("LSD (%d/%d) should beat name baseline (%d/%d) on obfuscated names",
+			lsdOK, total, baseOK, total)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	pred := map[string]learn.Prediction{
+		"a": {{Label: "x", Score: 1}},
+		"b": {{Label: "wrong", Score: 1}},
+	}
+	truth := map[string]string{"a": "x", "b": "y"}
+	if got := Accuracy(pred, truth); got != 0.5 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(pred, nil) != 0 {
+		t.Error("empty truth should be 0")
+	}
+}
+
+func TestCorrelateMatchesTwoUnseenSchemas(t *testing.T) {
+	// MATCHINGADVISOR: train classifiers on corpus sources, then match
+	// two schemas the system never saw, by correlating predictions.
+	train, tests := trainAndTest(t, "courses", 3, 2)
+	lsd := NewLSD(strutil.DefaultSynonyms())
+	lsd.Train(train)
+	s1, s2 := tests[0], tests[1]
+	corrs := lsd.Correlate(columnsOf(s1), columnsOf(s2), 0.3)
+	if len(corrs) == 0 {
+		t.Fatal("no correspondences proposed")
+	}
+	p, r, f1 := CorrespondenceQuality(corrs, s1.Truth, s2.Truth)
+	if f1 < 0.6 {
+		t.Errorf("correspondence quality P=%.2f R=%.2f F1=%.2f too low", p, r, f1)
+	}
+}
+
+func TestCorrespondenceQualityEdgeCases(t *testing.T) {
+	p, r, f1 := CorrespondenceQuality(nil, map[string]string{"a": "x"}, map[string]string{"b": "x"})
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty corrs: %v %v %v", p, r, f1)
+	}
+	corrs := []Correspondence{{A: "a", B: "b", Score: 1}}
+	p, r, f1 = CorrespondenceQuality(corrs, map[string]string{"a": "x"}, map[string]string{"b": "x"})
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect corrs: %v %v %v", p, r, f1)
+	}
+}
+
+func TestNameBaselineCorrelate(t *testing.T) {
+	b := &NameBaseline{Labels: []string{"title", "phone"}, Synonyms: strutil.DefaultSynonyms()}
+	s1 := []learn.Column{{Name: "title"}, {Name: "phone"}}
+	s2 := []learn.Column{{Name: "label"}, {Name: "telephone"}}
+	corrs := b.Correlate(s1, s2, 0.8)
+	if len(corrs) != 2 {
+		t.Fatalf("corrs = %v", corrs)
+	}
+	got := map[string]string{}
+	for _, c := range corrs {
+		got[c.A] = c.B
+	}
+	if got["title"] != "label" || got["phone"] != "telephone" {
+		t.Errorf("corrs = %v", got)
+	}
+}
+
+func TestCorrelateOneToOne(t *testing.T) {
+	train, tests := trainAndTest(t, "faculty", 2, 2)
+	lsd := NewLSD(strutil.DefaultSynonyms())
+	lsd.Train(train)
+	corrs := lsd.Correlate(columnsOf(tests[0]), columnsOf(tests[1]), 0.2)
+	seenA, seenB := map[string]bool{}, map[string]bool{}
+	for _, c := range corrs {
+		if seenA[c.A] || seenB[c.B] {
+			t.Errorf("correspondence not 1:1: %v", corrs)
+		}
+		seenA[c.A] = true
+		seenB[c.B] = true
+	}
+}

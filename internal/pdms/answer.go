@@ -1,0 +1,69 @@
+package pdms
+
+import (
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// AnswerResult bundles a query's answers with reformulation statistics.
+type AnswerResult struct {
+	Answers    *relation.Relation
+	Rewritings []cq.Query
+	Stats      ReformStats
+	ReformTime time.Duration
+	ExecTime   time.Duration
+}
+
+// Answer poses q in the given peer's schema and evaluates it over the
+// transitive closure of mappings: "the PDMS will find all data sources
+// related through this schema via the transitive closure of mappings, and
+// it will use these sources to answer the query in the user's schema".
+func (n *Network) Answer(peer string, q cq.Query, opts ReformOptions) (*AnswerResult, error) {
+	rf := NewReformulator(n, opts)
+	t0 := time.Now()
+	rws, stats, err := rf.Reformulate(peer, q)
+	if err != nil {
+		return nil, err
+	}
+	reformTime := time.Since(t0)
+	t1 := time.Now()
+	db := n.GlobalDB()
+	var answers *relation.Relation
+	if len(rws) > 0 {
+		answers, err = cq.EvalUnion(db, rws)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		answers = relation.New(relation.Schema{Name: q.HeadPred})
+	}
+	return &AnswerResult{
+		Answers:    answers,
+		Rewritings: rws,
+		Stats:      *stats,
+		ReformTime: reformTime,
+		ExecTime:   time.Since(t1),
+	}, nil
+}
+
+// LocalAnswer evaluates q against the peer's own storage only — the
+// baseline a peer had before joining the mapping web.
+func (n *Network) LocalAnswer(peer string, q cq.Query) (*relation.Relation, error) {
+	p := n.Peer(peer)
+	if p == nil {
+		return nil, errUnknownPeer(peer)
+	}
+	return cq.Eval(p.Store, q)
+}
+
+func errUnknownPeer(name string) error {
+	return &UnknownPeerError{Name: name}
+}
+
+// UnknownPeerError reports a reference to a peer the network lacks.
+type UnknownPeerError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownPeerError) Error() string { return "pdms: unknown peer " + e.Name }

@@ -1,0 +1,251 @@
+// Package pdms implements Piazza, REVERE's peer data management system
+// (§3): an overlay of peers, each with its own schema and stored
+// relations, connected by local GLAV mappings. Queries are posed in any
+// peer's schema and answered over the transitive closure of mappings,
+// with pruning heuristics over the space of reformulations, plus
+// updategram propagation into materialized views placed at peers.
+package pdms
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/relation"
+)
+
+// Peer is one participant: a named schema plus locally stored relations.
+// In REVERE a peer "may provide new content and services ... plus it may
+// make use of the system by posing queries"; here every peer stores its
+// own data in its own schema.
+type Peer struct {
+	Name   string
+	Store  *relation.Database
+	schema map[string]relation.Schema
+}
+
+// NewPeer creates a peer with the given relation schemas; stored
+// relations start empty.
+func NewPeer(name string, schemas ...relation.Schema) *Peer {
+	p := &Peer{Name: name, Store: relation.NewDatabase(), schema: make(map[string]relation.Schema)}
+	for _, s := range schemas {
+		p.schema[s.Name] = s
+		p.Store.Put(relation.New(s))
+	}
+	return p
+}
+
+// AddSchema registers one more relation in the peer's schema.
+func (p *Peer) AddSchema(s relation.Schema) {
+	p.schema[s.Name] = s
+	if p.Store.Get(s.Name) == nil {
+		p.Store.Put(relation.New(s))
+	}
+}
+
+// HasRelation reports whether the peer's schema includes rel.
+func (p *Peer) HasRelation(rel string) bool {
+	_, ok := p.schema[rel]
+	return ok
+}
+
+// Schema returns the schema of rel (zero Schema if absent).
+func (p *Peer) Schema(rel string) relation.Schema { return p.schema[rel] }
+
+// RelationNames returns the peer's relation names, sorted.
+func (p *Peer) RelationNames() []string {
+	out := make([]string, 0, len(p.schema))
+	for n := range p.schema {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert stores a tuple locally.
+func (p *Peer) Insert(rel string, t relation.Tuple) error {
+	if !p.HasRelation(rel) {
+		return fmt.Errorf("pdms: peer %s has no relation %q", p.Name, rel)
+	}
+	return p.Store.Insert(rel, t)
+}
+
+// Network is the PDMS overlay: peers plus the mapping graph. The arrows
+// of the paper's Figure 2 are Mapping values here.
+type Network struct {
+	peers    map[string]*Peer
+	order    []string
+	mappings []*glav.Mapping
+	// byTargetRel indexes GAV-usable mappings by qualified target atom.
+	byTargetRel map[string][]*glav.Mapping
+	// byTargetPeer indexes all mappings by target peer (for LAV rewriting).
+	byTargetPeer map[string][]*glav.Mapping
+	subs         []*Subscription
+}
+
+// NewNetwork returns an empty overlay.
+func NewNetwork() *Network {
+	return &Network{
+		peers:        make(map[string]*Peer),
+		byTargetRel:  make(map[string][]*glav.Mapping),
+		byTargetPeer: make(map[string][]*glav.Mapping),
+	}
+}
+
+// AddPeer registers a peer; the name must be unused.
+func (n *Network) AddPeer(p *Peer) error {
+	if _, dup := n.peers[p.Name]; dup {
+		return fmt.Errorf("pdms: duplicate peer %q", p.Name)
+	}
+	n.peers[p.Name] = p
+	n.order = append(n.order, p.Name)
+	return nil
+}
+
+// Peer returns the named peer, or nil.
+func (n *Network) Peer(name string) *Peer { return n.peers[name] }
+
+// PeerNames returns all peer names in registration order.
+func (n *Network) PeerNames() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// NumPeers returns the number of peers.
+func (n *Network) NumPeers() int { return len(n.peers) }
+
+// NumMappings returns the number of mappings.
+func (n *Network) NumMappings() int { return len(n.mappings) }
+
+// AddMapping registers a mapping; both endpoints must exist and every
+// predicate must belong to the respective peer's schema.
+func (n *Network) AddMapping(m *glav.Mapping) error {
+	src, tgt := n.peers[m.SrcPeer], n.peers[m.TgtPeer]
+	if src == nil || tgt == nil {
+		return fmt.Errorf("pdms: mapping %s references unknown peer", m.ID)
+	}
+	if err := checkMappingSide(m.ID, src, m.SrcQ); err != nil {
+		return err
+	}
+	if err := checkMappingSide(m.ID, tgt, m.TgtQ); err != nil {
+		return err
+	}
+	n.mappings = append(n.mappings, m)
+	if m.IsGAV() {
+		key := glav.QualifiedName(m.TgtPeer, m.TargetAtomPred())
+		n.byTargetRel[key] = append(n.byTargetRel[key], m)
+	}
+	n.byTargetPeer[m.TgtPeer] = append(n.byTargetPeer[m.TgtPeer], m)
+	return nil
+}
+
+// checkMappingSide validates that every atom of one mapping side names a
+// relation the peer has, with matching arity — catching authoring
+// mistakes at registration rather than mid-reformulation.
+func checkMappingSide(id string, p *Peer, q cq.Query) error {
+	for _, a := range q.Body {
+		if !p.HasRelation(a.Pred) {
+			return fmt.Errorf("pdms: mapping %s: peer %s lacks relation %q", id, p.Name, a.Pred)
+		}
+		if want := p.Schema(a.Pred).Arity(); want != len(a.Args) {
+			return fmt.Errorf("pdms: mapping %s: atom %s has %d args, %s.%s has arity %d",
+				id, a, len(a.Args), p.Name, a.Pred, want)
+		}
+	}
+	return nil
+}
+
+// Mappings returns all mappings.
+func (n *Network) Mappings() []*glav.Mapping { return n.mappings }
+
+// RemovePeer disconnects a peer: its storage, every mapping touching it,
+// and every subscription it hosts disappear. Peer-to-peer systems let
+// "every member ... join or leave at will" (§3); queries elsewhere keep
+// working over whatever remains reachable.
+func (n *Network) RemovePeer(name string) error {
+	if _, ok := n.peers[name]; !ok {
+		return fmt.Errorf("pdms: unknown peer %q", name)
+	}
+	delete(n.peers, name)
+	for i, pn := range n.order {
+		if pn == name {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	kept := n.mappings[:0]
+	for _, m := range n.mappings {
+		if m.SrcPeer == name || m.TgtPeer == name {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	n.mappings = kept
+	// Rebuild mapping indexes.
+	n.byTargetRel = make(map[string][]*glav.Mapping)
+	n.byTargetPeer = make(map[string][]*glav.Mapping)
+	for _, m := range n.mappings {
+		if m.IsGAV() {
+			key := glav.QualifiedName(m.TgtPeer, m.TargetAtomPred())
+			n.byTargetRel[key] = append(n.byTargetRel[key], m)
+		}
+		n.byTargetPeer[m.TgtPeer] = append(n.byTargetPeer[m.TgtPeer], m)
+	}
+	// Drop hosted subscriptions and subscriptions over its relations.
+	keptSubs := n.subs[:0]
+	prefix := name + "."
+	for _, sub := range n.subs {
+		if sub.AtPeer == name {
+			continue
+		}
+		mentions := false
+		for _, pred := range sub.MV.View.Def.Predicates() {
+			if len(pred) >= len(prefix) && pred[:len(prefix)] == prefix {
+				mentions = true
+				break
+			}
+		}
+		if mentions {
+			continue
+		}
+		keptSubs = append(keptSubs, sub)
+	}
+	n.subs = keptSubs
+	return nil
+}
+
+// GlobalDB builds the qualified database: every peer's stored relation
+// appears under "peer.rel". Reformulated queries are evaluated here,
+// simulating the distributed execution of §3.1.2 in-process.
+func (n *Network) GlobalDB() *relation.Database {
+	db := relation.NewDatabase()
+	for _, name := range n.order {
+		p := n.peers[name]
+		for _, r := range p.Store.Relations() {
+			q := relation.New(relation.Schema{
+				Name:  glav.QualifiedName(name, r.Schema.Name),
+				Attrs: r.Schema.Attrs,
+			})
+			for _, row := range r.Rows() {
+				if err := q.Insert(row); err != nil {
+					panic(err) // same schema: cannot happen
+				}
+			}
+			db.Put(q)
+		}
+	}
+	return db
+}
+
+// MappingDegree returns, per peer, how many mappings touch it — used by
+// the E3 mapping-effort experiment.
+func (n *Network) MappingDegree() map[string]int {
+	deg := make(map[string]int, len(n.peers))
+	for _, m := range n.mappings {
+		deg[m.SrcPeer]++
+		deg[m.TgtPeer]++
+	}
+	return deg
+}

@@ -1,0 +1,293 @@
+package pdms
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/view"
+)
+
+// ReformOptions tunes reformulation. The defaults enable the pruning
+// heuristics the paper mentions ("our query answering algorithm is aided
+// by heuristics that prune redundant and irrelevant paths through the
+// space of mappings", §3.1.1); the flags exist so experiment E4 can
+// ablate them.
+type ReformOptions struct {
+	// MaxDepth bounds the mapping-chain length explored (0 → default 8).
+	MaxDepth int
+	// MaxRewritings caps the number of final rewritings (0 → default 256).
+	MaxRewritings int
+	// NoVisitedPruning disables the heuristic that forbids reusing a
+	// mapping along one derivation branch (guards against cycles).
+	NoVisitedPruning bool
+	// NoContainmentPruning disables dropping rewritings contained in an
+	// already-kept rewriting.
+	NoContainmentPruning bool
+	// NoLAV disables the rewriting-using-views pass for mappings whose
+	// source side is a single stored relation.
+	NoLAV bool
+}
+
+func (o ReformOptions) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return 8
+	}
+	return o.MaxDepth
+}
+
+func (o ReformOptions) maxRewritings() int {
+	if o.MaxRewritings <= 0 {
+		return 256
+	}
+	return o.MaxRewritings
+}
+
+// ReformStats reports work done during reformulation; experiments E2/E4
+// read these counters.
+type ReformStats struct {
+	// Explored counts expansion states visited.
+	Explored int
+	// Emitted counts complete rewritings before containment pruning.
+	Emitted int
+	// Kept counts rewritings that survived pruning.
+	Kept int
+	// PrunedVisited counts expansions skipped by the visited-mapping rule.
+	PrunedVisited int
+	// PrunedContained counts rewritings dropped by containment.
+	PrunedContained int
+	// PrunedDuplicate counts syntactically duplicate rewritings dropped.
+	PrunedDuplicate int
+	// PeersTouched counts distinct peers whose storage the kept
+	// rewritings read — the number of peers contacted at execution.
+	PeersTouched int
+}
+
+// Reformulator rewrites queries posed in one peer's schema into unions of
+// conjunctive queries over qualified stored relations.
+type Reformulator struct {
+	net     *Network
+	opts    ReformOptions
+	counter int
+}
+
+// NewReformulator builds a reformulator over the network.
+func NewReformulator(net *Network, opts ReformOptions) *Reformulator {
+	return &Reformulator{net: net, opts: opts}
+}
+
+func (rf *Reformulator) fresh() string {
+	rf.counter++
+	return "_m" + strconv.Itoa(rf.counter) + "_"
+}
+
+// Reformulate turns a query over peer's schema into rewritings whose
+// atoms are all qualified stored relations ("peer.rel"). Every returned
+// rewriting is sound; together they approximate the certain answers
+// reachable through the mapping graph within MaxDepth.
+func (rf *Reformulator) Reformulate(peer string, q cq.Query) ([]cq.Query, *ReformStats, error) {
+	p := rf.net.Peer(peer)
+	if p == nil {
+		return nil, nil, fmt.Errorf("pdms: unknown peer %q", peer)
+	}
+	for _, pred := range q.Predicates() {
+		if !p.HasRelation(pred) {
+			return nil, nil, fmt.Errorf("pdms: query uses %q, not in peer %s's schema", pred, peer)
+		}
+	}
+	stats := &ReformStats{}
+	qq := glav.Qualify(q, peer)
+
+	// Initial states: the query itself plus any LAV rewritings of it.
+	// A LAV rewriting already traversed one mapping, so it starts with
+	// one less hop of depth budget.
+	type startState struct {
+		q     cq.Query
+		depth int
+	}
+	states := []startState{{qq, rf.opts.maxDepth()}}
+	if !rf.opts.NoLAV {
+		for _, lr := range rf.lavRewritings(peer, q, stats) {
+			states = append(states, startState{lr, rf.opts.maxDepth() - 1})
+		}
+	}
+
+	var kept []cq.Query
+	seen := make(map[string]bool)
+	for _, st := range states {
+		rf.expand(st.q, 0, st.depth, make(map[string]bool), stats, seen, &kept)
+		if len(kept) >= rf.opts.maxRewritings() {
+			break
+		}
+	}
+	if !rf.opts.NoContainmentPruning {
+		kept = pruneContained(kept, stats)
+	}
+	stats.Kept = len(kept)
+	stats.PeersTouched = countPeers(kept)
+	return kept, stats, nil
+}
+
+// expand resolves pending atoms left to right. Index idx is the first
+// unresolved atom; atoms before idx are final (stored) atoms.
+func (rf *Reformulator) expand(q cq.Query, idx, depth int, used map[string]bool,
+	stats *ReformStats, seen map[string]bool, out *[]cq.Query) {
+	if len(*out) >= rf.opts.maxRewritings() {
+		return
+	}
+	stats.Explored++
+	if idx >= len(q.Body) {
+		key := canonicalKey(q)
+		if seen[key] {
+			stats.PrunedDuplicate++
+			return
+		}
+		seen[key] = true
+		stats.Emitted++
+		*out = append(*out, q)
+		return
+	}
+	atom := q.Body[idx]
+	peerName, rel := glav.SplitQualified(atom.Pred)
+	p := rf.net.Peer(peerName)
+
+	// Option 1: read the relation from the owning peer's storage.
+	if p != nil && p.HasRelation(rel) {
+		rf.expand(q, idx+1, depth, used, stats, seen, out)
+	}
+
+	// Option 2: unfold through each GAV mapping targeting this relation.
+	if depth > 0 {
+		for _, m := range rf.net.byTargetRel[atom.Pred] {
+			if !rf.opts.NoVisitedPruning && used[m.ID] {
+				stats.PrunedVisited++
+				continue
+			}
+			def := cq.Query{
+				HeadPred: atom.Pred,
+				HeadVars: m.SrcQ.HeadVars,
+				Body:     glav.Qualify(m.SrcQ, m.SrcPeer).Body,
+			}
+			expanded, err := cq.ExpandAtom(q, idx, def, rf.fresh())
+			if err != nil {
+				continue
+			}
+			used[m.ID] = true
+			rf.expand(expanded, idx, depth-1, used, stats, seen, out)
+			delete(used, m.ID)
+		}
+	}
+}
+
+// lavRewritings applies the "backward" direction: mappings whose source
+// side is a single stored relation at another peer act as views over this
+// peer's schema; rewriting the query with those views (plus identity
+// views for the peer's own relations) yields alternative starting states
+// whose atoms are then expanded as usual.
+func (rf *Reformulator) lavRewritings(peer string, q cq.Query, stats *ReformStats) []cq.Query {
+	var views []view.View
+	remote := 0
+	for _, m := range rf.net.byTargetPeer[peer] {
+		if !m.IsLAV() {
+			continue
+		}
+		// View named after the qualified source relation, defined by the
+		// target-side query over this peer's schema.
+		name := glav.QualifiedName(m.SrcPeer, m.SourceAtomPred())
+		views = append(views, view.NewView(name, m.TgtQ))
+		remote++
+	}
+	if remote == 0 {
+		return nil
+	}
+	// Identity views let rewritings mix local atoms with remote views.
+	p := rf.net.Peer(peer)
+	for _, rel := range p.RelationNames() {
+		sch := p.Schema(rel)
+		vars := make([]cq.Term, sch.Arity())
+		headVars := make([]string, sch.Arity())
+		for i := range vars {
+			v := "A" + strconv.Itoa(i)
+			vars[i] = cq.V(v)
+			headVars[i] = v
+		}
+		def := cq.Query{HeadPred: rel, HeadVars: headVars,
+			Body: []cq.Atom{{Pred: rel, Args: vars}}}
+		views = append(views, view.NewView(glav.QualifiedName(peer, rel), def))
+	}
+	rws, err := view.Rewrite(q, views, view.RewriteOptions{MaxRewritings: rf.opts.maxRewritings()})
+	if err != nil {
+		return nil
+	}
+	var out []cq.Query
+	for _, rw := range rws {
+		// Skip the all-identity rewriting: it duplicates the base state.
+		allLocal := true
+		for _, a := range rw.Query.Body {
+			pn, _ := glav.SplitQualified(a.Pred)
+			if pn != peer {
+				allLocal = false
+				break
+			}
+		}
+		if allLocal {
+			continue
+		}
+		out = append(out, rw.Query)
+	}
+	return out
+}
+
+// pruneContained removes rewritings contained in another kept rewriting.
+func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
+	// Favor shorter rewritings as containers.
+	sort.SliceStable(rws, func(i, j int) bool { return len(rws[i].Body) < len(rws[j].Body) })
+	var kept []cq.Query
+	for _, r := range rws {
+		redundant := false
+		for _, k := range kept {
+			if cq.Contains(k, r) {
+				redundant = true
+				break
+			}
+		}
+		if redundant {
+			stats.PrunedContained++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+func countPeers(rws []cq.Query) int {
+	peers := make(map[string]bool)
+	for _, r := range rws {
+		for _, a := range r.Body {
+			pn, _ := glav.SplitQualified(a.Pred)
+			if pn != "" {
+				peers[pn] = true
+			}
+		}
+	}
+	return len(peers)
+}
+
+func canonicalKey(q cq.Query) string {
+	parts := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	key := q.HeadPred + "("
+	for _, v := range q.HeadVars {
+		key += v + ","
+	}
+	key += ")"
+	for _, p := range parts {
+		key += p + ";"
+	}
+	return key
+}

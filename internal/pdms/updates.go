@@ -1,0 +1,108 @@
+package pdms
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/relation"
+	"repro/internal/view"
+)
+
+// Subscription is a materialized view placed at a peer over the global
+// (qualified) schema — the data-placement mechanism of §3.1.2: "our
+// ultimate goal is to materialize the best views at each peer to allow
+// answering queries most efficiently". Base updates reach it as
+// updategrams.
+type Subscription struct {
+	// AtPeer hosts the materialization.
+	AtPeer string
+	// MV is the materialized view; its definition's predicates are
+	// qualified stored-relation names.
+	MV *view.MaterializedView
+}
+
+// Subscribe places a materialized view at a peer. The definition def must
+// use qualified predicates ("peer.rel"); it is refreshed immediately.
+func (n *Network) Subscribe(atPeer, name string, def cq.Query) (*Subscription, error) {
+	if n.Peer(atPeer) == nil {
+		return nil, errUnknownPeer(atPeer)
+	}
+	for _, pred := range def.Predicates() {
+		pn, rel := glav.SplitQualified(pred)
+		p := n.Peer(pn)
+		if p == nil || !p.HasRelation(rel) {
+			return nil, fmt.Errorf("pdms: subscription %s references unknown %q", name, pred)
+		}
+	}
+	mv := view.NewMaterialized(view.NewView(name, def))
+	if err := mv.Refresh(n.GlobalDB()); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{AtPeer: atPeer, MV: mv}
+	n.subs = append(n.subs, sub)
+	return sub, nil
+}
+
+// Subscriptions returns all placed views.
+func (n *Network) Subscriptions() []*Subscription { return n.subs }
+
+// PublishStats reports update-propagation work.
+type PublishStats struct {
+	// ViewsTouched counts subscriptions whose definitions mention the
+	// updated relation.
+	ViewsTouched int
+	// TuplesShipped counts delta tuples sent to subscribers.
+	TuplesShipped int
+}
+
+// Publish applies an updategram to a peer's stored relation and
+// propagates incremental view updategrams to every affected
+// subscription. "Updategrams on base data can be combined to create
+// updategrams for views."
+func (n *Network) Publish(peer, rel string, u view.Updategram) (*PublishStats, error) {
+	p := n.Peer(peer)
+	if p == nil {
+		return nil, errUnknownPeer(peer)
+	}
+	if !p.HasRelation(rel) {
+		return nil, fmt.Errorf("pdms: peer %s has no relation %q", peer, rel)
+	}
+	qualified := glav.QualifiedName(peer, rel)
+	pre := n.GlobalDB()
+	// Apply locally.
+	local := view.Updategram{Relation: rel, Inserts: u.Inserts, Deletes: u.Deletes}
+	if err := local.Apply(p.Store); err != nil {
+		return nil, err
+	}
+	post := n.GlobalDB()
+	stats := &PublishStats{}
+	qu := view.Updategram{Relation: qualified, Inserts: u.Inserts, Deletes: u.Deletes}
+	for _, sub := range n.subs {
+		mentions := false
+		for _, pred := range sub.MV.View.Def.Predicates() {
+			if pred == qualified {
+				mentions = true
+				break
+			}
+		}
+		if !mentions {
+			continue
+		}
+		stats.ViewsTouched++
+		delta, err := sub.MV.ViewDelta(pre, post, qu)
+		if err != nil {
+			return nil, err
+		}
+		stats.TuplesShipped += delta.Size()
+		if err := sub.MV.ApplyDelta(delta); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// InsertAndPublish is a convenience wrapper publishing a single insert.
+func (n *Network) InsertAndPublish(peer, rel string, t relation.Tuple) (*PublishStats, error) {
+	return n.Publish(peer, rel, view.Updategram{Relation: rel, Inserts: []relation.Tuple{t}})
+}

@@ -1,0 +1,91 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization of the triple store in an N-Triples-flavored line
+// format with provenance: one quoted quad per line. MANGROVE
+// repositories survive process restarts through this (the paper stores
+// its repository in a relational database; we persist the graph
+// directly).
+
+// Save writes all triples to w, one per line, deterministically in
+// insertion order.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range s.triples {
+		if _, err := fmt.Fprintf(bw, "%s %s %s %s\n",
+			strconv.Quote(t.S), strconv.Quote(t.P), strconv.Quote(t.O), strconv.Quote(t.Source)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads triples produced by Save into the store (adding to any
+// existing contents).
+func (s *Store) Load(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields, err := splitQuoted(text)
+		if err != nil {
+			return fmt.Errorf("rdf: line %d: %w", line, err)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("rdf: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		s.Add(Triple{S: fields[0], P: fields[1], O: fields[2], Source: fields[3]})
+	}
+	return sc.Err()
+}
+
+// splitQuoted parses space-separated Go-quoted strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] != '"' {
+			return nil, fmt.Errorf("expected quote at byte %d", i)
+		}
+		// Find the closing unescaped quote.
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return nil, fmt.Errorf("unterminated quote at byte %d", i)
+		}
+		unq, err := strconv.Unquote(s[i : j+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		i = j + 1
+	}
+	return out, nil
+}

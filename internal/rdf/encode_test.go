@@ -1,0 +1,89 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := seeded()
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("len %d != %d", loaded.Len(), s.Len())
+	}
+	for _, tr := range s.Match("", "", "") {
+		got := loaded.Match(tr.S, tr.P, tr.O)
+		found := false
+		for _, g := range got {
+			if g == tr {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("triple %v lost in round trip", tr)
+		}
+	}
+}
+
+func TestSaveLoadAwkwardStrings(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{S: `spaces and "quotes"`, P: "tabs\tand\nnewlines", O: `back\slash`, Source: "日本語"})
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Match(`spaces and "quotes"`, "", "")
+	if len(got) != 1 || got[0].O != `back\slash` || got[0].Source != "日本語" {
+		t.Errorf("round trip mangled: %+v", got)
+	}
+}
+
+func TestLoadErrorsAndComments(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(strings.NewReader("# comment\n\n")); err != nil {
+		t.Errorf("comments/blank lines should be fine: %v", err)
+	}
+	for _, bad := range []string{
+		`"a" "b" "c"`,          // 3 fields
+		`"a" "b" "c" "d" "e"`,  // 5 fields
+		`unquoted "b" "c" "d"`, // missing quote
+		`"unterminated`,        // unterminated
+	} {
+		if err := NewStore().Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSaveLoadQuickProperty(t *testing.T) {
+	f := func(parts [][4]string) bool {
+		s := NewStore()
+		for _, p := range parts {
+			s.Add(Triple{S: p[0], P: p[1], O: p[2], Source: p[3]})
+		}
+		var buf strings.Builder
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		loaded := NewStore()
+		if err := loaded.Load(strings.NewReader(buf.String())); err != nil {
+			return false
+		}
+		return loaded.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

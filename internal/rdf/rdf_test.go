@@ -1,0 +1,177 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func seeded() *Store {
+	s := NewStore()
+	s.Add(Triple{S: "cse544", P: "course.title", O: "Database Systems", Source: "http://uw/cse544"})
+	s.Add(Triple{S: "cse544", P: "course.instructor", O: "halevy", Source: "http://uw/cse544"})
+	s.Add(Triple{S: "cse573", P: "course.title", O: "AI", Source: "http://uw/cse573"})
+	s.Add(Triple{S: "cse573", P: "course.instructor", O: "etzioni", Source: "http://uw/cse573"})
+	s.Add(Triple{S: "halevy", P: "person.phone", O: "543-1111", Source: "http://uw/halevy"})
+	s.Add(Triple{S: "halevy", P: "person.phone", O: "543-2222", Source: "http://evil/page"})
+	return s
+}
+
+func TestAddDedup(t *testing.T) {
+	s := NewStore()
+	tr := Triple{S: "a", P: "b", O: "c", Source: "s"}
+	if !s.Add(tr) {
+		t.Error("first Add should be new")
+	}
+	if s.Add(tr) {
+		t.Error("duplicate Add should report false")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Same triple from a different source is kept (provenance differs).
+	if !s.Add(Triple{S: "a", P: "b", O: "c", Source: "other"}) {
+		t.Error("different provenance should be new")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	s := seeded()
+	if got := s.Match("cse544", "", ""); len(got) != 2 {
+		t.Errorf("S match = %v", got)
+	}
+	if got := s.Match("", "course.title", ""); len(got) != 2 {
+		t.Errorf("P match = %v", got)
+	}
+	if got := s.Match("", "", "halevy"); len(got) != 1 {
+		t.Errorf("O match = %v", got)
+	}
+	if got := s.Match("cse544", "course.title", ""); len(got) != 1 {
+		t.Errorf("SP match = %v", got)
+	}
+	if got := s.Match("", "course.instructor", "etzioni"); len(got) != 1 {
+		t.Errorf("PO match = %v", got)
+	}
+	if got := s.Match("", "", ""); len(got) != s.Len() {
+		t.Errorf("full scan = %d", len(got))
+	}
+	if got := s.Match("nope", "", ""); got != nil && len(got) != 0 {
+		t.Errorf("miss = %v", got)
+	}
+}
+
+func TestMatchConsistencyAcrossIndexes(t *testing.T) {
+	// Every access path must agree with a brute-force scan.
+	rnd := rand.New(rand.NewSource(11))
+	s := NewStore()
+	var all []Triple
+	vals := []string{"a", "b", "c", "d"}
+	for i := 0; i < 60; i++ {
+		tr := Triple{S: vals[rnd.Intn(4)], P: vals[rnd.Intn(4)], O: vals[rnd.Intn(4)], Source: "src"}
+		if s.Add(tr) {
+			all = append(all, tr)
+		}
+	}
+	count := func(subj, pred, obj string) int {
+		n := 0
+		for _, t := range all {
+			if (subj == "" || t.S == subj) && (pred == "" || t.P == pred) && (obj == "" || t.O == obj) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, subj := range append(vals, "") {
+		for _, pred := range append(vals, "") {
+			for _, obj := range append(vals, "") {
+				want := count(subj, pred, obj)
+				if got := len(s.Match(subj, pred, obj)); got != want {
+					t.Fatalf("Match(%q,%q,%q) = %d, want %d", subj, pred, obj, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveBySource(t *testing.T) {
+	s := seeded()
+	if got := s.RemoveBySource("http://uw/cse544"); got != 2 {
+		t.Errorf("removed = %d", got)
+	}
+	if got := s.Match("cse544", "", ""); len(got) != 0 {
+		t.Errorf("triples survive removal: %v", got)
+	}
+	if got := s.RemoveBySource("http://nowhere"); got != 0 {
+		t.Errorf("removed = %d from unknown source", got)
+	}
+	// Index still consistent after rebuild.
+	if got := s.Match("", "course.title", ""); len(got) != 1 {
+		t.Errorf("post-removal match = %v", got)
+	}
+}
+
+func TestSources(t *testing.T) {
+	s := seeded()
+	srcs := s.Sources()
+	want := []string{"http://evil/page", "http://uw/cse544", "http://uw/cse573", "http://uw/halevy"}
+	if !reflect.DeepEqual(srcs, want) {
+		t.Errorf("Sources = %v", srcs)
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	s := seeded()
+	// Phone numbers of course instructors.
+	bindings := s.Query(
+		Pattern{S: "?c", P: "course.instructor", O: "?i"},
+		Pattern{S: "?i", P: "person.phone", O: "?ph"},
+	)
+	if len(bindings) != 2 {
+		t.Fatalf("bindings = %v", bindings)
+	}
+	for _, b := range bindings {
+		if b["?i"] != "halevy" {
+			t.Errorf("binding = %v", b)
+		}
+	}
+	phones := s.QueryValues("?ph",
+		Pattern{S: "?c", P: "course.instructor", O: "?i"},
+		Pattern{S: "?i", P: "person.phone", O: "?ph"},
+	)
+	if !reflect.DeepEqual(phones, []string{"543-1111", "543-2222"}) {
+		t.Errorf("phones = %v", phones)
+	}
+}
+
+func TestQueryRepeatedVariable(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{S: "a", P: "knows", O: "a", Source: "x"})
+	s.Add(Triple{S: "a", P: "knows", O: "b", Source: "x"})
+	got := s.QueryValues("?x", Pattern{S: "?x", P: "knows", O: "?x"})
+	if !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("self-loop = %v", got)
+	}
+}
+
+func TestQueryConstantMismatch(t *testing.T) {
+	s := seeded()
+	if got := s.Query(Pattern{S: "cse544", P: "course.title", O: "Wrong"}); got != nil {
+		t.Errorf("mismatch = %v", got)
+	}
+	if got := s.Query(); len(got) != 1 {
+		t.Errorf("empty query should yield one empty binding, got %v", got)
+	}
+}
+
+func TestQueryNoLeakAcrossBindings(t *testing.T) {
+	s := seeded()
+	// Two instructors; binding for one must not contaminate the other.
+	bindings := s.Query(Pattern{S: "?c", P: "course.instructor", O: "?i"})
+	seen := map[string]string{}
+	for _, b := range bindings {
+		seen[b["?c"]] = b["?i"]
+	}
+	if seen["cse544"] != "halevy" || seen["cse573"] != "etzioni" {
+		t.Errorf("bindings = %v", seen)
+	}
+}

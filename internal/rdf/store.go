@@ -1,0 +1,289 @@
+// Package rdf is the annotation repository substrate. MANGROVE stores
+// published annotations "in a relational database using a simple graph
+// representation" queried RDF-style (§2.2); this package provides that
+// graph store: triples with provenance (the source URL, "an important
+// resource for cleaning up the data"), three access-path indexes, and
+// conjunctive triple-pattern queries.
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Triple is one (subject, predicate, object) edge with provenance.
+type Triple struct {
+	S, P, O string
+	// Source is the URL of the page the triple was published from.
+	Source string
+}
+
+// Store is an in-memory indexed triple store.
+type Store struct {
+	triples []Triple
+	// present dedupes exact (S,P,O,Source) quads.
+	present map[Triple]bool
+	spo     map[string]map[string][]int // S -> P -> triple ids
+	pos     map[string]map[string][]int // P -> O -> triple ids
+	osp     map[string]map[string][]int // O -> S -> triple ids
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		present: make(map[Triple]bool),
+		spo:     make(map[string]map[string][]int),
+		pos:     make(map[string]map[string][]int),
+		osp:     make(map[string]map[string][]int),
+	}
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int { return len(s.triples) }
+
+// Add inserts a triple (idempotent per exact quad) and reports whether it
+// was new.
+func (s *Store) Add(t Triple) bool {
+	if s.present[t] {
+		return false
+	}
+	s.present[t] = true
+	id := len(s.triples)
+	s.triples = append(s.triples, t)
+	addIdx(s.spo, t.S, t.P, id)
+	addIdx(s.pos, t.P, t.O, id)
+	addIdx(s.osp, t.O, t.S, id)
+	return true
+}
+
+func addIdx(idx map[string]map[string][]int, a, b string, id int) {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[string][]int)
+		idx[a] = m
+	}
+	m[b] = append(m[b], id)
+}
+
+// RemoveBySource deletes all triples published from the given source and
+// reports how many were removed. MANGROVE republishes a page by removing
+// its previous triples and adding the new extraction.
+func (s *Store) RemoveBySource(source string) int {
+	var kept []Triple
+	removed := 0
+	for _, t := range s.triples {
+		if t.Source == source {
+			removed++
+			delete(s.present, t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if removed == 0 {
+		return 0
+	}
+	s.triples = kept
+	s.rebuild()
+	return removed
+}
+
+func (s *Store) rebuild() {
+	s.spo = make(map[string]map[string][]int)
+	s.pos = make(map[string]map[string][]int)
+	s.osp = make(map[string]map[string][]int)
+	for id, t := range s.triples {
+		addIdx(s.spo, t.S, t.P, id)
+		addIdx(s.pos, t.P, t.O, id)
+		addIdx(s.osp, t.O, t.S, id)
+	}
+}
+
+// Match returns triples matching the pattern; empty strings are
+// wildcards. The best index for the bound positions is chosen.
+func (s *Store) Match(subj, pred, obj string) []Triple {
+	ids := s.matchIDs(subj, pred, obj)
+	out := make([]Triple, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.triples[id])
+	}
+	return out
+}
+
+func (s *Store) matchIDs(subj, pred, obj string) []int {
+	filter := func(ids []int) []int {
+		var out []int
+		for _, id := range ids {
+			t := s.triples[id]
+			if (subj == "" || t.S == subj) && (pred == "" || t.P == pred) && (obj == "" || t.O == obj) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	switch {
+	case subj != "":
+		if pred != "" {
+			return filter(s.spo[subj][pred])
+		}
+		var ids []int
+		for _, v := range s.spo[subj] {
+			ids = append(ids, v...)
+		}
+		sort.Ints(ids)
+		return filter(ids)
+	case pred != "":
+		if obj != "" {
+			return filter(s.pos[pred][obj])
+		}
+		var ids []int
+		for _, v := range s.pos[pred] {
+			ids = append(ids, v...)
+		}
+		sort.Ints(ids)
+		return filter(ids)
+	case obj != "":
+		var ids []int
+		for _, v := range s.osp[obj] {
+			ids = append(ids, v...)
+		}
+		sort.Ints(ids)
+		return filter(ids)
+	default:
+		ids := make([]int, len(s.triples))
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+}
+
+// Sources returns the distinct provenance sources, sorted.
+func (s *Store) Sources() []string {
+	set := make(map[string]bool)
+	for _, t := range s.triples {
+		set[t.Source] = true
+	}
+	out := make([]string, 0, len(set))
+	for src := range set {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pattern is one triple pattern of a graph query; terms starting with
+// '?' are variables, everything else is a constant.
+type Pattern struct {
+	S, P, O string
+}
+
+// IsVar reports whether a pattern term is a variable.
+func IsVar(term string) bool { return strings.HasPrefix(term, "?") }
+
+// Binding maps variable names (with '?') to values.
+type Binding map[string]string
+
+// Query evaluates a conjunction of triple patterns and returns all
+// bindings of the variables, joining patterns left to right.
+func (s *Store) Query(patterns ...Pattern) []Binding {
+	bindings := []Binding{{}}
+	for _, p := range patterns {
+		var next []Binding
+		for _, b := range bindings {
+			subj := resolve(p.S, b)
+			pred := resolve(p.P, b)
+			obj := resolve(p.O, b)
+			for _, t := range s.Match(constOr(subj), constOr(pred), constOr(obj)) {
+				nb := extend(b, subj, t.S)
+				nb = extendB(nb, pred, t.P)
+				nb = extendB(nb, obj, t.O)
+				if nb != nil {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+	return bindings
+}
+
+// resolve substitutes a bound variable, returning either a constant or
+// the still-unbound variable name.
+func resolve(term string, b Binding) string {
+	if IsVar(term) {
+		if v, ok := b[term]; ok {
+			return v
+		}
+	}
+	return term
+}
+
+func constOr(term string) string {
+	if IsVar(term) {
+		return ""
+	}
+	return term
+}
+
+func extend(b Binding, term, val string) Binding {
+	if !IsVar(term) {
+		if term != val {
+			return nil
+		}
+		// copy so later extendB calls can mutate safely
+		nb := make(Binding, len(b)+2)
+		for k, v := range b {
+			nb[k] = v
+		}
+		return nb
+	}
+	nb := make(Binding, len(b)+2)
+	for k, v := range b {
+		nb[k] = v
+	}
+	if prev, ok := nb[term]; ok && prev != val {
+		return nil
+	}
+	nb[term] = val
+	return nb
+}
+
+func extendB(b Binding, term, val string) Binding {
+	if b == nil {
+		return nil
+	}
+	if !IsVar(term) {
+		if term != val {
+			return nil
+		}
+		return b
+	}
+	if prev, ok := b[term]; ok {
+		if prev != val {
+			return nil
+		}
+		return b
+	}
+	b[term] = val
+	return b
+}
+
+// QueryValues runs Query and projects one variable's values, deduped and
+// sorted.
+func (s *Store) QueryValues(varName string, patterns ...Pattern) []string {
+	set := make(map[string]bool)
+	for _, b := range s.Query(patterns...) {
+		if v, ok := b[varName]; ok {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

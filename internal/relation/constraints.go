@@ -1,0 +1,170 @@
+package relation
+
+import "fmt"
+
+// Violation describes one integrity-constraint violation. MANGROVE defers
+// constraint enforcement to applications (§2.3 of the paper), so the
+// substrate reports violations instead of rejecting writes.
+type Violation struct {
+	Constraint string
+	Relation   string
+	Detail     string
+	Rows       []int
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on %s: %s", v.Constraint, v.Relation, v.Detail)
+}
+
+// Constraint checks a database and reports violations without mutating it.
+type Constraint interface {
+	Check(db *Database) []Violation
+	Name() string
+}
+
+// KeyConstraint requires the listed attributes to be unique in Relation.
+type KeyConstraint struct {
+	Relation string
+	Attrs    []string
+}
+
+// Name implements Constraint.
+func (k KeyConstraint) Name() string {
+	return fmt.Sprintf("key(%s: %v)", k.Relation, k.Attrs)
+}
+
+// Check implements Constraint.
+func (k KeyConstraint) Check(db *Database) []Violation {
+	r := db.Get(k.Relation)
+	if r == nil {
+		return nil
+	}
+	cols := make([]int, 0, len(k.Attrs))
+	for _, a := range k.Attrs {
+		c := r.Schema.AttrIndex(a)
+		if c < 0 {
+			return []Violation{{Constraint: k.Name(), Relation: k.Relation,
+				Detail: fmt.Sprintf("unknown attribute %q", a)}}
+		}
+		cols = append(cols, c)
+	}
+	seen := make(map[string]int)
+	var out []Violation
+	for i, row := range r.Rows() {
+		key := ""
+		for _, c := range cols {
+			key += row[c].Key() + "\x1f"
+		}
+		if first, dup := seen[key]; dup {
+			out = append(out, Violation{
+				Constraint: k.Name(), Relation: k.Relation,
+				Detail: fmt.Sprintf("duplicate key %v (rows %d, %d)", keyVals(row, cols), first, i),
+				Rows:   []int{first, i},
+			})
+		} else {
+			seen[key] = i
+		}
+	}
+	return out
+}
+
+func keyVals(t Tuple, cols []int) []Value {
+	out := make([]Value, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// ForeignKey requires every value of FromRelation.FromAttr to appear in
+// ToRelation.ToAttr.
+type ForeignKey struct {
+	FromRelation, FromAttr string
+	ToRelation, ToAttr     string
+}
+
+// Name implements Constraint.
+func (f ForeignKey) Name() string {
+	return fmt.Sprintf("fk(%s.%s -> %s.%s)", f.FromRelation, f.FromAttr, f.ToRelation, f.ToAttr)
+}
+
+// Check implements Constraint.
+func (f ForeignKey) Check(db *Database) []Violation {
+	from, to := db.Get(f.FromRelation), db.Get(f.ToRelation)
+	if from == nil || to == nil {
+		return nil
+	}
+	fc := from.Schema.AttrIndex(f.FromAttr)
+	tc := to.Schema.AttrIndex(f.ToAttr)
+	if fc < 0 || tc < 0 {
+		return []Violation{{Constraint: f.Name(), Relation: f.FromRelation, Detail: "unknown attribute"}}
+	}
+	targets := make(map[string]bool, to.Len())
+	for _, row := range to.Rows() {
+		targets[row[tc].Key()] = true
+	}
+	var out []Violation
+	for i, row := range from.Rows() {
+		if !targets[row[fc].Key()] {
+			out = append(out, Violation{
+				Constraint: f.Name(), Relation: f.FromRelation,
+				Detail: fmt.Sprintf("dangling value %v (row %d)", row[fc], i),
+				Rows:   []int{i},
+			})
+		}
+	}
+	return out
+}
+
+// SingleValued requires that for each distinct key attribute value there
+// is at most one distinct value of the dependent attribute — the paper's
+// example of "certain attributes may have multiple values, where there
+// should be only one" (a person with two phone numbers).
+type SingleValued struct {
+	Relation string
+	KeyAttr  string
+	ValAttr  string
+}
+
+// Name implements Constraint.
+func (s SingleValued) Name() string {
+	return fmt.Sprintf("single(%s: %s -> %s)", s.Relation, s.KeyAttr, s.ValAttr)
+}
+
+// Check implements Constraint.
+func (s SingleValued) Check(db *Database) []Violation {
+	r := db.Get(s.Relation)
+	if r == nil {
+		return nil
+	}
+	kc := r.Schema.AttrIndex(s.KeyAttr)
+	vc := r.Schema.AttrIndex(s.ValAttr)
+	if kc < 0 || vc < 0 {
+		return []Violation{{Constraint: s.Name(), Relation: s.Relation, Detail: "unknown attribute"}}
+	}
+	vals := make(map[string]map[string][]int)
+	for i, row := range r.Rows() {
+		k := row[kc].Key()
+		if vals[k] == nil {
+			vals[k] = make(map[string][]int)
+		}
+		vals[k][row[vc].Key()] = append(vals[k][row[vc].Key()], i)
+	}
+	var out []Violation
+	for _, byVal := range vals {
+		if len(byVal) <= 1 {
+			continue
+		}
+		var rows []int
+		for _, ids := range byVal {
+			rows = append(rows, ids...)
+		}
+		out = append(out, Violation{
+			Constraint: s.Name(), Relation: s.Relation,
+			Detail: fmt.Sprintf("%d conflicting values for one key", len(byVal)),
+			Rows:   rows,
+		})
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Put registers (or replaces) a relation under its schema name.
+func (db *Database) Put(r *Relation) {
+	db.rels[r.Schema.Name] = r
+}
+
+// Get returns the named relation, or nil.
+func (db *Database) Get(name string) *Relation { return db.rels[name] }
+
+// GetOrCreate returns the named relation, creating an empty one with the
+// given schema if absent.
+func (db *Database) GetOrCreate(schema Schema) *Relation {
+	if r, ok := db.rels[schema.Name]; ok {
+		return r
+	}
+	r := New(schema)
+	db.rels[schema.Name] = r
+	return r
+}
+
+// Names returns the relation names, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relations returns all relations in name order.
+func (db *Database) Relations() []*Relation {
+	names := db.Names()
+	out := make([]*Relation, len(names))
+	for i, n := range names {
+		out[i] = db.rels[n]
+	}
+	return out
+}
+
+// Size returns the total number of tuples across relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, r := range db.rels {
+		out.Put(r.Clone())
+	}
+	return out
+}
+
+// Insert adds a tuple to the named relation, failing if it is absent.
+func (db *Database) Insert(relName string, t Tuple) error {
+	r := db.Get(relName)
+	if r == nil {
+		return fmt.Errorf("database: no relation %q", relName)
+	}
+	return r.Insert(t)
+}

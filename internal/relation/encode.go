@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization: relations round-trip through a typed, tab-separated
+// text format with a schema header line, so peers and examples can
+// persist and exchange stored relations.
+//
+//	#schema course title:string instructor:string size:int
+//	"DB"	"halevy"	40
+
+// Save writes the relation (schema header + one row per line) to w.
+func (r *Relation) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#schema %s", r.Schema.Name)
+	for _, a := range r.Schema.Attrs {
+		fmt.Fprintf(bw, " %s:%s", a.Name, a.Type)
+	}
+	bw.WriteByte('\n')
+	for _, row := range r.rows {
+		for i, v := range row {
+			if i > 0 {
+				bw.WriteByte('\t')
+			}
+			switch v.Kind {
+			case TString:
+				bw.WriteString(strconv.Quote(v.S))
+			case TInt:
+				bw.WriteString(strconv.FormatInt(v.I, 10))
+			case TFloat:
+				bw.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// LoadRelation reads a relation produced by Save.
+func LoadRelation(r io.Reader) (*Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("relation: empty input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "#schema ") {
+		return nil, fmt.Errorf("relation: missing #schema header")
+	}
+	fields := strings.Fields(header[len("#schema "):])
+	if len(fields) < 1 {
+		return nil, fmt.Errorf("relation: malformed header %q", header)
+	}
+	schema := Schema{Name: fields[0]}
+	for _, f := range fields[1:] {
+		name, typ, ok := strings.Cut(f, ":")
+		if !ok {
+			return nil, fmt.Errorf("relation: malformed attribute %q", f)
+		}
+		var kind Type
+		switch typ {
+		case "string":
+			kind = TString
+		case "int":
+			kind = TInt
+		case "float":
+			kind = TFloat
+		default:
+			return nil, fmt.Errorf("relation: unknown type %q", typ)
+		}
+		schema.Attrs = append(schema.Attrs, Attribute{Name: name, Type: kind})
+	}
+	rel := New(schema)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != schema.Arity() {
+			return nil, fmt.Errorf("relation: line %d has %d fields, want %d", line, len(parts), schema.Arity())
+		}
+		row := make(Tuple, len(parts))
+		for i, p := range parts {
+			v, err := parseTyped(p, schema.Attrs[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d col %d: %w", line, i, err)
+			}
+			row[i] = v
+		}
+		if err := rel.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func parseTyped(s string, t Type) (Value, error) {
+	switch t {
+	case TString:
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad string %q: %w", s, err)
+		}
+		return SV(unq), nil
+	case TInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad int %q: %w", s, err)
+		}
+		return IV(i), nil
+	case TFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float %q: %w", s, err)
+		}
+		return FV(f), nil
+	}
+	return Value{}, fmt.Errorf("unknown type %v", t)
+}
+
+// SaveDatabase writes every relation of a database, separated by blank
+// lines, in name order.
+func SaveDatabase(db *Database, w io.Writer) error {
+	for i, r := range db.Relations() {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := r.Save(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDatabase reads a database produced by SaveDatabase.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for _, chunk := range strings.Split(string(data), "\n\n") {
+		if strings.TrimSpace(chunk) == "" {
+			continue
+		}
+		rel, err := LoadRelation(strings.NewReader(chunk))
+		if err != nil {
+			return nil, err
+		}
+		db.Put(rel)
+	}
+	return db, nil
+}

@@ -1,0 +1,124 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationSaveLoadRoundTrip(t *testing.T) {
+	r := New(NewSchema("course", Attr("title"), IntAttr("size"), FloatAttr("rating")))
+	r.MustInsert(SV("DB\twith\ttabs"), IV(40), FV(4.5))
+	r.MustInsert(SV(`quotes "inside"`), IV(-3), FV(0))
+	r.MustInsert(SV("日本語 and\nnewline"), IV(0), FV(1e-9))
+	var buf strings.Builder
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRelation(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.String() != r.Schema.String() {
+		t.Errorf("schema = %s, want %s", got.Schema, r.Schema)
+	}
+	if !got.Equal(r) || got.Len() != r.Len() {
+		t.Errorf("rows = %v, want %v", got.Rows(), r.Rows())
+	}
+	// Order preserved too.
+	for i := range r.Rows() {
+		if !got.Row(i).Equal(r.Row(i)) {
+			t.Errorf("row %d = %v, want %v", i, got.Row(i), r.Row(i))
+		}
+	}
+}
+
+func TestLoadRelationErrors(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"no header\n",                    // missing #schema
+		"#schema\n",                      // no name
+		"#schema t a\n",                  // attribute without type
+		"#schema t a:alien\n",            // unknown type
+		"#schema t a:int\nnotanint\n",    // bad int
+		"#schema t a:float\nxyz\n",       // bad float
+		"#schema t a:string\nunquoted\n", // bad string
+		"#schema t a:int b:int\n1\n",     // wrong arity
+	}
+	for _, c := range cases {
+		if _, err := LoadRelation(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadRelation(%q) should fail", c)
+		}
+	}
+}
+
+func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	a := New(NewSchema("a", Attr("x")))
+	a.MustInsert(SV("hello"))
+	b := New(NewSchema("b", IntAttr("n")))
+	b.MustInsert(IV(7))
+	db.Put(a)
+	db.Put(b)
+	var buf strings.Builder
+	if err := SaveDatabase(db, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatabase(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Names(), []string{"a", "b"}) {
+		t.Errorf("names = %v", got.Names())
+	}
+	if !got.Get("a").Equal(a) || !got.Get("b").Equal(b) {
+		t.Error("contents differ after round trip")
+	}
+}
+
+func TestSaveLoadQuickProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			rel := New(NewSchema("t", Attr("s"), IntAttr("i"), FloatAttr("f")))
+			for n := r.Intn(20); n > 0; n-- {
+				rel.MustInsert(SV(randStr(r)), IV(r.Int63()-r.Int63()), FV(r.NormFloat64()))
+			}
+			vals[0] = reflect.ValueOf(rel)
+		},
+	}
+	f := func(rel *Relation) bool {
+		var buf strings.Builder
+		if err := rel.Save(&buf); err != nil {
+			return false
+		}
+		got, err := LoadRelation(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		if got.Len() != rel.Len() {
+			return false
+		}
+		for i := range rel.Rows() {
+			if !got.Row(i).Equal(rel.Row(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randStr(r *rand.Rand) string {
+	alphabet := []rune("abc\t\n\"\\日é ")
+	n := r.Intn(10)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}

@@ -1,0 +1,254 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory bag of tuples conforming to a schema, with
+// optional per-column hash indexes used by the join evaluator.
+type Relation struct {
+	Schema  Schema
+	rows    []Tuple
+	indexes map[int]map[string][]int // column -> value key -> row ids
+}
+
+// New creates an empty relation with the given schema.
+func New(schema Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// FromTuples creates a relation and inserts the given tuples, panicking on
+// schema mismatch (intended for literals in tests and generators).
+func FromTuples(schema Schema, tuples ...Tuple) *Relation {
+	r := New(schema)
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Len returns the number of tuples (bag semantics: duplicates count).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Rows returns the underlying tuple slice; callers must not mutate it.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Row returns the i-th tuple.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Insert appends a tuple after validating it against the schema and
+// updates any existing indexes.
+func (r *Relation) Insert(t Tuple) error {
+	if err := r.Schema.Compatible(t); err != nil {
+		return err
+	}
+	id := len(r.rows)
+	r.rows = append(r.rows, t)
+	for col, idx := range r.indexes {
+		k := t[col].Key()
+		idx[k] = append(idx[k], id)
+	}
+	return nil
+}
+
+// MustInsert inserts values, panicking on schema mismatch.
+func (r *Relation) MustInsert(vals ...Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes all tuples equal to t and reports how many were removed.
+// Indexes are rebuilt lazily on next use.
+func (r *Relation) Delete(t Tuple) int {
+	kept := r.rows[:0]
+	removed := 0
+	for _, row := range r.rows {
+		if row.Equal(t) {
+			removed++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	r.rows = kept
+	if removed > 0 {
+		r.indexes = nil
+	}
+	return removed
+}
+
+// BuildIndex constructs (or rebuilds) a hash index on the given column.
+func (r *Relation) BuildIndex(col int) {
+	if col < 0 || col >= r.Schema.Arity() {
+		return
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[string][]int)
+	}
+	idx := make(map[string][]int)
+	for i, row := range r.rows {
+		k := row[col].Key()
+		idx[k] = append(idx[k], i)
+	}
+	r.indexes[col] = idx
+}
+
+// Lookup returns the row ids whose column col equals v, using an index if
+// present and scanning otherwise.
+func (r *Relation) Lookup(col int, v Value) []int {
+	if idx, ok := r.indexes[col]; ok {
+		return idx[v.Key()]
+	}
+	var out []int
+	for i, row := range r.rows {
+		if row[col] == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasIndex reports whether column col is indexed.
+func (r *Relation) HasIndex(col int) bool {
+	_, ok := r.indexes[col]
+	return ok
+}
+
+// Contains reports whether the relation contains a tuple equal to t.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(r.rows) > 0 && len(t) > 0 {
+		if idx, ok := r.indexes[0]; ok {
+			for _, i := range idx[t[0].Key()] {
+				if r.rows[i].Equal(t) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	for _, row := range r.rows {
+		if row.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dedup removes duplicate tuples in place, preserving first occurrence
+// order, and returns the relation for chaining.
+func (r *Relation) Dedup() *Relation {
+	seen := make(map[string]bool, len(r.rows))
+	kept := r.rows[:0]
+	for _, row := range r.rows {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, row)
+	}
+	if len(kept) != len(r.rows) {
+		r.indexes = nil
+	}
+	r.rows = kept
+	return r
+}
+
+// SortRows orders tuples lexicographically in place (for deterministic
+// output) and returns the relation.
+func (r *Relation) SortRows() *Relation {
+	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Less(r.rows[j]) })
+	r.indexes = nil
+	return r
+}
+
+// Clone returns a deep copy (indexes are not copied).
+func (r *Relation) Clone() *Relation {
+	out := New(r.Schema.Clone())
+	out.rows = make([]Tuple, len(r.rows))
+	for i, row := range r.rows {
+		out.rows[i] = row.Clone()
+	}
+	return out
+}
+
+// Project returns a new relation keeping only the named attributes.
+func (r *Relation) Project(attrNames ...string) (*Relation, error) {
+	cols := make([]int, len(attrNames))
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		c := r.Schema.AttrIndex(n)
+		if c < 0 {
+			return nil, fmt.Errorf("project: no attribute %q in %s", n, r.Schema.Name)
+		}
+		cols[i] = c
+		attrs[i] = r.Schema.Attrs[c]
+	}
+	out := New(Schema{Name: r.Schema.Name, Attrs: attrs})
+	for _, row := range r.rows {
+		t := make(Tuple, len(cols))
+		for i, c := range cols {
+			t[i] = row[c]
+		}
+		out.rows = append(out.rows, t)
+	}
+	return out, nil
+}
+
+// Select returns a new relation with rows satisfying pred.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.Schema.Clone())
+	for _, row := range r.rows {
+		if pred(row) {
+			out.rows = append(out.rows, row.Clone())
+		}
+	}
+	return out
+}
+
+// Union appends (bag union) the rows of other; schemas must have equal
+// arity and types.
+func (r *Relation) Union(other *Relation) error {
+	if r.Schema.Arity() != other.Schema.Arity() {
+		return fmt.Errorf("union: arity mismatch %d vs %d", r.Schema.Arity(), other.Schema.Arity())
+	}
+	for _, row := range other.rows {
+		if err := r.Insert(row.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports set equality of tuples (order-insensitive, duplicates
+// collapsed) with other.
+func (r *Relation) Equal(other *Relation) bool {
+	if r.Schema.Arity() != other.Schema.Arity() {
+		return false
+	}
+	a := make(map[string]bool)
+	for _, row := range r.rows {
+		a[row.Key()] = true
+	}
+	b := make(map[string]bool)
+	for _, row := range other.rows {
+		b[row.Key()] = true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema and row count.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s [%d rows]", r.Schema, len(r.rows))
+}

@@ -1,0 +1,91 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Schema names a relation and its attributes.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// NewSchema builds a schema; attrs alternate name strings with no types
+// defaulting to TString via Attr helpers. Use Attr/IntAttr/FloatAttr.
+func NewSchema(name string, attrs ...Attribute) Schema {
+	return Schema{Name: name, Attrs: attrs}
+}
+
+// Attr is a string-typed attribute.
+func Attr(name string) Attribute { return Attribute{Name: name, Type: TString} }
+
+// IntAttr is an int-typed attribute.
+func IntAttr(name string) Attribute { return Attribute{Name: name, Type: TInt} }
+
+// FloatAttr is a float-typed attribute.
+func FloatAttr(name string) Attribute { return Attribute{Name: name, Type: TFloat} }
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrNames returns the attribute names in order.
+func (s Schema) AttrNames() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s Schema) Clone() Schema {
+	attrs := make([]Attribute, len(s.Attrs))
+	copy(attrs, s.Attrs)
+	return Schema{Name: s.Name, Attrs: attrs}
+}
+
+// String renders "name(attr1:type, attr2:type)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", a.Name, a.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Compatible reports whether a tuple conforms to the schema.
+func (s Schema) Compatible(t Tuple) error {
+	if len(t) != len(s.Attrs) {
+		return fmt.Errorf("relation %s: tuple arity %d, schema arity %d", s.Name, len(t), len(s.Attrs))
+	}
+	for i, v := range t {
+		if v.Kind != s.Attrs[i].Type {
+			return fmt.Errorf("relation %s: attribute %s expects %s, got %s",
+				s.Name, s.Attrs[i].Name, s.Attrs[i].Type, v.Kind)
+		}
+	}
+	return nil
+}

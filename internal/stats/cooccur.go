@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Cooccurrence counts how often pairs of items (attribute names, in the
+// paper's usage: "which relation names and attributes tend to appear with
+// it?", §4.2.1) occur together in the same group (relation, schema, ...).
+type Cooccurrence struct {
+	pair   map[[2]string]int
+	single map[string]int
+	groups int
+}
+
+// NewCooccurrence returns an empty co-occurrence table.
+func NewCooccurrence() *Cooccurrence {
+	return &Cooccurrence{pair: make(map[[2]string]int), single: make(map[string]int)}
+}
+
+func orderedPair(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// AddGroup records one group of co-occurring items. Duplicates within the
+// group are collapsed.
+func (c *Cooccurrence) AddGroup(items []string) {
+	c.groups++
+	set := make(map[string]bool, len(items))
+	for _, it := range items {
+		set[it] = true
+	}
+	uniq := make([]string, 0, len(set))
+	for it := range set {
+		uniq = append(uniq, it)
+		c.single[it]++
+	}
+	sort.Strings(uniq)
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			c.pair[orderedPair(uniq[i], uniq[j])]++
+		}
+	}
+}
+
+// Groups returns the number of groups added.
+func (c *Cooccurrence) Groups() int { return c.groups }
+
+// Count returns how many groups contained both a and b.
+func (c *Cooccurrence) Count(a, b string) int {
+	return c.pair[orderedPair(a, b)]
+}
+
+// SingleCount returns how many groups contained a.
+func (c *Cooccurrence) SingleCount(a string) int { return c.single[a] }
+
+// PMI returns the pointwise mutual information of a and b:
+// log( P(a,b) / (P(a)P(b)) ), or 0 if either is unseen or they never
+// co-occur. Positive values indicate attraction, negative repulsion.
+func (c *Cooccurrence) PMI(a, b string) float64 {
+	if c.groups == 0 {
+		return 0
+	}
+	nab := c.Count(a, b)
+	na, nb := c.single[a], c.single[b]
+	if nab == 0 || na == 0 || nb == 0 {
+		return 0
+	}
+	pab := float64(nab) / float64(c.groups)
+	pa := float64(na) / float64(c.groups)
+	pb := float64(nb) / float64(c.groups)
+	return math.Log(pab / (pa * pb))
+}
+
+// Conditional returns P(b | a): the fraction of a's groups that also
+// contained b.
+func (c *Cooccurrence) Conditional(b, a string) float64 {
+	na := c.single[a]
+	if na == 0 {
+		return 0
+	}
+	return float64(c.Count(a, b)) / float64(na)
+}
+
+// Companion is an item with an association score.
+type Companion struct {
+	Item  string
+	Score float64
+}
+
+// Top returns the k items most associated with a, ranked by conditional
+// probability P(x|a) with PMI as tiebreak. This implements the paper's
+// "co-occurring schema elements" statistic.
+func (c *Cooccurrence) Top(a string, k int) []Companion {
+	var out []Companion
+	for pair, n := range c.pair {
+		var other string
+		switch a {
+		case pair[0]:
+			other = pair[1]
+		case pair[1]:
+			other = pair[0]
+		default:
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, Companion{Item: other, Score: c.Conditional(other, a)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MutuallyExclusive reports whether a and b both occur reasonably often
+// but (almost) never together — the paper asks "are there mutually
+// exclusive uses of attribute names?". minEach is the minimum number of
+// groups each must appear in.
+func (c *Cooccurrence) MutuallyExclusive(a, b string, minEach int) bool {
+	if c.single[a] < minEach || c.single[b] < minEach {
+		return false
+	}
+	return c.Count(a, b) == 0
+}
+
+// ContextVector returns a's distributional context: the sparse vector of
+// conditional co-occurrence probabilities with every other item. Two
+// items with similar context vectors are "similar names" in the paper's
+// sense (§4.2.1) even if their spellings share nothing.
+func (c *Cooccurrence) ContextVector(a string) map[string]float64 {
+	vec := make(map[string]float64)
+	for pair, n := range c.pair {
+		var other string
+		switch a {
+		case pair[0]:
+			other = pair[1]
+		case pair[1]:
+			other = pair[0]
+		default:
+			continue
+		}
+		if n > 0 {
+			vec[other] = c.Conditional(other, a)
+		}
+	}
+	return vec
+}
+
+// SimilarItems returns the k items whose context vectors are most
+// cosine-similar to a's, excluding a itself.
+func (c *Cooccurrence) SimilarItems(a string, k int) []Companion {
+	va := c.ContextVector(a)
+	if len(va) == 0 {
+		return nil
+	}
+	var out []Companion
+	for item := range c.single {
+		if item == a {
+			continue
+		}
+		vb := c.ContextVector(item)
+		s := cosine(va, vb)
+		if s > 0 {
+			out = append(out, Companion{Item: item, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SynonymCandidates ranks items that look like alternative names for a:
+// similar context vectors (they appear with the same companions) but
+// little or no direct co-occurrence with a — combining the paper's
+// "similar names" and "mutually exclusive uses" statistics (§4.2.1).
+// Two synonymous attribute names rarely share a relation, while two
+// different attributes of the same concept co-occur constantly.
+func (c *Cooccurrence) SynonymCandidates(a string, k int) []Companion {
+	va := c.ContextVector(a)
+	if len(va) == 0 {
+		return nil
+	}
+	var out []Companion
+	for item := range c.single {
+		if item == a {
+			continue
+		}
+		ctx := cosine(va, c.ContextVector(item))
+		if ctx <= 0 {
+			continue
+		}
+		// Exclusivity discount: direct co-occurrence is evidence the two
+		// names are companions, not synonyms.
+		excl := 1.0 / (1.0 + 4.0*float64(c.Count(a, item)))
+		if s := ctx * excl; s > 0 {
+			out = append(out, Companion{Item: item, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, v := range a {
+		na += v * v
+		if w, ok := b[k]; ok {
+			dot += v * w
+		}
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,178 @@
+package stats
+
+import "sort"
+
+// FrequentSets mines frequently co-occurring item sets (Apriori-style),
+// implementing the paper's composite statistics (§4.2.2): "we will
+// maintain only statistics on partial structures that appear frequently".
+// Groups are, e.g., the attribute sets of relations across the corpus.
+type FrequentSets struct {
+	groups [][]string
+}
+
+// NewFrequentSets returns an empty miner.
+func NewFrequentSets() *FrequentSets { return &FrequentSets{} }
+
+// AddGroup records one transaction (one relation's attribute set).
+func (f *FrequentSets) AddGroup(items []string) {
+	set := make(map[string]bool, len(items))
+	for _, it := range items {
+		set[it] = true
+	}
+	uniq := make([]string, 0, len(set))
+	for it := range set {
+		uniq = append(uniq, it)
+	}
+	sort.Strings(uniq)
+	f.groups = append(f.groups, uniq)
+}
+
+// ItemSet is a frequent item set with its support count.
+type ItemSet struct {
+	Items   []string
+	Support int
+}
+
+// Mine returns all item sets of size ≥ minSize with support ≥ minSupport,
+// ordered by decreasing support then lexicographically. maxSize bounds the
+// level-wise expansion (the paper notes the space of partial structures is
+// "virtually infinite", so we cap it).
+func (f *FrequentSets) Mine(minSupport, minSize, maxSize int) []ItemSet {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxSize < minSize {
+		return nil
+	}
+	// Level 1: frequent single items.
+	counts := make(map[string]int)
+	for _, g := range f.groups {
+		for _, it := range g {
+			counts[it]++
+		}
+	}
+	level := make(map[string]int) // key = "\x00"-joined sorted items
+	for it, n := range counts {
+		if n >= minSupport {
+			level[it] = n
+		}
+	}
+	var results []ItemSet
+	record := func(size int, lv map[string]int) {
+		if size < minSize {
+			return
+		}
+		for key, sup := range lv {
+			results = append(results, ItemSet{Items: splitKey(key), Support: sup})
+		}
+	}
+	record(1, level)
+	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		next := make(map[string]int)
+		// Count candidate supersets directly from groups (works for the
+		// modest corpus sizes we target).
+		for _, g := range f.groups {
+			frequentIn := filterFrequent(g, level, size-1)
+			combos(frequentIn, size, func(items []string) {
+				next[joinKey(items)]++
+			})
+		}
+		for key, sup := range next {
+			if sup < minSupport {
+				delete(next, key)
+			}
+		}
+		record(size, next)
+		level = next
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Support != results[j].Support {
+			return results[i].Support > results[j].Support
+		}
+		if len(results[i].Items) != len(results[j].Items) {
+			return len(results[i].Items) > len(results[j].Items)
+		}
+		return joinKey(results[i].Items) < joinKey(results[j].Items)
+	})
+	return results
+}
+
+// filterFrequent keeps items of g that appear in some frequent set of the
+// previous level (for level 1, sets are single items).
+func filterFrequent(g []string, prev map[string]int, prevSize int) []string {
+	if prevSize == 1 {
+		out := g[:0:0]
+		for _, it := range g {
+			if _, ok := prev[it]; ok {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+	member := make(map[string]bool)
+	for key := range prev {
+		for _, it := range splitKey(key) {
+			member[it] = true
+		}
+	}
+	out := g[:0:0]
+	for _, it := range g {
+		if member[it] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func combos(items []string, k int, yield func([]string)) {
+	n := len(items)
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make([]string, k)
+	for {
+		for i, j := range idx {
+			buf[i] = items[j]
+		}
+		yield(buf)
+		// advance
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func joinKey(items []string) string {
+	out := ""
+	for i, it := range items {
+		if i > 0 {
+			out += "\x00"
+		}
+		out += it
+	}
+	return out
+}
+
+func splitKey(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}

@@ -1,0 +1,124 @@
+package stats
+
+import "sort"
+
+// Role is the position in which a term appears in structured data.
+// The paper's basic statistics (§4.2.1) track "how frequently the term is
+// used as a relation name, attribute name, or in data".
+type Role int
+
+const (
+	// RoleRelation marks use as a relation (or XML element) name.
+	RoleRelation Role = iota
+	// RoleAttribute marks use as an attribute (or leaf tag) name.
+	RoleAttribute
+	// RoleValue marks appearance inside data values.
+	RoleValue
+	numRoles
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleRelation:
+		return "relation"
+	case RoleAttribute:
+		return "attribute"
+	case RoleValue:
+		return "value"
+	}
+	return "unknown"
+}
+
+// RoleStats counts, per term, how often it occurs in each role and in how
+// many distinct structures (schemas) of the corpus it appears.
+type RoleStats struct {
+	counts    map[string]*[numRoles]int
+	structSet map[string]map[string]bool // term -> set of structure ids
+	total     [numRoles]int
+}
+
+// NewRoleStats returns an empty role-usage table.
+func NewRoleStats() *RoleStats {
+	return &RoleStats{
+		counts:    make(map[string]*[numRoles]int),
+		structSet: make(map[string]map[string]bool),
+	}
+}
+
+// Observe records one use of term in role within the named structure.
+func (s *RoleStats) Observe(term string, role Role, structure string) {
+	c, ok := s.counts[term]
+	if !ok {
+		c = new([numRoles]int)
+		s.counts[term] = c
+	}
+	c[role]++
+	s.total[role]++
+	set, ok := s.structSet[term]
+	if !ok {
+		set = make(map[string]bool)
+		s.structSet[term] = set
+	}
+	set[structure] = true
+}
+
+// Count returns how often term was observed in role.
+func (s *RoleStats) Count(term string, role Role) int {
+	if c, ok := s.counts[term]; ok {
+		return c[role]
+	}
+	return 0
+}
+
+// RoleShare returns the fraction of term's uses that are in role
+// ("as a percent of all of its uses"), or 0 for unseen terms.
+func (s *RoleStats) RoleShare(term string, role Role) float64 {
+	c, ok := s.counts[term]
+	if !ok {
+		return 0
+	}
+	tot := 0
+	for _, n := range c {
+		tot += n
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(c[role]) / float64(tot)
+}
+
+// StructureShare returns in what fraction of corpus structures the term
+// appears ("as a percent of structures in the corpus"), given the total
+// number of structures.
+func (s *RoleStats) StructureShare(term string, totalStructures int) float64 {
+	if totalStructures == 0 {
+		return 0
+	}
+	return float64(len(s.structSet[term])) / float64(totalStructures)
+}
+
+// Terms returns all observed terms, sorted.
+func (s *RoleStats) Terms() []string {
+	out := make([]string, 0, len(s.counts))
+	for t := range s.counts {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DominantRole returns the role in which term is most often used.
+func (s *RoleStats) DominantRole(term string) (Role, bool) {
+	c, ok := s.counts[term]
+	if !ok {
+		return 0, false
+	}
+	best, bestN := RoleRelation, -1
+	for r := RoleRelation; r < numRoles; r++ {
+		if c[r] > bestN {
+			best, bestN = r, c[r]
+		}
+	}
+	return best, true
+}

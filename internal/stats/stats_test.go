@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTFIDFVector(t *testing.T) {
+	m := NewTFIDF()
+	m.AddDoc([]string{"course", "title", "instructor"})
+	m.AddDoc([]string{"course", "size"})
+	m.AddDoc([]string{"house", "price"})
+	if m.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", m.NumDocs())
+	}
+	// "course" appears in 2/3 docs → lower IDF than "house" (1/3).
+	if m.IDF("course") >= m.IDF("house") {
+		t.Errorf("IDF(course)=%v should be < IDF(house)=%v", m.IDF("course"), m.IDF("house"))
+	}
+	// Unseen terms get the max IDF.
+	if m.IDF("zzz") <= m.IDF("house") {
+		t.Errorf("unseen IDF should exceed seen IDF")
+	}
+	vec := m.Vector([]string{"course", "house"})
+	var norm float64
+	for _, w := range vec {
+		norm += w * w
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("vector not L2-normalized: %v", norm)
+	}
+	if vec["house"] <= vec["course"] {
+		t.Errorf("rarer term should weigh more: %v", vec)
+	}
+}
+
+func TestTFIDFVectorNormalized(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			docs := make([][]string, 1+r.Intn(5))
+			for i := range docs {
+				docs[i] = randTokens(r)
+			}
+			vals[0] = reflect.ValueOf(docs)
+			vals[1] = reflect.ValueOf(randTokens(r))
+		},
+	}
+	f := func(docs [][]string, q []string) bool {
+		m := NewTFIDF()
+		for _, d := range docs {
+			m.AddDoc(d)
+		}
+		vec := m.Vector(q)
+		var norm float64
+		for _, w := range vec {
+			norm += w * w
+		}
+		return len(q) == 0 || math.Abs(norm-1) < 1e-6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randTokens(r *rand.Rand) []string {
+	words := []string{"course", "title", "size", "dept", "name", "phone"}
+	n := 1 + r.Intn(6)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.Intn(len(words))]
+	}
+	return out
+}
+
+func TestTopTerms(t *testing.T) {
+	m := NewTFIDF()
+	m.AddDoc([]string{"common"})
+	m.AddDoc([]string{"common"})
+	m.AddDoc([]string{"common", "rare"})
+	top := m.TopTerms([]string{"common", "rare"}, 1)
+	if len(top) != 1 || top[0] != "rare" {
+		t.Errorf("TopTerms = %v, want [rare]", top)
+	}
+	if got := m.TopTerms([]string{"common"}, 5); len(got) != 1 {
+		t.Errorf("TopTerms overshoot = %v", got)
+	}
+}
+
+func TestRoleStats(t *testing.T) {
+	s := NewRoleStats()
+	s.Observe("course", RoleRelation, "berkeley")
+	s.Observe("course", RoleRelation, "mit")
+	s.Observe("course", RoleValue, "mit")
+	s.Observe("title", RoleAttribute, "mit")
+	if got := s.Count("course", RoleRelation); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := s.RoleShare("course", RoleRelation); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("RoleShare = %v, want 2/3", got)
+	}
+	if got := s.RoleShare("unknown", RoleValue); got != 0 {
+		t.Errorf("RoleShare unseen = %v", got)
+	}
+	if got := s.StructureShare("course", 4); got != 0.5 {
+		t.Errorf("StructureShare = %v, want 0.5", got)
+	}
+	role, ok := s.DominantRole("course")
+	if !ok || role != RoleRelation {
+		t.Errorf("DominantRole = %v,%v", role, ok)
+	}
+	if _, ok := s.DominantRole("nope"); ok {
+		t.Error("DominantRole should miss unseen term")
+	}
+	terms := s.Terms()
+	if !sort.StringsAreSorted(terms) || len(terms) != 2 {
+		t.Errorf("Terms = %v", terms)
+	}
+	if RoleRelation.String() != "relation" || RoleValue.String() != "value" || RoleAttribute.String() != "attribute" {
+		t.Error("Role.String mismatch")
+	}
+}
+
+func TestCooccurrence(t *testing.T) {
+	c := NewCooccurrence()
+	c.AddGroup([]string{"title", "instructor", "room"})
+	c.AddGroup([]string{"title", "instructor"})
+	c.AddGroup([]string{"title", "price"})
+	c.AddGroup([]string{"office", "price"})
+	if c.Groups() != 4 {
+		t.Fatalf("Groups = %d", c.Groups())
+	}
+	if got := c.Count("instructor", "title"); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := c.Count("title", "instructor"); got != 2 {
+		t.Errorf("Count should be symmetric")
+	}
+	if got := c.Conditional("title", "instructor"); got != 1 {
+		t.Errorf("P(title|instructor) = %v, want 1", got)
+	}
+	if pmi := c.PMI("instructor", "title"); pmi <= 0 {
+		t.Errorf("PMI of attracted pair = %v, want >0", pmi)
+	}
+	if pmi := c.PMI("room", "price"); pmi != 0 {
+		t.Errorf("PMI of never-cooccurring pair = %v, want 0", pmi)
+	}
+	top := c.Top("title", 2)
+	if len(top) != 2 || top[0].Item != "instructor" {
+		t.Errorf("Top = %v", top)
+	}
+	if !c.MutuallyExclusive("room", "price", 1) {
+		t.Error("room/price should be mutually exclusive at minEach=1")
+	}
+	if c.MutuallyExclusive("title", "instructor", 1) {
+		t.Error("title/instructor co-occur")
+	}
+	if c.MutuallyExclusive("room", "price", 2) {
+		t.Error("minEach=2 should exclude rare items")
+	}
+}
+
+func TestCooccurrenceDuplicatesCollapsed(t *testing.T) {
+	c := NewCooccurrence()
+	c.AddGroup([]string{"a", "a", "b"})
+	if got := c.Count("a", "b"); got != 1 {
+		t.Errorf("duplicate items should collapse, Count=%d", got)
+	}
+	if got := c.SingleCount("a"); got != 1 {
+		t.Errorf("SingleCount = %d", got)
+	}
+}
+
+func TestSimilarItems(t *testing.T) {
+	// "instructor" and "teacher" never co-occur but share neighbors
+	// (title, room) → distributionally similar.
+	c := NewCooccurrence()
+	c.AddGroup([]string{"instructor", "title", "room"})
+	c.AddGroup([]string{"teacher", "title", "room"})
+	c.AddGroup([]string{"price", "bedrooms"})
+	sims := c.SimilarItems("instructor", 3)
+	if len(sims) == 0 {
+		t.Fatal("no similar items found")
+	}
+	var teacherScore, priceScore float64
+	for _, s := range sims {
+		switch s.Item {
+		case "teacher":
+			teacherScore = s.Score
+		case "price":
+			priceScore = s.Score
+		}
+	}
+	if teacherScore <= priceScore {
+		t.Errorf("teacher (%v) should outrank price (%v)", teacherScore, priceScore)
+	}
+	if got := c.SimilarItems("nonexistent", 3); got != nil {
+		t.Errorf("unseen item: %v", got)
+	}
+}
+
+func TestSynonymCandidates(t *testing.T) {
+	c := NewCooccurrence()
+	// "instructor" and "teacher" never co-occur, share {title, room};
+	// "title" co-occurs with both directly.
+	c.AddGroup([]string{"instructor", "title", "room"})
+	c.AddGroup([]string{"teacher", "title", "room"})
+	c.AddGroup([]string{"instructor", "title", "room"})
+	cands := c.SynonymCandidates("instructor", 3)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].Item != "teacher" {
+		t.Errorf("top candidate = %v, want teacher", cands[0])
+	}
+	var teacherScore, titleScore float64
+	for _, cd := range cands {
+		switch cd.Item {
+		case "teacher":
+			teacherScore = cd.Score
+		case "title":
+			titleScore = cd.Score
+		}
+	}
+	if titleScore >= teacherScore {
+		t.Errorf("direct co-occurrer title (%v) should score below teacher (%v)",
+			titleScore, teacherScore)
+	}
+	if got := c.SynonymCandidates("unseen", 3); got != nil {
+		t.Errorf("unseen item = %v", got)
+	}
+}
+
+func TestFrequentSets(t *testing.T) {
+	f := NewFrequentSets()
+	f.AddGroup([]string{"name", "phone", "office"})
+	f.AddGroup([]string{"name", "phone", "email"})
+	f.AddGroup([]string{"name", "phone"})
+	f.AddGroup([]string{"title", "size"})
+	sets := f.Mine(3, 2, 3)
+	if len(sets) != 1 {
+		t.Fatalf("Mine = %v, want exactly {name,phone}", sets)
+	}
+	if !reflect.DeepEqual(sets[0].Items, []string{"name", "phone"}) || sets[0].Support != 3 {
+		t.Errorf("Mine[0] = %v", sets[0])
+	}
+}
+
+func TestFrequentSetsLevels(t *testing.T) {
+	f := NewFrequentSets()
+	for i := 0; i < 5; i++ {
+		f.AddGroup([]string{"a", "b", "c"})
+	}
+	f.AddGroup([]string{"d"})
+	sets := f.Mine(5, 1, 3)
+	// a,b,c singletons; ab,ac,bc pairs; abc triple — all support 5.
+	if len(sets) != 7 {
+		t.Fatalf("Mine found %d sets, want 7: %v", len(sets), sets)
+	}
+	if len(sets[0].Items) != 3 {
+		t.Errorf("largest set should sort first at equal support: %v", sets[0])
+	}
+	if got := f.Mine(5, 3, 2); got != nil {
+		t.Errorf("minSize>maxSize should return nil, got %v", got)
+	}
+}
+
+func TestFrequentSetsDuplicateItems(t *testing.T) {
+	f := NewFrequentSets()
+	f.AddGroup([]string{"x", "x", "y"})
+	f.AddGroup([]string{"x", "y"})
+	sets := f.Mine(2, 2, 2)
+	if len(sets) != 1 || sets[0].Support != 2 {
+		t.Errorf("Mine = %v", sets)
+	}
+}

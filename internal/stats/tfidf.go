@@ -1,0 +1,95 @@
+// Package stats implements the IR-style statistics REVERE computes over
+// corpora of structures (paper §4.2): TF/IDF term weighting, term-role
+// usage counts, co-occurrence statistics with pointwise mutual
+// information, and distributional similar-name discovery.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TFIDF accumulates document frequencies over a corpus of token bags and
+// produces TF/IDF-weighted sparse vectors, the measure the paper names
+// explicitly ("consider the popular TF/IDF measure", §4).
+type TFIDF struct {
+	docFreq map[string]int
+	nDocs   int
+}
+
+// NewTFIDF returns an empty model.
+func NewTFIDF() *TFIDF {
+	return &TFIDF{docFreq: make(map[string]int)}
+}
+
+// AddDoc registers one document's tokens in the document-frequency table.
+func (m *TFIDF) AddDoc(tokens []string) {
+	m.nDocs++
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			m.docFreq[t]++
+		}
+	}
+}
+
+// NumDocs returns the number of documents added.
+func (m *TFIDF) NumDocs() int { return m.nDocs }
+
+// IDF returns the smoothed inverse document frequency of term:
+// log((1+N)/(1+df)) + 1, which stays positive for terms in every doc.
+func (m *TFIDF) IDF(term string) float64 {
+	df := m.docFreq[term]
+	return math.Log(float64(1+m.nDocs)/float64(1+df)) + 1
+}
+
+// Vector turns a token bag into a TF/IDF-weighted sparse vector with
+// L2 normalization (so Cosine on two vectors is a true cosine).
+func (m *TFIDF) Vector(tokens []string) map[string]float64 {
+	tf := make(map[string]float64)
+	for _, t := range tokens {
+		tf[t]++
+	}
+	var norm float64
+	for t, f := range tf {
+		w := f * m.IDF(t)
+		tf[t] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range tf {
+			tf[t] /= norm
+		}
+	}
+	return tf
+}
+
+// TopTerms returns the k terms with highest IDF·count weight in tokens,
+// useful for summarizing a structure.
+func (m *TFIDF) TopTerms(tokens []string, k int) []string {
+	vec := m.Vector(tokens)
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(vec))
+	for t, w := range vec {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}

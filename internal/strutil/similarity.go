@@ -1,0 +1,122 @@
+package strutil
+
+import "math"
+
+// EditDistance returns the Levenshtein distance between a and b, operating
+// on runes so multi-byte characters count as single edits.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity normalizes edit distance to [0,1], where 1 means equal.
+func EditSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	n := len([]rune(a))
+	if m := len([]rune(b)); m > n {
+		n = m
+	}
+	return 1 - float64(EditDistance(a, b))/float64(n)
+}
+
+// Jaccard returns |A∩B| / |A∪B| for two token sets.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa := make(map[string]bool, len(a))
+	for _, t := range a {
+		sa[t] = true
+	}
+	sb := make(map[string]bool, len(b))
+	for _, t := range b {
+		sb[t] = true
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Cosine returns the cosine similarity of two sparse vectors.
+func Cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, v := range a {
+		na += v * v
+		if w, ok := b[k]; ok {
+			dot += v * w
+		}
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TrigramSimilarity compares two strings by the Jaccard similarity of
+// their character trigram sets; robust to small spelling variations.
+func TrigramSimilarity(a, b string) float64 {
+	return Jaccard(NGrams(a, 3), NGrams(b, 3))
+}
+
+// NameSimilarity is the composite name measure used across REVERE's
+// matching tools: the maximum of token-level Jaccard (after stemming)
+// and normalized edit similarity, so both "instructor"≈"instructors"
+// and "phone"≈"phones" score high, as do re-ordered compound names.
+func NameSimilarity(a, b string) float64 {
+	tok := Jaccard(TokenizeAndStem(a), TokenizeAndStem(b))
+	edit := EditSimilarity(a, b)
+	tri := TrigramSimilarity(a, b)
+	s := tok
+	if edit > s {
+		s = edit
+	}
+	if tri > s {
+		s = tri
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+package strutil
+
+import "strings"
+
+// Stem applies the Porter stemming algorithm (Porter, 1980) to a single
+// lowercase word. Words shorter than three characters are returned as is,
+// matching the original algorithm's behaviour.
+func Stem(word string) string {
+	w := []byte(strings.ToLower(word))
+	if len(w) < 3 {
+		return string(w)
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	}
+	return true
+}
+
+// measure computes m in the Porter notation [C](VC){m}[V] for w[:len(w)].
+func measure(w []byte) int {
+	n := 0
+	i := 0
+	// skip initial consonants
+	for i < len(w) && isConsonant(w, i) {
+		i++
+	}
+	for {
+		// vowels
+		for i < len(w) && !isConsonant(w, i) {
+			i++
+		}
+		if i >= len(w) {
+			return n
+		}
+		// consonants
+		for i < len(w) && isConsonant(w, i) {
+			i++
+		}
+		n++
+		if i >= len(w) {
+			return n
+		}
+	}
+}
+
+func containsVowel(w []byte) bool {
+	for i := range w {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleConsonant(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isConsonant(w, n-1)
+}
+
+// cvc reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func cvc(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(w, n-3) || isConsonant(w, n-2) || !isConsonant(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+func replaceSuffix(w []byte, suffix, repl string, minMeasure int) ([]byte, bool) {
+	if !hasSuffix(w, suffix) {
+		return w, false
+	}
+	stem := w[:len(w)-len(suffix)]
+	if measure(stem) <= minMeasure {
+		return w, false
+	}
+	return append(stem[:len(stem):len(stem)], repl...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && containsVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && containsVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem[:len(stem):len(stem)], 'e')
+	case endsDoubleConsonant(stem) && !hasSuffix(stem, "l") && !hasSuffix(stem, "s") && !hasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && cvc(stem):
+		return append(stem[:len(stem):len(stem)], 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		out := make([]byte, len(w))
+		copy(out, w)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if out, ok := replaceSuffix(w, r.suffix, r.repl, 0); ok {
+			return out
+		}
+		if hasSuffix(w, r.suffix) {
+			return w // suffix present but measure condition failed
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if out, ok := replaceSuffix(w, r.suffix, r.repl, 0); ok {
+			return out
+		}
+		if hasSuffix(w, r.suffix) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) <= 1 {
+			return w
+		}
+		if s == "ion" && len(stem) > 0 {
+			last := stem[len(stem)-1]
+			if last != 's' && last != 't' {
+				return w
+			}
+		}
+		return stem
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !cvc(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if endsDoubleConsonant(w) && w[len(w)-1] == 'l' && measure(w[:len(w)-1]) > 1 {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,317 @@
+package strutil
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"contactPhone", []string{"contact", "phone"}},
+		{"contact_phone", []string{"contact", "phone"}},
+		{"Contact-Phone", []string{"contact", "phone"}},
+		{"XMLFile", []string{"xml", "file"}},
+		{"course.title", []string{"course", "title"}},
+		{"room101", []string{"room", "101"}},
+		{"CSE544", []string{"cse", "544"}},
+		{"", nil},
+		{"  ", nil},
+		{"a", []string{"a"}},
+		{"enrollment", []string{"enrollment"}},
+		{"TAInfo", []string{"ta", "info"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok != strings.ToLower(tok) || tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"caresses":   "caress",
+		"ponies":     "poni",
+		"ties":       "ti",
+		"caress":     "caress",
+		"cats":       "cat",
+		"feed":       "feed",
+		"agreed":     "agre",
+		"plastered":  "plaster",
+		"bled":       "bled",
+		"motoring":   "motor",
+		"sing":       "sing",
+		"conflated":  "conflat",
+		"troubled":   "troubl",
+		"sized":      "size",
+		"hopping":    "hop",
+		"tanned":     "tan",
+		"falling":    "fall",
+		"hissing":    "hiss",
+		"fizzed":     "fizz",
+		"failing":    "fail",
+		"filing":     "file",
+		"happy":      "happi",
+		"sky":        "sky",
+		"relational": "relat",
+		"rational":   "ration",
+		"digitizer":  "digit",
+		"operator":   "oper",
+		"feudalism":  "feudal",
+		"goodness":   "good",
+		"triplicate": "triplic",
+		"formative":  "form",
+		"electrical": "electr",
+		"hopeful":    "hope",
+		"revival":    "reviv",
+		"adjustment": "adjust",
+		"adoption":   "adopt",
+		"probate":    "probat",
+		"cease":      "ceas",
+		"controll":   "control",
+		"roll":       "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemConflatesMorphologicalVariants(t *testing.T) {
+	// The property matching actually needs: singular/plural and -ing/-ed
+	// variants of schema vocabulary map to the same stem.
+	pairs := [][2]string{
+		{"courses", "course"}, {"instructors", "instructor"},
+		{"enrollments", "enrollment"}, {"titles", "title"},
+		{"schedules", "schedule"}, {"departments", "department"},
+		{"assignments", "assignment"}, {"textbooks", "textbook"},
+		{"publications", "publication"}, {"teaching", "teaches"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q != Stem(%q)=%q", p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"course", "course", 0},
+		{"phone", "phones", 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomWord(r))
+			}
+		},
+	}
+	sym := func(a, b string) bool { return EditDistance(a, b) == EditDistance(b, a) }
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return EditDistance(a, a) == 0 }
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func randomWord(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(6))
+	}
+	return string(b)
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard([]string{"a", "b"}, []string{"b", "c"}); got != 1.0/3 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(nil,nil) = %v, want 1", got)
+	}
+	if got := Jaccard([]string{"a"}, nil); got != 0 {
+		t.Errorf("Jaccard(a,nil) = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 1}
+	b := map[string]float64{"x": 1, "y": 1}
+	if got := Cosine(a, b); got < 0.999 {
+		t.Errorf("Cosine identical = %v, want ~1", got)
+	}
+	c := map[string]float64{"z": 5}
+	if got := Cosine(a, c); got != 0 {
+		t.Errorf("Cosine orthogonal = %v, want 0", got)
+	}
+	if got := Cosine(a, nil); got != 0 {
+		t.Errorf("Cosine with empty = %v, want 0", got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("abcd", 3)
+	want := []string{"abc", "bcd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+	if got := NGrams("ab", 3); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("NGrams short = %v", got)
+	}
+	if got := NGrams("", 3); got != nil {
+		t.Errorf("NGrams empty = %v, want nil", got)
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	// Morphological variants should be near 1.
+	if s := NameSimilarity("instructor", "instructors"); s < 0.8 {
+		t.Errorf("instructor/instructors similarity %v too low", s)
+	}
+	// Compound reorderings should be high.
+	if s := NameSimilarity("phone_contact", "contactPhone"); s < 0.9 {
+		t.Errorf("compound reorder similarity %v too low", s)
+	}
+	// Unrelated words should be low.
+	if s := NameSimilarity("enrollment", "textbook"); s > 0.4 {
+		t.Errorf("unrelated similarity %v too high", s)
+	}
+}
+
+func TestNameSimilarityBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomWord(r))
+			}
+		},
+	}
+	f := func(a, b string) bool {
+		s := NameSimilarity(a, b)
+		return s >= 0 && s <= 1.0000001
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynonymTable(t *testing.T) {
+	tab := DefaultSynonyms()
+	if !tab.AreSynonyms("instructor", "teacher") {
+		t.Error("instructor/teacher should be synonyms")
+	}
+	if !tab.AreSynonyms("Instructor", "TEACHER") {
+		t.Error("synonym lookup should be case-insensitive")
+	}
+	if tab.AreSynonyms("instructor", "course") {
+		t.Error("instructor/course should not be synonyms")
+	}
+	if !tab.AreSynonyms("widget", "widget") {
+		t.Error("a word is its own synonym")
+	}
+	syns := tab.Synonyms("phone")
+	found := false
+	for _, s := range syns {
+		if s == "telephone" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Synonyms(phone) = %v, missing telephone", syns)
+	}
+	if tab.Synonyms("nonexistentword") != nil {
+		t.Error("unknown word should yield nil synonyms")
+	}
+}
+
+func TestSynonymCanonical(t *testing.T) {
+	tab := NewSynonymTable([]string{"zeta", "alpha", "mid"})
+	if c := tab.Canonical("zeta"); c != "alpha" {
+		t.Errorf("Canonical(zeta) = %q, want alpha", c)
+	}
+	if c := tab.Canonical("unknown"); c != "unknown" {
+		t.Errorf("Canonical(unknown) = %q", c)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := DefaultDictionary()
+	if got := d.ToEnglish("corso"); got != "course" {
+		t.Errorf("ToEnglish(corso) = %q", got)
+	}
+	if got := d.ToEnglish("Docente"); got != "instructor" {
+		t.Errorf("ToEnglish(Docente) = %q", got)
+	}
+	if got := d.ToEnglish("banana"); got != "banana" {
+		t.Errorf("ToEnglish(banana) = %q, want passthrough", got)
+	}
+	forms := d.FromEnglish("course")
+	if len(forms) < 2 {
+		t.Errorf("FromEnglish(course) = %v, want corso and corsi", forms)
+	}
+}
+
+func TestBag(t *testing.T) {
+	b := Bag([]string{"a", "b", "a"})
+	if b["a"] != 2 || b["b"] != 1 {
+		t.Errorf("Bag = %v", b)
+	}
+}
+
+func TestTokenizeAndStem(t *testing.T) {
+	got := TokenizeAndStem("CourseOfferings")
+	want := []string{"cours", "offer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenizeAndStem = %v, want %v", got, want)
+	}
+}

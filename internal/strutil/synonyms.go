@@ -1,0 +1,193 @@
+package strutil
+
+import "sort"
+
+// SynonymTable groups words into synonym sets. Lookup is symmetric:
+// if a and b are in the same set, Synonyms(a) contains b and vice versa.
+type SynonymTable struct {
+	group map[string]int
+	sets  [][]string
+}
+
+// NewSynonymTable builds a table from explicit synonym sets. Words are
+// lowercased; a word may appear in only one set (later sets win).
+func NewSynonymTable(sets ...[]string) *SynonymTable {
+	t := &SynonymTable{group: make(map[string]int)}
+	for _, set := range sets {
+		t.AddSet(set...)
+	}
+	return t
+}
+
+// AddSet registers the given words as mutual synonyms.
+func (t *SynonymTable) AddSet(words ...string) {
+	if len(words) == 0 {
+		return
+	}
+	idx := len(t.sets)
+	norm := make([]string, 0, len(words))
+	for _, w := range words {
+		w = toLower(w)
+		norm = append(norm, w)
+		t.group[w] = idx
+	}
+	sort.Strings(norm)
+	t.sets = append(t.sets, norm)
+}
+
+// Synonyms returns all synonyms of w, including w itself if known,
+// or nil if w is not in the table.
+func (t *SynonymTable) Synonyms(w string) []string {
+	idx, ok := t.group[toLower(w)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(t.sets[idx]))
+	copy(out, t.sets[idx])
+	return out
+}
+
+// AreSynonyms reports whether a and b are in the same synonym set
+// (or equal after lowercasing).
+func (t *SynonymTable) AreSynonyms(a, b string) bool {
+	la, lb := toLower(a), toLower(b)
+	if la == lb {
+		return true
+	}
+	ia, oka := t.group[la]
+	ib, okb := t.group[lb]
+	return oka && okb && ia == ib
+}
+
+// Canonical returns a stable representative (the lexicographically first
+// member) of w's synonym set, or w lowercased if unknown.
+func (t *SynonymTable) Canonical(w string) string {
+	idx, ok := t.group[toLower(w)]
+	if !ok {
+		return toLower(w)
+	}
+	return t.sets[idx][0]
+}
+
+// Len returns the number of synonym sets.
+func (t *SynonymTable) Len() int { return len(t.sets) }
+
+func toLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// DefaultSynonyms returns the domain synonym table used throughout the
+// REVERE reproduction. It covers the university/course vocabulary of the
+// paper's running example plus the auxiliary evaluation domains.
+func DefaultSynonyms() *SynonymTable {
+	return NewSynonymTable(
+		[]string{"instructor", "teacher", "lecturer", "professor", "faculty"},
+		[]string{"course", "class", "subject", "offering"},
+		[]string{"schedule", "timetable", "calendar"},
+		[]string{"catalog", "catalogue", "listing", "inventory"},
+		[]string{"phone", "telephone", "tel", "contactphone"},
+		[]string{"email", "mail", "emailaddress"},
+		[]string{"title", "name", "label"},
+		[]string{"size", "enrollment", "enrolment", "capacity", "seats"},
+		[]string{"dept", "department", "division"},
+		[]string{"college", "school", "faculty_unit"},
+		[]string{"room", "location", "venue", "place"},
+		[]string{"time", "hour", "period"},
+		[]string{"day", "weekday"},
+		[]string{"ta", "assistant", "grader"},
+		[]string{"textbook", "book", "text"},
+		[]string{"assignment", "homework", "problemset"},
+		[]string{"grade", "mark", "score"},
+		[]string{"credit", "unit", "point"},
+		[]string{"prerequisite", "prereq", "requirement"},
+		[]string{"semester", "term", "quarter"},
+		[]string{"office", "officeroom"},
+		[]string{"price", "cost", "amount", "fee"},
+		[]string{"address", "addr", "street"},
+		[]string{"city", "town"},
+		[]string{"zip", "zipcode", "postalcode", "postcode"},
+		[]string{"bedroom", "bed", "br"},
+		[]string{"bathroom", "bath", "ba"},
+		[]string{"agent", "realtor", "broker"},
+		[]string{"author", "writer", "creator"},
+		[]string{"journal", "periodical"},
+		[]string{"year", "yr", "date"},
+		[]string{"publisher", "press"},
+		[]string{"product", "item", "goods"},
+		[]string{"brand", "make", "manufacturer"},
+		[]string{"description", "desc", "summary", "abstract"},
+		[]string{"rank", "position", "level"},
+		[]string{"salary", "pay", "wage", "compensation"},
+		[]string{"student", "pupil", "learner"},
+		[]string{"talk", "seminar", "lecture", "colloquium"},
+		[]string{"speaker", "presenter"},
+		[]string{"page", "url", "homepage", "website", "web"},
+	)
+}
+
+// Dictionary maps words between languages; REVERE's corpus statistics may
+// consult it so that, e.g., an Italian peer schema ("corso") still matches
+// the English corpus ("course") — the University of Rome/Trento example
+// in §3 of the paper.
+type Dictionary struct {
+	toEnglish map[string]string
+	fromEng   map[string][]string
+}
+
+// NewDictionary builds an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{toEnglish: make(map[string]string), fromEng: make(map[string][]string)}
+}
+
+// Add registers a foreign→english translation pair.
+func (d *Dictionary) Add(foreign, english string) {
+	f, e := toLower(foreign), toLower(english)
+	d.toEnglish[f] = e
+	d.fromEng[e] = append(d.fromEng[e], f)
+}
+
+// ToEnglish returns the English translation of w; if unknown, w itself.
+func (d *Dictionary) ToEnglish(w string) string {
+	if e, ok := d.toEnglish[toLower(w)]; ok {
+		return e
+	}
+	return toLower(w)
+}
+
+// FromEnglish returns the known foreign forms of an English word.
+func (d *Dictionary) FromEnglish(w string) []string {
+	return d.fromEng[toLower(w)]
+}
+
+// DefaultDictionary covers the Italian vocabulary used by the paper's
+// Rome/Trento example.
+func DefaultDictionary() *Dictionary {
+	d := NewDictionary()
+	pairs := [][2]string{
+		{"corso", "course"}, {"corsi", "course"},
+		{"docente", "instructor"}, {"professore", "professor"},
+		{"titolo", "title"}, {"nome", "name"},
+		{"orario", "schedule"}, {"aula", "room"},
+		{"studente", "student"}, {"studenti", "student"},
+		{"dipartimento", "department"}, {"facolta", "college"},
+		{"iscritti", "enrollment"}, {"libro", "textbook"},
+		{"anno", "year"}, {"semestre", "semester"},
+		{"telefono", "phone"}, {"indirizzo", "address"},
+		{"citta", "city"}, {"universita", "university"},
+	}
+	for _, p := range pairs {
+		d.Add(p[0], p[1])
+	}
+	return d
+}

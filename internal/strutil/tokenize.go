@@ -1,0 +1,95 @@
+// Package strutil provides the low-level text machinery REVERE's
+// corpus-statistics tools are built on: tokenization of schema and data
+// terms, Porter stemming, string-similarity measures, n-grams, synonym
+// tables and a small inter-language dictionary.
+//
+// The paper (§4.2) maintains statistics "depending on whether we take into
+// consideration word stemming, synonym tables, inter-language dictionaries,
+// or any combination of these three"; this package supplies those three
+// normalizers.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits an identifier or free text into lowercase word tokens.
+// It understands camelCase, PascalCase, snake_case, kebab-case, dotted
+// paths and digit boundaries, so "contactPhone", "contact_phone" and
+// "Contact-Phone2" all yield {"contact", "phone", ...}.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			// camelCase boundary: lower→Upper, or Upper followed by lower
+			// after a run of uppers (e.g. "XMLFile" → "xml", "file").
+			if cur.Len() > 0 && unicode.IsUpper(r) {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+				if unicode.IsLower(prev) || unicode.IsDigit(prev) || (unicode.IsUpper(prev) && nextLower) {
+					flush()
+				}
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if cur.Len() > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenizeAndStem tokenizes s and stems every token.
+func TokenizeAndStem(s string) []string {
+	toks := Tokenize(s)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = Stem(t)
+	}
+	return out
+}
+
+// NGrams returns the character n-grams of s (lowercased, no padding).
+// If len(s) < n the whole lowercased string is returned as a single gram.
+func NGrams(s string, n int) []string {
+	s = strings.ToLower(s)
+	r := []rune(s)
+	if n <= 0 {
+		return nil
+	}
+	if len(r) <= n {
+		if len(r) == 0 {
+			return nil
+		}
+		return []string{string(r)}
+	}
+	grams := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		grams = append(grams, string(r[i:i+n]))
+	}
+	return grams
+}
+
+// Bag converts a token slice into a multiset represented as a count map.
+func Bag(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}

@@ -1,0 +1,23 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestRestoreSnapshot(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New(relation.NewSchema("r", relation.Attr("x")))
+	r.MustInsert(relation.SV("original"))
+	db.Put(r)
+	snapshot := db.Clone()
+	db.Get("r").MustInsert(relation.SV("mutation"))
+	restore(db, snapshot)
+	if db.Get("r").Len() != 1 {
+		t.Errorf("restore failed: %v", db.Get("r").Rows())
+	}
+	if !db.Get("r").Contains(relation.Tuple{relation.SV("original")}) {
+		t.Error("original row lost")
+	}
+}

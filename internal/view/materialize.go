@@ -1,0 +1,208 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// Updategram describes a delta on one base relation. Piazza "treats
+// updates as first-class citizens ... in the form of updategrams" and
+// combines base updategrams into view updategrams (§3.1.2).
+type Updategram struct {
+	Relation string
+	Inserts  []relation.Tuple
+	Deletes  []relation.Tuple
+}
+
+// IsEmpty reports whether the updategram carries no changes.
+func (u Updategram) IsEmpty() bool { return len(u.Inserts) == 0 && len(u.Deletes) == 0 }
+
+// Size returns the number of changed tuples.
+func (u Updategram) Size() int { return len(u.Inserts) + len(u.Deletes) }
+
+// Apply replays the updategram against a database. Deletes are applied
+// before inserts so a tuple present in both ends up present.
+func (u Updategram) Apply(db *relation.Database) error {
+	r := db.Get(u.Relation)
+	if r == nil {
+		return fmt.Errorf("view: updategram for unknown relation %q", u.Relation)
+	}
+	for _, t := range u.Deletes {
+		r.Delete(t)
+	}
+	for _, t := range u.Inserts {
+		if err := r.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializedView holds the extent of a view definition over some base
+// database, supporting full refresh and incremental delta application.
+type MaterializedView struct {
+	View    View
+	Extent  *relation.Relation
+	fullLen int // rows at last full refresh, for staleness accounting
+}
+
+// NewMaterialized creates an unpopulated materialized view.
+func NewMaterialized(v View) *MaterializedView {
+	return &MaterializedView{View: v}
+}
+
+// Refresh recomputes the extent from scratch.
+func (m *MaterializedView) Refresh(db *relation.Database) error {
+	r, err := cq.Eval(db, m.View.Def)
+	if err != nil {
+		return err
+	}
+	m.Extent = r
+	m.fullLen = r.Len()
+	return nil
+}
+
+// ViewDelta computes the updategram on the view induced by base-relation
+// updategram u, given the post-update database state. It uses the
+// standard delta rule for select-project-join views:
+//
+//	Δ(V) over body a1..an with Δ on relation R =
+//	   ⋃ over occurrences of R:  a1 ⋈ .. ⋈ ΔR ⋈ .. ⋈ an
+//
+// evaluated with deletes against the pre-state and inserts against the
+// post-state. For simplicity (and correctness under set semantics) this
+// implementation computes the delta by evaluating the view body with the
+// changed atom's relation replaced by the delta tuples; a final
+// existence check against the other state removes spurious deletes.
+func (m *MaterializedView) ViewDelta(pre, post *relation.Database, u Updategram) (Updategram, error) {
+	out := Updategram{Relation: m.View.Name}
+	occurrences := 0
+	for _, a := range m.View.Def.Body {
+		if a.Pred == u.Relation {
+			occurrences++
+		}
+	}
+	if occurrences == 0 {
+		return out, nil
+	}
+	if len(u.Inserts) > 0 {
+		ins, err := deltaEval(post, m.View.Def, u.Relation, u.Inserts)
+		if err != nil {
+			return out, err
+		}
+		for _, t := range ins {
+			if m.Extent == nil || !m.Extent.Contains(t) {
+				out.Inserts = append(out.Inserts, t)
+			}
+		}
+	}
+	if len(u.Deletes) > 0 {
+		dels, err := deltaEval(pre, m.View.Def, u.Relation, u.Deletes)
+		if err != nil {
+			return out, err
+		}
+		// A derived deletion only holds if the tuple is no longer
+		// derivable in the post state (other derivations may remain).
+		for _, t := range dels {
+			still, err := derivable(post, m.View.Def, t)
+			if err != nil {
+				return out, err
+			}
+			if !still {
+				out.Deletes = append(out.Deletes, t)
+			}
+		}
+	}
+	out.Inserts = dedupTuples(out.Inserts)
+	out.Deletes = dedupTuples(out.Deletes)
+	return out, nil
+}
+
+// ApplyDelta updates the extent with a view updategram.
+func (m *MaterializedView) ApplyDelta(d Updategram) error {
+	if m.Extent == nil {
+		return fmt.Errorf("view: ApplyDelta before Refresh on %s", m.View.Name)
+	}
+	for _, t := range d.Deletes {
+		m.Extent.Delete(t)
+	}
+	for _, t := range d.Inserts {
+		if !m.Extent.Contains(t) {
+			if err := m.Extent.Insert(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deltaEval evaluates the view body with relName's extent replaced by the
+// given delta tuples (for one occurrence at a time, unioning results).
+func deltaEval(db *relation.Database, def cq.Query, relName string, delta []relation.Tuple) ([]relation.Tuple, error) {
+	base := db.Get(relName)
+	if base == nil {
+		return nil, fmt.Errorf("view: unknown relation %q", relName)
+	}
+	deltaRel := relation.New(base.Schema.Clone())
+	for _, t := range delta {
+		if err := deltaRel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	var results []relation.Tuple
+	occ := 0
+	for i, a := range def.Body {
+		if a.Pred != relName {
+			continue
+		}
+		occ++
+		// Build a scratch database where occurrence i reads from the
+		// delta via a uniquely-named relation.
+		scratch := relation.NewDatabase()
+		for _, r := range db.Relations() {
+			scratch.Put(r)
+		}
+		deltaName := "\x00delta_" + relName
+		dr := relation.New(relation.Schema{Name: deltaName, Attrs: deltaRel.Schema.Attrs})
+		for _, t := range deltaRel.Rows() {
+			if err := dr.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+		scratch.Put(dr)
+		q := def.Clone()
+		q.Body[i].Pred = deltaName
+		r, err := cq.Eval(scratch, q)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r.Rows()...)
+	}
+	_ = occ
+	return results, nil
+}
+
+// derivable reports whether tuple t is an answer of def over db.
+func derivable(db *relation.Database, def cq.Query, t relation.Tuple) (bool, error) {
+	r, err := cq.Eval(db, def)
+	if err != nil {
+		return false, err
+	}
+	return r.Contains(t), nil
+}
+
+func dedupTuples(ts []relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// TranslateUpdate implements the §3.1.2 extension the paper flags
+// ("ultimately, we want to support updating of data through views"):
+// it translates an updategram expressed against a view into updategrams
+// on the base relations, refusing translations that would be ambiguous
+// or side-effecting.
+//
+// Supported views are select/project views: a single body atom, possibly
+// with constants (selection) and projected-away variables. Inserts
+// through a projection are rejected (the hidden columns' values are
+// unknowable); inserts through a selection fill in the selection
+// constants. Deletes remove every base tuple that derives the deleted
+// view tuple, which requires the current base state.
+func TranslateUpdate(v View, db *relation.Database, u Updategram) ([]Updategram, error) {
+	def := v.Def
+	if len(def.Body) != 1 {
+		return nil, fmt.Errorf("view: update through join view %s is ambiguous", v.Name)
+	}
+	atom := def.Body[0]
+	base := db.Get(atom.Pred)
+	if base == nil {
+		return nil, fmt.Errorf("view: unknown base relation %q", atom.Pred)
+	}
+	if base.Schema.Arity() != len(atom.Args) {
+		return nil, fmt.Errorf("view: %s arity mismatch with %s", v.Name, atom.Pred)
+	}
+	headPos := make(map[string]int, len(def.HeadVars))
+	for i, hv := range def.HeadVars {
+		if _, dup := headPos[hv]; !dup {
+			headPos[hv] = i
+		}
+	}
+	out := Updategram{Relation: atom.Pred}
+
+	for _, t := range u.Inserts {
+		if len(t) != len(def.HeadVars) {
+			return nil, fmt.Errorf("view: insert arity %d, view arity %d", len(t), len(def.HeadVars))
+		}
+		baseTuple := make(relation.Tuple, len(atom.Args))
+		for col, arg := range atom.Args {
+			switch {
+			case !arg.IsVar:
+				baseTuple[col] = arg.Const
+			default:
+				pos, exported := headPos[arg.Var]
+				if !exported {
+					return nil, fmt.Errorf("view: insert through projection view %s: column %d of %s has no value",
+						v.Name, col, atom.Pred)
+				}
+				baseTuple[col] = t[pos]
+			}
+		}
+		if err := base.Schema.Compatible(baseTuple); err != nil {
+			return nil, fmt.Errorf("view: translated insert invalid: %w", err)
+		}
+		out.Inserts = append(out.Inserts, baseTuple)
+	}
+
+	for _, t := range u.Deletes {
+		if len(t) != len(def.HeadVars) {
+			return nil, fmt.Errorf("view: delete arity %d, view arity %d", len(t), len(def.HeadVars))
+		}
+		// Delete every base tuple matching the pattern.
+		for _, row := range base.Rows() {
+			if matchesPattern(atom, def.HeadVars, headPos, row, t) {
+				out.Deletes = append(out.Deletes, row.Clone())
+			}
+		}
+	}
+	out.Deletes = dedupTuples(out.Deletes)
+	if out.IsEmpty() {
+		return nil, nil
+	}
+	return []Updategram{out}, nil
+}
+
+// matchesPattern reports whether a base row derives the given view tuple.
+func matchesPattern(atom cq.Atom, headVars []string, headPos map[string]int, row, viewTuple relation.Tuple) bool {
+	bound := make(map[string]relation.Value, len(atom.Args))
+	for col, arg := range atom.Args {
+		if !arg.IsVar {
+			if row[col] != arg.Const {
+				return false
+			}
+			continue
+		}
+		if pos, exported := headPos[arg.Var]; exported {
+			if row[col] != viewTuple[pos] {
+				return false
+			}
+		}
+		if prev, ok := bound[arg.Var]; ok {
+			if prev != row[col] {
+				return false
+			}
+		} else {
+			bound[arg.Var] = row[col]
+		}
+	}
+	return true
+}
+
+// ApplyThroughView translates and applies a view update in one step,
+// verifying afterwards that the view's new extent reflects exactly the
+// requested change (no unexpected side effects) — if verification fails,
+// the base changes are rolled back and an error returned.
+func ApplyThroughView(v View, db *relation.Database, u Updategram) error {
+	mv := NewMaterialized(v)
+	if err := mv.Refresh(db); err != nil {
+		return err
+	}
+	before := mv.Extent.Clone()
+	baseUpdates, err := TranslateUpdate(v, db, u)
+	if err != nil {
+		return err
+	}
+	snapshot := db.Clone()
+	for _, bu := range baseUpdates {
+		if err := bu.Apply(db); err != nil {
+			restore(db, snapshot)
+			return err
+		}
+	}
+	if err := mv.Refresh(db); err != nil {
+		restore(db, snapshot)
+		return err
+	}
+	// Expected extent: before minus deletes plus inserts.
+	want := before.Clone()
+	for _, t := range u.Deletes {
+		want.Delete(t)
+	}
+	for _, t := range u.Inserts {
+		if !want.Contains(t) {
+			if err := want.Insert(t); err != nil {
+				restore(db, snapshot)
+				return err
+			}
+		}
+	}
+	if !mv.Extent.Equal(want) {
+		restore(db, snapshot)
+		return fmt.Errorf("view: update through %s has side effects (extent %v, want %v)",
+			v.Name, mv.Extent.Rows(), want.Rows())
+	}
+	return nil
+}
+
+// restore copies snapshot's relations back into db.
+func restore(db, snapshot *relation.Database) {
+	for _, r := range snapshot.Relations() {
+		db.Put(r)
+	}
+}

@@ -1,0 +1,177 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+func updDB() *relation.Database {
+	db := relation.NewDatabase()
+	c := relation.New(relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instructor"), relation.Attr("dept")))
+	c.MustInsert(relation.SV("DB"), relation.SV("halevy"), relation.SV("cs"))
+	c.MustInsert(relation.SV("AI"), relation.SV("etzioni"), relation.SV("cs"))
+	c.MustInsert(relation.SV("Anatomy"), relation.SV("gray"), relation.SV("med"))
+	db.Put(c)
+	return db
+}
+
+func TestTranslateInsertThroughSelection(t *testing.T) {
+	db := updDB()
+	// Selection view: CS courses with all columns exported.
+	v := NewView("cs", cq.MustParse("v(T, I) :- course(T, I, 'cs')"))
+	ups, err := TranslateUpdate(v, db, Updategram{
+		Relation: "cs",
+		Inserts:  []relation.Tuple{{relation.SV("ML"), relation.SV("domingos")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 || len(ups[0].Inserts) != 1 {
+		t.Fatalf("updates = %+v", ups)
+	}
+	got := ups[0].Inserts[0]
+	// The selection constant is filled in.
+	want := relation.Tuple{relation.SV("ML"), relation.SV("domingos"), relation.SV("cs")}
+	if !got.Equal(want) {
+		t.Errorf("translated = %v, want %v", got, want)
+	}
+}
+
+func TestTranslateInsertThroughProjectionRejected(t *testing.T) {
+	db := updDB()
+	v := NewView("titles", cq.MustParse("v(T) :- course(T, I, D)"))
+	_, err := TranslateUpdate(v, db, Updategram{
+		Relation: "titles",
+		Inserts:  []relation.Tuple{{relation.SV("ML")}},
+	})
+	if err == nil {
+		t.Error("insert through projection must be rejected")
+	}
+}
+
+func TestTranslateDeleteThroughProjection(t *testing.T) {
+	db := updDB()
+	v := NewView("bydept", cq.MustParse("v(D) :- course(T, I, D)"))
+	ups, err := TranslateUpdate(v, db, Updategram{
+		Relation: "bydept",
+		Deletes:  []relation.Tuple{{relation.SV("cs")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 || len(ups[0].Deletes) != 2 {
+		t.Fatalf("deletes = %+v", ups)
+	}
+}
+
+func TestTranslateJoinViewRejected(t *testing.T) {
+	db := updDB()
+	db.Put(relation.New(relation.NewSchema("person", relation.Attr("name"))))
+	v := NewView("j", cq.MustParse("v(T, N) :- course(T, I, D), person(N)"))
+	if _, err := TranslateUpdate(v, db, Updategram{Relation: "j",
+		Inserts: []relation.Tuple{{relation.SV("x"), relation.SV("y")}}}); err == nil {
+		t.Error("join view updates must be rejected")
+	}
+}
+
+func TestTranslateArityAndUnknownBase(t *testing.T) {
+	db := updDB()
+	v := NewView("cs", cq.MustParse("v(T, I) :- course(T, I, 'cs')"))
+	if _, err := TranslateUpdate(v, db, Updategram{
+		Inserts: []relation.Tuple{{relation.SV("only_one")}}}); err == nil {
+		t.Error("bad insert arity should fail")
+	}
+	if _, err := TranslateUpdate(v, db, Updategram{
+		Deletes: []relation.Tuple{{relation.SV("a")}}}); err == nil {
+		t.Error("bad delete arity should fail")
+	}
+	ghost := NewView("g", cq.MustParse("v(X) :- ghost(X)"))
+	if _, err := TranslateUpdate(ghost, db, Updategram{}); err == nil {
+		t.Error("unknown base relation should fail")
+	}
+	empty, err := TranslateUpdate(v, db, Updategram{})
+	if err != nil || empty != nil {
+		t.Errorf("empty updategram should translate to nothing: %v %v", empty, err)
+	}
+}
+
+func TestApplyThroughViewRoundTrip(t *testing.T) {
+	db := updDB()
+	v := NewView("cs", cq.MustParse("v(T, I) :- course(T, I, 'cs')"))
+	err := ApplyThroughView(v, db, Updategram{
+		Relation: "cs",
+		Inserts:  []relation.Tuple{{relation.SV("ML"), relation.SV("domingos")}},
+		Deletes:  []relation.Tuple{{relation.SV("DB"), relation.SV("halevy")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Get("course")
+	if !c.Contains(relation.Tuple{relation.SV("ML"), relation.SV("domingos"), relation.SV("cs")}) {
+		t.Error("insert not applied to base")
+	}
+	if c.Contains(relation.Tuple{relation.SV("DB"), relation.SV("halevy"), relation.SV("cs")}) {
+		t.Error("delete not applied to base")
+	}
+	// Non-CS rows untouched.
+	if !c.Contains(relation.Tuple{relation.SV("Anatomy"), relation.SV("gray"), relation.SV("med")}) {
+		t.Error("unrelated row disturbed")
+	}
+}
+
+func TestApplyThroughViewRollsBackOnError(t *testing.T) {
+	db := updDB()
+	v := NewView("titles", cq.MustParse("v(T) :- course(T, I, D)"))
+	before := db.Get("course").Clone()
+	err := ApplyThroughView(v, db, Updategram{
+		Relation: "titles",
+		Inserts:  []relation.Tuple{{relation.SV("ML")}},
+	})
+	if err == nil {
+		t.Fatal("projection insert should fail")
+	}
+	if !db.Get("course").Equal(before) {
+		t.Error("failed update mutated the base")
+	}
+}
+
+func TestTranslateDeleteRespectsSelection(t *testing.T) {
+	// Deleting "cs" rows through a med-selection view touches nothing.
+	db := updDB()
+	v := NewView("med", cq.MustParse("v(T, I) :- course(T, I, 'med')"))
+	ups, err := TranslateUpdate(v, db, Updategram{
+		Relation: "med",
+		Deletes:  []relation.Tuple{{relation.SV("DB"), relation.SV("halevy")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ups != nil {
+		t.Errorf("selection mismatch should delete nothing: %+v", ups)
+	}
+}
+
+func TestTranslateRepeatedVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	e := relation.New(relation.NewSchema("edge", relation.Attr("a"), relation.Attr("b")))
+	e.MustInsert(relation.SV("x"), relation.SV("x"))
+	e.MustInsert(relation.SV("x"), relation.SV("y"))
+	db.Put(e)
+	v := NewView("loops", cq.MustParse("v(A) :- edge(A, A)"))
+	ups, err := TranslateUpdate(v, db, Updategram{
+		Relation: "loops",
+		Deletes:  []relation.Tuple{{relation.SV("x")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 || len(ups[0].Deletes) != 1 {
+		t.Fatalf("updates = %+v", ups)
+	}
+	if !ups[0].Deletes[0].Equal(relation.Tuple{relation.SV("x"), relation.SV("x")}) {
+		t.Errorf("deleted %v", ups[0].Deletes[0])
+	}
+}

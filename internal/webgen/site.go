@@ -1,0 +1,327 @@
+// Package webgen generates synthetic department web sites — the
+// substitution for the real university HTML pages the paper's MANGROVE
+// deployment annotated (DESIGN.md, substitution table). Pages are
+// deliberately heterogeneous in structure ("many pages with very
+// differing structures", §2.1, which is why wrappers are inadequate) and
+// come with the ground-truth annotations a user of the graphical tool
+// would make, plus controllable noise: conflicting, missing and
+// malicious values (§2.3).
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+)
+
+// GroundTruth records one annotation the simulated user makes on a page:
+// highlight Text, assign TagPath; compound members share a Group so the
+// annotator can wrap them in a parent tag.
+type GroundTruth struct {
+	TagPath string
+	Text    string
+}
+
+// Page is one generated page with its annotations.
+type Page struct {
+	URL     string
+	HTML    string
+	RootTag string // compound tag wrapping the page's annotations ("" = none)
+	Truth   []GroundTruth
+}
+
+// Person is a generated department member.
+type Person struct {
+	Name, Phone, Email, Office, Position string
+}
+
+// Course is a generated course offering.
+type Course struct {
+	Code, Title, Instructor, Day, Time, Room, Textbook string
+}
+
+// Talk is a generated seminar announcement.
+type Talk struct {
+	Speaker, Title, Day, Time, Room string
+}
+
+// Options controls generation.
+type Options struct {
+	Seed     int64
+	NPeople  int
+	NCourses int
+	NTalks   int
+	// ConflictRate is the fraction of people who also appear with a
+	// different phone number on a second page.
+	ConflictRate float64
+	// MissingRate is the fraction of courses published with no room
+	// annotation (partial data).
+	MissingRate float64
+	// Malicious adds one adversarial page asserting wrong phone numbers
+	// from outside the department's web space.
+	Malicious bool
+}
+
+// Generated bundles a site with its entities and pages.
+type Generated struct {
+	Site    *mangrove.Site
+	Pages   []Page
+	People  []Person
+	Courses []Course
+	Talks   []Talk
+}
+
+var (
+	firstNames = []string{"Alon", "Oren", "AnHai", "Zack", "Jayant", "Luke",
+		"Igor", "Maya", "Dan", "Pedro", "Hank", "Steve", "Rachel", "Magda",
+		"Phil", "Surajit", "Jennifer", "Laura", "David", "Susan"}
+	lastNames = []string{"Halevy", "Etzioni", "Doan", "Ives", "Madhavan",
+		"McDowell", "Tatarinov", "Rodrig", "Suciu", "Domingos", "Levy",
+		"Gribble", "Pottinger", "Balazinska", "Bernstein", "Chaudhuri",
+		"Widom", "Haas", "DeWitt", "Davidson"}
+	subjects = []string{"Database Systems", "Artificial Intelligence",
+		"Operating Systems", "Machine Learning", "Compilers", "Networks",
+		"Graphics", "Data Mining", "Distributed Systems", "Theory of Computation",
+		"Computer Vision", "Natural Language Processing", "Ancient History",
+		"Information Retrieval", "Programming Languages", "Security"}
+	buildings = []string{"EE1", "Sieg", "Loew", "Guggenheim", "Allen", "Gates"}
+	days      = []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday"}
+	times     = []string{"9:00", "10:30", "12:00", "13:30", "15:00", "16:30"}
+	positions = []string{"Professor", "Associate Professor", "Assistant Professor",
+		"Lecturer", "Research Scientist"}
+	textbooks = []string{"Ramakrishnan & Gehrke", "Russell & Norvig",
+		"Silberschatz et al.", "Mitchell", "Aho Sethi Ullman", "Tanenbaum"}
+)
+
+// Generate builds a deterministic synthetic site.
+func Generate(opts Options) *Generated {
+	rnd := rand.New(rand.NewSource(opts.Seed))
+	g := &Generated{Site: mangrove.NewSite()}
+	usedNames := make(map[string]bool)
+	for i := 0; i < opts.NPeople; i++ {
+		p := Person{
+			Name:     uniqueName(rnd, usedNames),
+			Phone:    fmt.Sprintf("206-543-%04d", rnd.Intn(10000)),
+			Email:    "",
+			Office:   fmt.Sprintf("%s %d", buildings[rnd.Intn(len(buildings))], 100+rnd.Intn(500)),
+			Position: positions[rnd.Intn(len(positions))],
+		}
+		p.Email = strings.ToLower(strings.Fields(p.Name)[0]) + "@cs.example.edu"
+		g.People = append(g.People, p)
+	}
+	for i := 0; i < opts.NCourses; i++ {
+		instr := "Staff"
+		if len(g.People) > 0 {
+			instr = g.People[rnd.Intn(len(g.People))].Name
+		}
+		c := Course{
+			Code:       fmt.Sprintf("CSE %d", 300+rnd.Intn(300)*1+i%7),
+			Title:      subjects[rnd.Intn(len(subjects))],
+			Instructor: instr,
+			Day:        days[rnd.Intn(len(days))],
+			Time:       times[rnd.Intn(len(times))],
+			Room:       fmt.Sprintf("%s %d", buildings[rnd.Intn(len(buildings))], 100+rnd.Intn(400)),
+			Textbook:   textbooks[rnd.Intn(len(textbooks))],
+		}
+		g.Courses = append(g.Courses, c)
+	}
+	for i := 0; i < opts.NTalks; i++ {
+		speaker := uniqueName(rnd, usedNames)
+		g.Talks = append(g.Talks, Talk{
+			Speaker: speaker,
+			Title:   "On " + subjects[rnd.Intn(len(subjects))],
+			Day:     days[rnd.Intn(len(days))],
+			Time:    times[rnd.Intn(len(times))],
+			Room:    fmt.Sprintf("%s %d", buildings[rnd.Intn(len(buildings))], 100+rnd.Intn(400)),
+		})
+	}
+	for i, p := range g.People {
+		g.Pages = append(g.Pages, homePage(rnd, i, p))
+	}
+	for i, c := range g.Courses {
+		missing := rnd.Float64() < opts.MissingRate
+		g.Pages = append(g.Pages, coursePage(rnd, i, c, missing))
+	}
+	for i, talk := range g.Talks {
+		g.Pages = append(g.Pages, talkPage(rnd, i, talk))
+	}
+	// Conflicting pages: a "group page" lists a member with an outdated
+	// phone number.
+	for i, p := range g.People {
+		if rnd.Float64() < opts.ConflictRate {
+			g.Pages = append(g.Pages, conflictingGroupPage(rnd, i, p))
+		}
+	}
+	if opts.Malicious && len(g.People) > 0 {
+		g.Pages = append(g.Pages, maliciousPage(g.People[0]))
+	}
+	for i := range g.Pages {
+		g.Site.Put(g.Pages[i].URL, mustParse(g.Pages[i].HTML))
+	}
+	return g
+}
+
+func uniqueName(rnd *rand.Rand, used map[string]bool) string {
+	for {
+		n := firstNames[rnd.Intn(len(firstNames))] + " " + lastNames[rnd.Intn(len(lastNames))]
+		if !used[n] {
+			used[n] = true
+			return n
+		}
+	}
+}
+
+func mustParse(html string) *htmlx.Node {
+	doc, err := htmlx.Parse(html)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// homePage renders a personal page; layout varies by style to defeat
+// wrapper-style extraction.
+func homePage(rnd *rand.Rand, i int, p Person) Page {
+	url := fmt.Sprintf("http://dept.example.edu/people/p%d.html", i)
+	style := rnd.Intn(3)
+	var body string
+	switch style {
+	case 0:
+		body = fmt.Sprintf(`<h1>%s</h1><p>%s of Computer Science.</p>
+<p>Office: %s<br>Phone: %s<br>Email: %s</p>`, p.Name, p.Position, p.Office, p.Phone, p.Email)
+	case 1:
+		body = fmt.Sprintf(`<table><tr><td>Name</td><td>%s</td></tr>
+<tr><td>Title</td><td>%s</td></tr><tr><td>Room</td><td>%s</td></tr>
+<tr><td>Tel</td><td>%s</td></tr><tr><td>Mail</td><td>%s</td></tr></table>`,
+			p.Name, p.Position, p.Office, p.Phone, p.Email)
+	default:
+		body = fmt.Sprintf(`<div class="card"><b>%s</b> (%s)<ul>
+<li>reach me at %s</li><li>or visit %s</li><li>mail: %s</li></ul></div>`,
+			p.Name, p.Position, p.Phone, p.Office, p.Email)
+	}
+	return Page{
+		URL:     url,
+		HTML:    "<html><body>" + body + "</body></html>",
+		RootTag: "person",
+		Truth: []GroundTruth{
+			{TagPath: "name", Text: p.Name},
+			{TagPath: "phone", Text: p.Phone},
+			{TagPath: "email", Text: p.Email},
+			{TagPath: "office", Text: p.Office},
+			{TagPath: "position", Text: p.Position},
+		},
+	}
+}
+
+func coursePage(rnd *rand.Rand, i int, c Course, missingRoom bool) Page {
+	url := fmt.Sprintf("http://dept.example.edu/courses/c%d.html", i)
+	style := rnd.Intn(2)
+	var body string
+	if style == 0 {
+		body = fmt.Sprintf(`<h1>%s: %s</h1><p>Taught by %s.</p>
+<p>Meets %s at %s in %s.</p><p>Text: %s</p>`,
+			c.Code, c.Title, c.Instructor, c.Day, c.Time, c.Room, c.Textbook)
+	} else {
+		body = fmt.Sprintf(`<h2>%s</h2><h3>%s</h3>
+<dl><dt>Instructor</dt><dd>%s</dd><dt>When</dt><dd>%s %s</dd>
+<dt>Where</dt><dd>%s</dd><dt>Book</dt><dd>%s</dd></dl>`,
+			c.Title, c.Code, c.Instructor, c.Day, c.Time, c.Room, c.Textbook)
+	}
+	truth := []GroundTruth{
+		{TagPath: "code", Text: c.Code},
+		{TagPath: "title", Text: c.Title},
+		{TagPath: "instructor", Text: c.Instructor},
+		{TagPath: "day", Text: c.Day},
+		{TagPath: "time", Text: c.Time},
+		{TagPath: "textbook", Text: c.Textbook},
+	}
+	if !missingRoom {
+		truth = append(truth, GroundTruth{TagPath: "room", Text: c.Room})
+	}
+	return Page{URL: url, HTML: "<html><body>" + body + "</body></html>",
+		RootTag: "course", Truth: truth}
+}
+
+func talkPage(rnd *rand.Rand, i int, t Talk) Page {
+	url := fmt.Sprintf("http://dept.example.edu/talks/t%d.html", i)
+	_ = rnd
+	body := fmt.Sprintf(`<h1>Colloquium</h1><p><b>%s</b></p><p>by %s</p>
+<p>%s %s, %s</p>`, t.Title, t.Speaker, t.Day, t.Time, t.Room)
+	return Page{URL: url, HTML: "<html><body>" + body + "</body></html>",
+		RootTag: "talk", Truth: []GroundTruth{
+			{TagPath: "speaker", Text: t.Speaker},
+			{TagPath: "title", Text: t.Title},
+			{TagPath: "day", Text: t.Day},
+			{TagPath: "time", Text: t.Time},
+			{TagPath: "room", Text: t.Room},
+		}}
+}
+
+// conflictingGroupPage asserts an outdated phone for a person from a
+// second page inside the department site.
+func conflictingGroupPage(rnd *rand.Rand, i int, p Person) Page {
+	url := fmt.Sprintf("http://dept.example.edu/groups/g%d.html", i)
+	oldPhone := fmt.Sprintf("206-543-%04d", rnd.Intn(10000))
+	body := fmt.Sprintf(`<h1>Database Group</h1><p>Members: %s (tel %s)</p>`, p.Name, oldPhone)
+	return Page{URL: url, HTML: "<html><body>" + body + "</body></html>",
+		RootTag: "person", Truth: []GroundTruth{
+			{TagPath: "name", Text: p.Name},
+			{TagPath: "phone", Text: oldPhone},
+		}}
+}
+
+// maliciousPage asserts a wrong phone from outside the department.
+func maliciousPage(p Person) Page {
+	url := "http://prankster.example.org/fake.html"
+	body := fmt.Sprintf(`<p>%s can be reached at 555-0000</p>`, p.Name)
+	return Page{URL: url, HTML: "<html><body>" + body + "</body></html>",
+		RootTag: "person", Truth: []GroundTruth{
+			{TagPath: "name", Text: p.Name},
+			{TagPath: "phone", Text: "555-0000"},
+		}}
+}
+
+// Annotate applies a page's ground-truth annotations to its parsed DOM —
+// simulating the user driving the graphical annotation tool — and wraps
+// them in the compound root tag.
+func Annotate(site *mangrove.Site, p Page) error {
+	doc := site.Get(p.URL)
+	if doc == nil {
+		return fmt.Errorf("webgen: page %s not in site", p.URL)
+	}
+	for _, gt := range p.Truth {
+		if err := htmlx.AnnotateText(doc, gt.Text, gt.TagPath); err != nil {
+			return fmt.Errorf("webgen: %s: %w", p.URL, err)
+		}
+	}
+	if p.RootTag != "" {
+		body := doc.Find(func(n *htmlx.Node) bool { return n.Tag == "body" })
+		if body == nil {
+			return fmt.Errorf("webgen: %s has no body", p.URL)
+		}
+		if err := htmlx.AnnotateElement(doc, body.Children[0], p.RootTag); err != nil {
+			return err
+		}
+		// Move the remaining body children inside the compound span so
+		// the whole page's annotations nest under one subject.
+		span := body.Children[0]
+		for _, extra := range body.Children[1:] {
+			span.Children = append(span.Children, extra)
+		}
+		body.Children = body.Children[:1]
+	}
+	return nil
+}
+
+// AnnotateAll annotates every page of a generated site.
+func AnnotateAll(g *Generated) error {
+	for _, p := range g.Pages {
+		if err := Annotate(g.Site, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package webgen
+
+import (
+	"testing"
+
+	"repro/internal/htmlx"
+	"repro/internal/mangrove"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Seed: 7, NPeople: 5, NCourses: 4, NTalks: 2})
+	b := Generate(Options{Seed: 7, NPeople: 5, NCourses: 4, NTalks: 2})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatalf("page counts differ: %d vs %d", len(a.Pages), len(b.Pages))
+	}
+	for i := range a.Pages {
+		if a.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("page %d differs across runs", i)
+		}
+	}
+	c := Generate(Options{Seed: 8, NPeople: 5, NCourses: 4, NTalks: 2})
+	same := true
+	for i := range a.Pages {
+		if i < len(c.Pages) && a.Pages[i].HTML != c.Pages[i].HTML {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sites")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	g := Generate(Options{Seed: 1, NPeople: 6, NCourses: 5, NTalks: 3})
+	if len(g.People) != 6 || len(g.Courses) != 5 || len(g.Talks) != 3 {
+		t.Fatalf("entity counts = %d %d %d", len(g.People), len(g.Courses), len(g.Talks))
+	}
+	if g.Site.Len() != len(g.Pages) {
+		t.Errorf("site has %d pages, generated %d", g.Site.Len(), len(g.Pages))
+	}
+	if len(g.Pages) != 14 {
+		t.Errorf("pages = %d, want 6+5+3", len(g.Pages))
+	}
+}
+
+func TestNoiseOptions(t *testing.T) {
+	g := Generate(Options{Seed: 3, NPeople: 10, NCourses: 5, ConflictRate: 1.0,
+		MissingRate: 1.0, Malicious: true})
+	// Every person gets a conflicting group page, plus one malicious.
+	if len(g.Pages) != 10+5+10+1 {
+		t.Errorf("pages = %d", len(g.Pages))
+	}
+	// All course pages lack room annotations.
+	for _, p := range g.Pages {
+		if p.RootTag != "course" {
+			continue
+		}
+		for _, gt := range p.Truth {
+			if gt.TagPath == "room" {
+				t.Error("MissingRate=1 should drop all room annotations")
+			}
+		}
+	}
+}
+
+func TestAnnotateAllAndPublish(t *testing.T) {
+	g := Generate(Options{Seed: 5, NPeople: 4, NCourses: 3, NTalks: 2,
+		ConflictRate: 0.5, Malicious: true})
+	if err := AnnotateAll(g); err != nil {
+		t.Fatal(err)
+	}
+	repo := mangrove.NewRepository(mangrove.DepartmentSchema())
+	for _, url := range g.Site.URLs() {
+		if _, err := repo.Publish(url, g.Site.Get(url)); err != nil {
+			t.Fatalf("publish %s: %v", url, err)
+		}
+	}
+	people := repo.Subjects("person")
+	if len(people) < 4 {
+		t.Errorf("person subjects = %d", len(people))
+	}
+	courses := repo.Subjects("course")
+	if len(courses) != 3 {
+		t.Errorf("course subjects = %d", len(courses))
+	}
+	// Every generated person's name is findable.
+	names := map[string]bool{}
+	for _, vs := range repo.ValuesOf("person", "person.name") {
+		for _, v := range vs {
+			names[v.Value] = true
+		}
+	}
+	for _, p := range g.People {
+		if !names[p.Name] {
+			t.Errorf("person %q lost in publish", p.Name)
+		}
+	}
+}
+
+func TestAnnotateMissingPage(t *testing.T) {
+	g := Generate(Options{Seed: 1, NPeople: 1})
+	if err := Annotate(g.Site, Page{URL: "http://nope", Truth: nil}); err == nil {
+		t.Error("annotating missing page should fail")
+	}
+}
+
+func TestAnnotationsInvisible(t *testing.T) {
+	g := Generate(Options{Seed: 9, NPeople: 2, NCourses: 2})
+	for _, p := range g.Pages {
+		before := g.Site.Get(p.URL).InnerText()
+		if err := Annotate(g.Site, p); err != nil {
+			t.Fatal(err)
+		}
+		after := g.Site.Get(p.URL).InnerText()
+		if before != after {
+			t.Errorf("annotation changed text of %s", p.URL)
+		}
+		if got := htmlx.Extract(g.Site.Get(p.URL)); len(got) == 0 {
+			t.Errorf("no annotations extracted from %s", p.URL)
+		}
+	}
+}

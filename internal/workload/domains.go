@@ -1,0 +1,193 @@
+// Package workload generates the synthetic evaluation workloads of the
+// reproduction: five domains modeled on LSD's evaluation domains (course
+// listings, faculty, real estate, bibliography, products), source-schema
+// perturbation with ground-truth correspondences, and PDMS topologies
+// (chain, star, tree, random) populated with peers, data and mappings.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ValueGen produces one synthetic value for a mediated attribute.
+type ValueGen func(rnd *rand.Rand) string
+
+// AttrSpec is one mediated-schema attribute of a domain.
+type AttrSpec struct {
+	// Tag is the mediated label (the matching target of experiment E1).
+	Tag string
+	// Aliases are alternative names real sources use for the attribute.
+	Aliases []string
+	// Gen generates values.
+	Gen ValueGen
+}
+
+// Domain is one evaluation domain: a flat mediated concept with
+// attributes (LSD matched sources against mediated schemas of this
+// shape).
+type Domain struct {
+	Name     string
+	Concept  string // relation-name vocabulary root, e.g. "course"
+	Synonyms []string
+	Attrs    []AttrSpec
+}
+
+// AttrTags returns the mediated labels in order.
+func (d *Domain) AttrTags() []string {
+	out := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		out[i] = a.Tag
+	}
+	return out
+}
+
+func pick(items []string) ValueGen {
+	return func(rnd *rand.Rand) string { return items[rnd.Intn(len(items))] }
+}
+
+func number(lo, hi int) ValueGen {
+	return func(rnd *rand.Rand) string { return fmt.Sprint(lo + rnd.Intn(hi-lo+1)) }
+}
+
+func phoneGen(rnd *rand.Rand) string {
+	return fmt.Sprintf("%03d-%03d-%04d", 200+rnd.Intn(700), rnd.Intn(1000), rnd.Intn(10000))
+}
+
+func emailGen(rnd *rand.Rand) string {
+	users := []string{"alon", "oren", "anhai", "zack", "maya", "igor", "dan", "luke", "pedro", "rachel"}
+	hosts := []string{"cs.example.edu", "example.com", "uni.example.org"}
+	return users[rnd.Intn(len(users))] + fmt.Sprint(rnd.Intn(100)) + "@" + hosts[rnd.Intn(len(hosts))]
+}
+
+func personName(rnd *rand.Rand) string {
+	first := []string{"Alon", "Oren", "AnHai", "Zachary", "Jayant", "Luke", "Igor",
+		"Maya", "Dan", "Pedro", "Susan", "Laura", "David", "Rachel", "Magda"}
+	last := []string{"Halevy", "Etzioni", "Doan", "Ives", "Madhavan", "McDowell",
+		"Tatarinov", "Rodrig", "Suciu", "Domingos", "Davidson", "Haas", "Widom"}
+	return first[rnd.Intn(len(first))] + " " + last[rnd.Intn(len(last))]
+}
+
+func titleGen(rnd *rand.Rand) string {
+	adj := []string{"Introduction to", "Advanced", "Topics in", "Foundations of", "Applied"}
+	noun := []string{"Databases", "Artificial Intelligence", "Operating Systems",
+		"Machine Learning", "Compilers", "Networks", "Data Mining", "Ancient History",
+		"Information Retrieval", "Algorithms"}
+	return adj[rnd.Intn(len(adj))] + " " + noun[rnd.Intn(len(noun))]
+}
+
+func streetGen(rnd *rand.Rand) string {
+	names := []string{"Maple", "Oak", "Cedar", "Pine", "Lake", "Hill", "Main", "University"}
+	kinds := []string{"St", "Ave", "Blvd", "Dr", "Way"}
+	return fmt.Sprintf("%d %s %s", 1+rnd.Intn(9999), names[rnd.Intn(len(names))], kinds[rnd.Intn(len(kinds))])
+}
+
+func paperTitleGen(rnd *rand.Rand) string {
+	a := []string{"Scalable", "Adaptive", "Declarative", "Peer-to-Peer", "Statistical", "Approximate"}
+	b := []string{"Query Answering", "Schema Matching", "Data Integration", "View Maintenance",
+		"Information Extraction", "Web Search"}
+	c := []string{"for the Web", "in Practice", "Revisited", "at Scale", "with Views"}
+	return a[rnd.Intn(len(a))] + " " + b[rnd.Intn(len(b))] + " " + c[rnd.Intn(len(c))]
+}
+
+func productNameGen(rnd *rand.Rand) string {
+	brand := []string{"Acme", "Globex", "Initech", "Umbra", "Vertex"}
+	item := []string{"Laptop", "Monitor", "Keyboard", "Router", "Camera", "Printer"}
+	return brand[rnd.Intn(len(brand))] + " " + item[rnd.Intn(len(item))] + " " + fmt.Sprint(100+rnd.Intn(900))
+}
+
+// Domains returns the five evaluation domains.
+func Domains() []*Domain {
+	return []*Domain{
+		{
+			Name: "courses", Concept: "course",
+			Synonyms: []string{"course", "class", "subject", "offering"},
+			Attrs: []AttrSpec{
+				{Tag: "code", Aliases: []string{"code", "course_number", "num", "courseID"},
+					Gen: func(rnd *rand.Rand) string { return fmt.Sprintf("CSE %d", 100+rnd.Intn(500)) }},
+				{Tag: "title", Aliases: []string{"title", "name", "course_title", "label"}, Gen: titleGen},
+				{Tag: "instructor", Aliases: []string{"instructor", "teacher", "lecturer", "professor", "taught_by"}, Gen: personName},
+				{Tag: "day", Aliases: []string{"day", "weekday", "meets_on"},
+					Gen: pick([]string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday"})},
+				{Tag: "time", Aliases: []string{"time", "hour", "start_time", "when"},
+					Gen: pick([]string{"9:00", "10:30", "12:00", "13:30", "15:00"})},
+				{Tag: "room", Aliases: []string{"room", "location", "venue", "where"},
+					Gen: func(rnd *rand.Rand) string {
+						return fmt.Sprintf("%s %d", pick([]string{"EE1", "Sieg", "Allen"})(rnd), 100+rnd.Intn(400))
+					}},
+				{Tag: "enrollment", Aliases: []string{"enrollment", "size", "capacity", "seats", "students"}, Gen: number(5, 300)},
+			},
+		},
+		{
+			Name: "faculty", Concept: "person",
+			Synonyms: []string{"person", "faculty", "staff", "member", "people"},
+			Attrs: []AttrSpec{
+				{Tag: "name", Aliases: []string{"name", "full_name", "person_name"}, Gen: personName},
+				{Tag: "phone", Aliases: []string{"phone", "telephone", "tel", "contact_phone"}, Gen: phoneGen},
+				{Tag: "email", Aliases: []string{"email", "mail", "email_address"}, Gen: emailGen},
+				{Tag: "office", Aliases: []string{"office", "room", "office_room"},
+					Gen: func(rnd *rand.Rand) string {
+						return fmt.Sprintf("%s %d", pick([]string{"Allen", "Gates", "Sieg"})(rnd), 100+rnd.Intn(600))
+					}},
+				{Tag: "position", Aliases: []string{"position", "rank", "title_of_position", "level"},
+					Gen: pick([]string{"Professor", "Associate Professor", "Assistant Professor", "Lecturer"})},
+				{Tag: "department", Aliases: []string{"department", "dept", "division"},
+					Gen: pick([]string{"Computer Science", "History", "Mathematics", "Physics", "Classics"})},
+			},
+		},
+		{
+			Name: "realestate", Concept: "listing",
+			Synonyms: []string{"listing", "house", "property", "home"},
+			Attrs: []AttrSpec{
+				{Tag: "address", Aliases: []string{"address", "addr", "street", "location"}, Gen: streetGen},
+				{Tag: "city", Aliases: []string{"city", "town", "municipality"},
+					Gen: pick([]string{"Seattle", "Portland", "Eugene", "Tacoma", "Spokane", "Bellevue"})},
+				{Tag: "price", Aliases: []string{"price", "cost", "asking_price", "amount"}, Gen: number(90000, 900000)},
+				{Tag: "bedrooms", Aliases: []string{"bedrooms", "beds", "br", "num_bedrooms"}, Gen: number(1, 6)},
+				{Tag: "bathrooms", Aliases: []string{"bathrooms", "baths", "ba"}, Gen: number(1, 4)},
+				{Tag: "agent", Aliases: []string{"agent", "realtor", "broker", "contact"}, Gen: personName},
+				{Tag: "sqft", Aliases: []string{"sqft", "area", "square_feet", "living_area"}, Gen: number(500, 6000)},
+			},
+		},
+		{
+			Name: "bibliography", Concept: "publication",
+			Synonyms: []string{"publication", "paper", "article", "pub"},
+			Attrs: []AttrSpec{
+				{Tag: "title", Aliases: []string{"title", "paper_title", "name"}, Gen: paperTitleGen},
+				{Tag: "author", Aliases: []string{"author", "writer", "creator", "by"}, Gen: personName},
+				{Tag: "venue", Aliases: []string{"venue", "journal", "conference", "published_in"},
+					Gen: pick([]string{"SIGMOD", "VLDB", "CIDR", "ICDE", "WWW", "AAAI"})},
+				{Tag: "year", Aliases: []string{"year", "yr", "pub_year", "date"}, Gen: number(1985, 2003)},
+				{Tag: "pages", Aliases: []string{"pages", "page_range", "pp"},
+					Gen: func(rnd *rand.Rand) string {
+						lo := 1 + rnd.Intn(500)
+						return fmt.Sprintf("%d-%d", lo, lo+5+rnd.Intn(20))
+					}},
+			},
+		},
+		{
+			Name: "products", Concept: "product",
+			Synonyms: []string{"product", "item", "goods", "catalog_entry"},
+			Attrs: []AttrSpec{
+				{Tag: "name", Aliases: []string{"name", "product_name", "item_name", "title"}, Gen: productNameGen},
+				{Tag: "brand", Aliases: []string{"brand", "make", "manufacturer", "vendor"},
+					Gen: pick([]string{"Acme", "Globex", "Initech", "Umbra", "Vertex"})},
+				{Tag: "price", Aliases: []string{"price", "cost", "retail_price", "amount"}, Gen: number(5, 3000)},
+				{Tag: "category", Aliases: []string{"category", "type", "dept", "class"},
+					Gen: pick([]string{"Electronics", "Office", "Photography", "Networking"})},
+				{Tag: "weight", Aliases: []string{"weight", "mass", "shipping_weight"},
+					Gen: func(rnd *rand.Rand) string { return fmt.Sprintf("%.1f kg", 0.1+rnd.Float64()*20) }},
+			},
+		},
+	}
+}
+
+// DomainByName finds a domain.
+func DomainByName(name string) (*Domain, bool) {
+	for _, d := range Domains() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}

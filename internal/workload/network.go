@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+)
+
+// Topology names the mapping-graph shapes of experiment E2 (the paper's
+// Figure 2 is an irregular small graph; we sweep canonical shapes).
+type Topology string
+
+// Supported topologies.
+const (
+	Chain  Topology = "chain"
+	Star   Topology = "star"
+	Tree   Topology = "tree"
+	Random Topology = "random"
+)
+
+// NetworkSpec configures PDMS generation.
+type NetworkSpec struct {
+	Topology Topology
+	Peers    int
+	Seed     int64
+	// RowsPerPeer is the number of course tuples each peer stores
+	// (default 10).
+	RowsPerPeer int
+	// ExtraEdgeProb adds random extra edges (Random topology only).
+	ExtraEdgeProb float64
+}
+
+func (s NetworkSpec) rows() int {
+	if s.RowsPerPeer <= 0 {
+		return 10
+	}
+	return s.RowsPerPeer
+}
+
+// GeneratedNetwork is a PDMS instance with ground truth for evaluation.
+type GeneratedNetwork struct {
+	Net   *pdms.Network
+	Specs []*Source // per-peer vocabulary and truth
+	// TitleOf maps peer index to the titles stored there.
+	TitleOf [][]string
+	// AllTitles is the oracle: every title in the system.
+	AllTitles []string
+	// Edges lists the mapping-graph edges (each carries two mappings,
+	// one per direction).
+	Edges [][2]int
+	// TitleAttr[i] is peer i's attribute name for the mediated "title".
+	TitleAttr []string
+}
+
+// PeerName returns the canonical name of peer i.
+func PeerName(i int) string { return fmt.Sprintf("peer%d", i) }
+
+// GenNetwork builds a university-style PDMS: every peer describes
+// courses in its own vocabulary (same mediated tags, different names —
+// the paper's "different universities used different, independently
+// evolved schemas"), stores disjoint data, and maps to its topological
+// neighbors in both directions.
+func GenNetwork(spec NetworkSpec) (*GeneratedNetwork, error) {
+	if spec.Peers < 1 {
+		return nil, fmt.Errorf("workload: need at least one peer")
+	}
+	d, _ := DomainByName("courses")
+	rnd := rand.New(rand.NewSource(spec.Seed))
+	g := &GeneratedNetwork{Net: pdms.NewNetwork()}
+	// Per-peer sources: full attribute coverage so mappings are total.
+	for i := 0; i < spec.Peers; i++ {
+		src := GenSource(d, i, spec.Seed, SourceOptions{Rows: spec.rows(), DropRate: 0, ObfuscateRate: 0.3})
+		src.Name = PeerName(i)
+		g.Specs = append(g.Specs, src)
+		peer := pdms.NewPeer(PeerName(i), src.Schema)
+		if err := g.Net.AddPeer(peer); err != nil {
+			return nil, err
+		}
+		// Rewrite titles to be globally unique so completeness is
+		// measurable; record them.
+		titleCol := -1
+		for c, name := range src.Schema.AttrNames() {
+			if src.Truth[name] == "title" {
+				titleCol = c
+				g.TitleAttr = append(g.TitleAttr, name)
+			}
+		}
+		if titleCol < 0 {
+			return nil, fmt.Errorf("workload: source %d lost its title column", i)
+		}
+		var titles []string
+		for r, row := range src.Data.Rows() {
+			t := fmt.Sprintf("%s [%s#%d]", row[titleCol].S, PeerName(i), r)
+			row[titleCol] = relation.SV(t)
+			titles = append(titles, t)
+			g.AllTitles = append(g.AllTitles, t)
+			if err := peer.Insert(src.Schema.Name, row.Clone()); err != nil {
+				return nil, err
+			}
+		}
+		g.TitleOf = append(g.TitleOf, titles)
+	}
+	// Topology edges.
+	switch spec.Topology {
+	case Chain:
+		for i := 0; i+1 < spec.Peers; i++ {
+			g.Edges = append(g.Edges, [2]int{i, i + 1})
+		}
+	case Star:
+		for i := 1; i < spec.Peers; i++ {
+			g.Edges = append(g.Edges, [2]int{0, i})
+		}
+	case Tree:
+		for i := 1; i < spec.Peers; i++ {
+			g.Edges = append(g.Edges, [2]int{(i - 1) / 2, i})
+		}
+	case Random:
+		for i := 1; i < spec.Peers; i++ {
+			g.Edges = append(g.Edges, [2]int{rnd.Intn(i), i})
+		}
+		for i := 0; i < spec.Peers; i++ {
+			for j := i + 1; j < spec.Peers; j++ {
+				if rnd.Float64() < spec.ExtraEdgeProb && !hasEdge(g.Edges, i, j) {
+					g.Edges = append(g.Edges, [2]int{i, j})
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown topology %q", spec.Topology)
+	}
+	for _, e := range g.Edges {
+		if err := g.addMappingPair(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func hasEdge(edges [][2]int, a, b int) bool {
+	for _, e := range edges {
+		if (e[0] == a && e[1] == b) || (e[0] == b && e[1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// addMappingPair creates the two directional GAV mappings between peers
+// a and b, aligning columns by mediated tag — the pairwise mapping a
+// "distance learning specialist" would author (§1.2).
+func (g *GeneratedNetwork) addMappingPair(a, b int) error {
+	if err := g.addMapping(a, b); err != nil {
+		return err
+	}
+	return g.addMapping(b, a)
+}
+
+func (g *GeneratedNetwork) addMapping(src, tgt int) error {
+	s, t := g.Specs[src], g.Specs[tgt]
+	// Source atom: every source column gets a distinct variable named by
+	// its mediated tag.
+	sNames := s.Schema.AttrNames()
+	srcArgs := make([]cq.Term, len(sNames))
+	varOfTag := make(map[string]string)
+	for i, n := range sNames {
+		v := "V_" + s.Truth[n]
+		srcArgs[i] = cq.V(v)
+		varOfTag[s.Truth[n]] = v
+	}
+	// Target atom and head: target columns in order, by tag.
+	tNames := t.Schema.AttrNames()
+	head := make([]string, len(tNames))
+	tgtArgs := make([]cq.Term, len(tNames))
+	for i, n := range tNames {
+		v, ok := varOfTag[t.Truth[n]]
+		if !ok {
+			return fmt.Errorf("workload: tag %q of %s missing at %s", t.Truth[n], t.Name, s.Name)
+		}
+		head[i] = v
+		tgtArgs[i] = cq.V(v)
+	}
+	m, err := glav.New(
+		fmt.Sprintf("m_%s_to_%s", s.Name, t.Name),
+		s.Name,
+		cq.Query{HeadPred: "m", HeadVars: head, Body: []cq.Atom{{Pred: s.Schema.Name, Args: srcArgs}}},
+		t.Name,
+		cq.Query{HeadPred: "m", HeadVars: head, Body: []cq.Atom{{Pred: t.Schema.Name, Args: tgtArgs}}},
+	)
+	if err != nil {
+		return err
+	}
+	return g.Net.AddMapping(m)
+}
+
+// TitleQuery returns the query "all course titles" in peer i's own
+// vocabulary.
+func (g *GeneratedNetwork) TitleQuery(i int) cq.Query {
+	src := g.Specs[i]
+	names := src.Schema.AttrNames()
+	args := make([]cq.Term, len(names))
+	headVar := ""
+	for c, n := range names {
+		v := fmt.Sprintf("X%d", c)
+		args[c] = cq.V(v)
+		if src.Truth[n] == "title" {
+			headVar = v
+		}
+	}
+	return cq.Query{HeadPred: "q", HeadVars: []string{headVar},
+		Body: []cq.Atom{{Pred: src.Schema.Name, Args: args}}}
+}
+
+// Distance returns hop counts from peer start over the mapping graph
+// (BFS), -1 for unreachable.
+func (g *GeneratedNetwork) Distance(start int) []int {
+	n := len(g.Specs)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}

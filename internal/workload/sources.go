@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/learn"
+	"repro/internal/relation"
+)
+
+// Source is one generated data source: a flat relation in its own
+// vocabulary, sample data, and the ground-truth correspondence from its
+// attributes to the domain's mediated tags.
+type Source struct {
+	Name     string
+	Domain   string
+	Schema   relation.Schema
+	Data     *relation.Relation
+	Truth    map[string]string // attribute name -> mediated tag
+	attrTags []string          // tag per column, in order
+}
+
+// SourceOptions tunes source generation.
+type SourceOptions struct {
+	// Rows of sample data (default 30).
+	Rows int
+	// DropRate is the probability an attribute is omitted entirely
+	// (sources rarely cover the full mediated schema).
+	DropRate float64
+	// ObfuscateRate is the probability a kept attribute gets a mangled
+	// name (abbreviation or decoration) instead of a clean alias.
+	ObfuscateRate float64
+}
+
+func (o SourceOptions) rows() int {
+	if o.Rows <= 0 {
+		return 30
+	}
+	return o.Rows
+}
+
+// GenSource generates the i-th source of a domain deterministically from
+// the seed.
+func GenSource(d *Domain, i int, seed int64, opts SourceOptions) *Source {
+	rnd := rand.New(rand.NewSource(seed + int64(i)*7919))
+	src := &Source{
+		Name:   d.Name + "_src" + itoa(i),
+		Domain: d.Name,
+		Truth:  make(map[string]string),
+	}
+	relName := d.Synonyms[rnd.Intn(len(d.Synonyms))]
+	var attrs []relation.Attribute
+	var gens []ValueGen
+	for _, spec := range d.Attrs {
+		if rnd.Float64() < opts.DropRate && len(attrs) > 0 {
+			continue
+		}
+		name := spec.Aliases[rnd.Intn(len(spec.Aliases))]
+		if rnd.Float64() < opts.ObfuscateRate {
+			name = obfuscate(rnd, name, relName)
+		}
+		// Attribute names must be unique within the relation.
+		base := name
+		for n := 2; src.Truth[name] != ""; n++ {
+			name = base + itoa(n)
+		}
+		attrs = append(attrs, relation.Attr(name))
+		gens = append(gens, spec.Gen)
+		src.Truth[name] = spec.Tag
+		src.attrTags = append(src.attrTags, spec.Tag)
+	}
+	src.Schema = relation.Schema{Name: relName, Attrs: attrs}
+	src.Data = relation.New(src.Schema)
+	for r := 0; r < opts.rows(); r++ {
+		row := make(relation.Tuple, len(attrs))
+		for c, g := range gens {
+			row[c] = relation.SV(g(rnd))
+		}
+		if err := src.Data.Insert(row); err != nil {
+			panic(err) // generator bug: all columns are strings
+		}
+	}
+	return src
+}
+
+// obfuscate mangles an attribute name the way real schemas do:
+// abbreviation, vowel dropping, or concept-prefixing.
+func obfuscate(rnd *rand.Rand, name, concept string) string {
+	switch rnd.Intn(3) {
+	case 0: // truncate
+		if len(name) > 4 {
+			return name[:4]
+		}
+		return name
+	case 1: // drop vowels after the first letter
+		var b strings.Builder
+		for i, r := range name {
+			if i > 0 && strings.ContainsRune("aeiou", r) {
+				continue
+			}
+			b.WriteRune(r)
+		}
+		return b.String()
+	default: // prefix with the concept
+		return concept + "_" + name
+	}
+}
+
+// Columns converts the source into learn.Column instances (with the
+// sibling-context the structure learner wants) plus labeled examples.
+func (s *Source) Columns() []learn.Example {
+	names := s.Schema.AttrNames()
+	var out []learn.Example
+	for i, name := range names {
+		var context []string
+		for j, other := range names {
+			if j != i {
+				context = append(context, other)
+			}
+		}
+		var values []string
+		for _, row := range s.Data.Rows() {
+			values = append(values, row[i].S)
+		}
+		out = append(out, learn.Example{
+			Column: learn.Column{Name: name, Values: values, Context: context},
+			Label:  s.Truth[name],
+		})
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/pdms"
+)
+
+func TestDomains(t *testing.T) {
+	ds := Domains()
+	if len(ds) != 5 {
+		t.Fatalf("domains = %d", len(ds))
+	}
+	for _, d := range ds {
+		if len(d.Attrs) < 5 {
+			t.Errorf("domain %s has only %d attrs", d.Name, len(d.Attrs))
+		}
+		if len(d.AttrTags()) != len(d.Attrs) {
+			t.Errorf("AttrTags mismatch for %s", d.Name)
+		}
+		seen := map[string]bool{}
+		for _, a := range d.Attrs {
+			if seen[a.Tag] {
+				t.Errorf("domain %s has duplicate tag %s", d.Name, a.Tag)
+			}
+			seen[a.Tag] = true
+			if len(a.Aliases) < 2 {
+				t.Errorf("tag %s.%s needs aliases", d.Name, a.Tag)
+			}
+		}
+	}
+	if _, ok := DomainByName("courses"); !ok {
+		t.Error("DomainByName missed courses")
+	}
+	if _, ok := DomainByName("nope"); ok {
+		t.Error("DomainByName found ghost")
+	}
+}
+
+func TestGenSourceDeterministic(t *testing.T) {
+	d, _ := DomainByName("courses")
+	a := GenSource(d, 0, 42, SourceOptions{})
+	b := GenSource(d, 0, 42, SourceOptions{})
+	if a.Schema.String() != b.Schema.String() {
+		t.Error("same seed produced different schemas")
+	}
+	if a.Data.Len() != 30 {
+		t.Errorf("default rows = %d", a.Data.Len())
+	}
+	c := GenSource(d, 1, 42, SourceOptions{})
+	if a.Schema.String() == c.Schema.String() && a.Data.Rows()[0].Equal(c.Data.Rows()[0]) {
+		t.Error("different source index produced identical source")
+	}
+}
+
+func TestGenSourceTruthComplete(t *testing.T) {
+	d, _ := DomainByName("faculty")
+	src := GenSource(d, 3, 7, SourceOptions{Rows: 10, DropRate: 0.2, ObfuscateRate: 0.5})
+	if len(src.Schema.Attrs) == 0 {
+		t.Fatal("empty schema")
+	}
+	for _, name := range src.Schema.AttrNames() {
+		if src.Truth[name] == "" {
+			t.Errorf("attribute %q has no ground truth", name)
+		}
+	}
+	exs := src.Columns()
+	if len(exs) != src.Schema.Arity() {
+		t.Fatalf("examples = %d", len(exs))
+	}
+	for _, ex := range exs {
+		if len(ex.Column.Values) != 10 {
+			t.Errorf("column %s has %d values", ex.Column.Name, len(ex.Column.Values))
+		}
+		if len(ex.Column.Context) != src.Schema.Arity()-1 {
+			t.Errorf("column %s context = %v", ex.Column.Name, ex.Column.Context)
+		}
+	}
+}
+
+func TestGenNetworkChain(t *testing.T) {
+	g, err := GenNetwork(NetworkSpec{Topology: Chain, Peers: 4, Seed: 9, RowsPerPeer: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Net.NumPeers() != 4 {
+		t.Errorf("peers = %d", g.Net.NumPeers())
+	}
+	if len(g.Edges) != 3 || g.Net.NumMappings() != 6 {
+		t.Errorf("edges = %d mappings = %d", len(g.Edges), g.Net.NumMappings())
+	}
+	if len(g.AllTitles) != 20 {
+		t.Errorf("oracle titles = %d", len(g.AllTitles))
+	}
+	// Titles globally unique.
+	seen := map[string]bool{}
+	for _, title := range g.AllTitles {
+		if seen[title] {
+			t.Errorf("duplicate title %q", title)
+		}
+		seen[title] = true
+	}
+	dist := g.Distance(0)
+	if dist[3] != 3 {
+		t.Errorf("chain distance = %v", dist)
+	}
+}
+
+func TestGenNetworkTransitiveCompleteness(t *testing.T) {
+	// The headline PDMS property on a generated chain: a query at one
+	// end retrieves every peer's titles.
+	g, err := GenNetwork(NetworkSpec{Topology: Chain, Peers: 4, Seed: 1, RowsPerPeer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Net.Answer(PeerName(0), g.TitleQuery(0), pdms.ReformOptions{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != len(g.AllTitles) {
+		t.Errorf("answers = %d, oracle = %d", res.Answers.Len(), len(g.AllTitles))
+	}
+}
+
+func TestGenNetworkTopologies(t *testing.T) {
+	for _, topo := range []Topology{Chain, Star, Tree, Random} {
+		g, err := GenNetwork(NetworkSpec{Topology: topo, Peers: 6, Seed: 3, RowsPerPeer: 2, ExtraEdgeProb: 0.3})
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		dist := g.Distance(0)
+		for i, d := range dist {
+			if d < 0 {
+				t.Errorf("%s: peer %d unreachable", topo, i)
+			}
+		}
+	}
+	if _, err := GenNetwork(NetworkSpec{Topology: "möbius", Peers: 3}); err == nil {
+		t.Error("unknown topology should fail")
+	}
+	if _, err := GenNetwork(NetworkSpec{Topology: Chain, Peers: 0}); err == nil {
+		t.Error("zero peers should fail")
+	}
+}
+
+func TestAllDomainsGenerateValues(t *testing.T) {
+	// Every domain's every attribute generator must produce non-empty,
+	// deterministic values (covers all value generators).
+	for _, d := range Domains() {
+		src := GenSource(d, 0, 5, SourceOptions{Rows: 20})
+		if src.Data.Len() != 20 {
+			t.Fatalf("%s rows = %d", d.Name, src.Data.Len())
+		}
+		for _, row := range src.Data.Rows() {
+			for i, v := range row {
+				if v.S == "" {
+					t.Errorf("%s column %d generated empty value", d.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenSourceMaxRows(t *testing.T) {
+	d, _ := DomainByName("products")
+	src := GenSource(d, 0, 1, SourceOptions{Rows: 3, ObfuscateRate: 1.0})
+	if src.Data.Len() != 3 {
+		t.Errorf("rows = %d", src.Data.Len())
+	}
+	// Full obfuscation still keeps unique names with ground truth.
+	seen := map[string]bool{}
+	for _, n := range src.Schema.AttrNames() {
+		if seen[n] {
+			t.Errorf("duplicate attribute %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRandomTopologyExtraEdges(t *testing.T) {
+	sparse, err := GenNetwork(NetworkSpec{Topology: Random, Peers: 8, Seed: 4, RowsPerPeer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := GenNetwork(NetworkSpec{Topology: Random, Peers: 8, Seed: 4, RowsPerPeer: 1, ExtraEdgeProb: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Edges) <= len(sparse.Edges) {
+		t.Errorf("ExtraEdgeProb ignored: %d vs %d edges", len(dense.Edges), len(sparse.Edges))
+	}
+	// Full extra-edge probability yields the complete graph: k(k-1)/2.
+	if len(dense.Edges) != 8*7/2 {
+		t.Errorf("dense edges = %d, want 28", len(dense.Edges))
+	}
+}
+
+func TestStarDistances(t *testing.T) {
+	g, err := GenNetwork(NetworkSpec{Topology: Star, Peers: 5, Seed: 2, RowsPerPeer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.Distance(1)
+	// Leaf → hub = 1, leaf → other leaf = 2.
+	if dist[0] != 1 || dist[2] != 2 {
+		t.Errorf("star distances = %v", dist)
+	}
+}

@@ -1,0 +1,227 @@
+package xmlq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// CompileTemplate translates a Figure-4 template into conjunctive
+// queries over the shredded encodings of the source and target DTDs: one
+// query per bound template node, whose head is the target element's
+// shredded relation and whose body joins the source relations bound by
+// the variable chain. These queries are exactly the GLAV mapping sides
+// Piazza reformulates over, connecting the XML mapping language to the
+// relational machinery ("we actually use a subset of XQuery to define
+// the mappings").
+//
+// Supported templates (the paper's published fragment): every binding
+// path lands on a repeating source element whose repeating ancestors are
+// bound by the enclosing variable chain; every value path is a single
+// leaf step; every target leaf column has a value child.
+func CompileTemplate(t *Template, srcDTD, tgtDTD *DTD) ([]cq.Query, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	srcSchemas, err := ShredSchemas(srcDTD)
+	if err != nil {
+		return nil, err
+	}
+	tgtSchemas, err := ShredSchemas(tgtDTD)
+	if err != nil {
+		return nil, err
+	}
+	srcByPath := make(map[string]ShredSchema)
+	for _, s := range srcSchemas {
+		srcByPath[strings.Join(s.Path, "/")] = s
+	}
+	tgtByPath := make(map[string]ShredSchema)
+	for _, s := range tgtSchemas {
+		tgtByPath[strings.Join(s.Path, "/")] = s
+	}
+	c := &compiler{
+		srcDTD: srcDTD, tgtDTD: tgtDTD,
+		srcByPath: srcByPath, tgtByPath: tgtByPath,
+	}
+	var queries []cq.Query
+	err = c.walk(t.Root, []string{tgtDTD.Root}, scopeFrame{}, &queries)
+	if err != nil {
+		return nil, err
+	}
+	return queries, nil
+}
+
+type varInfo struct {
+	schema ShredSchema
+	// colVar maps each column of schema to its cq variable name.
+	colVar map[string]string
+	// keyVar is the variable of the element's key leaf.
+	keyVar string
+	// atoms is the body accumulated up to and including this var.
+	atoms []cq.Atom
+}
+
+type scopeFrame struct {
+	vars map[string]*varInfo
+	// tgtAncestorVars are the head key columns inherited from enclosing
+	// bound target elements.
+	tgtAncestorVars []string
+}
+
+func (s scopeFrame) clone() scopeFrame {
+	out := scopeFrame{vars: make(map[string]*varInfo, len(s.vars))}
+	for k, v := range s.vars {
+		out.vars[k] = v
+	}
+	out.tgtAncestorVars = append([]string(nil), s.tgtAncestorVars...)
+	return out
+}
+
+type compiler struct {
+	srcDTD, tgtDTD       *DTD
+	srcByPath, tgtByPath map[string]ShredSchema
+	counter              int
+}
+
+func (c *compiler) fresh(base string) string {
+	c.counter++
+	return "V" + strconv.Itoa(c.counter) + "_" + base
+}
+
+func (c *compiler) walk(tn *TemplateNode, tgtPath []string, scope scopeFrame, out *[]cq.Query) error {
+	if tn.Var != "" {
+		return c.compileBound(tn, tgtPath, scope, out)
+	}
+	for _, child := range tn.Children {
+		if child.ValueVar != "" {
+			continue // handled by the enclosing bound node
+		}
+		if err := c.walk(child, append(append([]string(nil), tgtPath...), child.Name), scope, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileBound(tn *TemplateNode, tgtPath []string, scope scopeFrame, out *[]cq.Query) error {
+	// Resolve the source element the variable binds to.
+	var srcPath []string
+	var parentInfo *varInfo
+	if tn.ContextVar == "" {
+		srcPath = append([]string{}, tn.BindPath.Steps...)
+		if len(srcPath) == 0 || srcPath[0] != c.srcDTD.Root {
+			srcPath = append([]string{c.srcDTD.Root}, srcPath...)
+		}
+	} else {
+		pi, ok := scope.vars[tn.ContextVar]
+		if !ok {
+			return fmt.Errorf("xmlq: compile: undefined context $%s", tn.ContextVar)
+		}
+		parentInfo = pi
+		srcPath = append(append([]string(nil), pi.schema.Path...), tn.BindPath.Steps...)
+	}
+	srcSchema, ok := c.srcByPath[strings.Join(srcPath, "/")]
+	if !ok {
+		return fmt.Errorf("xmlq: compile: $%s binds non-repeating path %v", tn.Var, srcPath)
+	}
+	// Build the source atom.
+	info := &varInfo{schema: srcSchema, colVar: make(map[string]string)}
+	var args []cq.Term
+	if parentInfo != nil {
+		want := len(parentInfo.schema.AncestorKeys) + 1
+		if len(srcSchema.AncestorKeys) != want {
+			return fmt.Errorf("xmlq: compile: $%s skips repeating levels (ancestor keys %d, want %d)",
+				tn.Var, len(srcSchema.AncestorKeys), want)
+		}
+		// Inherited keys: parent's ancestor keys then parent's key leaf.
+		for _, k := range parentInfo.schema.AncestorKeys {
+			v := parentInfo.colVar[k]
+			args = append(args, cq.V(v))
+			info.colVar[srcSchema.AncestorKeys[len(args)-1]] = v
+		}
+		args = append(args, cq.V(parentInfo.keyVar))
+		info.colVar[srcSchema.AncestorKeys[len(args)-1]] = parentInfo.keyVar
+	} else {
+		// Root-level binding to a nested repeating path (Figure 4's
+		// $c = document(...)/schedule/college/dept): ancestor keys are
+		// existential — iterate over every occurrence.
+		for _, k := range srcSchema.AncestorKeys {
+			v := c.fresh(k)
+			info.colVar[k] = v
+			args = append(args, cq.V(v))
+		}
+	}
+	for _, leaf := range srcSchema.OwnLeaves {
+		v := c.fresh(leaf)
+		info.colVar[leaf] = v
+		args = append(args, cq.V(v))
+	}
+	if key, ok := c.srcDTD.keyLeaf(srcSchema.Path[len(srcSchema.Path)-1]); ok {
+		info.keyVar = info.colVar[key]
+	}
+	if parentInfo != nil {
+		info.atoms = append([]cq.Atom(nil), parentInfo.atoms...)
+	}
+	info.atoms = append(info.atoms, cq.Atom{Pred: srcSchema.RelName, Args: args})
+
+	childScope := scope.clone()
+	childScope.vars[tn.Var] = info
+
+	// Emit the query for this target element if it is repeating.
+	tgtSchema, isRepeating := c.tgtByPath[strings.Join(tgtPath, "/")]
+	if !isRepeating {
+		return fmt.Errorf("xmlq: compile: bound template element %q is not repeating in target", tn.Name)
+	}
+	if len(scope.tgtAncestorVars) != len(tgtSchema.AncestorKeys) {
+		return fmt.Errorf("xmlq: compile: target %q expects %d ancestor keys, scope has %d",
+			tgtSchema.RelName, len(tgtSchema.AncestorKeys), len(scope.tgtAncestorVars))
+	}
+	// Map each own leaf column to the variable supplied by a value child.
+	leafVar := make(map[string]string)
+	for _, child := range tn.Children {
+		if child.ValueVar == "" {
+			continue
+		}
+		vi, ok := childScope.vars[child.ValueVar]
+		if !ok {
+			return fmt.Errorf("xmlq: compile: value child %q reads undefined $%s", child.Name, child.ValueVar)
+		}
+		if len(child.ValuePath.Steps) != 1 || !child.ValuePath.Text {
+			return fmt.Errorf("xmlq: compile: value path %s too complex (want leaf/text())", child.ValuePath)
+		}
+		srcLeaf := child.ValuePath.Steps[0]
+		v, ok := vi.colVar[srcLeaf]
+		if !ok {
+			return fmt.Errorf("xmlq: compile: $%s has no leaf column %q", child.ValueVar, srcLeaf)
+		}
+		leafVar[child.Name] = v
+	}
+	head := append([]string(nil), scope.tgtAncestorVars...)
+	for _, leaf := range tgtSchema.OwnLeaves {
+		v, ok := leafVar[leaf]
+		if !ok {
+			return fmt.Errorf("xmlq: compile: target column %q of %s has no value child", leaf, tgtSchema.RelName)
+		}
+		head = append(head, v)
+	}
+	*out = append(*out, cq.Query{HeadPred: tgtSchema.RelName, HeadVars: head, Body: info.atoms})
+
+	// Descend into non-value children; this element's key leaf joins the
+	// target ancestor chain.
+	if tgtKey, ok := c.tgtDTD.keyLeaf(tgtPath[len(tgtPath)-1]); ok {
+		if v, ok := leafVar[tgtKey]; ok {
+			childScope.tgtAncestorVars = append(childScope.tgtAncestorVars, v)
+		}
+	}
+	for _, child := range tn.Children {
+		if child.ValueVar != "" {
+			continue
+		}
+		if err := c.walk(child, append(append([]string(nil), tgtPath...), child.Name), childScope, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

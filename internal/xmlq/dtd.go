@@ -1,0 +1,197 @@
+package xmlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiplicity of a child element within its parent's content model.
+type Multiplicity int
+
+const (
+	// One means exactly one occurrence.
+	One Multiplicity = iota
+	// Many means zero or more occurrences (the DTD "*" of Figure 3).
+	Many
+)
+
+// String implements fmt.Stringer.
+func (m Multiplicity) String() string {
+	if m == Many {
+		return "*"
+	}
+	return ""
+}
+
+// ChildSpec is one entry of an element's content model.
+type ChildSpec struct {
+	Name string
+	Mult Multiplicity
+}
+
+// ElementDecl declares one element type. Elements with an empty Children
+// list are leaves (text content), like "title" in Figure 3.
+type ElementDecl struct {
+	Name     string
+	Children []ChildSpec
+}
+
+// DTD is a document type: a root element plus element declarations —
+// the form of the paper's Figure 3 peer schemas.
+type DTD struct {
+	Root  string
+	Decls map[string]ElementDecl
+}
+
+// NewDTD builds a DTD with the given root and declarations.
+func NewDTD(root string, decls ...ElementDecl) (*DTD, error) {
+	d := &DTD{Root: root, Decls: make(map[string]ElementDecl)}
+	for _, decl := range decls {
+		if _, dup := d.Decls[decl.Name]; dup {
+			return nil, fmt.Errorf("xmlq: duplicate element declaration %q", decl.Name)
+		}
+		d.Decls[decl.Name] = decl
+	}
+	if _, ok := d.Decls[root]; !ok {
+		return nil, fmt.Errorf("xmlq: root element %q not declared", root)
+	}
+	for _, decl := range decls {
+		for _, c := range decl.Children {
+			if _, ok := d.Decls[c.Name]; !ok {
+				return nil, fmt.Errorf("xmlq: element %q references undeclared %q", decl.Name, c.Name)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustDTD builds a DTD or panics.
+func MustDTD(root string, decls ...ElementDecl) *DTD {
+	d, err := NewDTD(root, decls...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Elem declares an element with children.
+func Elem(name string, children ...ChildSpec) ElementDecl {
+	return ElementDecl{Name: name, Children: children}
+}
+
+// ChildOne references a child occurring exactly once.
+func ChildOne(name string) ChildSpec { return ChildSpec{Name: name, Mult: One} }
+
+// ChildMany references a repeating child ("name*").
+func ChildMany(name string) ChildSpec { return ChildSpec{Name: name, Mult: Many} }
+
+// Leaf declares a text-only element.
+func Leaf(name string) ElementDecl { return ElementDecl{Name: name} }
+
+// IsLeaf reports whether the named element is text-only.
+func (d *DTD) IsLeaf(name string) bool {
+	decl, ok := d.Decls[name]
+	return ok && len(decl.Children) == 0
+}
+
+// Validate checks a document against the DTD: correct root, declared
+// elements only, child multiplicities respected (One means exactly one),
+// and text only at leaves.
+func (d *DTD) Validate(doc *Node) error {
+	if doc.Name != d.Root {
+		return fmt.Errorf("xmlq: root is %q, want %q", doc.Name, d.Root)
+	}
+	return d.validate(doc, d.Root)
+}
+
+func (d *DTD) validate(n *Node, path string) error {
+	decl, ok := d.Decls[n.Name]
+	if !ok {
+		return fmt.Errorf("xmlq: undeclared element %q at %s", n.Name, path)
+	}
+	if len(decl.Children) == 0 {
+		if len(n.Children) > 0 {
+			return fmt.Errorf("xmlq: leaf element %q has children at %s", n.Name, path)
+		}
+		return nil
+	}
+	if n.Text != "" {
+		return fmt.Errorf("xmlq: non-leaf element %q has text at %s", n.Name, path)
+	}
+	allowed := make(map[string]Multiplicity, len(decl.Children))
+	for _, c := range decl.Children {
+		allowed[c.Name] = c.Mult
+	}
+	counts := make(map[string]int)
+	for _, c := range n.Children {
+		if _, ok := allowed[c.Name]; !ok {
+			return fmt.Errorf("xmlq: element %q not allowed under %q at %s", c.Name, n.Name, path)
+		}
+		counts[c.Name]++
+		if err := d.validate(c, path+"/"+c.Name); err != nil {
+			return err
+		}
+	}
+	for _, c := range decl.Children {
+		if c.Mult == One && counts[c.Name] != 1 {
+			return fmt.Errorf("xmlq: element %q requires exactly one %q, found %d at %s",
+				n.Name, c.Name, counts[c.Name], path)
+		}
+	}
+	return nil
+}
+
+// String renders the DTD in the paper's Figure 3 style:
+//
+//	Element schedule(college*)
+//	Element college(name, dept*)
+func (d *DTD) String() string {
+	names := make([]string, 0, len(d.Decls))
+	for n := range d.Decls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Root first, then breadth-first-ish: keep root at top, rest sorted.
+	var b strings.Builder
+	write := func(decl ElementDecl) {
+		b.WriteString("Element ")
+		b.WriteString(decl.Name)
+		b.WriteByte('(')
+		for i, c := range decl.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name)
+			b.WriteString(c.Mult.String())
+		}
+		b.WriteString(")\n")
+	}
+	write(d.Decls[d.Root])
+	for _, n := range names {
+		if n == d.Root || d.IsLeaf(n) {
+			continue
+		}
+		write(d.Decls[n])
+	}
+	return b.String()
+}
+
+// LeafPaths returns, for every repeating element reachable from the root,
+// the path of element names from root to it. Used by shredding.
+func (d *DTD) repeatingPaths() [][]string {
+	var out [][]string
+	var walk func(name string, path []string)
+	walk = func(name string, path []string) {
+		decl := d.Decls[name]
+		for _, c := range decl.Children {
+			cp := append(append([]string(nil), path...), c.Name)
+			if c.Mult == Many {
+				out = append(out, cp)
+			}
+			walk(c.Name, cp)
+		}
+	}
+	walk(d.Root, []string{d.Root})
+	return out
+}

@@ -1,0 +1,143 @@
+package xmlq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+func TestPrettyRendering(t *testing.T) {
+	doc := NewNode("a", NewNode("b", TextNode("c", "x")))
+	p := doc.Pretty()
+	if !strings.Contains(p, "\n  <b>") || !strings.Contains(p, "<c>x</c>") {
+		t.Errorf("Pretty:\n%s", p)
+	}
+}
+
+func TestInstantiateRootBindingMultipleMatches(t *testing.T) {
+	// A bound root that matches several nodes cannot make one document.
+	tpl := &Template{Root: TBind("out", "x", "", "schedule/college",
+		TValue("name", "x", "name/text()"))}
+	if _, err := tpl.Instantiate(berkeleyDoc()); err == nil {
+		t.Error("multi-match root binding should fail")
+	}
+}
+
+func TestInstantiateInvalidTemplate(t *testing.T) {
+	tpl := &Template{Root: TElem("out", TValue("v", "ghost", "a/text()"))}
+	if _, err := tpl.Instantiate(berkeleyDoc()); err == nil {
+		t.Error("invalid template should fail Instantiate")
+	}
+}
+
+func TestShredNestedRepetitionUnderSingleton(t *testing.T) {
+	// A One-element container between root and a repeating child:
+	// root → info (One) → entry*.
+	d := MustDTD("root",
+		Elem("root", ChildOne("info")),
+		Elem("info", ChildOne("label"), ChildMany("entry")),
+		Elem("entry", ChildOne("val")),
+		Leaf("label"), Leaf("val"))
+	schemas, err := ShredSchemas(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 1 || schemas[0].RelName != "info_entry" {
+		t.Fatalf("schemas = %+v", schemas)
+	}
+	// info is not repeating, so entry inherits no ancestor keys.
+	if len(schemas[0].AncestorKeys) != 0 {
+		t.Errorf("ancestor keys = %v", schemas[0].AncestorKeys)
+	}
+	doc := NewNode("root", NewNode("info", TextNode("label", "L"),
+		NewNode("entry", TextNode("val", "1")),
+		NewNode("entry", TextNode("val", "2"))))
+	db, err := ShredDoc(d, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Get("info_entry").Len() != 2 {
+		t.Errorf("rows = %v", db.Get("info_entry").Rows())
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	// Repeating element with no leaf columns.
+	d := MustDTD("root",
+		Elem("root", ChildMany("group")),
+		Elem("group", ChildMany("item")),
+		Elem("item", ChildOne("v")),
+		Leaf("v"))
+	if _, err := ShredSchemas(d); err == nil {
+		t.Error("leafless repeating element should fail shredding")
+	}
+	// Invalid document fails ShredDoc.
+	good := berkeleyDTD()
+	if _, err := ShredDoc(good, NewNode("wrong")); err == nil {
+		t.Error("invalid doc should fail ShredDoc")
+	}
+}
+
+func TestTemplateToGLAV(t *testing.T) {
+	mappings, err := TemplateToGLAV("b2m", "berkeley", figure4Template(),
+		berkeleyDTD(), "mit", mitDTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mappings) != 2 {
+		t.Fatalf("mappings = %v", mappings)
+	}
+	for _, m := range mappings {
+		if !m.IsGAV() {
+			t.Errorf("mapping %s not GAV", m.ID)
+		}
+		if m.SrcPeer != "berkeley" || m.TgtPeer != "mit" {
+			t.Errorf("mapping endpoints: %s", m)
+		}
+	}
+	// Target predicates are MIT's shredded relations.
+	preds := map[string]bool{}
+	for _, m := range mappings {
+		preds[m.TargetAtomPred()] = true
+	}
+	if !preds["course"] || !preds["course_subject"] {
+		t.Errorf("target preds = %v", preds)
+	}
+	// Bad template propagates the compile error.
+	bad := &Template{Root: TElem("catalog",
+		TBind("course", "c", "", "schedule/college/dept",
+			TValue("name", "c", "a/b/text()")))}
+	if _, err := TemplateToGLAV("x", "a", bad, berkeleyDTD(), "b", mitDTD()); err == nil {
+		t.Error("bad template should fail")
+	}
+}
+
+func TestCompiledMappingEvaluates(t *testing.T) {
+	mappings, err := TemplateToGLAV("b2m", "berkeley", figure4Template(),
+		berkeleyDTD(), "mit", mitDTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDB, err := ShredDoc(berkeleyDTD(), berkeleyDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mappings {
+		r, err := cq.Eval(srcDB, cq.Query{HeadPred: "q", HeadVars: m.SrcQ.HeadVars, Body: m.SrcQ.Body})
+		if err != nil {
+			t.Fatalf("eval %s: %v", m, err)
+		}
+		if r.Len() == 0 {
+			t.Errorf("mapping %s yields nothing", m.ID)
+		}
+		for _, row := range r.Rows() {
+			for _, v := range row {
+				if v.Kind != relation.TString {
+					t.Errorf("shredded values must be strings: %v", row)
+				}
+			}
+		}
+	}
+}

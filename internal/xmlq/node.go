@@ -1,0 +1,188 @@
+// Package xmlq is REVERE's XML substrate. Piazza "assumes an XML data
+// model, since this is general enough to encompass relational,
+// hierarchical, or semi-structured data" (§3.1). The package provides an
+// element-tree model, DTD-style schemas (the paper's Figure 3), limited
+// path expressions, and the template mapping language of Figure 4 — "a
+// subset of XQuery ... which supports hierarchical XML construction and
+// limited path expressions" — together with compilation of schemas and
+// templates down to the relational/GLAV layer.
+package xmlq
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Node is one XML element: a name, optional text content, and children.
+// Attributes are modeled as child elements for uniformity (the paper's
+// examples use element content only).
+type Node struct {
+	Name     string
+	Text     string
+	Children []*Node
+}
+
+// NewNode builds an element with children.
+func NewNode(name string, children ...*Node) *Node {
+	return &Node{Name: name, Children: children}
+}
+
+// TextNode builds a leaf element containing text.
+func TextNode(name, text string) *Node {
+	return &Node{Name: name, Text: text}
+}
+
+// AddChild appends a child and returns the parent for chaining.
+func (n *Node) AddChild(c *Node) *Node {
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// ChildrenNamed returns the direct children with the given name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChild returns the first direct child with the given name, or nil.
+func (n *Node) FirstChild(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	out := &Node{Name: n.Name, Text: n.Text}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Equal reports deep structural equality.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Name != m.Name || n.Text != m.Text || len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders compact XML.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, -1)
+	return b.String()
+}
+
+// Pretty renders indented XML.
+func (n *Node) Pretty() string {
+	var b strings.Builder
+	n.write(&b, 0)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, indent int) {
+	pad := ""
+	if indent >= 0 {
+		pad = strings.Repeat("  ", indent)
+	}
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+	if len(n.Children) == 0 {
+		b.WriteString(escapeText(n.Text))
+	} else {
+		for _, c := range n.Children {
+			if indent >= 0 {
+				b.WriteByte('\n')
+				c.write(b, indent+1)
+			} else {
+				c.write(b, -1)
+			}
+		}
+		if indent >= 0 {
+			b.WriteByte('\n')
+			b.WriteString(pad)
+		}
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Parse reads an XML document into a Node tree. Element attributes are
+// converted to child elements; mixed content keeps only text directly
+// under leaf elements.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlq: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			for _, a := range t.Attr {
+				n.AddChild(TextNode(a.Name.Local, a.Value))
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].AddChild(n)
+			} else if root == nil {
+				root = n
+			} else {
+				return nil, fmt.Errorf("xmlq: multiple roots")
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlq: unbalanced end tag %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				txt := strings.TrimSpace(string(t))
+				if txt != "" {
+					stack[len(stack)-1].Text += txt
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlq: empty document")
+	}
+	return root, nil
+}
+
+// ParseString parses XML from a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }

@@ -1,0 +1,89 @@
+package xmlq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a limited path expression: a sequence of child element names,
+// optionally ending in text() — exactly the fragment Figure 4 uses
+// ($c/name/text(), schedule/college/dept).
+type Path struct {
+	Steps []string
+	Text  bool
+}
+
+// ParsePath parses "a/b/c" or "a/b/text()"; a leading element name is
+// required (absolute paths are written relative to a context node).
+func ParsePath(s string) (Path, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(s, "/"))
+	if s == "" {
+		return Path{}, fmt.Errorf("xmlq: empty path")
+	}
+	parts := strings.Split(s, "/")
+	p := Path{}
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "text()" {
+			if i != len(parts)-1 {
+				return Path{}, fmt.Errorf("xmlq: text() must be final step in %q", s)
+			}
+			p.Text = true
+			continue
+		}
+		if part == "" {
+			return Path{}, fmt.Errorf("xmlq: empty step in %q", s)
+		}
+		p.Steps = append(p.Steps, part)
+	}
+	if len(p.Steps) == 0 {
+		return Path{}, fmt.Errorf("xmlq: path %q selects nothing", s)
+	}
+	return p, nil
+}
+
+// MustParsePath parses or panics.
+func MustParsePath(s string) Path {
+	p, err := ParsePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the path.
+func (p Path) String() string {
+	s := strings.Join(p.Steps, "/")
+	if p.Text {
+		s += "/text()"
+	}
+	return s
+}
+
+// Select evaluates the path relative to ctx and returns the matched
+// nodes. Each step descends one level through all matching children.
+func (p Path) Select(ctx *Node) []*Node {
+	cur := []*Node{ctx}
+	for _, step := range p.Steps {
+		var next []*Node
+		for _, n := range cur {
+			next = append(next, n.ChildrenNamed(step)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// SelectText evaluates the path and returns the text of matched nodes
+// (the nodes themselves must be leaves for meaningful results).
+func (p Path) SelectText(ctx *Node) []string {
+	nodes := p.Select(ctx)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package xmlq
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+)
+
+// TemplateToGLAV turns a compiled Figure-4 template into PDMS mappings:
+// one GAV mapping per target repeating element, asserting that the
+// compiled query over the source peer's shredded relations is contained
+// in the target relation. This is the bridge the paper describes between
+// "a mapping language for relating XML data" and the conjunctive-query
+// reformulation machinery of §3.1.1.
+func TemplateToGLAV(idPrefix, srcPeer string, tpl *Template, srcDTD *DTD, tgtPeer string, tgtDTD *DTD) ([]*glav.Mapping, error) {
+	queries, err := CompileTemplate(tpl, srcDTD, tgtDTD)
+	if err != nil {
+		return nil, err
+	}
+	var out []*glav.Mapping
+	for i, q := range queries {
+		// Target side: single atom over the target relation with the
+		// head variables in column order.
+		args := make([]cq.Term, len(q.HeadVars))
+		for j, v := range q.HeadVars {
+			args[j] = cq.V(v)
+		}
+		tgtQ := cq.Query{HeadPred: "m", HeadVars: append([]string(nil), q.HeadVars...),
+			Body: []cq.Atom{{Pred: q.HeadPred, Args: args}}}
+		srcQ := cq.Query{HeadPred: "m", HeadVars: append([]string(nil), q.HeadVars...),
+			Body: q.Body}
+		m, err := glav.New(fmt.Sprintf("%s_%d_%s", idPrefix, i, q.HeadPred),
+			srcPeer, srcQ, tgtPeer, tgtQ)
+		if err != nil {
+			return nil, err
+		}
+		if !m.IsGAV() {
+			return nil, fmt.Errorf("xmlq: compiled mapping %d for %s is not GAV-usable", i, q.HeadPred)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

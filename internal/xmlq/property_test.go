@@ -1,0 +1,126 @@
+package xmlq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randXML(r *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "c", "d"}
+	n := NewNode(names[r.Intn(len(names))])
+	kids := r.Intn(3)
+	if depth <= 0 || kids == 0 {
+		n.Text = randText(r)
+		return n
+	}
+	for i := 0; i < kids; i++ {
+		n.AddChild(randXML(r, depth-1))
+	}
+	return n
+}
+
+func randText(r *rand.Rand) string {
+	alphabet := "abc <>&é"
+	n := r.Intn(8)
+	out := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, []rune(alphabet)[r.Intn(len([]rune(alphabet)))])
+	}
+	return string(out)
+}
+
+// TestXMLRoundTripProperty: Parse(String(doc)) == doc for generated
+// trees (modulo whitespace-only text, which the generator avoids by
+// trimming).
+func TestXMLRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randXML(r, 3))
+		},
+	}
+	f := func(doc *Node) bool {
+		normalizeWhitespace(doc)
+		parsed, err := ParseString(doc.String())
+		if err != nil {
+			return false
+		}
+		return doc.Equal(parsed)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalizeWhitespace trims leaf text the way the parser does.
+func normalizeWhitespace(n *Node) {
+	n.Text = trimSpace(n.Text)
+	for _, c := range n.Children {
+		normalizeWhitespace(c)
+	}
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\n' || s[start] == '\t') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\n' || s[end-1] == '\t') {
+		end--
+	}
+	return s[start:end]
+}
+
+// TestShredDeterministicProperty: shredding the same document twice
+// yields identical databases.
+func TestShredDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc, _ := genBerkeleyLike(r)
+		d := berkeleyDTD()
+		db1, err1 := ShredDoc(d, doc)
+		db2, err2 := ShredDoc(d, doc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, name := range db1.Names() {
+			if !db1.Get(name).Equal(db2.Get(name)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genBerkeleyLike(r *rand.Rand) (*Node, int) {
+	doc := NewNode("schedule")
+	total := 0
+	for c := 0; c < 1+r.Intn(3); c++ {
+		college := NewNode("college", TextNode("name", randWordX(r)))
+		for d := 0; d < 1+r.Intn(3); d++ {
+			dept := NewNode("dept", TextNode("name", randWordX(r)))
+			for k := 0; k < r.Intn(3); k++ {
+				total++
+				dept.AddChild(NewNode("course",
+					TextNode("title", randWordX(r)), TextNode("size", randWordX(r))))
+			}
+			college.AddChild(dept)
+		}
+		doc.AddChild(college)
+	}
+	return doc, total
+}
+
+func randWordX(r *rand.Rand) string {
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}

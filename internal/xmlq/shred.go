@@ -1,0 +1,167 @@
+package xmlq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Shredding maps a DTD onto relations so that XML peers plug into the
+// conjunctive-query machinery of the PDMS: each repeating element becomes
+// a relation whose columns are the key leaves of its repeating ancestors
+// followed by its own single-occurrence leaf children. This realizes the
+// paper's loose use of "relation": "we use the term 'relation' in a very
+// loose sense, referring to any flat or hierarchical structure,
+// including XML."
+
+// ShredSchema describes the relational encoding of one repeating element.
+type ShredSchema struct {
+	// RelName is the relation name (path below the root joined by '_').
+	RelName string
+	// Path is the element path from the root.
+	Path []string
+	// AncestorKeys names the inherited key columns, outermost first.
+	AncestorKeys []string
+	// OwnLeaves names the element's single-occurrence leaf children.
+	OwnLeaves []string
+}
+
+// Schema converts to a relation.Schema (all columns string-typed, since
+// XML leaf content is text).
+func (s ShredSchema) Schema() relation.Schema {
+	attrs := make([]relation.Attribute, 0, len(s.AncestorKeys)+len(s.OwnLeaves))
+	for _, k := range s.AncestorKeys {
+		attrs = append(attrs, relation.Attr(k))
+	}
+	for _, l := range s.OwnLeaves {
+		attrs = append(attrs, relation.Attr(l))
+	}
+	return relation.Schema{Name: s.RelName, Attrs: attrs}
+}
+
+// ShredSchemas derives the relational encoding of a DTD. The key leaf of
+// a repeating element is its first single-occurrence leaf child; elements
+// without one cannot act as ancestors of nested repetition.
+func ShredSchemas(d *DTD) ([]ShredSchema, error) {
+	var out []ShredSchema
+	for _, path := range d.repeatingPaths() {
+		elem := path[len(path)-1]
+		s := ShredSchema{
+			RelName: strings.Join(path[1:], "_"),
+			Path:    path,
+		}
+		// Ancestor keys: every repeating element strictly above elem.
+		for i := 1; i < len(path)-1; i++ {
+			if !d.isRepeatingAt(path[:i+1]) {
+				continue
+			}
+			key, ok := d.keyLeaf(path[i])
+			if !ok {
+				return nil, fmt.Errorf("xmlq: repeating element %q has no key leaf", path[i])
+			}
+			s.AncestorKeys = append(s.AncestorKeys, path[i]+"_"+key)
+		}
+		for _, c := range d.Decls[elem].Children {
+			if c.Mult == One && d.IsLeaf(c.Name) {
+				s.OwnLeaves = append(s.OwnLeaves, c.Name)
+			}
+		}
+		if len(s.OwnLeaves) == 0 {
+			return nil, fmt.Errorf("xmlq: repeating element %q has no leaf columns", elem)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// isRepeatingAt reports whether the element at the end of path repeats
+// under its parent.
+func (d *DTD) isRepeatingAt(path []string) bool {
+	if len(path) < 2 {
+		return false
+	}
+	parent := d.Decls[path[len(path)-2]]
+	for _, c := range parent.Children {
+		if c.Name == path[len(path)-1] {
+			return c.Mult == Many
+		}
+	}
+	return false
+}
+
+// keyLeaf returns the first single-occurrence leaf child of elem.
+func (d *DTD) keyLeaf(elem string) (string, bool) {
+	for _, c := range d.Decls[elem].Children {
+		if c.Mult == One && d.IsLeaf(c.Name) {
+			return c.Name, true
+		}
+	}
+	return "", false
+}
+
+// ShredDoc validates doc against the DTD and populates the shredded
+// relations.
+func ShredDoc(d *DTD, doc *Node) (*relation.Database, error) {
+	if err := d.Validate(doc); err != nil {
+		return nil, err
+	}
+	schemas, err := ShredSchemas(d)
+	if err != nil {
+		return nil, err
+	}
+	db := relation.NewDatabase()
+	byPath := make(map[string]ShredSchema)
+	for _, s := range schemas {
+		db.Put(relation.New(s.Schema()))
+		byPath[strings.Join(s.Path, "/")] = s
+	}
+	var walk func(n *Node, path []string, keys []relation.Value) error
+	walk = func(n *Node, path []string, keys []relation.Value) error {
+		pathStr := strings.Join(path, "/")
+		myKeys := keys
+		if s, ok := byPath[pathStr]; ok {
+			row := make(relation.Tuple, 0, len(s.AncestorKeys)+len(s.OwnLeaves))
+			row = append(row, keys...)
+			for _, leaf := range s.OwnLeaves {
+				c := n.FirstChild(leaf)
+				txt := ""
+				if c != nil {
+					txt = c.Text
+				}
+				row = append(row, relation.SV(txt))
+			}
+			if err := db.Insert(s.RelName, row); err != nil {
+				return err
+			}
+			// This element's key becomes part of descendants' key prefix.
+			if key, ok := d.keyLeaf(n.Name); ok {
+				kc := n.FirstChild(key)
+				kv := ""
+				if kc != nil {
+					kv = kc.Text
+				}
+				myKeys = append(append([]relation.Value(nil), keys...), relation.SV(kv))
+			}
+		}
+		for _, c := range n.Children {
+			if d.IsLeaf(c.Name) {
+				continue
+			}
+			if err := walk(c, append(append([]string(nil), path...), c.Name), myKeys); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Children of root: root itself is not repeating.
+	for _, c := range doc.Children {
+		if d.IsLeaf(c.Name) {
+			continue
+		}
+		if err := walk(c, []string{d.Root, c.Name}, nil); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,207 @@
+package xmlq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Template is the paper's Figure 4 mapping language: a target-schema
+// element tree whose nodes carry brace-delimited binding annotations.
+// "The template matches MIT's schema. The ... annotations describe, in
+// query form, how variables ... are bound to values in the source
+// document; each binding results in an instantiation of the portion of
+// the template with the annotation."
+type Template struct {
+	// TargetRoot is the template's element tree (target vocabulary).
+	Root *TemplateNode
+}
+
+// TemplateNode is one element of the template.
+type TemplateNode struct {
+	Name string
+	// Binding (optional): introduces Var, bound to each node selected by
+	// BindPath evaluated relative to ContextVar ("" = the source
+	// document root). The node and its subtree are instantiated once per
+	// binding — the "$c = document(...)/schedule/college/dept" form.
+	Var        string
+	ContextVar string
+	BindPath   Path
+	// Value (optional, leaves only): the element's text is taken from
+	// ValuePath relative to ValueVar — the "$c/name/text()" form.
+	ValueVar  string
+	ValuePath Path
+	Children  []*TemplateNode
+}
+
+// TElem builds a plain template element.
+func TElem(name string, children ...*TemplateNode) *TemplateNode {
+	return &TemplateNode{Name: name, Children: children}
+}
+
+// TBind builds an element replicated per binding of v to path (relative
+// to contextVar; "" means the document root).
+func TBind(name, v, contextVar, path string, children ...*TemplateNode) *TemplateNode {
+	return &TemplateNode{Name: name, Var: v, ContextVar: contextVar,
+		BindPath: MustParsePath(path), Children: children}
+}
+
+// TValue builds a leaf element whose text comes from path relative to
+// valueVar.
+func TValue(name, valueVar, path string) *TemplateNode {
+	return &TemplateNode{Name: name, ValueVar: valueVar, ValuePath: MustParsePath(path)}
+}
+
+// Validate checks structural sanity: variables are defined before use and
+// value paths end in text().
+func (t *Template) Validate() error {
+	return t.Root.validate(map[string]bool{})
+}
+
+func (tn *TemplateNode) validate(inScope map[string]bool) error {
+	scope := inScope
+	if tn.Var != "" {
+		if tn.ContextVar != "" && !scope[tn.ContextVar] {
+			return fmt.Errorf("xmlq: template %s binds $%s relative to undefined $%s",
+				tn.Name, tn.Var, tn.ContextVar)
+		}
+		if scope[tn.Var] {
+			return fmt.Errorf("xmlq: template %s rebinds $%s", tn.Name, tn.Var)
+		}
+		scope = copyScope(scope)
+		scope[tn.Var] = true
+	}
+	if tn.ValueVar != "" {
+		if !scope[tn.ValueVar] {
+			return fmt.Errorf("xmlq: template %s reads undefined $%s", tn.Name, tn.ValueVar)
+		}
+		if !tn.ValuePath.Text {
+			return fmt.Errorf("xmlq: template %s value path %s must end in text()", tn.Name, tn.ValuePath)
+		}
+		if len(tn.Children) > 0 {
+			return fmt.Errorf("xmlq: template %s has both a value and children", tn.Name)
+		}
+	}
+	for _, c := range tn.Children {
+		if err := c.validate(scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyScope(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Instantiate evaluates the template against a source document, producing
+// a target-schema document. Elements with bindings replicate once per
+// selected source node; value leaves copy the first text match (missing
+// matches yield empty text, mirroring the paper's tolerance of partial
+// data).
+func (t *Template) Instantiate(source *Node) (*Node, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	// Bindings with no context are evaluated relative to the document
+	// node (the paper writes document("Berkeley.xml")/schedule/...), so
+	// the path's first step names the root element itself.
+	docNode := &Node{Name: "#document", Children: []*Node{source}}
+	nodes, err := instantiateNode(t.Root, docNode, map[string]*Node{})
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("xmlq: template root produced %d nodes, want 1", len(nodes))
+	}
+	return nodes[0], nil
+}
+
+func instantiateNode(tn *TemplateNode, source *Node, env map[string]*Node) ([]*Node, error) {
+	if tn.Var == "" {
+		n, err := buildOne(tn, source, env)
+		if err != nil {
+			return nil, err
+		}
+		return []*Node{n}, nil
+	}
+	ctx := source
+	if tn.ContextVar != "" {
+		ctx = env[tn.ContextVar]
+	}
+	matches := tn.BindPath.Select(ctx)
+	var out []*Node
+	for _, m := range matches {
+		childEnv := copyEnv(env)
+		childEnv[tn.Var] = m
+		n, err := buildOne(tn, source, childEnv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func buildOne(tn *TemplateNode, source *Node, env map[string]*Node) (*Node, error) {
+	n := &Node{Name: tn.Name}
+	if tn.ValueVar != "" {
+		ctx := env[tn.ValueVar]
+		texts := tn.ValuePath.SelectText(ctx)
+		if len(texts) > 0 {
+			n.Text = texts[0]
+		}
+		return n, nil
+	}
+	for _, c := range tn.Children {
+		kids, err := instantiateNode(c, source, env)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, kids...)
+	}
+	return n, nil
+}
+
+func copyEnv(e map[string]*Node) map[string]*Node {
+	out := make(map[string]*Node, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the template in a Figure 4-like syntax.
+func (t *Template) String() string {
+	var b strings.Builder
+	t.Root.write(&b, 0)
+	return b.String()
+}
+
+func (tn *TemplateNode) write(b *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(tn.Name)
+	b.WriteByte('>')
+	if tn.Var != "" {
+		ctx := "document(source)"
+		if tn.ContextVar != "" {
+			ctx = "$" + tn.ContextVar
+		}
+		fmt.Fprintf(b, " { $%s = %s/%s }", tn.Var, ctx, tn.BindPath)
+	}
+	if tn.ValueVar != "" {
+		fmt.Fprintf(b, " $%s/%s ", tn.ValueVar, tn.ValuePath)
+		b.WriteString("</" + tn.Name + ">\n")
+		return
+	}
+	b.WriteByte('\n')
+	for _, c := range tn.Children {
+		c.write(b, indent+1)
+	}
+	b.WriteString(pad + "</" + tn.Name + ">\n")
+}

@@ -1,0 +1,390 @@
+package xmlq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// berkeleyDTD is Figure 3's Berkeley peer schema:
+//
+//	Element schedule(college*)
+//	Element college(name, dept*)
+//	Element dept(name, course*)
+//	Element course(title, size)
+func berkeleyDTD() *DTD {
+	return MustDTD("schedule",
+		Elem("schedule", ChildMany("college")),
+		Elem("college", ChildOne("name"), ChildMany("dept")),
+		Elem("dept", ChildOne("name"), ChildMany("course")),
+		Elem("course", ChildOne("title"), ChildOne("size")),
+		Leaf("name"), Leaf("title"), Leaf("size"),
+	)
+}
+
+// mitDTD is Figure 3's MIT peer schema.
+func mitDTD() *DTD {
+	return MustDTD("catalog",
+		Elem("catalog", ChildMany("course")),
+		Elem("course", ChildOne("name"), ChildMany("subject")),
+		Elem("subject", ChildOne("title"), ChildOne("enrollment")),
+		Leaf("name"), Leaf("title"), Leaf("enrollment"),
+	)
+}
+
+func berkeleyDoc() *Node {
+	return NewNode("schedule",
+		NewNode("college",
+			TextNode("name", "Letters and Science"),
+			NewNode("dept",
+				TextNode("name", "History"),
+				NewNode("course", TextNode("title", "Ancient History"), TextNode("size", "40")),
+				NewNode("course", TextNode("title", "Modern Europe"), TextNode("size", "55")),
+			),
+			NewNode("dept",
+				TextNode("name", "Classics"),
+				NewNode("course", TextNode("title", "Greek Philosophy"), TextNode("size", "20")),
+			),
+		),
+		NewNode("college",
+			TextNode("name", "Engineering"),
+			NewNode("dept",
+				TextNode("name", "EECS"),
+				NewNode("course", TextNode("title", "Databases"), TextNode("size", "60")),
+			),
+		),
+	)
+}
+
+// figure4Template is the paper's Berkeley-to-MIT mapping, verbatim:
+//
+//	<catalog>
+//	 <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+//	  <name> $c/name/text() </name>
+//	  <subject> {$s = $c/course}
+//	   <title> $s/title/text() </title>
+//	   <enrollment> $s/size/text() </enrollment>
+//	  </subject>
+//	 </course>
+//	</catalog>
+func figure4Template() *Template {
+	return &Template{Root: TElem("catalog",
+		TBind("course", "c", "", "schedule/college/dept",
+			TValue("name", "c", "name/text()"),
+			TBind("subject", "s", "c", "course",
+				TValue("title", "s", "title/text()"),
+				TValue("enrollment", "s", "size/text()"),
+			),
+		),
+	)}
+}
+
+func TestNodeBasics(t *testing.T) {
+	doc := berkeleyDoc()
+	if len(doc.ChildrenNamed("college")) != 2 {
+		t.Error("ChildrenNamed broken")
+	}
+	if doc.FirstChild("college").FirstChild("name").Text != "Letters and Science" {
+		t.Error("FirstChild broken")
+	}
+	if doc.FirstChild("nope") != nil {
+		t.Error("FirstChild should miss")
+	}
+	cl := doc.Clone()
+	cl.Children[0].Children[0].Text = "mutated"
+	if doc.Children[0].Children[0].Text != "Letters and Science" {
+		t.Error("Clone must deep-copy")
+	}
+	if !doc.Equal(berkeleyDoc()) {
+		t.Error("Equal broken on identical docs")
+	}
+	if doc.Equal(cl) {
+		t.Error("Equal should detect mutation")
+	}
+}
+
+func TestParseSerializeRoundTrip(t *testing.T) {
+	doc := berkeleyDoc()
+	parsed, err := ParseString(doc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(parsed) {
+		t.Errorf("round trip changed document:\n%s\nvs\n%s", doc.Pretty(), parsed.Pretty())
+	}
+}
+
+func TestParseEscaping(t *testing.T) {
+	n := TextNode("t", "a < b & c > d")
+	parsed, err := ParseString(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Text != "a < b & c > d" {
+		t.Errorf("escaped text = %q", parsed.Text)
+	}
+}
+
+func TestParseAttributesBecomeChildren(t *testing.T) {
+	doc, err := ParseString(`<course title="DB"><size>40</size></course>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.FirstChild("title") == nil || doc.FirstChild("title").Text != "DB" {
+		t.Errorf("attribute not converted: %s", doc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString(""); err == nil {
+		t.Error("empty doc should fail")
+	}
+	if _, err := ParseString("<a></a><b></b>"); err == nil {
+		t.Error("multiple roots should fail")
+	}
+	if _, err := ParseString("<a><b></a>"); err == nil {
+		t.Error("mismatched tags should fail")
+	}
+}
+
+func TestDTDValidate(t *testing.T) {
+	d := berkeleyDTD()
+	if err := d.Validate(berkeleyDoc()); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	bad := NewNode("schedule", NewNode("college", TextNode("name", "X"),
+		NewNode("dept", TextNode("name", "Y"),
+			NewNode("course", TextNode("title", "T"))))) // missing size
+	if err := d.Validate(bad); err == nil {
+		t.Error("missing required child should fail")
+	}
+	wrongRoot := NewNode("catalog")
+	if err := d.Validate(wrongRoot); err == nil {
+		t.Error("wrong root should fail")
+	}
+	undeclared := NewNode("schedule", NewNode("mystery"))
+	if err := d.Validate(undeclared); err == nil {
+		t.Error("undeclared element should fail")
+	}
+}
+
+func TestDTDConstruction(t *testing.T) {
+	if _, err := NewDTD("a", Elem("a", ChildOne("missing"))); err == nil {
+		t.Error("undeclared child reference should fail")
+	}
+	if _, err := NewDTD("missing", Leaf("a")); err == nil {
+		t.Error("undeclared root should fail")
+	}
+	if _, err := NewDTD("a", Leaf("a"), Leaf("a")); err == nil {
+		t.Error("duplicate declaration should fail")
+	}
+	s := berkeleyDTD().String()
+	if !strings.Contains(s, "Element schedule(college*)") {
+		t.Errorf("Figure 3 rendering missing:\n%s", s)
+	}
+	if !strings.Contains(s, "Element course(title, size)") {
+		t.Errorf("Figure 3 rendering missing course:\n%s", s)
+	}
+}
+
+func TestPath(t *testing.T) {
+	doc := berkeleyDoc()
+	p := MustParsePath("college/dept/course/title/text()")
+	texts := p.SelectText(doc)
+	if len(texts) != 4 {
+		t.Errorf("texts = %v", texts)
+	}
+	if texts[0] != "Ancient History" {
+		t.Errorf("first = %q", texts[0])
+	}
+	if got := MustParsePath("college/name").Select(doc); len(got) != 2 {
+		t.Errorf("Select = %v", got)
+	}
+	if got := MustParsePath("nope").Select(doc); got != nil {
+		t.Errorf("missing path = %v", got)
+	}
+}
+
+func TestPathParseErrors(t *testing.T) {
+	for _, s := range []string{"", "a//b", "text()/a", "text()"} {
+		if _, err := ParsePath(s); err == nil {
+			t.Errorf("ParsePath(%q) should fail", s)
+		}
+	}
+	p := MustParsePath("/college/name/text()")
+	if p.String() != "college/name/text()" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestTemplateInstantiateFigure4(t *testing.T) {
+	tpl := figure4Template()
+	out, err := tpl.Instantiate(berkeleyDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 depts → 3 course elements; 4 courses → 4 subject elements.
+	if err := mitDTD().Validate(out); err != nil {
+		t.Fatalf("output invalid for MIT schema: %v\n%s", err, out.Pretty())
+	}
+	courses := out.ChildrenNamed("course")
+	if len(courses) != 3 {
+		t.Fatalf("courses = %d", len(courses))
+	}
+	if courses[0].FirstChild("name").Text != "History" {
+		t.Errorf("first course name = %q", courses[0].FirstChild("name").Text)
+	}
+	subjects := courses[0].ChildrenNamed("subject")
+	if len(subjects) != 2 {
+		t.Fatalf("History subjects = %d", len(subjects))
+	}
+	if subjects[0].FirstChild("enrollment").Text != "40" {
+		t.Errorf("enrollment = %q", subjects[0].FirstChild("enrollment").Text)
+	}
+}
+
+func TestTemplateValidation(t *testing.T) {
+	bad := &Template{Root: TElem("catalog",
+		TValue("name", "undefined", "name/text()"))}
+	if err := bad.Validate(); err == nil {
+		t.Error("undefined value var should fail")
+	}
+	rebind := &Template{Root: TBind("a", "x", "", "p",
+		TBind("b", "x", "x", "q"))}
+	if err := rebind.Validate(); err == nil {
+		t.Error("rebinding should fail")
+	}
+	badCtx := &Template{Root: TBind("a", "x", "ghost", "p")}
+	if err := badCtx.Validate(); err == nil {
+		t.Error("undefined context var should fail")
+	}
+	if s := figure4Template().String(); !strings.Contains(s, "$c = document(source)/schedule/college/dept") {
+		t.Errorf("template rendering:\n%s", s)
+	}
+}
+
+func TestShredSchemas(t *testing.T) {
+	schemas, err := ShredSchemas(berkeleyDTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]ShredSchema)
+	for _, s := range schemas {
+		byName[s.RelName] = s
+	}
+	course, ok := byName["college_dept_course"]
+	if !ok {
+		t.Fatalf("schemas = %+v", schemas)
+	}
+	if len(course.AncestorKeys) != 2 || course.AncestorKeys[0] != "college_name" || course.AncestorKeys[1] != "dept_name" {
+		t.Errorf("course ancestor keys = %v", course.AncestorKeys)
+	}
+	if len(course.OwnLeaves) != 2 {
+		t.Errorf("course leaves = %v", course.OwnLeaves)
+	}
+}
+
+func TestShredDoc(t *testing.T) {
+	db, err := ShredDoc(berkeleyDTD(), berkeleyDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Get("college").Len() != 2 {
+		t.Errorf("colleges = %v", db.Get("college").Rows())
+	}
+	if db.Get("college_dept").Len() != 3 {
+		t.Errorf("depts = %v", db.Get("college_dept").Rows())
+	}
+	courses := db.Get("college_dept_course")
+	if courses.Len() != 4 {
+		t.Fatalf("courses = %v", courses.Rows())
+	}
+	want := relation.Tuple{relation.SV("Letters and Science"), relation.SV("History"),
+		relation.SV("Ancient History"), relation.SV("40")}
+	if !courses.Contains(want) {
+		t.Errorf("missing shredded course %v in %v", want, courses.Rows())
+	}
+}
+
+func TestCompileTemplateFigure4(t *testing.T) {
+	queries, err := CompileTemplate(figure4Template(), berkeleyDTD(), mitDTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("queries = %v", queries)
+	}
+	// Consistency: evaluating the compiled queries over the shredded
+	// source equals shredding the instantiated target document.
+	srcDB, err := ShredDoc(berkeleyDTD(), berkeleyDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtDoc, err := figure4Template().Instantiate(berkeleyDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtDB, err := ShredDoc(mitDTD(), tgtDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		got, err := cq.Eval(srcDB, q)
+		if err != nil {
+			t.Fatalf("eval %s: %v", q, err)
+		}
+		want := tgtDB.Get(q.HeadPred)
+		if want == nil {
+			t.Fatalf("no target relation %q", q.HeadPred)
+		}
+		if !got.Equal(want.Clone().Dedup()) {
+			t.Errorf("compiled %s produced %v, shredded target has %v",
+				q, got.Rows(), want.Rows())
+		}
+	}
+}
+
+func TestCompileTemplateErrors(t *testing.T) {
+	// Value path too deep (multi-step leaf access on a bound node).
+	deep := &Template{Root: TElem("catalog",
+		TBind("course", "c", "", "schedule/college/dept",
+			TValue("name", "c", "a/b/text()"),
+			TBind("subject", "s", "c", "course",
+				TValue("title", "s", "title/text()"),
+				TValue("enrollment", "s", "size/text()"),
+			),
+		))}
+	if _, err := CompileTemplate(deep, berkeleyDTD(), mitDTD()); err == nil {
+		t.Error("deep value path should fail compilation")
+	}
+	// Binding that skips a repeating level.
+	skip := &Template{Root: TElem("catalog",
+		TBind("course", "c", "", "schedule/college",
+			TValue("name", "c", "name/text()"),
+			TBind("subject", "s", "c", "dept/course",
+				TValue("title", "s", "title/text()"),
+				TValue("enrollment", "s", "size/text()"),
+			),
+		))}
+	if _, err := CompileTemplate(skip, berkeleyDTD(), mitDTD()); err == nil {
+		t.Error("level-skipping binding should fail compilation")
+	}
+}
+
+func TestInstantiateMissingValuesTolerated(t *testing.T) {
+	// A dept without courses still yields a course element with no
+	// subjects; missing leaf text becomes empty (partial data, §2.3).
+	doc := NewNode("schedule", NewNode("college",
+		TextNode("name", "X"),
+		NewNode("dept", TextNode("name", "Empty"))))
+	out, err := figure4Template().Instantiate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	courses := out.ChildrenNamed("course")
+	if len(courses) != 1 || len(courses[0].ChildrenNamed("subject")) != 0 {
+		t.Errorf("output = %s", out.Pretty())
+	}
+}
