@@ -1,0 +1,317 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file implements the compiled execution engine. Compile resolves
+// every variable of a query to a fixed integer slot once, picks a static
+// greedy join order, and precomputes a probe plan per atom. Exec then
+// enumerates the join over a single flat []relation.Value slot row —
+// no per-binding maps, no per-row map copies — probing hash indexes
+// keyed directly on Value.
+
+// opKind says what an atom column contributes during enumeration.
+type opKind uint8
+
+const (
+	// opBind writes the row value into a slot bound here for the first time.
+	opBind opKind = iota
+	// opCheckSlot compares the row value against an already-bound slot.
+	opCheckSlot
+	// opCheckConst compares the row value against a constant.
+	opCheckConst
+)
+
+// slotOp is one per-column instruction of an atom's probe plan.
+type slotOp struct {
+	col  int
+	kind opKind
+	slot int
+	val  relation.Value
+}
+
+// atomPlan is the compiled form of one body atom: the relation to probe,
+// an optional index column (probeCol >= 0), and the column ops.
+type atomPlan struct {
+	rel        *relation.Relation
+	probeCol   int // column to probe via hash index, -1 → full scan
+	probeSlot  int // slot holding the probe value when probeIsVar
+	probeVal   relation.Value
+	probeIsVar bool
+	ops        []slotOp
+}
+
+// Plan is a compiled conjunctive query, bound to the database it was
+// compiled against. Exec may be called repeatedly; it re-reads the
+// relations' current rows each time.
+type Plan struct {
+	query     Query
+	atoms     []atomPlan // in join order
+	nslots    int
+	headSlots []int
+	headAttrs []relation.Attribute
+}
+
+// Compile validates q against db and builds an execution plan: slot
+// assignment, greedy join order (most-bound-vars first, ties to fewer
+// free vars, then body order — the same heuristic the reference
+// interpreter uses), and per-atom probe plans.
+func Compile(db *relation.Database, q Query) (*Plan, error) {
+	if !q.IsSafe() {
+		return nil, fmt.Errorf("cq: unsafe query %s", q)
+	}
+	rels := make([]*relation.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r := db.Get(a.Pred)
+		if r == nil {
+			return nil, fmt.Errorf("cq: unknown relation %q in %s", a.Pred, q)
+		}
+		if r.Schema.Arity() != len(a.Args) {
+			return nil, fmt.Errorf("cq: atom %s has %d args, relation has arity %d",
+				a, len(a.Args), r.Schema.Arity())
+		}
+		rels[i] = r
+	}
+
+	// vars[s] is the variable bound to slot s; queries are small, so
+	// linear search beats maps and allocates only this one slice.
+	var vars []string
+	slotOf := func(name string) int {
+		for s, v := range vars {
+			if v == name {
+				return s
+			}
+		}
+		return -1
+	}
+	remaining := make([]int, len(q.Body))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	p := &Plan{query: q}
+	for len(remaining) > 0 {
+		// Greedy order: most already-bound distinct vars, fewest free.
+		best, bestScore, bestFree := 0, -1, 1<<30
+		for ri, ai := range remaining {
+			score, free := 0, 0
+			args := q.Body[ai].Args
+			for c, t := range args {
+				if !t.IsVar {
+					continue
+				}
+				dup := false
+				for _, u := range args[:c] {
+					if u.IsVar && u.Var == t.Var {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				if slotOf(t.Var) >= 0 {
+					score++
+				} else {
+					free++
+				}
+			}
+			if score > bestScore || (score == bestScore && free < bestFree) {
+				best, bestScore, bestFree = ri, score, free
+			}
+		}
+		ai := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		atom := q.Body[ai]
+
+		ap := atomPlan{rel: rels[ai], probeCol: -1}
+		// Probe column: first arg that is a constant or an already-bound
+		// variable (matching the reference evaluator's index choice).
+		for col, t := range atom.Args {
+			if !t.IsVar {
+				ap.probeCol = col
+				ap.probeVal = t.Const
+				break
+			}
+			if s := slotOf(t.Var); s >= 0 {
+				ap.probeCol = col
+				ap.probeIsVar = true
+				ap.probeSlot = s
+				break
+			}
+		}
+		for col, t := range atom.Args {
+			if !t.IsVar {
+				if col == ap.probeCol {
+					continue // index lookup already guarantees equality
+				}
+				ap.ops = append(ap.ops, slotOp{col: col, kind: opCheckConst, val: t.Const})
+				continue
+			}
+			if s := slotOf(t.Var); s >= 0 {
+				if col == ap.probeCol && ap.probeIsVar {
+					continue
+				}
+				ap.ops = append(ap.ops, slotOp{col: col, kind: opCheckSlot, slot: s})
+				continue
+			}
+			s := p.nslots
+			p.nslots++
+			vars = append(vars, t.Var)
+			ap.ops = append(ap.ops, slotOp{col: col, kind: opBind, slot: s})
+		}
+		p.atoms = append(p.atoms, ap)
+	}
+
+	p.headSlots = make([]int, len(q.HeadVars))
+	p.headAttrs = make([]relation.Attribute, len(q.HeadVars))
+	for i, v := range q.HeadVars {
+		p.headSlots[i] = slotOf(v) // present: q is safe
+		attr := relation.Attribute{Name: v, Type: relation.TString}
+		if typ, ok := headTypeFromSchema(db, q, v); ok {
+			attr.Type = typ
+		}
+		p.headAttrs[i] = attr
+	}
+	return p, nil
+}
+
+// HeadSchema returns the schema of the answer relation the plan
+// produces: one attribute per head variable, typed from the body
+// relations' schemas.
+func (p *Plan) HeadSchema() relation.Schema {
+	return relation.Schema{Name: p.query.HeadPred, Attrs: p.headAttrs}
+}
+
+// execState carries the per-execution mutable state so the recursive
+// join allocates only the slot row and the answer tuples.
+type execState struct {
+	plan    *Plan
+	indexed []bool
+	slots   []relation.Value
+	out     *relation.Relation
+	seen    *relation.TupleSet
+	err     error
+}
+
+// Exec runs the plan and returns the deduplicated head projection.
+func (p *Plan) Exec() (*relation.Relation, error) {
+	out := relation.New(p.HeadSchema())
+	if err := p.ExecInto(out, relation.NewTupleSet(16)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecInto runs the plan appending deduplicated answers to out (sharing
+// its seen-set), the hash-set accumulation EvalUnion uses instead of
+// repeated Dedup passes. out must have arity len(headSlots).
+func (p *Plan) ExecInto(out *relation.Relation, seen *relation.TupleSet) error {
+	e := &execState{
+		plan:    p,
+		indexed: make([]bool, len(p.atoms)),
+		slots:   make([]relation.Value, p.nslots),
+		out:     out,
+		seen:    seen,
+	}
+	for i, ap := range p.atoms {
+		if ap.probeCol >= 0 && ap.rel.Len() > 16 {
+			// Atomic check-and-build: plans executing concurrently may
+			// share relations through a cached snapshot.
+			ap.rel.EnsureIndex(ap.probeCol)
+			e.indexed[i] = true
+		}
+	}
+	e.join(0)
+	return e.err
+}
+
+// ExecUnion executes precompiled plans as a union of conjunctive
+// queries, deduplicating through one shared hash set as branches
+// execute. The answer schema comes from the first plan; all plans must
+// share head arity.
+func ExecUnion(plans []*Plan) (*relation.Relation, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("cq: empty union")
+	}
+	out := relation.New(plans[0].HeadSchema())
+	seen := relation.NewTupleSet(16)
+	for _, p := range plans {
+		if len(p.headSlots) != out.Schema.Arity() {
+			return nil, fmt.Errorf("union: arity mismatch %d vs %d",
+				out.Schema.Arity(), len(p.headSlots))
+		}
+		if err := p.ExecInto(out, seen); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// join enumerates matches for atom d and recurses; at the leaf it
+// projects the head slots into an answer tuple.
+func (e *execState) join(d int) {
+	if e.err != nil {
+		return
+	}
+	if d == len(e.plan.atoms) {
+		t := make(relation.Tuple, len(e.plan.headSlots))
+		for i, s := range e.plan.headSlots {
+			t[i] = e.slots[s]
+		}
+		if e.seen.Add(t) {
+			if err := e.out.Insert(t); err != nil {
+				e.err = err
+			}
+		}
+		return
+	}
+	ap := &e.plan.atoms[d]
+	if e.indexed[d] {
+		v := ap.probeVal
+		if ap.probeIsVar {
+			v = e.slots[ap.probeSlot]
+		}
+		for _, id := range ap.rel.Lookup(ap.probeCol, v) {
+			e.tryRow(d, ap, ap.rel.Row(id))
+		}
+		return
+	}
+	// Full scan: iterate rows directly — no materialized id slices. The
+	// probe column (if any) is checked inline.
+	for _, row := range ap.rel.Rows() {
+		if ap.probeCol >= 0 {
+			if ap.probeIsVar {
+				if row[ap.probeCol] != e.slots[ap.probeSlot] {
+					continue
+				}
+			} else if row[ap.probeCol] != ap.probeVal {
+				continue
+			}
+		}
+		e.tryRow(d, ap, row)
+	}
+}
+
+// tryRow applies atom d's column ops to row; on success it recurses.
+// Slots written here are rebound on the next row, so no undo is needed:
+// a slot is only read by ops compiled after its binding atom.
+func (e *execState) tryRow(d int, ap *atomPlan, row relation.Tuple) {
+	for _, op := range ap.ops {
+		switch op.kind {
+		case opBind:
+			e.slots[op.slot] = row[op.col]
+		case opCheckSlot:
+			if row[op.col] != e.slots[op.slot] {
+				return
+			}
+		case opCheckConst:
+			if row[op.col] != op.val {
+				return
+			}
+		}
+	}
+	e.join(d + 1)
+}

@@ -1,0 +1,213 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// sortedRows evaluates with the given evaluator and returns sorted tuples.
+func sortedRows(t *testing.T, eval func(*relation.Database, Query) (*relation.Relation, error),
+	db *relation.Database, q Query) []relation.Tuple {
+	t.Helper()
+	r, err := eval(db, q)
+	if err != nil {
+		t.Fatalf("eval %s: %v", q, err)
+	}
+	rows := make([]relation.Tuple, len(r.Rows()))
+	copy(rows, r.Rows())
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Less(rows[j]) })
+	return rows
+}
+
+// assertEquivalent checks that the compiled and reference evaluators
+// return identical sorted answers for q.
+func assertEquivalent(t *testing.T, db *relation.Database, q Query) {
+	t.Helper()
+	got := sortedRows(t, Eval, db, q)
+	want := sortedRows(t, EvalReference, db, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: compiled %d rows, reference %d rows", q, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: row %d: compiled %v, reference %v", q, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompiledMatchesReferenceHandwritten(t *testing.T) {
+	db := relation.NewDatabase()
+	course := relation.New(relation.NewSchema("course",
+		relation.Attr("title"), relation.Attr("instr"), relation.IntAttr("seats")))
+	person := relation.New(relation.NewSchema("person",
+		relation.Attr("name"), relation.Attr("dept")))
+	edge := relation.New(relation.NewSchema("edge",
+		relation.Attr("src"), relation.Attr("dst")))
+	for i := 0; i < 30; i++ {
+		course.MustInsert(relation.SV(fmt.Sprintf("c%d", i)),
+			relation.SV(fmt.Sprintf("p%d", i%7)), relation.IV(int64(10+i%3)))
+	}
+	for i := 0; i < 7; i++ {
+		dept := "cs"
+		if i%2 == 1 {
+			dept = "ee"
+		}
+		person.MustInsert(relation.SV(fmt.Sprintf("p%d", i)), relation.SV(dept))
+	}
+	for i := 0; i < 10; i++ {
+		edge.MustInsert(relation.SV(fmt.Sprintf("n%d", i)), relation.SV(fmt.Sprintf("n%d", (i*3)%10)))
+		edge.MustInsert(relation.SV(fmt.Sprintf("n%d", i)), relation.SV(fmt.Sprintf("n%d", i)))
+	}
+	db.Put(course)
+	db.Put(person)
+	db.Put(edge)
+
+	for _, src := range []string{
+		"q(T) :- course(T, I, S)",
+		"q(T, I) :- course(T, I, S), person(I, D)",
+		"q(T, I) :- course(T, I, S), person(I, 'cs')",
+		"q(T) :- course(T, 'p3', S)",
+		"q(X) :- edge(X, X)",                       // repeated var in one atom
+		"q(X, Z) :- edge(X, Y), edge(Y, Z)",        // chain join
+		"q(X, X) :- edge(X, Y)",                    // duplicate head var
+		"q(T, N) :- course(T, I, S), person(N, D)", // cross product
+		"q(S) :- course(T, I, S), course(T2, I, 12)",
+		"q(D) :- person(N, D), person(N2, D), edge(N, N2)",
+	} {
+		assertEquivalent(t, db, MustParse(src))
+	}
+}
+
+func TestCompiledMatchesReferenceRandomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	varPool := []string{"X", "Y", "Z", "W", "V"}
+	for trial := 0; trial < 300; trial++ {
+		db := relation.NewDatabase()
+		nRels := 1 + rnd.Intn(3)
+		var schemas []relation.Schema
+		for ri := 0; ri < nRels; ri++ {
+			arity := 1 + rnd.Intn(3)
+			attrs := make([]relation.Attribute, arity)
+			for ai := range attrs {
+				if rnd.Intn(3) == 0 {
+					attrs[ai] = relation.IntAttr(fmt.Sprintf("a%d", ai))
+				} else {
+					attrs[ai] = relation.Attr(fmt.Sprintf("a%d", ai))
+				}
+			}
+			sch := relation.Schema{Name: fmt.Sprintf("r%d", ri), Attrs: attrs}
+			rel := relation.New(sch)
+			rows := rnd.Intn(40)
+			for i := 0; i < rows; i++ {
+				tup := make(relation.Tuple, arity)
+				for ai, a := range attrs {
+					// Small value pools so joins actually match.
+					if a.Type == relation.TInt {
+						tup[ai] = relation.IV(int64(rnd.Intn(5)))
+					} else {
+						tup[ai] = relation.SV(fmt.Sprintf("v%d", rnd.Intn(6)))
+					}
+				}
+				if err := rel.Insert(tup); err != nil {
+					t.Fatal(err)
+				}
+			}
+			db.Put(rel)
+			schemas = append(schemas, sch)
+		}
+		nAtoms := 1 + rnd.Intn(3)
+		var body []Atom
+		for bi := 0; bi < nAtoms; bi++ {
+			sch := schemas[rnd.Intn(len(schemas))]
+			args := make([]Term, sch.Arity())
+			for ai := range args {
+				switch rnd.Intn(4) {
+				case 0: // constant of the column's type
+					if sch.Attrs[ai].Type == relation.TInt {
+						args[ai] = CI(int64(rnd.Intn(5)))
+					} else {
+						args[ai] = CS(fmt.Sprintf("v%d", rnd.Intn(6)))
+					}
+				default:
+					args[ai] = V(varPool[rnd.Intn(len(varPool))])
+				}
+			}
+			body = append(body, Atom{Pred: sch.Name, Args: args})
+		}
+		q := Query{HeadPred: "q", Body: body}
+		// Head: random subset of body variables (possibly with repeats).
+		bv := q.BodyVars()
+		if len(bv) > 0 {
+			n := 1 + rnd.Intn(len(bv))
+			for i := 0; i < n; i++ {
+				q.HeadVars = append(q.HeadVars, bv[rnd.Intn(len(bv))])
+			}
+		}
+		assertEquivalent(t, db, q)
+	}
+}
+
+func TestCompiledErrorsMatchReference(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Put(relation.New(relation.NewSchema("r", relation.Attr("a"))))
+	cases := []Query{
+		{HeadPred: "q", HeadVars: []string{"X"}, // unknown relation
+			Body: []Atom{{Pred: "missing", Args: []Term{V("X")}}}},
+		{HeadPred: "q", HeadVars: []string{"X", "Y"}, // unsafe: Y not in body
+			Body: []Atom{{Pred: "r", Args: []Term{V("X")}}}},
+		{HeadPred: "q", HeadVars: []string{"X"}, // arity mismatch
+			Body: []Atom{{Pred: "r", Args: []Term{V("X"), V("Y")}}}},
+	}
+	for _, q := range cases {
+		if _, err := Eval(db, q); err == nil {
+			t.Errorf("compiled Eval(%s): want error", q)
+		}
+		if _, err := EvalReference(db, q); err == nil {
+			t.Errorf("EvalReference(%s): want error", q)
+		}
+	}
+}
+
+// TestCompiledHeadTypes locks in the schema-derived head typing: head
+// columns take their type from the body relation's schema even when
+// there are no answers, and EvalUnion keeps it across branches.
+func TestCompiledHeadTypes(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Put(relation.New(relation.NewSchema("m",
+		relation.Attr("name"), relation.IntAttr("num"))))
+	q := MustParse("q(N, K) :- m(N, K)")
+	r, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Attrs[0].Type != relation.TString || r.Schema.Attrs[1].Type != relation.TInt {
+		t.Errorf("head types = %v, want (string, int)", r.Schema.Attrs)
+	}
+	ref, err := EvalReference(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Schema.Attrs[1].Type != relation.TInt {
+		t.Errorf("reference head type = %v, want int", ref.Schema.Attrs[1].Type)
+	}
+}
+
+func TestEvalUnionDedupsAcrossBranches(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New(relation.NewSchema("r", relation.Attr("a")))
+	r.MustInsert(relation.SV("x"))
+	r.MustInsert(relation.SV("y"))
+	db.Put(r)
+	qs := []Query{MustParse("q(A) :- r(A)"), MustParse("q(B) :- r(B)")}
+	got, err := EvalUnion(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("union answers = %d, want 2 (deduplicated)", got.Len())
+	}
+}

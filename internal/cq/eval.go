@@ -8,11 +8,40 @@ import (
 )
 
 // Eval evaluates a conjunctive query against a database and returns a
-// relation holding the head projection. Atoms are joined greedily: at
-// each step the evaluator picks the unprocessed atom sharing the most
-// bound variables (a simple join-order heuristic), binding variables and
-// filtering on constants and repeated variables.
+// relation holding the head projection. It compiles the query to a
+// slot-based plan (see compile.go) and executes it; the legacy
+// map-binding interpreter is kept as EvalReference for differential
+// testing.
 func Eval(db *relation.Database, q Query) (*relation.Relation, error) {
+	plan, err := Compile(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Exec()
+}
+
+// EvalUnion evaluates a union of conjunctive queries (a UCQ) and returns
+// the set union of their answers, deduplicated through a single shared
+// hash set as branches execute — no per-branch relations or repeated
+// Dedup passes. All queries must share head arity.
+func EvalUnion(db *relation.Database, queries []Query) (*relation.Relation, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("cq: empty union")
+	}
+	plans := make([]*Plan, len(queries))
+	for i, q := range queries {
+		p, err := Compile(db, q)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return ExecUnion(plans)
+}
+
+// EvalReference is the original map-bindings interpreter, retained as
+// the executable specification the compiled engine is tested against.
+func EvalReference(db *relation.Database, q Query) (*relation.Relation, error) {
 	if !q.IsSafe() {
 		return nil, fmt.Errorf("cq: unsafe query %s", q)
 	}
@@ -83,12 +112,11 @@ func joinAtom(db *relation.Database, atom Atom, bindings []map[string]relation.V
 			}
 		}
 	}
-	if idxCol >= 0 && rel.Len() > 16 && !rel.HasIndex(idxCol) {
-		rel.BuildIndex(idxCol)
+	if idxCol >= 0 && rel.Len() > 16 {
+		rel.EnsureIndex(idxCol)
 	}
 	var out []map[string]relation.Value
 	for _, b := range bindings {
-		var rowIDs []int
 		if idxCol >= 0 {
 			probe := atom.Args[idxCol]
 			var v relation.Value
@@ -97,25 +125,18 @@ func joinAtom(db *relation.Database, atom Atom, bindings []map[string]relation.V
 			} else {
 				v = probe.Const
 			}
-			rowIDs = rel.Lookup(idxCol, v)
-		} else {
-			rowIDs = allRows(rel.Len())
+			for _, id := range rel.Lookup(idxCol, v) {
+				if nb, ok := matchRow(atom, rel.Row(id), b); ok {
+					out = append(out, nb)
+				}
+			}
+			continue
 		}
-		for _, id := range rowIDs {
-			row := rel.Row(id)
-			nb, ok := matchRow(atom, row, b)
-			if ok {
+		for _, row := range rel.Rows() {
+			if nb, ok := matchRow(atom, row, b); ok {
 				out = append(out, nb)
 			}
 		}
-	}
-	return out
-}
-
-func allRows(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
 	}
 	return out
 }
@@ -146,26 +167,23 @@ func matchRow(atom Atom, row relation.Tuple, b map[string]relation.Value) (map[s
 			return nil, false
 		}
 	}
-	if !copied {
-		// No new variables bound: still need a private copy? No — nb is
-		// unchanged, sharing is safe.
-		return nb, true
-	}
 	return nb, true
 }
 
 // projectHead builds the answer relation from the final bindings.
 func projectHead(db *relation.Database, q Query, bindings []map[string]relation.Value) (*relation.Relation, error) {
 	attrs := make([]relation.Attribute, len(q.HeadVars))
-	// Infer head types from the first binding; default to string.
+	// Prefer the schema-derived type for each head column; fall back to
+	// the first binding (trusting bindings[0] alone mistypes a column
+	// whose bindings are mixed).
 	for i, v := range q.HeadVars {
 		attrs[i] = relation.Attribute{Name: v, Type: relation.TString}
-		if len(bindings) > 0 {
+		if typ, ok := headTypeFromSchema(db, q, v); ok {
+			attrs[i].Type = typ
+		} else if len(bindings) > 0 {
 			if val, ok := bindings[0][v]; ok {
 				attrs[i].Type = val.Kind
 			}
-		} else if typ, ok := headTypeFromSchema(db, q, v); ok {
-			attrs[i].Type = typ
 		}
 	}
 	out := relation.New(relation.Schema{Name: q.HeadPred, Attrs: attrs})
@@ -183,7 +201,7 @@ func projectHead(db *relation.Database, q Query, bindings []map[string]relation.
 }
 
 // headTypeFromSchema infers a head variable's type from the schema of the
-// first body atom mentioning it (used when there are no bindings).
+// first body atom mentioning it.
 func headTypeFromSchema(db *relation.Database, q Query, varName string) (relation.Type, bool) {
 	for _, a := range q.Body {
 		rel := db.Get(a.Pred)
@@ -197,30 +215,6 @@ func headTypeFromSchema(db *relation.Database, q Query, varName string) (relatio
 		}
 	}
 	return relation.TString, false
-}
-
-// EvalUnion evaluates a union of conjunctive queries (a UCQ) and returns
-// the set union of their answers. All queries must share head arity.
-func EvalUnion(db *relation.Database, queries []Query) (*relation.Relation, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("cq: empty union")
-	}
-	var out *relation.Relation
-	for _, q := range queries {
-		r, err := Eval(db, q)
-		if err != nil {
-			return nil, err
-		}
-		if out == nil {
-			out = r
-			continue
-		}
-		if err := out.Union(r); err != nil {
-			return nil, err
-		}
-	}
-	out.Dedup()
-	return out, nil
 }
 
 // SortedAnswers is a convenience for tests: evaluates and returns tuples

@@ -85,33 +85,39 @@ func (u *Unfolder) expandAtom(q Query, idx int, def Query) (Query, error) {
 // ExpandAtom replaces q.Body[idx] with def's body, renaming def's
 // variables with freshPrefix and unifying def's head variables with the
 // atom's arguments. This is the single unfolding step shared by GAV view
-// expansion and PDMS mapping traversal.
+// expansion and PDMS mapping traversal. Rename and substitution happen
+// in one pass over def's body (no intermediate renamed clone), and
+// untouched atoms of q are shared with the result — safe because atom
+// args are never mutated in place, only replaced on cloned queries.
 func ExpandAtom(q Query, idx int, def Query, freshPrefix string) (Query, error) {
 	atom := q.Body[idx]
 	if len(def.HeadVars) != len(atom.Args) {
 		return Query{}, fmt.Errorf("cq: definition %s arity %d, atom %s has %d args",
 			def.HeadPred, len(def.HeadVars), atom, len(atom.Args))
 	}
-	d := def.RenameVars(freshPrefix)
-	sub := make(map[string]Term, len(d.HeadVars))
-	for i, hv := range d.HeadVars {
+	sub := make(map[string]Term, len(def.HeadVars))
+	for i, hv := range def.HeadVars {
 		sub[hv] = atom.Args[i]
 	}
-	newBody := make([]Atom, 0, len(q.Body)-1+len(d.Body))
+	newBody := make([]Atom, 0, len(q.Body)-1+len(def.Body))
 	newBody = append(newBody, q.Body[:idx]...)
-	for _, a := range d.Body {
-		na := a.Clone()
-		for j, t := range na.Args {
-			if t.IsVar {
-				if repl, ok := sub[t.Var]; ok {
-					na.Args[j] = repl
-				}
+	for _, a := range def.Body {
+		na := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+		for j, t := range a.Args {
+			if !t.IsVar {
+				na.Args[j] = t
+				continue
 			}
+			if repl, ok := sub[t.Var]; ok {
+				na.Args[j] = repl
+				continue
+			}
+			na.Args[j] = Term{IsVar: true, Var: freshPrefix + t.Var}
 		}
 		newBody = append(newBody, na)
 	}
 	newBody = append(newBody, q.Body[idx+1:]...)
-	out := q.Clone()
-	out.Body = newBody
-	return out, nil
+	hv := make([]string, len(q.HeadVars))
+	copy(hv, q.HeadVars)
+	return Query{HeadPred: q.HeadPred, HeadVars: hv, Body: newBody}, nil
 }

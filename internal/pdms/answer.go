@@ -16,33 +16,111 @@ type AnswerResult struct {
 	ExecTime   time.Duration
 }
 
+// reformKey identifies one Answer workload: the peer, the query text,
+// the option set, the mapping-graph version, and the total schema size
+// (AddSchema bypasses the network, so it is folded into the key).
+type reformKey struct {
+	peer        string
+	query       string
+	opts        ReformOptions
+	topoVersion uint64
+	schemaSize  int
+}
+
+// reformEntry caches a reformulation and, per global-DB snapshot, the
+// compiled plans of its rewritings — repeated queries skip both the
+// mapping-graph search and query compilation.
+type reformEntry struct {
+	rws     []cq.Query
+	stats   ReformStats
+	plans   []*cq.Plan
+	plansDB *relation.Database
+}
+
+// reformCacheMax bounds the answer cache; it is cleared when full
+// (topology changes already clear it).
+const reformCacheMax = 4096
+
+func (n *Network) reformCacheKey(peer string, q cq.Query, opts ReformOptions) reformKey {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	size := 0
+	for _, p := range n.peers {
+		size += len(p.schema)
+	}
+	return reformKey{
+		peer:        peer,
+		query:       q.String(),
+		opts:        opts,
+		topoVersion: n.topoVersion,
+		schemaSize:  size,
+	}
+}
+
 // Answer poses q in the given peer's schema and evaluates it over the
 // transitive closure of mappings: "the PDMS will find all data sources
 // related through this schema via the transitive closure of mappings, and
 // it will use these sources to answer the query in the user's schema".
+//
+// Reformulations and their compiled plans are cached per (peer, query,
+// options) until the mapping graph changes, and answers are evaluated
+// with the compiled slot engine, deduplicating through one shared hash
+// set as union branches execute.
 func (n *Network) Answer(peer string, q cq.Query, opts ReformOptions) (*AnswerResult, error) {
-	rf := NewReformulator(n, opts)
+	key := n.reformCacheKey(peer, q, opts)
 	t0 := time.Now()
-	rws, stats, err := rf.Reformulate(peer, q)
-	if err != nil {
-		return nil, err
+	n.mu.Lock()
+	e := n.reformCache[key]
+	n.mu.Unlock()
+	if e == nil {
+		rf := NewReformulator(n, opts)
+		rws, stats, err := rf.Reformulate(peer, q)
+		if err != nil {
+			return nil, err
+		}
+		e = &reformEntry{rws: rws, stats: *stats}
+		n.mu.Lock()
+		if len(n.reformCache) >= reformCacheMax {
+			n.reformCache = make(map[reformKey]*reformEntry)
+		}
+		n.reformCache[key] = e
+		n.mu.Unlock()
 	}
 	reformTime := time.Since(t0)
 	t1 := time.Now()
 	db := n.GlobalDB()
 	var answers *relation.Relation
-	if len(rws) > 0 {
-		answers, err = cq.EvalUnion(db, rws)
+	if len(e.rws) > 0 {
+		n.mu.Lock()
+		plans, plansDB := e.plans, e.plansDB
+		n.mu.Unlock()
+		if plansDB != db {
+			plans = make([]*cq.Plan, len(e.rws))
+			for i, rw := range e.rws {
+				p, err := cq.Compile(db, rw)
+				if err != nil {
+					return nil, err
+				}
+				plans[i] = p
+			}
+			n.mu.Lock()
+			e.plans, e.plansDB = plans, db
+			n.mu.Unlock()
+		}
+		var err error
+		answers, err = cq.ExecUnion(plans)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		answers = relation.New(relation.Schema{Name: q.HeadPred})
 	}
+	rws := make([]cq.Query, len(e.rws))
+	copy(rws, e.rws)
 	return &AnswerResult{
 		Answers:    answers,
 		Rewritings: rws,
-		Stats:      *stats,
+		Stats:      e.stats,
 		ReformTime: reformTime,
 		ExecTime:   time.Since(t1),
 	}, nil

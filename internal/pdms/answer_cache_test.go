@@ -1,0 +1,150 @@
+package pdms
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/relation"
+)
+
+// TestAnswerCacheSeesNewData ensures the answer cache does not serve
+// stale answers after stored data changes: the rewritings are reused,
+// but evaluation runs against a fresh global snapshot.
+func TestAnswerCacheSeesNewData(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(L) :- offering(L, S)")
+	res1, err := n.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Answers.Len() != 4 {
+		t.Fatalf("initial answers = %d, want 4", res1.Answers.Len())
+	}
+	// New Berkeley course must show up at Oxford on the next Answer.
+	if err := n.Peer("berkeley").Insert("course",
+		relation.Tuple{relation.SV("Logic"), relation.IV(25)}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := n.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Answers.Len() != 5 {
+		t.Errorf("answers after insert = %d, want 5", res2.Answers.Len())
+	}
+	// And the earlier result must be untouched (snapshot semantics).
+	if res1.Answers.Len() != 4 {
+		t.Errorf("first result mutated: len = %d", res1.Answers.Len())
+	}
+}
+
+// TestAnswerCacheInvalidatedByTopology ensures adding a mapping after a
+// cached Answer recomputes the reformulation.
+func TestAnswerCacheInvalidatedByTopology(t *testing.T) {
+	n := NewNetwork()
+	a := NewPeer("a", relation.NewSchema("r", relation.Attr("x")))
+	b := NewPeer("b", relation.NewSchema("s", relation.Attr("x")))
+	for _, p := range []*Peer{a, b} {
+		if err := n.AddPeer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Insert("r", relation.Tuple{relation.SV("local")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert("s", relation.Tuple{relation.SV("remote")}); err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse("q(X) :- r(X)")
+	res, err := n.Answer("a", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != 1 {
+		t.Fatalf("pre-mapping answers = %d, want 1", res.Answers.Len())
+	}
+	m := glav.MustNew("b2a", "b", cq.MustParse("m(X) :- s(X)"), "a", cq.MustParse("m(X) :- r(X)"))
+	if err := n.AddMapping(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err = n.Answer("a", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != 2 {
+		t.Errorf("post-mapping answers = %d, want 2 (cache must be invalidated)", res.Answers.Len())
+	}
+}
+
+// TestAnswerConcurrent hammers Answer from several goroutines (run
+// under -race) to exercise the cache locking: same query (shared
+// reformEntry and plan cache), distinct queries, and a constant-probe
+// query over a >16-row relation so concurrent executions race to
+// lazily index the shared global snapshot.
+func TestAnswerConcurrent(t *testing.T) {
+	n := chainNetwork(t)
+	ox := n.Peer("oxford")
+	for i := 0; i < 30; i++ {
+		if err := ox.Insert("offering", relation.Tuple{
+			relation.SV(fmt.Sprintf("Extra %d", i)), relation.IV(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		q    cq.Query
+		want int
+	}{
+		{cq.MustParse("q(L) :- offering(L, S)"), 34},
+		{cq.MustParse("q(L, S) :- offering(L, S)"), 34},
+		{cq.MustParse("q(S) :- offering('Greek Philosophy', S)"), 1},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 9; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := cases[g%len(cases)]
+			for i := 0; i < 20; i++ {
+				res, err := n.Answer("oxford", c.q, ReformOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Answers.Len() != c.want {
+					t.Errorf("%s: answers = %d, want %d", c.q, res.Answers.Len(), c.want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestGlobalDBSnapshotsIndependent ensures Publish's pre/post snapshots
+// stay distinct: a delete applied between them must not leak into pre.
+func TestGlobalDBSnapshotsIndependent(t *testing.T) {
+	n := chainNetwork(t)
+	pre := n.GlobalDB()
+	preLen := pre.Get("berkeley.course").Len()
+	if removed := n.Peer("berkeley").Store.Get("course").Delete(
+		relation.Tuple{relation.SV("Databases"), relation.IV(60)}); removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	post := n.GlobalDB()
+	if pre == post {
+		t.Fatal("GlobalDB returned the same snapshot across a mutation")
+	}
+	if got := pre.Get("berkeley.course").Len(); got != preLen {
+		t.Errorf("pre snapshot changed: len = %d, want %d", got, preLen)
+	}
+	if got := post.Get("berkeley.course").Len(); got != preLen-1 {
+		t.Errorf("post snapshot len = %d, want %d", got, preLen-1)
+	}
+	// Unchanged network: the snapshot (and its warm indexes) is reused.
+	if again := n.GlobalDB(); again != post {
+		t.Error("GlobalDB rebuilt despite no mutations")
+	}
+}

@@ -9,6 +9,7 @@ package pdms
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/glav"
@@ -73,15 +74,47 @@ func (p *Peer) Insert(rel string, t relation.Tuple) error {
 
 // Network is the PDMS overlay: peers plus the mapping graph. The arrows
 // of the paper's Figure 2 are Mapping values here.
+//
+// Concurrency: read-side operations (Answer, LocalAnswer, GlobalDB,
+// EstimateCost) may run concurrently with each other — the caches and
+// shared snapshots they touch are synchronized. Mutations (AddPeer,
+// AddMapping, RemovePeer, Peer.Insert, Publish, Subscribe) require
+// external synchronization with respect to readers and each other, the
+// same single-writer contract the underlying relations have.
 type Network struct {
 	peers    map[string]*Peer
 	order    []string
 	mappings []*glav.Mapping
 	// byTargetRel indexes GAV-usable mappings by qualified target atom.
 	byTargetRel map[string][]*glav.Mapping
+	// gavDefs holds, aligned with byTargetRel, each mapping's unfolding
+	// definition (qualified source body), precomputed once at
+	// registration so reformulation doesn't re-qualify per expansion.
+	gavDefs map[string][]cq.Query
 	// byTargetPeer indexes all mappings by target peer (for LAV rewriting).
 	byTargetPeer map[string][]*glav.Mapping
 	subs         []*Subscription
+
+	// topoVersion counts topology changes (peers/mappings); the answer
+	// cache keys on it so rewritings never outlive the mapping graph
+	// they were derived from.
+	topoVersion uint64
+
+	mu sync.Mutex
+	// globalDB caches the qualified snapshot built by GlobalDB, valid
+	// while globalFP (per-relation identity+version+length) matches.
+	globalDB *relation.Database
+	globalFP []relFingerprint
+	// reformCache memoizes Answer's reformulations (and their compiled
+	// plans) per query; see Answer.
+	reformCache map[reformKey]*reformEntry
+}
+
+// relFingerprint identifies one stored relation's state at snapshot time.
+type relFingerprint struct {
+	rel *relation.Relation
+	ver uint64
+	n   int
 }
 
 // NewNetwork returns an empty overlay.
@@ -89,7 +122,9 @@ func NewNetwork() *Network {
 	return &Network{
 		peers:        make(map[string]*Peer),
 		byTargetRel:  make(map[string][]*glav.Mapping),
+		gavDefs:      make(map[string][]cq.Query),
 		byTargetPeer: make(map[string][]*glav.Mapping),
+		reformCache:  make(map[reformKey]*reformEntry),
 	}
 }
 
@@ -100,7 +135,42 @@ func (n *Network) AddPeer(p *Peer) error {
 	}
 	n.peers[p.Name] = p
 	n.order = append(n.order, p.Name)
+	n.bumpTopology()
 	return nil
+}
+
+// bumpTopology records a peer/mapping change, invalidating cached
+// reformulations.
+func (n *Network) bumpTopology() {
+	n.mu.Lock()
+	n.topoVersion++
+	if len(n.reformCache) > 0 {
+		n.reformCache = make(map[reformKey]*reformEntry)
+	}
+	n.mu.Unlock()
+}
+
+// InvalidateCaches drops every cached reformulation, compiled plan,
+// global snapshot and memoized containment verdict. Topology and data
+// changes invalidate automatically; this exists for out-of-band
+// situations (and for benchmarking the cold path).
+func (n *Network) InvalidateCaches() {
+	n.mu.Lock()
+	n.topoVersion++
+	n.reformCache = make(map[reformKey]*reformEntry)
+	n.globalDB, n.globalFP = nil, nil
+	n.mu.Unlock()
+	resetContainCache()
+}
+
+// gavDef builds the unfolding definition for a GAV mapping: the target
+// atom's predicate defined by the mapping's qualified source body.
+func gavDef(key string, m *glav.Mapping) cq.Query {
+	return cq.Query{
+		HeadPred: key,
+		HeadVars: m.SrcQ.HeadVars,
+		Body:     glav.Qualify(m.SrcQ, m.SrcPeer).Body,
+	}
 }
 
 // Peer returns the named peer, or nil.
@@ -136,8 +206,10 @@ func (n *Network) AddMapping(m *glav.Mapping) error {
 	if m.IsGAV() {
 		key := glav.QualifiedName(m.TgtPeer, m.TargetAtomPred())
 		n.byTargetRel[key] = append(n.byTargetRel[key], m)
+		n.gavDefs[key] = append(n.gavDefs[key], gavDef(key, m))
 	}
 	n.byTargetPeer[m.TgtPeer] = append(n.byTargetPeer[m.TgtPeer], m)
+	n.bumpTopology()
 	return nil
 }
 
@@ -185,14 +257,17 @@ func (n *Network) RemovePeer(name string) error {
 	n.mappings = kept
 	// Rebuild mapping indexes.
 	n.byTargetRel = make(map[string][]*glav.Mapping)
+	n.gavDefs = make(map[string][]cq.Query)
 	n.byTargetPeer = make(map[string][]*glav.Mapping)
 	for _, m := range n.mappings {
 		if m.IsGAV() {
 			key := glav.QualifiedName(m.TgtPeer, m.TargetAtomPred())
 			n.byTargetRel[key] = append(n.byTargetRel[key], m)
+			n.gavDefs[key] = append(n.gavDefs[key], gavDef(key, m))
 		}
 		n.byTargetPeer[m.TgtPeer] = append(n.byTargetPeer[m.TgtPeer], m)
 	}
+	n.bumpTopology()
 	// Drop hosted subscriptions and subscriptions over its relations.
 	keptSubs := n.subs[:0]
 	prefix := name + "."
@@ -219,24 +294,56 @@ func (n *Network) RemovePeer(name string) error {
 // GlobalDB builds the qualified database: every peer's stored relation
 // appears under "peer.rel". Reformulated queries are evaluated here,
 // simulating the distributed execution of §3.1.2 in-process.
+//
+// The snapshot is cached: while no stored relation has been mutated
+// (tracked by relation version counters), repeated calls return the
+// same database, so hash indexes built by the query engine stay warm
+// across queries. Any mutation yields a fresh snapshot on the next
+// call; snapshots already handed out are never touched.
 func (n *Network) GlobalDB() *relation.Database {
+	fp := n.fingerprint()
+	n.mu.Lock()
+	if n.globalDB != nil && fingerprintsEqual(n.globalFP, fp) {
+		db := n.globalDB
+		n.mu.Unlock()
+		return db
+	}
+	n.mu.Unlock()
 	db := relation.NewDatabase()
 	for _, name := range n.order {
 		p := n.peers[name]
 		for _, r := range p.Store.Relations() {
-			q := relation.New(relation.Schema{
-				Name:  glav.QualifiedName(name, r.Schema.Name),
-				Attrs: r.Schema.Attrs,
-			})
-			for _, row := range r.Rows() {
-				if err := q.Insert(row); err != nil {
-					panic(err) // same schema: cannot happen
-				}
-			}
-			db.Put(q)
+			db.Put(r.SnapshotAs(glav.QualifiedName(name, r.Schema.Name)))
 		}
 	}
+	n.mu.Lock()
+	n.globalDB, n.globalFP = db, fp
+	n.mu.Unlock()
 	return db
+}
+
+// fingerprint captures the identity, version and length of every stored
+// relation, in deterministic peer/relation order.
+func (n *Network) fingerprint() []relFingerprint {
+	var fp []relFingerprint
+	for _, name := range n.order {
+		for _, r := range n.peers[name].Store.Relations() {
+			fp = append(fp, relFingerprint{rel: r, ver: r.Version(), n: r.Len()})
+		}
+	}
+	return fp
+}
+
+func fingerprintsEqual(a, b []relFingerprint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MappingDegree returns, per peer, how many mappings touch it — used by

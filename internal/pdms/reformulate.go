@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/glav"
@@ -158,19 +160,16 @@ func (rf *Reformulator) expand(q cq.Query, idx, depth int, used map[string]bool,
 		rf.expand(q, idx+1, depth, used, stats, seen, out)
 	}
 
-	// Option 2: unfold through each GAV mapping targeting this relation.
+	// Option 2: unfold through each GAV mapping targeting this relation,
+	// using the definition precomputed at mapping registration.
 	if depth > 0 {
-		for _, m := range rf.net.byTargetRel[atom.Pred] {
+		defs := rf.net.gavDefs[atom.Pred]
+		for mi, m := range rf.net.byTargetRel[atom.Pred] {
 			if !rf.opts.NoVisitedPruning && used[m.ID] {
 				stats.PrunedVisited++
 				continue
 			}
-			def := cq.Query{
-				HeadPred: atom.Pred,
-				HeadVars: m.SrcQ.HeadVars,
-				Body:     glav.Qualify(m.SrcQ, m.SrcPeer).Body,
-			}
-			expanded, err := cq.ExpandAtom(q, idx, def, rf.fresh())
+			expanded, err := cq.ExpandAtom(q, idx, defs[mi], rf.fresh())
 			if err != nil {
 				continue
 			}
@@ -240,15 +239,63 @@ func (rf *Reformulator) lavRewritings(peer string, q cq.Query, stats *ReformStat
 	return out
 }
 
+// containCache memoizes Chandra–Merlin containment verdicts across
+// reformulations, keyed by the canonical keys of the container and
+// containee. Reformulators name fresh variables deterministically, so
+// repeated reformulations of the same query hit the cache instead of
+// re-running the exponential mapping search. Bounded: cleared when it
+// outgrows containCacheMax entries.
+var containCache = struct {
+	sync.RWMutex
+	m map[string]bool
+}{m: make(map[string]bool)}
+
+const containCacheMax = 1 << 16
+
+// resetContainCache empties the containment memo (Network.InvalidateCaches).
+func resetContainCache() {
+	containCache.Lock()
+	containCache.m = make(map[string]bool)
+	containCache.Unlock()
+}
+
+// cachedContains answers cq.Contains(k, r) through the cache. The
+// callers supply the precomputed canonical keys.
+func cachedContains(k, r cq.Query, kKey, rKey string) bool {
+	ck := kKey + "\x02" + rKey
+	containCache.RLock()
+	v, ok := containCache.m[ck]
+	containCache.RUnlock()
+	if ok {
+		return v
+	}
+	v = cq.Contains(k, r)
+	containCache.Lock()
+	if len(containCache.m) >= containCacheMax {
+		containCache.m = make(map[string]bool)
+	}
+	containCache.m[ck] = v
+	containCache.Unlock()
+	return v
+}
+
 // pruneContained removes rewritings contained in another kept rewriting.
+// Canonical keys are computed once per rewriting and containment
+// verdicts are memoized, so the O(n²) pass stops re-running the
+// Chandra–Merlin search for pairs it has already decided.
 func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
 	// Favor shorter rewritings as containers.
 	sort.SliceStable(rws, func(i, j int) bool { return len(rws[i].Body) < len(rws[j].Body) })
+	keys := make([]string, len(rws))
+	for i, r := range rws {
+		keys[i] = canonicalKey(r)
+	}
 	var kept []cq.Query
-	for _, r := range rws {
+	var keptKeys []string
+	for i, r := range rws {
 		redundant := false
-		for _, k := range kept {
-			if cq.Contains(k, r) {
+		for j, k := range kept {
+			if cachedContains(k, r, keptKeys[j], keys[i]) {
 				redundant = true
 				break
 			}
@@ -258,6 +305,7 @@ func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
 			continue
 		}
 		kept = append(kept, r)
+		keptKeys = append(keptKeys, keys[i])
 	}
 	return kept
 }
@@ -281,13 +329,17 @@ func canonicalKey(q cq.Query) string {
 		parts[i] = a.String()
 	}
 	sort.Strings(parts)
-	key := q.HeadPred + "("
+	var b strings.Builder
+	b.WriteString(q.HeadPred)
+	b.WriteByte('(')
 	for _, v := range q.HeadVars {
-		key += v + ","
+		b.WriteString(v)
+		b.WriteByte(',')
 	}
-	key += ")"
+	b.WriteByte(')')
 	for _, p := range parts {
-		key += p + ";"
+		b.WriteString(p)
+		b.WriteByte(';')
 	}
-	return key
+	return b.String()
 }

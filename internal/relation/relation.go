@@ -3,14 +3,25 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Relation is an in-memory bag of tuples conforming to a schema, with
-// optional per-column hash indexes used by the join evaluator.
+// optional per-column hash indexes used by the join evaluator. Indexes
+// key directly on Value (a comparable struct), so probes allocate
+// nothing — no per-lookup key-string construction.
+//
+// Concurrency: reads (Lookup, Contains, Rows, EnsureIndex) may run
+// concurrently with each other — index construction is synchronized,
+// so concurrent readers lazily indexing a shared relation are safe.
+// Mutations (Insert, Delete, Dedup, SortRows) require external
+// synchronization with respect to readers.
 type Relation struct {
 	Schema  Schema
 	rows    []Tuple
-	indexes map[int]map[string][]int // column -> value key -> row ids
+	mu      sync.RWMutex            // guards indexes
+	indexes map[int]map[Value][]int // column -> value -> row ids
+	version uint64                  // bumped on every mutation; see Version
 }
 
 // New creates an empty relation with the given schema.
@@ -33,6 +44,23 @@ func FromTuples(schema Schema, tuples ...Tuple) *Relation {
 // Len returns the number of tuples (bag semantics: duplicates count).
 func (r *Relation) Len() int { return len(r.rows) }
 
+// Version returns a counter incremented by every mutating operation
+// (Insert, Delete, Dedup, SortRows). Caches key snapshots on it.
+func (r *Relation) Version() uint64 { return r.version }
+
+// SnapshotAs returns a relation named name holding this relation's
+// current tuples. The tuple references are shared (tuples are never
+// mutated in place) but the row slice is copied, so later inserts or
+// deletes here do not affect the snapshot.
+func (r *Relation) SnapshotAs(name string) *Relation {
+	rows := make([]Tuple, len(r.rows))
+	copy(rows, r.rows)
+	return &Relation{
+		Schema: Schema{Name: name, Attrs: r.Schema.Attrs},
+		rows:   rows,
+	}
+}
+
 // Rows returns the underlying tuple slice; callers must not mutate it.
 func (r *Relation) Rows() []Tuple { return r.rows }
 
@@ -47,10 +75,12 @@ func (r *Relation) Insert(t Tuple) error {
 	}
 	id := len(r.rows)
 	r.rows = append(r.rows, t)
+	r.version++
+	r.mu.Lock()
 	for col, idx := range r.indexes {
-		k := t[col].Key()
-		idx[k] = append(idx[k], id)
+		idx[t[col]] = append(idx[t[col]], id)
 	}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -75,9 +105,28 @@ func (r *Relation) Delete(t Tuple) int {
 	}
 	r.rows = kept
 	if removed > 0 {
-		r.indexes = nil
+		r.dropIndexes()
+		r.version++
 	}
 	return removed
+}
+
+func (r *Relation) dropIndexes() {
+	r.mu.Lock()
+	r.indexes = nil
+	r.mu.Unlock()
+}
+
+// buildIndexLocked constructs the index for col; r.mu must be held.
+func (r *Relation) buildIndexLocked(col int) {
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[Value][]int)
+	}
+	idx := make(map[Value][]int, len(r.rows))
+	for i, row := range r.rows {
+		idx[row[col]] = append(idx[row[col]], i)
+	}
+	r.indexes[col] = idx
 }
 
 // BuildIndex constructs (or rebuilds) a hash index on the given column.
@@ -85,22 +134,37 @@ func (r *Relation) BuildIndex(col int) {
 	if col < 0 || col >= r.Schema.Arity() {
 		return
 	}
-	if r.indexes == nil {
-		r.indexes = make(map[int]map[string][]int)
+	r.mu.Lock()
+	r.buildIndexLocked(col)
+	r.mu.Unlock()
+}
+
+// EnsureIndex builds the index on col if it does not exist yet. The
+// check-and-build is atomic, so concurrent readers sharing a relation
+// (e.g. queries over a cached snapshot) may call it safely.
+func (r *Relation) EnsureIndex(col int) {
+	if col < 0 || col >= r.Schema.Arity() {
+		return
 	}
-	idx := make(map[string][]int)
-	for i, row := range r.rows {
-		k := row[col].Key()
-		idx[k] = append(idx[k], i)
+	r.mu.Lock()
+	if _, ok := r.indexes[col]; !ok {
+		r.buildIndexLocked(col)
 	}
-	r.indexes[col] = idx
+	r.mu.Unlock()
 }
 
 // Lookup returns the row ids whose column col equals v, using an index if
 // present and scanning otherwise.
 func (r *Relation) Lookup(col int, v Value) []int {
-	if idx, ok := r.indexes[col]; ok {
-		return idx[v.Key()]
+	r.mu.RLock()
+	idx, ok := r.indexes[col]
+	var ids []int
+	if ok {
+		ids = idx[v]
+	}
+	r.mu.RUnlock()
+	if ok {
+		return ids
 	}
 	var out []int
 	for i, row := range r.rows {
@@ -113,15 +177,24 @@ func (r *Relation) Lookup(col int, v Value) []int {
 
 // HasIndex reports whether column col is indexed.
 func (r *Relation) HasIndex(col int) bool {
+	r.mu.RLock()
 	_, ok := r.indexes[col]
+	r.mu.RUnlock()
 	return ok
 }
 
 // Contains reports whether the relation contains a tuple equal to t.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(r.rows) > 0 && len(t) > 0 {
-		if idx, ok := r.indexes[0]; ok {
-			for _, i := range idx[t[0].Key()] {
+		r.mu.RLock()
+		idx, ok := r.indexes[0]
+		var ids []int
+		if ok {
+			ids = idx[t[0]]
+		}
+		r.mu.RUnlock()
+		if ok {
+			for _, i := range ids {
 				if r.rows[i].Equal(t) {
 					return true
 				}
@@ -140,18 +213,17 @@ func (r *Relation) Contains(t Tuple) bool {
 // Dedup removes duplicate tuples in place, preserving first occurrence
 // order, and returns the relation for chaining.
 func (r *Relation) Dedup() *Relation {
-	seen := make(map[string]bool, len(r.rows))
+	seen := NewTupleSet(len(r.rows))
 	kept := r.rows[:0]
 	for _, row := range r.rows {
-		k := row.Key()
-		if seen[k] {
+		if !seen.Add(row) {
 			continue
 		}
-		seen[k] = true
 		kept = append(kept, row)
 	}
 	if len(kept) != len(r.rows) {
-		r.indexes = nil
+		r.dropIndexes()
+		r.version++
 	}
 	r.rows = kept
 	return r
@@ -161,7 +233,8 @@ func (r *Relation) Dedup() *Relation {
 // output) and returns the relation.
 func (r *Relation) SortRows() *Relation {
 	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Less(r.rows[j]) })
-	r.indexes = nil
+	r.dropIndexes()
+	r.version++
 	return r
 }
 
@@ -229,20 +302,22 @@ func (r *Relation) Equal(other *Relation) bool {
 	if r.Schema.Arity() != other.Schema.Arity() {
 		return false
 	}
-	a := make(map[string]bool)
+	a := NewTupleSet(len(r.rows))
 	for _, row := range r.rows {
-		a[row.Key()] = true
+		a.Add(row)
 	}
-	b := make(map[string]bool)
+	b := NewTupleSet(len(other.rows))
 	for _, row := range other.rows {
-		b[row.Key()] = true
+		b.Add(row)
 	}
-	if len(a) != len(b) {
+	if a.Len() != b.Len() {
 		return false
 	}
-	for k := range a {
-		if !b[k] {
-			return false
+	for _, bucket := range a.buckets {
+		for _, row := range bucket {
+			if !b.Contains(row) {
+				return false
+			}
 		}
 	}
 	return true

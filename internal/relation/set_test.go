@@ -1,0 +1,82 @@
+package relation
+
+import "testing"
+
+func TestValueHashDistinguishesKinds(t *testing.T) {
+	pairs := [][2]Value{
+		{SV("1"), IV(1)},
+		{IV(1), FV(1)},
+		{SV("a"), SV("b")},
+		{IV(3), IV(4)},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() == p[1].Hash() {
+			t.Errorf("Hash collision between %v and %v", p[0], p[1])
+		}
+	}
+	if SV("x").Hash() != SV("x").Hash() {
+		t.Error("Hash not deterministic")
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	s := NewTupleSet(4)
+	a := Tuple{SV("x"), IV(1)}
+	b := Tuple{SV("x"), IV(2)}
+	if !s.Add(a) {
+		t.Error("first Add = false")
+	}
+	if s.Add(Tuple{SV("x"), IV(1)}) {
+		t.Error("duplicate Add = true")
+	}
+	if !s.Add(b) {
+		t.Error("distinct Add = false")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(a) || s.Contains(Tuple{SV("y"), IV(1)}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	r := New(NewSchema("r", Attr("a")))
+	v0 := r.Version()
+	r.MustInsert(SV("x"))
+	if r.Version() == v0 {
+		t.Error("Insert did not bump version")
+	}
+	v1 := r.Version()
+	r.MustInsert(SV("x"))
+	r.Dedup()
+	if r.Version() == v1 {
+		t.Error("Dedup did not bump version")
+	}
+	v2 := r.Version()
+	if r.Delete(Tuple{SV("missing")}) != 0 && r.Version() != v2 {
+		t.Error("no-op Delete bumped version")
+	}
+	r.Delete(Tuple{SV("x")})
+	if r.Version() == v2 {
+		t.Error("Delete did not bump version")
+	}
+}
+
+func TestSnapshotAsIndependence(t *testing.T) {
+	r := New(NewSchema("r", Attr("a")))
+	r.MustInsert(SV("x"))
+	r.MustInsert(SV("y"))
+	snap := r.SnapshotAs("alias.r")
+	if snap.Schema.Name != "alias.r" || snap.Len() != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.MustInsert(SV("z"))
+	r.Delete(Tuple{SV("x")})
+	if snap.Len() != 2 {
+		t.Errorf("snapshot len changed to %d", snap.Len())
+	}
+	if !snap.Contains(Tuple{SV("x")}) {
+		t.Error("snapshot lost row deleted from source")
+	}
+}

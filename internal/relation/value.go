@@ -7,6 +7,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -85,6 +86,33 @@ func (v Value) Key() string {
 	return "?"
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a cheap FNV-1a hash of the value, suitable for hash sets
+// and join tables. Unlike Key it allocates nothing.
+func (v Value) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h ^= uint64(v.Kind)
+	h *= fnvPrime64
+	switch v.Kind {
+	case TString:
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= fnvPrime64
+		}
+	case TInt:
+		h ^= uint64(v.I)
+		h *= fnvPrime64
+	case TFloat:
+		h ^= math.Float64bits(v.F)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // String implements fmt.Stringer.
 func (v Value) String() string {
 	switch v.Kind {
@@ -148,6 +176,16 @@ func (t Tuple) Key() string {
 		out += v.Key()
 	}
 	return out
+}
+
+// Hash returns a cheap composite FNV-1a hash of the whole tuple.
+func (t Tuple) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range t {
+		h ^= v.Hash()
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // Less orders tuples lexicographically.
