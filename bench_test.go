@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -92,6 +93,61 @@ func BenchmarkE2TransitiveCold(b *testing.B) {
 	}
 }
 
+// BenchmarkE2Limit1 measures the limit push-down on a 64-peer chain:
+// an existence query (Limit=1) aborts the union's join trees the moment
+// the first distinct answer is yielded, versus materializing the full
+// answer set through the same cursor path. Reformulation and plans are
+// cached (warmed before the timer), so both sub-benches measure pure
+// execution.
+func BenchmarkE2Limit1(b *testing.B) {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: 64, Seed: 42, RowsPerPeer: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := pdms.Request{Peer: workload.PeerName(0), Query: g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 65}}
+	if _, err := g.Net.Answer(req.Peer, req.Query, req.Reform); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("limit=1", func(b *testing.B) {
+		r := req
+		r.Limit = 1
+		for i := 0; i < b.N; i++ {
+			cur, err := g.Net.Query(ctx, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if n != 1 {
+				b.Fatalf("answers = %d, want 1", n)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		answers := 0
+		for i := 0; i < b.N; i++ {
+			cur, err := g.Net.Query(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rel, err := cur.Materialize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			answers = rel.Len()
+		}
+		b.ReportMetric(float64(answers), "answers")
+	})
+}
+
 // BenchmarkE3MappingEffort regenerates the PDMS-vs-mediated table.
 func BenchmarkE3MappingEffort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -121,7 +177,7 @@ func BenchmarkE4Reformulation(b *testing.B) {
 			var kept int
 			for i := 0; i < b.N; i++ {
 				rf := pdms.NewReformulator(g.Net, cfg.opts)
-				rws, _, err := rf.Reformulate(workload.PeerName(0), q)
+				rws, _, err := rf.Reformulate(context.Background(), workload.PeerName(0), q)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -20,9 +22,15 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	flag.Parse()
 
+	// Ctrl-C aborts in-flight reformulation searches and join trees
+	// through the ctx-aware query path instead of killing the process
+	// mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	run := func() ([]*experiments.Table, error) {
 		if *only == "" {
-			return experiments.All(*seed)
+			return experiments.All(ctx, *seed)
 		}
 		switch *only {
 		case "E1":
@@ -30,7 +38,7 @@ func main() {
 		case "E1b":
 			return []*experiments.Table{experiments.E1LearningCurve(*seed, 4, 3)}, nil
 		case "E2":
-			t, err := experiments.E2Transitive(*seed, 8)
+			t, err := experiments.E2Transitive(ctx, *seed, 8)
 			return []*experiments.Table{t}, err
 		case "E3":
 			t, err := experiments.E3MappingEffort(*seed, 16)

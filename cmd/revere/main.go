@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/advisor"
 	"repro/internal/apps"
@@ -31,13 +33,15 @@ func main() {
 	courses := flag.Int("courses", 8, "courses on the generated site")
 	peers := flag.Int("peers", 5, "universities in the PDMS")
 	flag.Parse()
-	if err := run(*seed, *people, *courses, *peers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *seed, *people, *courses, *peers); err != nil {
 		fmt.Fprintln(os.Stderr, "revere:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, people, courses, peers int) error {
+func run(ctx context.Context, seed int64, people, courses, peers int) error {
 	fmt.Println("=== MANGROVE: structuring a department web ===")
 	g := webgen.Generate(webgen.Options{Seed: seed, NPeople: people,
 		NCourses: courses, NTalks: 3, ConflictRate: 0.4, Malicious: true})
@@ -106,13 +110,27 @@ func run(seed int64, people, courses, peers int) error {
 		return err
 	}
 	fmt.Printf("%d peers, %d pairwise mappings (chain)\n", net.Net.NumPeers(), net.Net.NumMappings())
-	res, err := net.Net.Answer(workload.PeerName(0), net.TitleQuery(0), pdms.ReformOptions{})
+	// Stream the cross-schema answers: the first ones print as the
+	// union's join trees produce them, and Ctrl-C aborts mid-query.
+	cur, err := net.Net.Query(ctx, pdms.Request{
+		Peer: workload.PeerName(0), Query: net.TitleQuery(0)})
 	if err != nil {
 		return err
 	}
+	defer cur.Close()
+	answers := 0
+	for cur.Next() {
+		if answers < 3 {
+			fmt.Printf("  first answers, as served: %v\n", cur.Tuple())
+		}
+		answers++
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
 	fmt.Printf("query at %s in its own vocabulary: %d answers (oracle %d), %d rewritings over %d peers\n",
-		workload.PeerName(0), res.Answers.Len(), len(net.AllTitles),
-		res.Stats.Kept, res.Stats.PeersTouched)
+		workload.PeerName(0), answers, len(net.AllTitles),
+		cur.Stats().Kept, cur.Stats().PeersTouched)
 
 	fmt.Println("\n=== Corpus advisors ===")
 	// Learn every peer schema into the corpus, then advise a newcomer.

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,14 +89,35 @@ func main() {
 	}
 	fmt.Printf("  deleted %q through view %s\n", victim[col], allView.Name)
 
-	// A peer leaves; the rest keeps answering.
+	// A peer leaves; the rest keeps answering — streamed through a
+	// cursor, so answers arrive as the union's join trees produce them.
 	if err := net.RemovePeer(workload.PeerName(4)); err != nil {
 		log.Fatal(err)
 	}
-	res2, err := net.Answer(workload.PeerName(1), q, pdms.ReformOptions{})
+	ctx := context.Background()
+	cur, err := net.Query(ctx, pdms.Request{Peer: workload.PeerName(1), Query: q})
 	if err != nil {
 		log.Fatal(err)
 	}
+	answers := 0
+	for cur.Next() {
+		answers++
+	}
+	if err := cur.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter %s left: %d peers remain, query still yields %d answers\n",
-		workload.PeerName(4), net.NumPeers(), res2.Answers.Len())
+		workload.PeerName(4), net.NumPeers(), answers)
+
+	// Existence check: Limit=1 stops the whole union after the first
+	// distinct answer instead of materializing everything.
+	exist, err := net.Query(ctx, pdms.Request{
+		Peer: workload.PeerName(1), Query: q, Limit: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := exist.Next()
+	exist.Close()
+	fmt.Printf("any answer at all? %v (stopped after the first, %s exec)\n",
+		found, exist.ExecTime())
 }

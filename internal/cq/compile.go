@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -166,15 +167,10 @@ func Compile(db *relation.Database, q Query) (*Plan, error) {
 	}
 
 	p.headSlots = make([]int, len(q.HeadVars))
-	p.headAttrs = make([]relation.Attribute, len(q.HeadVars))
 	for i, v := range q.HeadVars {
 		p.headSlots[i] = slotOf(v) // present: q is safe
-		attr := relation.Attribute{Name: v, Type: relation.TString}
-		if typ, ok := headTypeFromSchema(db, q, v); ok {
-			attr.Type = typ
-		}
-		p.headAttrs[i] = attr
 	}
+	p.headAttrs = HeadSchemaFor(db, q).Attrs
 	return p, nil
 }
 
@@ -186,15 +182,27 @@ func (p *Plan) HeadSchema() relation.Schema {
 }
 
 // execState carries the per-execution mutable state so the recursive
-// join allocates only the slot row and the answer tuples.
+// join allocates only the slot row and the answer tuples. Answers are
+// pushed through yield as they are found; yield returning false stops
+// the enumeration (consumer break, limit reached). When done is
+// non-nil, cancellation is polled every ctxCheckInterval rows examined.
 type execState struct {
 	plan    *Plan
 	indexed []bool
 	slots   []relation.Value
-	out     *relation.Relation
 	seen    *relation.TupleSet
+	yield   func(relation.Tuple) bool
+	ctx     context.Context
+	done    <-chan struct{}
+	steps   uint
+	stop    bool
 	err     error
 }
+
+// ctxCheckInterval is how many candidate rows the join examines between
+// cancellation polls — small enough that cancellation is prompt, large
+// enough that the select never shows up in profiles.
+const ctxCheckInterval = 256
 
 // Exec runs the plan and returns the deduplicated head projection.
 func (p *Plan) Exec() (*relation.Relation, error) {
@@ -209,12 +217,45 @@ func (p *Plan) Exec() (*relation.Relation, error) {
 // its seen-set), the hash-set accumulation EvalUnion uses instead of
 // repeated Dedup passes. out must have arity len(headSlots).
 func (p *Plan) ExecInto(out *relation.Relation, seen *relation.TupleSet) error {
+	var insertErr error
+	err := p.streamInto(context.Background(), seen, func(t relation.Tuple) bool {
+		if e := out.Insert(t); e != nil {
+			insertErr = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return insertErr
+}
+
+// ExecUnion executes precompiled plans as a union of conjunctive
+// queries, deduplicating through one shared hash set as branches
+// execute. The answer schema comes from the first plan; all plans must
+// share head arity.
+func ExecUnion(plans []*Plan) (*relation.Relation, error) {
+	return MaterializeUnion(context.Background(), plans, ExecOptions{})
+}
+
+// streamInto enumerates the join, pushing each answer absent from seen
+// through yield. It returns ctx's error if execution was cancelled;
+// yield returning false stops enumeration without error. The upfront
+// check makes an already-dead context fail deterministically even on
+// joins smaller than one poll interval.
+func (p *Plan) streamInto(ctx context.Context, seen *relation.TupleSet, yield func(relation.Tuple) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e := &execState{
 		plan:    p,
 		indexed: make([]bool, len(p.atoms)),
 		slots:   make([]relation.Value, p.nslots),
-		out:     out,
 		seen:    seen,
+		yield:   yield,
+		ctx:     ctx,
+		done:    ctx.Done(),
 	}
 	for i, ap := range p.atoms {
 		if ap.probeCol >= 0 && ap.rel.Len() > 16 {
@@ -228,32 +269,28 @@ func (p *Plan) ExecInto(out *relation.Relation, seen *relation.TupleSet) error {
 	return e.err
 }
 
-// ExecUnion executes precompiled plans as a union of conjunctive
-// queries, deduplicating through one shared hash set as branches
-// execute. The answer schema comes from the first plan; all plans must
-// share head arity.
-func ExecUnion(plans []*Plan) (*relation.Relation, error) {
-	if len(plans) == 0 {
-		return nil, fmt.Errorf("cq: empty union")
+// tick polls cancellation every ctxCheckInterval examined rows; it is a
+// no-op for contexts that can never be cancelled (done == nil).
+func (e *execState) tick() {
+	if e.done == nil {
+		return
 	}
-	out := relation.New(plans[0].HeadSchema())
-	seen := relation.NewTupleSet(16)
-	for _, p := range plans {
-		if len(p.headSlots) != out.Schema.Arity() {
-			return nil, fmt.Errorf("union: arity mismatch %d vs %d",
-				out.Schema.Arity(), len(p.headSlots))
-		}
-		if err := p.ExecInto(out, seen); err != nil {
-			return nil, err
-		}
+	e.steps++
+	if e.steps%ctxCheckInterval != 0 {
+		return
 	}
-	return out, nil
+	select {
+	case <-e.done:
+		e.err = e.ctx.Err()
+		e.stop = true
+	default:
+	}
 }
 
 // join enumerates matches for atom d and recurses; at the leaf it
 // projects the head slots into an answer tuple.
 func (e *execState) join(d int) {
-	if e.err != nil {
+	if e.stop {
 		return
 	}
 	if d == len(e.plan.atoms) {
@@ -261,10 +298,8 @@ func (e *execState) join(d int) {
 		for i, s := range e.plan.headSlots {
 			t[i] = e.slots[s]
 		}
-		if e.seen.Add(t) {
-			if err := e.out.Insert(t); err != nil {
-				e.err = err
-			}
+		if e.seen.Add(t) && !e.yield(t) {
+			e.stop = true
 		}
 		return
 	}
@@ -275,6 +310,9 @@ func (e *execState) join(d int) {
 			v = e.slots[ap.probeSlot]
 		}
 		for _, id := range ap.rel.Lookup(ap.probeCol, v) {
+			if e.tick(); e.stop {
+				return
+			}
 			e.tryRow(d, ap, ap.rel.Row(id))
 		}
 		return
@@ -282,6 +320,9 @@ func (e *execState) join(d int) {
 	// Full scan: iterate rows directly — no materialized id slices. The
 	// probe column (if any) is checked inline.
 	for _, row := range ap.rel.Rows() {
+		if e.tick(); e.stop {
+			return
+		}
 		if ap.probeCol >= 0 {
 			if ap.probeIsVar {
 				if row[ap.probeCol] != e.slots[ap.probeSlot] {

@@ -1,0 +1,152 @@
+package cq
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/relation"
+)
+
+// This file is the streaming face of the compiled engine. The recursive
+// join in compile.go already produces answers one at a time; Stream and
+// StreamUnion route them through a caller-supplied yield instead of
+// materializing a relation, with cooperative cancellation (ctx is
+// polled every ctxCheckInterval rows examined) and an optional distinct-
+// answer limit that aborts the join tree as soon as it is reached.
+// Exec/ExecUnion/Eval remain as thin materializing wrappers.
+
+// ExecOptions tunes one streaming execution.
+type ExecOptions struct {
+	// Limit stops execution after this many distinct answers have been
+	// yielded (0 = unlimited). Because deduplication happens before the
+	// limit check, exactly min(Limit, |answers|) tuples are delivered.
+	Limit int
+}
+
+// Stream executes the plan, calling yield for every distinct answer as
+// the join produces it. Enumeration stops when yield returns false
+// (not an error) or when ctx is cancelled (returns ctx.Err()). The
+// yielded tuple is owned by the consumer; the engine never mutates it.
+func (p *Plan) Stream(ctx context.Context, yield func(relation.Tuple) bool) error {
+	return p.StreamOpts(ctx, ExecOptions{}, yield)
+}
+
+// StreamOpts is Stream with an options block; see ExecOptions.
+func (p *Plan) StreamOpts(ctx context.Context, opts ExecOptions, yield func(relation.Tuple) bool) error {
+	return StreamUnionOpts(ctx, []*Plan{p}, opts, yield)
+}
+
+// StreamUnion executes precompiled plans as a union of conjunctive
+// queries, streaming distinct tuples through yield as branches execute.
+// One hash set is shared across all branches, so a tuple produced by
+// several rewritings is yielded once. All plans must share head arity.
+func StreamUnion(ctx context.Context, plans []*Plan, yield func(relation.Tuple) bool) error {
+	return StreamUnionOpts(ctx, plans, ExecOptions{}, yield)
+}
+
+// StreamUnionOpts is StreamUnion with an options block. The limit is
+// pushed down into the shared dedup set: the join tree aborts — across
+// all remaining branches — the moment the Nth distinct answer has been
+// yielded.
+func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield func(relation.Tuple) bool) error {
+	if len(plans) == 0 {
+		return fmt.Errorf("cq: empty union")
+	}
+	arity := len(plans[0].headSlots)
+	for _, p := range plans {
+		if len(p.headSlots) != arity {
+			return fmt.Errorf("union: arity mismatch %d vs %d", arity, len(p.headSlots))
+		}
+	}
+	seen := relation.NewTupleSet(16)
+	stopped := false
+	emitted := 0
+	inner := func(t relation.Tuple) bool {
+		if !yield(t) {
+			stopped = true
+			return false
+		}
+		emitted++
+		if opts.Limit > 0 && emitted >= opts.Limit {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, p := range plans {
+		if err := p.streamInto(ctx, seen, inner); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Tuples adapts the plan to a range-over-func iterator: each pair is
+// one distinct answer with a nil error, except a final (nil, err) pair
+// if execution failed (cancellation). Breaking out of the range stops
+// the join tree immediately.
+func (p *Plan) Tuples(ctx context.Context) iter.Seq2[relation.Tuple, error] {
+	return UnionTuples(ctx, []*Plan{p}, ExecOptions{})
+}
+
+// UnionTuples is the iterator form of StreamUnionOpts; see Tuples.
+func UnionTuples(ctx context.Context, plans []*Plan, opts ExecOptions) iter.Seq2[relation.Tuple, error] {
+	return func(yield func(relation.Tuple, error) bool) {
+		broke := false
+		err := StreamUnionOpts(ctx, plans, opts, func(t relation.Tuple) bool {
+			if !yield(t, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(nil, err)
+		}
+	}
+}
+
+// MaterializeUnion drains StreamUnionOpts into a relation whose schema
+// comes from the first plan — the materializing wrapper ExecUnion and
+// the PDMS cursor fast path share.
+func MaterializeUnion(ctx context.Context, plans []*Plan, opts ExecOptions) (*relation.Relation, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("cq: empty union")
+	}
+	out := relation.New(plans[0].HeadSchema())
+	var insertErr error
+	err := StreamUnionOpts(ctx, plans, opts, func(t relation.Tuple) bool {
+		if e := out.Insert(t); e != nil {
+			insertErr = e
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = insertErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HeadSchemaFor returns the schema a query's answers carry when
+// evaluated against db: one attribute per head variable, typed from the
+// schema of the first body atom binding it (TString when no body atom
+// resolves). Both the compiled plan and the zero-rewriting answer path
+// derive their schema here, so empty and non-empty results agree.
+func HeadSchemaFor(db *relation.Database, q Query) relation.Schema {
+	attrs := make([]relation.Attribute, len(q.HeadVars))
+	for i, v := range q.HeadVars {
+		attrs[i] = relation.Attribute{Name: v, Type: relation.TString}
+		if typ, ok := headTypeFromSchema(db, q, v); ok {
+			attrs[i].Type = typ
+		}
+	}
+	return relation.Schema{Name: q.HeadPred, Attrs: attrs}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,10 @@ import (
 // other peer's data through the transitive closure of mappings. For each
 // topology it reports, per reformulation depth, the recall of a
 // title query at peer 0 against the oracle union of all peers' titles.
-func E2Transitive(seed int64, peers int) (*Table, error) {
+// Answers are counted by draining a streaming cursor — nothing is
+// materialized — and ctx cancels the whole sweep (reformulation and
+// execution alike) between expansion states and candidate rows.
+func E2Transitive(ctx context.Context, seed int64, peers int) (*Table, error) {
 	t := &Table{
 		ID:     "E2",
 		Title:  fmt.Sprintf("Answer completeness vs reformulation depth (%d peers)", peers),
@@ -35,13 +39,23 @@ func E2Transitive(seed int64, peers int) (*Table, error) {
 			}
 		}
 		for depth := 1; depth <= maxDist+1; depth++ {
-			res, err := g.Net.Answer(workload.PeerName(0), g.TitleQuery(0),
-				pdms.ReformOptions{MaxDepth: depth})
+			cur, err := g.Net.Query(ctx, pdms.Request{
+				Peer:   workload.PeerName(0),
+				Query:  g.TitleQuery(0),
+				Reform: pdms.ReformOptions{MaxDepth: depth},
+			})
 			if err != nil {
 				return nil, err
 			}
-			recall := float64(res.Answers.Len()) / float64(len(g.AllTitles))
-			t.AddRow(string(topo), depth, res.Answers.Len(), len(g.AllTitles), recall)
+			answers := 0
+			for cur.Next() {
+				answers++
+			}
+			if err := cur.Close(); err != nil {
+				return nil, err
+			}
+			recall := float64(answers) / float64(len(g.AllTitles))
+			t.AddRow(string(topo), depth, answers, len(g.AllTitles), recall)
 		}
 	}
 	return t, nil

@@ -1,6 +1,7 @@
 package pdms
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/cq"
@@ -16,15 +17,15 @@ type AnswerResult struct {
 	ExecTime   time.Duration
 }
 
-// reformKey identifies one Answer workload: the peer, the query text,
-// the option set, the mapping-graph version, and the total schema size
-// (AddSchema bypasses the network, so it is folded into the key).
+// reformKey identifies one Answer/Query workload: the peer, the query
+// text, the option set, and the topology version. Schema additions bump
+// the topology version too (Peer.AddSchema notifies joined networks),
+// so building a key is O(1) — no per-request walk over the peer set.
 type reformKey struct {
 	peer        string
 	query       string
 	opts        ReformOptions
 	topoVersion uint64
-	schemaSize  int
 }
 
 // reformEntry caches a reformulation and, per global-DB snapshot, the
@@ -37,23 +38,31 @@ type reformEntry struct {
 	plansDB *relation.Database
 }
 
-// reformCacheMax bounds the answer cache; it is cleared when full
-// (topology changes already clear it).
+// reformCacheMax bounds the answer cache (topology changes already
+// clear it). On overflow, evictReformLocked drops a random half instead
+// of wiping the map, so a hot serving peer keeps most of its warm set.
 const reformCacheMax = 4096
 
 func (n *Network) reformCacheKey(peer string, q cq.Query, opts ReformOptions) reformKey {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	size := 0
-	for _, p := range n.peers {
-		size += len(p.schema)
-	}
 	return reformKey{
 		peer:        peer,
 		query:       q.String(),
 		opts:        opts,
-		topoVersion: n.topoVersion,
-		schemaSize:  size,
+		topoVersion: n.topoVersion.Load(),
+	}
+}
+
+// evictReformLocked makes room in the full reformulation cache by
+// deleting every other entry in (pseudo-random) map iteration order —
+// cheap bounded eviction that preserves roughly half of the warm set,
+// unlike the wholesale wipe it replaces. Caller holds n.mu.
+func (n *Network) evictReformLocked() {
+	drop := true
+	for k := range n.reformCache {
+		if drop {
+			delete(n.reformCache, k)
+		}
+		drop = !drop
 	}
 }
 
@@ -62,78 +71,37 @@ func (n *Network) reformCacheKey(peer string, q cq.Query, opts ReformOptions) re
 // related through this schema via the transitive closure of mappings, and
 // it will use these sources to answer the query in the user's schema".
 //
-// Reformulations and their compiled plans are cached per (peer, query,
-// options) until the mapping graph changes, and answers are evaluated
-// with the compiled slot engine, deduplicating through one shared hash
-// set as union branches execute.
+// It is the materializing wrapper over the streaming Query path:
+// reformulations and compiled plans are cached per (peer, query,
+// options) until the mapping graph changes, and answers are drained
+// push-style through the compiled slot engine with one shared dedup set
+// across union branches.
 func (n *Network) Answer(peer string, q cq.Query, opts ReformOptions) (*AnswerResult, error) {
-	key := n.reformCacheKey(peer, q, opts)
-	t0 := time.Now()
-	n.mu.Lock()
-	e := n.reformCache[key]
-	n.mu.Unlock()
-	if e == nil {
-		rf := NewReformulator(n, opts)
-		rws, stats, err := rf.Reformulate(peer, q)
-		if err != nil {
-			return nil, err
-		}
-		e = &reformEntry{rws: rws, stats: *stats}
-		n.mu.Lock()
-		if len(n.reformCache) >= reformCacheMax {
-			n.reformCache = make(map[reformKey]*reformEntry)
-		}
-		n.reformCache[key] = e
-		n.mu.Unlock()
+	cur, err := n.Query(context.Background(), Request{Peer: peer, Query: q, Reform: opts})
+	if err != nil {
+		return nil, err
 	}
-	reformTime := time.Since(t0)
-	t1 := time.Now()
-	db := n.GlobalDB()
-	var answers *relation.Relation
-	if len(e.rws) > 0 {
-		n.mu.Lock()
-		plans, plansDB := e.plans, e.plansDB
-		n.mu.Unlock()
-		if plansDB != db {
-			plans = make([]*cq.Plan, len(e.rws))
-			for i, rw := range e.rws {
-				p, err := cq.Compile(db, rw)
-				if err != nil {
-					return nil, err
-				}
-				plans[i] = p
-			}
-			n.mu.Lock()
-			e.plans, e.plansDB = plans, db
-			n.mu.Unlock()
-		}
-		var err error
-		answers, err = cq.ExecUnion(plans)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		answers = relation.New(relation.Schema{Name: q.HeadPred})
+	answers, err := cur.Materialize()
+	if err != nil {
+		return nil, err
 	}
-	rws := make([]cq.Query, len(e.rws))
-	copy(rws, e.rws)
 	return &AnswerResult{
 		Answers:    answers,
-		Rewritings: rws,
-		Stats:      e.stats,
-		ReformTime: reformTime,
-		ExecTime:   time.Since(t1),
+		Rewritings: cur.Rewritings(),
+		Stats:      cur.Stats(),
+		ReformTime: cur.ReformTime(),
+		ExecTime:   cur.ExecTime(),
 	}, nil
 }
 
 // LocalAnswer evaluates q against the peer's own storage only — the
 // baseline a peer had before joining the mapping web.
 func (n *Network) LocalAnswer(peer string, q cq.Query) (*relation.Relation, error) {
-	p := n.Peer(peer)
-	if p == nil {
-		return nil, errUnknownPeer(peer)
+	cur, err := n.LocalQuery(context.Background(), peer, q)
+	if err != nil {
+		return nil, err
 	}
-	return cq.Eval(p.Store, q)
+	return cur.Materialize()
 }
 
 func errUnknownPeer(name string) error {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/glav"
@@ -24,12 +25,20 @@ type Peer struct {
 	Name   string
 	Store  *relation.Database
 	schema map[string]relation.Schema
+	// nets are the networks this peer has joined; AddSchema notifies
+	// them so cached reformulations derived from the old schema die.
+	// Mutated only under the single-writer contract (AddPeer/RemovePeer/
+	// AddSchema require external synchronization). A network is unlinked
+	// by RemovePeer — a peer that outlives its network must be removed
+	// from it, or the network (and its caches) stays reachable here.
+	nets map[*Network]struct{}
 }
 
 // NewPeer creates a peer with the given relation schemas; stored
 // relations start empty.
 func NewPeer(name string, schemas ...relation.Schema) *Peer {
-	p := &Peer{Name: name, Store: relation.NewDatabase(), schema: make(map[string]relation.Schema)}
+	p := &Peer{Name: name, Store: relation.NewDatabase(),
+		schema: make(map[string]relation.Schema), nets: make(map[*Network]struct{})}
 	for _, s := range schemas {
 		p.schema[s.Name] = s
 		p.Store.Put(relation.New(s))
@@ -37,11 +46,16 @@ func NewPeer(name string, schemas ...relation.Schema) *Peer {
 	return p
 }
 
-// AddSchema registers one more relation in the peer's schema.
+// AddSchema registers one more relation in the peer's schema. Networks
+// the peer has joined treat this as a topology change: reformulations
+// cached against the old schema are invalidated.
 func (p *Peer) AddSchema(s relation.Schema) {
 	p.schema[s.Name] = s
 	if p.Store.Get(s.Name) == nil {
 		p.Store.Put(relation.New(s))
+	}
+	for n := range p.nets {
+		n.bumpTopology()
 	}
 }
 
@@ -95,10 +109,11 @@ type Network struct {
 	byTargetPeer map[string][]*glav.Mapping
 	subs         []*Subscription
 
-	// topoVersion counts topology changes (peers/mappings); the answer
-	// cache keys on it so rewritings never outlive the mapping graph
-	// they were derived from.
-	topoVersion uint64
+	// topoVersion counts topology changes (peers/mappings/schema
+	// additions); the answer cache keys on it so rewritings never
+	// outlive the mapping graph and schemas they were derived from.
+	// Atomic so reformCacheKey reads it without taking mu.
+	topoVersion atomic.Uint64
 
 	mu sync.Mutex
 	// globalDB caches the qualified snapshot built by GlobalDB, valid
@@ -135,15 +150,16 @@ func (n *Network) AddPeer(p *Peer) error {
 	}
 	n.peers[p.Name] = p
 	n.order = append(n.order, p.Name)
+	p.nets[n] = struct{}{}
 	n.bumpTopology()
 	return nil
 }
 
-// bumpTopology records a peer/mapping change, invalidating cached
-// reformulations.
+// bumpTopology records a peer/mapping/schema change, invalidating
+// cached reformulations.
 func (n *Network) bumpTopology() {
+	n.topoVersion.Add(1)
 	n.mu.Lock()
-	n.topoVersion++
 	if len(n.reformCache) > 0 {
 		n.reformCache = make(map[reformKey]*reformEntry)
 	}
@@ -155,8 +171,8 @@ func (n *Network) bumpTopology() {
 // changes invalidate automatically; this exists for out-of-band
 // situations (and for benchmarking the cold path).
 func (n *Network) InvalidateCaches() {
+	n.topoVersion.Add(1)
 	n.mu.Lock()
-	n.topoVersion++
 	n.reformCache = make(map[reformKey]*reformEntry)
 	n.globalDB, n.globalFP = nil, nil
 	n.mu.Unlock()
@@ -237,9 +253,11 @@ func (n *Network) Mappings() []*glav.Mapping { return n.mappings }
 // "every member ... join or leave at will" (§3); queries elsewhere keep
 // working over whatever remains reachable.
 func (n *Network) RemovePeer(name string) error {
-	if _, ok := n.peers[name]; !ok {
+	p, ok := n.peers[name]
+	if !ok {
 		return fmt.Errorf("pdms: unknown peer %q", name)
 	}
+	delete(p.nets, n)
 	delete(n.peers, name)
 	for i, pn := range n.order {
 		if pn == name {
@@ -323,9 +341,14 @@ func (n *Network) GlobalDB() *relation.Database {
 }
 
 // fingerprint captures the identity, version and length of every stored
-// relation, in deterministic peer/relation order.
+// relation, in deterministic peer/relation order. It runs on every
+// query, so it allocates exactly once (sized up front).
 func (n *Network) fingerprint() []relFingerprint {
-	var fp []relFingerprint
+	total := 0
+	for _, name := range n.order {
+		total += len(n.peers[name].Store.Relations())
+	}
+	fp := make([]relFingerprint, 0, total)
 	for _, name := range n.order {
 		for _, r := range n.peers[name].Store.Relations() {
 			fp = append(fp, relFingerprint{rel: r, ver: r.Version(), n: r.Len()})

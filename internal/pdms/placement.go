@@ -1,6 +1,7 @@
 package pdms
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -43,7 +44,7 @@ type WorkloadQuery struct {
 // 1 per tuple, remote relations cost RemoteFactor per tuple.
 func (n *Network) EstimateCost(peer string, q cq.Query, cm CostModel) (float64, error) {
 	rf := NewReformulator(n, ReformOptions{})
-	rws, _, err := rf.Reformulate(peer, q)
+	rws, _, err := rf.Reformulate(context.Background(), peer, q)
 	if err != nil {
 		return 0, err
 	}
@@ -137,7 +138,7 @@ func (n *Network) PlaceViews(workload []WorkloadQuery, budget int, cm CostModel)
 	benefit := make(map[key]float64)
 	for _, wq := range workload {
 		rf := NewReformulator(n, ReformOptions{})
-		rws, _, err := rf.Reformulate(wq.Peer, wq.Query)
+		rws, _, err := rf.Reformulate(context.Background(), wq.Peer, wq.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +191,7 @@ func (n *Network) PlaceViews(workload []WorkloadQuery, budget int, cm CostModel)
 // updategrams.
 func (n *Network) AnswerUsingCopies(peer string, q cq.Query, opts ReformOptions) (*AnswerResult, error) {
 	rf := NewReformulator(n, opts)
-	rws, stats, err := rf.Reformulate(peer, q)
+	rws, stats, err := rf.Reformulate(context.Background(), peer, q)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +228,8 @@ func (n *Network) AnswerUsingCopies(peer string, q cq.Query, opts ReformOptions)
 			return nil, err
 		}
 	} else {
-		answers = relation.New(relation.Schema{Name: q.HeadPred})
+		// Same typed head schema the non-empty path produces.
+		answers = relation.New(cq.HeadSchemaFor(n.Peer(peer).Store, q))
 	}
 	return &AnswerResult{Answers: answers, Rewritings: rewritten, Stats: *stats}, nil
 }

@@ -1,0 +1,302 @@
+package pdms
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// This file is the request-scoped serving API: Network.Query reformulates
+// once, compiles (or reuses cached) plans, and hands back a Cursor that
+// streams deduplicated union tuples on demand. Nothing is materialized
+// until the caller pulls; cancelling the request context aborts both the
+// reformulation search and the join trees; Limit stops the whole union
+// after N distinct answers. Answer/LocalAnswer are materializing wrappers
+// over this path.
+
+// Request bundles everything one query-answering call needs.
+type Request struct {
+	// Peer names the peer in whose schema Query is posed.
+	Peer string
+	// Query is the conjunctive query, in Peer's vocabulary.
+	Query cq.Query
+	// Reform tunes the reformulation search.
+	Reform ReformOptions
+	// Limit stops the cursor after this many distinct answers
+	// (0 = stream every answer). The engine aborts the remaining join
+	// trees the moment the limit is reached, so existence queries
+	// (Limit=1) cost a tiny fraction of full materialization.
+	Limit int
+}
+
+// Cursor streams the deduplicated answers of one Query call. Tuples are
+// pulled on demand: the union's join trees only run as far as the
+// consumer asks. The reformulation statistics are available immediately;
+// ExecTime is populated once the cursor is drained or closed. A Cursor
+// is bound to the database snapshot current at Query time and is not
+// safe for concurrent use (distinct Cursors are independent).
+//
+// Usage:
+//
+//	cur, err := net.Query(ctx, pdms.Request{Peer: "uw", Query: q})
+//	...
+//	defer cur.Close()
+//	for cur.Next() {
+//	    use(cur.Tuple())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+type Cursor struct {
+	ctx    context.Context
+	plans  []*cq.Plan
+	schema relation.Schema
+	limit  int
+
+	rewritings []cq.Query
+	stats      ReformStats
+	reformTime time.Duration
+
+	execStart time.Time
+	execTime  time.Duration
+
+	next    func() (relation.Tuple, error, bool)
+	stop    func()
+	cur     relation.Tuple
+	err     error
+	started bool
+	closed  bool
+}
+
+// errCursorClosed reports use of a drained or closed cursor.
+var errCursorClosed = errors.New("pdms: cursor already closed")
+
+// Schema returns the schema answer tuples conform to. It is available
+// before the first Next call, and identical whether or not the query
+// has any answers.
+func (c *Cursor) Schema() relation.Schema { return c.schema }
+
+// Rewritings returns the reformulations the cursor unions over.
+func (c *Cursor) Rewritings() []cq.Query {
+	out := make([]cq.Query, len(c.rewritings))
+	copy(out, c.rewritings)
+	return out
+}
+
+// Stats returns the reformulation statistics (available immediately).
+func (c *Cursor) Stats() ReformStats { return c.stats }
+
+// ReformTime returns how long request preparation took — reformulation
+// plus, on a cold cursor, compiling the rewritings' plans (available
+// immediately).
+func (c *Cursor) ReformTime() time.Duration { return c.reformTime }
+
+// ExecTime returns how long execution took; it is zero until the cursor
+// has been drained or closed.
+func (c *Cursor) ExecTime() time.Duration { return c.execTime }
+
+// Next advances to the next distinct answer, reporting whether one is
+// available. It returns false when the answers are exhausted, the limit
+// is reached, the context is cancelled, or the cursor is closed; Err
+// distinguishes failure from exhaustion.
+func (c *Cursor) Next() bool {
+	if c.closed || c.err != nil {
+		return false
+	}
+	if !c.started {
+		c.start()
+	}
+	t, err, ok := c.next()
+	if !ok || err != nil {
+		c.cur = nil
+		c.err = err
+		c.finish()
+		return false
+	}
+	c.cur = t
+	return true
+}
+
+// Tuple returns the answer Next advanced to. The tuple is owned by the
+// caller; the engine never mutates it.
+func (c *Cursor) Tuple() relation.Tuple { return c.cur }
+
+// Err returns the error that stopped the cursor, if any. Exhaustion and
+// reaching the limit are not errors; cancellation surfaces as ctx.Err().
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's execution state; it is idempotent and
+// returns the same error Err does. Closing mid-stream aborts the
+// remaining join trees.
+func (c *Cursor) Close() error {
+	c.finish()
+	c.cur = nil
+	return c.err
+}
+
+// start lazily builds the pull iterator over the streaming union; the
+// coroutine only exists between start and finish.
+func (c *Cursor) start() {
+	c.started = true
+	c.execStart = time.Now()
+	if len(c.plans) == 0 {
+		c.next = func() (relation.Tuple, error, bool) { return nil, nil, false }
+		c.stop = func() {}
+		return
+	}
+	c.next, c.stop = iter.Pull2(cq.UnionTuples(c.ctx, c.plans, cq.ExecOptions{Limit: c.limit}))
+}
+
+// finish records execution time and stops the pull iterator.
+func (c *Cursor) finish() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.started {
+		c.stop()
+		c.execTime = time.Since(c.execStart)
+	}
+}
+
+// Materialize drains the cursor into a relation and closes it. On a
+// fresh cursor it executes push-style — no pull coroutine — which is the
+// path Answer uses; on a partially consumed cursor it drains the rest.
+func (c *Cursor) Materialize() (*relation.Relation, error) {
+	if c.closed {
+		if c.err != nil {
+			return nil, c.err
+		}
+		return nil, errCursorClosed
+	}
+	if !c.started {
+		c.started = true
+		c.execStart = time.Now()
+		out := relation.New(c.schema)
+		if len(c.plans) > 0 {
+			// c.schema is plans[0].HeadSchema() whenever plans exist.
+			var err error
+			out, err = cq.MaterializeUnion(c.ctx, c.plans, cq.ExecOptions{Limit: c.limit})
+			if err != nil {
+				c.err = err
+				c.closed = true
+				return nil, err
+			}
+		}
+		c.execTime = time.Since(c.execStart)
+		c.closed = true
+		return out, nil
+	}
+	out := relation.New(c.schema)
+	for c.Next() {
+		if err := out.Insert(c.Tuple()); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Query reformulates req.Query at req.Peer over the transitive closure
+// of mappings and returns a Cursor over the deduplicated union of the
+// rewritings' answers. Reformulations and compiled plans are cached
+// exactly as for Answer; ctx cancels the reformulation search, the
+// containment pruning, and — through the cursor — execution itself.
+func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := n.reformCacheKey(req.Peer, req.Query, req.Reform)
+	t0 := time.Now()
+	n.mu.Lock()
+	e := n.reformCache[key]
+	n.mu.Unlock()
+	if e == nil {
+		rf := NewReformulator(n, req.Reform)
+		rws, stats, err := rf.Reformulate(ctx, req.Peer, req.Query)
+		if err != nil {
+			return nil, err
+		}
+		e = &reformEntry{rws: rws, stats: *stats}
+		n.mu.Lock()
+		if len(n.reformCache) >= reformCacheMax {
+			n.evictReformLocked()
+		}
+		n.reformCache[key] = e
+		n.mu.Unlock()
+	}
+	c := &Cursor{
+		ctx:        ctx,
+		limit:      req.Limit,
+		rewritings: e.rws,
+		stats:      e.stats,
+	}
+	if len(e.rws) == 0 {
+		// No rewriting reaches stored data: the cursor is empty but its
+		// schema still carries the typed head attributes the non-empty
+		// path would produce.
+		c.schema = cq.HeadSchemaFor(n.Peer(req.Peer).Store, req.Query)
+		c.reformTime = time.Since(t0)
+		return c, nil
+	}
+	db := n.GlobalDB()
+	n.mu.Lock()
+	plans, plansDB := e.plans, e.plansDB
+	n.mu.Unlock()
+	if plansDB != db {
+		plans = make([]*cq.Plan, len(e.rws))
+		for i, rw := range e.rws {
+			p, err := cq.Compile(db, rw)
+			if err != nil {
+				return nil, err
+			}
+			plans[i] = p
+		}
+		n.mu.Lock()
+		e.plans, e.plansDB = plans, db
+		n.mu.Unlock()
+	}
+	c.plans = plans
+	c.schema = plans[0].HeadSchema()
+	// Preparation time includes plan compilation (a cold-cursor cost the
+	// old Answer counted too), so cold and warm timings stay comparable.
+	c.reformTime = time.Since(t0)
+	return c, nil
+}
+
+// LocalQuery returns a cursor over q evaluated against the peer's own
+// storage only — the streaming form of LocalAnswer. The relations the
+// query reads are snapshotted, so the cursor keeps the Query-time
+// binding even while the peer's store mutates under a lazy drain.
+func (n *Network) LocalQuery(ctx context.Context, peer string, q cq.Query) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := n.Peer(peer)
+	if p == nil {
+		return nil, errUnknownPeer(peer)
+	}
+	db := relation.NewDatabase()
+	for _, pred := range q.Predicates() {
+		if r := p.Store.Get(pred); r != nil {
+			db.Put(r.SnapshotAs(pred))
+		}
+	}
+	plan, err := cq.Compile(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{
+		ctx:    ctx,
+		plans:  []*cq.Plan{plan},
+		schema: plan.HeadSchema(),
+	}, nil
+}

@@ -1,0 +1,390 @@
+package pdms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/relation"
+)
+
+// drainCursor pulls every tuple, failing on cursor error.
+func drainCursor(t *testing.T, cur *Cursor) []relation.Tuple {
+	t.Helper()
+	var rows []relation.Tuple
+	for cur.Next() {
+		rows = append(rows, cur.Tuple())
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func keySet(rows []relation.Tuple) map[string]bool {
+	s := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		s[r.Key()] = true
+	}
+	return s
+}
+
+// TestQueryCursorMatchesAnswer holds the pull cursor to the same answer
+// set, schema, and reformulation stats as the materializing Answer.
+func TestQueryCursorMatchesAnswer(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(L) :- offering(L, S)")
+	res, err := n.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if cur.Schema().String() != res.Answers.Schema.String() {
+		t.Errorf("cursor schema %v != answer schema %v", cur.Schema(), res.Answers.Schema)
+	}
+	if cur.Stats() != res.Stats {
+		t.Errorf("cursor stats %+v != answer stats %+v", cur.Stats(), res.Stats)
+	}
+	rows := drainCursor(t, cur)
+	if len(rows) != res.Answers.Len() {
+		t.Fatalf("cursor yielded %d tuples, Answer %d", len(rows), res.Answers.Len())
+	}
+	want := keySet(res.Answers.Rows())
+	for _, r := range rows {
+		if !want[r.Key()] {
+			t.Errorf("cursor tuple %v not in Answer result", r)
+		}
+	}
+	if cur.ExecTime() <= 0 {
+		t.Error("ExecTime not recorded after drain")
+	}
+	if got := len(keySet(rows)); got != len(rows) {
+		t.Errorf("cursor yielded duplicates: %d tuples, %d distinct", len(rows), got)
+	}
+}
+
+// TestQueryLimit returns exactly N distinct tuples that are a subset of
+// the full answer, and stops the union early.
+func TestQueryLimit(t *testing.T) {
+	n := chainNetwork(t)
+	ox := n.Peer("oxford")
+	for i := 0; i < 30; i++ {
+		if err := ox.Insert("offering", relation.Tuple{
+			relation.SV(fmt.Sprintf("Extra %d", i)), relation.IV(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := cq.MustParse("q(L) :- offering(L, S)")
+	full, err := n.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := keySet(full.Answers.Rows())
+	for _, limit := range []int{1, 5, full.Answers.Len(), full.Answers.Len() + 10} {
+		cur, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q, Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := drainCursor(t, cur)
+		want := limit
+		if limit > len(fullSet) {
+			want = len(fullSet)
+		}
+		if len(rows) != want {
+			t.Fatalf("limit %d yielded %d tuples, want %d", limit, len(rows), want)
+		}
+		if got := len(keySet(rows)); got != len(rows) {
+			t.Fatalf("limit %d yielded duplicates", limit)
+		}
+		for _, r := range rows {
+			if !fullSet[r.Key()] {
+				t.Fatalf("limit %d tuple %v not in full answer", limit, r)
+			}
+		}
+	}
+}
+
+// TestQueryMaterializeEqualsDrain checks both consumption styles of one
+// cursor API: push-style Materialize on a fresh cursor and Next-drain
+// produce the same relation, and a closed cursor refuses Materialize.
+func TestQueryMaterializeEqualsDrain(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(L) :- offering(L, S)")
+	c1, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := c1.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainCursor(t, c2)
+	c2.Close()
+	if mat.Len() != len(rows) {
+		t.Errorf("Materialize %d tuples, drain %d", mat.Len(), len(rows))
+	}
+	if _, err := c1.Materialize(); !errors.Is(err, errCursorClosed) {
+		t.Errorf("Materialize after drain: err = %v, want errCursorClosed", err)
+	}
+	// Close is idempotent and keeps returning the final error state.
+	if err := c2.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestQueryPreCancelled rejects a dead context before any work.
+func TestQueryPreCancelled(t *testing.T) {
+	n := chainNetwork(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Query(ctx, Request{Peer: "oxford",
+		Query: cq.MustParse("q(L) :- offering(L, S)")}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Query on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCursorCancelledMidStream cancels between pulls on a large local
+// cross product; the next pull must stop with ctx.Err() well before the
+// 40000-tuple space is exhausted.
+func TestCursorCancelledMidStream(t *testing.T) {
+	n := NewNetwork()
+	p := NewPeer("solo",
+		relation.NewSchema("a", relation.Attr("x")),
+		relation.NewSchema("b", relation.Attr("y")))
+	if err := n.AddPeer(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := p.Insert("a", relation.Tuple{relation.SV(fmt.Sprintf("a%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Insert("b", relation.Tuple{relation.SV(fmt.Sprintf("b%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cur, err := n.LocalQuery(ctx, "solo", cq.MustParse("q(X, Y) :- a(X), b(Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	pulled := 0
+	for cur.Next() {
+		pulled++
+		if pulled == 1 {
+			cancel()
+		}
+	}
+	if err := cur.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cursor err = %v, want context.Canceled", err)
+	}
+	if pulled > 300 {
+		t.Errorf("pulled %d tuples after cancel, want prompt stop", pulled)
+	}
+	if cur.Next() {
+		t.Error("Next succeeded on a failed cursor")
+	}
+}
+
+// TestLocalQuerySnapshotBinding: a cursor is bound to the store state
+// at Query time — tuples inserted after Query but before the drain must
+// not appear.
+func TestLocalQuerySnapshotBinding(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(T) :- course(T, S)")
+	cur, err := n.LocalQuery(context.Background(), "berkeley", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Peer("berkeley").Insert("course",
+		relation.Tuple{relation.SV("Late Arrival"), relation.IV(9)}); err != nil {
+		t.Fatal(err)
+	}
+	rows := drainCursor(t, cur)
+	cur.Close()
+	if len(rows) != 2 {
+		t.Errorf("cursor saw %d tuples, want the 2 present at Query time", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] == relation.SV("Late Arrival") {
+			t.Error("cursor observed a post-Query insert")
+		}
+	}
+}
+
+// meshNetwork builds k fully connected peers, each with a single
+// relation r(x), mapped pairwise in both directions — with visited
+// pruning off, reformulation explores O((k-1)^depth) states, enough to
+// cross many cancellation poll intervals.
+func meshNetwork(t *testing.T, k int) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for i := 0; i < k; i++ {
+		p := NewPeer(fmt.Sprintf("p%d", i), relation.NewSchema("r", relation.Attr("x")))
+		if err := n.AddPeer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			m := glav.MustNew(fmt.Sprintf("m%d_%d", i, j),
+				fmt.Sprintf("p%d", i), cq.MustParse("m(X) :- r(X)"),
+				fmt.Sprintf("p%d", j), cq.MustParse("m(X) :- r(X)"))
+			if err := n.AddMapping(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return n
+}
+
+// midCancelCtx reports healthy on the first Err call (the entry check)
+// and cancelled on every later one, with an always-closed Done channel —
+// a deterministic stand-in for a context cancelled during the search.
+type midCancelCtx struct {
+	context.Context
+	calls atomic.Int32
+}
+
+func (c *midCancelCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func (c *midCancelCtx) Err() error {
+	if c.calls.Add(1) == 1 {
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestReformulateCancelledMidSearch cancels the mapping-graph expansion
+// between states: the exponential search must return ctx.Err() at the
+// first poll instead of running to completion.
+func TestReformulateCancelledMidSearch(t *testing.T) {
+	n := meshNetwork(t, 4)
+	q := cq.MustParse("q(X) :- r(X)")
+	opts := ReformOptions{MaxDepth: 6, NoVisitedPruning: true,
+		NoContainmentPruning: true, NoLAV: true, MaxRewritings: 1 << 20}
+
+	// Sanity: uncancelled, the search visits far more states than one
+	// poll interval, so the mid-search poll below is guaranteed to fire.
+	_, stats, err := NewReformulator(n, opts).Reformulate(context.Background(), "p0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Explored < 10*reformCheckInterval {
+		t.Fatalf("test workload too small: %d states explored", stats.Explored)
+	}
+
+	_, _, err = NewReformulator(n, opts).Reformulate(
+		&midCancelCtx{Context: context.Background()}, "p0", q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnswerSchemaConsistentWhenEmpty locks the satellite fix: an
+// answer relation carries the same typed head schema whether or not any
+// tuples exist.
+func TestAnswerSchemaConsistentWhenEmpty(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(L, S) :- offering(L, S)")
+	full, err := n.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Answers.Len() == 0 {
+		t.Fatal("expected answers in the populated network")
+	}
+	// Same query against an identical but empty network.
+	n2 := NewNetwork()
+	o := NewPeer("oxford", relation.NewSchema("offering",
+		relation.Attr("label"), relation.IntAttr("seats")))
+	if err := n2.AddPeer(o); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := n2.Answer("oxford", q, ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Answers.Len() != 0 {
+		t.Fatalf("expected no answers, got %d", empty.Answers.Len())
+	}
+	if empty.Answers.Schema.String() != full.Answers.Schema.String() {
+		t.Errorf("empty schema %v != populated schema %v",
+			empty.Answers.Schema, full.Answers.Schema)
+	}
+	if empty.Answers.Schema.Attrs[1].Type != relation.TInt {
+		t.Errorf("empty answer lost head typing: %v", empty.Answers.Schema.Attrs)
+	}
+}
+
+// TestAddSchemaInvalidatesReformCache: growing a joined peer's schema is
+// a topology change — the O(1) cache key must differ and the cached
+// reformulations must be dropped.
+func TestAddSchemaInvalidatesReformCache(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(T) :- course(T, S)")
+	if _, err := n.Answer("berkeley", q, ReformOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	k1 := n.reformCacheKey("berkeley", q, ReformOptions{})
+	n.mu.Lock()
+	cached := len(n.reformCache)
+	n.mu.Unlock()
+	if cached == 0 {
+		t.Fatal("Answer did not populate the reformulation cache")
+	}
+	n.Peer("berkeley").AddSchema(relation.NewSchema("extra", relation.Attr("z")))
+	k2 := n.reformCacheKey("berkeley", q, ReformOptions{})
+	if k1 == k2 {
+		t.Error("cache key unchanged across AddSchema")
+	}
+	n.mu.Lock()
+	cached = len(n.reformCache)
+	n.mu.Unlock()
+	if cached != 0 {
+		t.Errorf("reformulation cache not cleared by AddSchema: %d entries", cached)
+	}
+}
+
+// TestEvictReformHalvesCache: overflow eviction drops half the entries
+// instead of wiping the cache, and answering keeps working afterwards.
+func TestEvictReformHalvesCache(t *testing.T) {
+	n := chainNetwork(t)
+	n.mu.Lock()
+	for i := 0; i < 100; i++ {
+		n.reformCache[reformKey{query: fmt.Sprintf("q%d", i)}] = &reformEntry{}
+	}
+	n.evictReformLocked()
+	size := len(n.reformCache)
+	n.mu.Unlock()
+	if size != 50 {
+		t.Errorf("cache size after eviction = %d, want 50", size)
+	}
+	res, err := n.Answer("oxford", cq.MustParse("q(L) :- offering(L, S)"), ReformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() == 0 {
+		t.Error("no answers after eviction")
+	}
+}

@@ -1,6 +1,7 @@
 package pdms
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -68,11 +69,16 @@ type ReformStats struct {
 }
 
 // Reformulator rewrites queries posed in one peer's schema into unions of
-// conjunctive queries over qualified stored relations.
+// conjunctive queries over qualified stored relations. A Reformulator is
+// single-use state for one Reformulate call chain; it is not safe for
+// concurrent use.
 type Reformulator struct {
 	net     *Network
 	opts    ReformOptions
 	counter int
+	ctx     context.Context
+	done    <-chan struct{}
+	steps   uint
 }
 
 // NewReformulator builds a reformulator over the network.
@@ -85,11 +91,43 @@ func (rf *Reformulator) fresh() string {
 	return "_m" + strconv.Itoa(rf.counter) + "_"
 }
 
+// reformCheckInterval is how many expansion states are visited between
+// cancellation polls; expansion states are orders of magnitude more
+// expensive than rows, so the interval is smaller than the engine's.
+const reformCheckInterval = 64
+
+// tick polls cancellation every reformCheckInterval expansion states.
+func (rf *Reformulator) tick() error {
+	if rf.done == nil {
+		return nil
+	}
+	rf.steps++
+	if rf.steps%reformCheckInterval != 0 {
+		return nil
+	}
+	select {
+	case <-rf.done:
+		return rf.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // Reformulate turns a query over peer's schema into rewritings whose
 // atoms are all qualified stored relations ("peer.rel"). Every returned
 // rewriting is sound; together they approximate the certain answers
-// reachable through the mapping graph within MaxDepth.
-func (rf *Reformulator) Reformulate(peer string, q cq.Query) ([]cq.Query, *ReformStats, error) {
+// reachable through the mapping graph within MaxDepth. The context
+// cancels the mapping-graph search and the containment-pruning pass —
+// both exponential in the worst case — between expansion states and
+// containment checks respectively.
+func (rf *Reformulator) Reformulate(ctx context.Context, peer string, q cq.Query) ([]cq.Query, *ReformStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	rf.ctx, rf.done = ctx, ctx.Done()
 	p := rf.net.Peer(peer)
 	if p == nil {
 		return nil, nil, fmt.Errorf("pdms: unknown peer %q", peer)
@@ -119,13 +157,19 @@ func (rf *Reformulator) Reformulate(peer string, q cq.Query) ([]cq.Query, *Refor
 	var kept []cq.Query
 	seen := make(map[string]bool)
 	for _, st := range states {
-		rf.expand(st.q, 0, st.depth, make(map[string]bool), stats, seen, &kept)
+		if err := rf.expand(st.q, 0, st.depth, make(map[string]bool), stats, seen, &kept); err != nil {
+			return nil, nil, err
+		}
 		if len(kept) >= rf.opts.maxRewritings() {
 			break
 		}
 	}
 	if !rf.opts.NoContainmentPruning {
-		kept = pruneContained(kept, stats)
+		var err error
+		kept, err = pruneContained(ctx, kept, stats)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	stats.Kept = len(kept)
 	stats.PeersTouched = countPeers(kept)
@@ -135,21 +179,24 @@ func (rf *Reformulator) Reformulate(peer string, q cq.Query) ([]cq.Query, *Refor
 // expand resolves pending atoms left to right. Index idx is the first
 // unresolved atom; atoms before idx are final (stored) atoms.
 func (rf *Reformulator) expand(q cq.Query, idx, depth int, used map[string]bool,
-	stats *ReformStats, seen map[string]bool, out *[]cq.Query) {
+	stats *ReformStats, seen map[string]bool, out *[]cq.Query) error {
 	if len(*out) >= rf.opts.maxRewritings() {
-		return
+		return nil
+	}
+	if err := rf.tick(); err != nil {
+		return err
 	}
 	stats.Explored++
 	if idx >= len(q.Body) {
 		key := canonicalKey(q)
 		if seen[key] {
 			stats.PrunedDuplicate++
-			return
+			return nil
 		}
 		seen[key] = true
 		stats.Emitted++
 		*out = append(*out, q)
-		return
+		return nil
 	}
 	atom := q.Body[idx]
 	peerName, rel := glav.SplitQualified(atom.Pred)
@@ -157,7 +204,9 @@ func (rf *Reformulator) expand(q cq.Query, idx, depth int, used map[string]bool,
 
 	// Option 1: read the relation from the owning peer's storage.
 	if p != nil && p.HasRelation(rel) {
-		rf.expand(q, idx+1, depth, used, stats, seen, out)
+		if err := rf.expand(q, idx+1, depth, used, stats, seen, out); err != nil {
+			return err
+		}
 	}
 
 	// Option 2: unfold through each GAV mapping targeting this relation,
@@ -174,10 +223,14 @@ func (rf *Reformulator) expand(q cq.Query, idx, depth int, used map[string]bool,
 				continue
 			}
 			used[m.ID] = true
-			rf.expand(expanded, idx, depth-1, used, stats, seen, out)
+			err = rf.expand(expanded, idx, depth-1, used, stats, seen, out)
 			delete(used, m.ID)
+			if err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // lavRewritings applies the "backward" direction: mappings whose source
@@ -282,8 +335,11 @@ func cachedContains(k, r cq.Query, kKey, rKey string) bool {
 // pruneContained removes rewritings contained in another kept rewriting.
 // Canonical keys are computed once per rewriting and containment
 // verdicts are memoized, so the O(n²) pass stops re-running the
-// Chandra–Merlin search for pairs it has already decided.
-func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
+// Chandra–Merlin search for pairs it has already decided. Each
+// containment check is an exponential search in the worst case, so ctx
+// is polled once per pair.
+func pruneContained(ctx context.Context, rws []cq.Query, stats *ReformStats) ([]cq.Query, error) {
+	done := ctx.Done()
 	// Favor shorter rewritings as containers.
 	sort.SliceStable(rws, func(i, j int) bool { return len(rws[i].Body) < len(rws[j].Body) })
 	keys := make([]string, len(rws))
@@ -295,6 +351,13 @@ func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
 	for i, r := range rws {
 		redundant := false
 		for j, k := range kept {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			if cachedContains(k, r, keptKeys[j], keys[i]) {
 				redundant = true
 				break
@@ -307,7 +370,7 @@ func pruneContained(rws []cq.Query, stats *ReformStats) []cq.Query {
 		kept = append(kept, r)
 		keptKeys = append(keptKeys, keys[i])
 	}
-	return kept
+	return kept, nil
 }
 
 func countPeers(rws []cq.Query) int {

@@ -8,6 +8,11 @@ import (
 // Database is a named collection of relations.
 type Database struct {
 	rels map[string]*Relation
+	// sorted is the name-ordered relation list, maintained eagerly on
+	// Put (writers are externally synchronized) so read-side callers —
+	// per-request snapshot fingerprints above all — share it without
+	// allocating or mutating anything.
+	sorted []*Relation
 }
 
 // NewDatabase returns an empty database.
@@ -17,7 +22,19 @@ func NewDatabase() *Database {
 
 // Put registers (or replaces) a relation under its schema name.
 func (db *Database) Put(r *Relation) {
-	db.rels[r.Schema.Name] = r
+	name := r.Schema.Name
+	_, replace := db.rels[name]
+	db.rels[name] = r
+	i := sort.Search(len(db.sorted), func(i int) bool {
+		return db.sorted[i].Schema.Name >= name
+	})
+	if replace {
+		db.sorted[i] = r
+		return
+	}
+	db.sorted = append(db.sorted, nil)
+	copy(db.sorted[i+1:], db.sorted[i:])
+	db.sorted[i] = r
 }
 
 // Get returns the named relation, or nil.
@@ -30,7 +47,7 @@ func (db *Database) GetOrCreate(schema Schema) *Relation {
 		return r
 	}
 	r := New(schema)
-	db.rels[schema.Name] = r
+	db.Put(r)
 	return r
 }
 
@@ -44,15 +61,9 @@ func (db *Database) Names() []string {
 	return out
 }
 
-// Relations returns all relations in name order.
-func (db *Database) Relations() []*Relation {
-	names := db.Names()
-	out := make([]*Relation, len(names))
-	for i, n := range names {
-		out[i] = db.rels[n]
-	}
-	return out
-}
+// Relations returns all relations in name order. The returned slice is
+// shared — callers must not modify it.
+func (db *Database) Relations() []*Relation { return db.sorted }
 
 // Size returns the total number of tuples across relations.
 func (db *Database) Size() int {
