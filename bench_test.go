@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/advisor"
@@ -145,6 +146,95 @@ func BenchmarkE2Limit1(b *testing.B) {
 			answers = rel.Len()
 		}
 		b.ReportMetric(float64(answers), "answers")
+	})
+}
+
+// BenchmarkE2Parallel measures branch-parallel union execution on the
+// 64-peer chain (one rewriting per reachable peer, heavy rows per
+// peer): sequential reference (P=1) vs a GOMAXPROCS worker pool.
+// Reformulation and plans are warmed before the timer, so the
+// sub-benches measure pure union execution — the acceptance target is
+// the parallel path beating sequential by ≥2x wall-clock.
+func BenchmarkE2Parallel(b *testing.B) {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: 64, Seed: 42, RowsPerPeer: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := pdms.Request{Peer: workload.PeerName(0), Query: g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 65}}
+	if _, err := g.Net.Answer(req.Peer, req.Query, req.Reform); err != nil {
+		b.Fatal(err)
+	}
+	run := func(par int) func(*testing.B) {
+		return func(b *testing.B) {
+			answers := 0
+			for i := 0; i < b.N; i++ {
+				r := req
+				r.Parallelism = par
+				cur, err := g.Net.Query(ctx, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel, err := cur.Materialize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				answers = rel.Len()
+			}
+			b.ReportMetric(float64(answers), "answers")
+		}
+	}
+	b.Run("seq/P=1", run(1))
+	procs := runtime.GOMAXPROCS(0)
+	b.Run(fmt.Sprintf("par/P=%d", procs), func(b *testing.B) {
+		if procs == 1 {
+			b.Skip("GOMAXPROCS=1: branch parallelism cannot beat sequential on one CPU")
+		}
+		run(procs)(b)
+	})
+}
+
+// BenchmarkQueryConcurrentClients measures warm-cache serving
+// throughput under concurrent clients: every goroutine issues the same
+// already-cached request against one Network and drains the cursor —
+// the singleflight + shared-plan path that a hot serving peer runs.
+func BenchmarkQueryConcurrentClients(b *testing.B) {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: 16, Seed: 42, RowsPerPeer: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := pdms.Request{Peer: workload.PeerName(0), Query: g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 17}}
+	if _, err := g.Net.Answer(req.Peer, req.Query, req.Reform); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// b.Fatal must not run on RunParallel worker goroutines; report and
+	// bail out of the worker instead.
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			cur, err := g.Net.Query(ctx, req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			if err := cur.Close(); err != nil {
+				b.Error(err)
+				return
+			}
+			if n == 0 {
+				b.Error("no answers")
+				return
+			}
+		}
 	})
 }
 

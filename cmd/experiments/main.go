@@ -20,6 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed for all workloads")
 	only := flag.String("only", "", "run a single experiment (E1..E10)")
 	format := flag.String("format", "text", "output format: text or csv")
+	par := flag.Int("par", 0, "query execution parallelism: 0 auto, 1 sequential, N workers")
 	flag.Parse()
 
 	// Ctrl-C aborts in-flight reformulation searches and join trees
@@ -30,7 +31,7 @@ func main() {
 
 	run := func() ([]*experiments.Table, error) {
 		if *only == "" {
-			return experiments.All(ctx, *seed)
+			return experiments.All(ctx, *seed, *par)
 		}
 		switch *only {
 		case "E1":
@@ -38,7 +39,7 @@ func main() {
 		case "E1b":
 			return []*experiments.Table{experiments.E1LearningCurve(*seed, 4, 3)}, nil
 		case "E2":
-			t, err := experiments.E2Transitive(ctx, *seed, 8)
+			t, err := experiments.E2Transitive(ctx, *seed, 8, *par)
 			return []*experiments.Table{t}, err
 		case "E3":
 			t, err := experiments.E3MappingEffort(*seed, 16)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	revere [-seed N] [-people N] [-courses N] [-peers N]
+//	revere [-seed N] [-people N] [-courses N] [-peers N] [-par N]
 package main
 
 import (
@@ -32,16 +32,17 @@ func main() {
 	people := flag.Int("people", 6, "people on the generated site")
 	courses := flag.Int("courses", 8, "courses on the generated site")
 	peers := flag.Int("peers", 5, "universities in the PDMS")
+	par := flag.Int("par", 0, "query execution parallelism: 0 auto, 1 sequential, N workers")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *seed, *people, *courses, *peers); err != nil {
+	if err := run(ctx, *seed, *people, *courses, *peers, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "revere:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, seed int64, people, courses, peers int) error {
+func run(ctx context.Context, seed int64, people, courses, peers, par int) error {
 	fmt.Println("=== MANGROVE: structuring a department web ===")
 	g := webgen.Generate(webgen.Options{Seed: seed, NPeople: people,
 		NCourses: courses, NTalks: 3, ConflictRate: 0.4, Malicious: true})
@@ -112,8 +113,9 @@ func run(ctx context.Context, seed int64, people, courses, peers int) error {
 	fmt.Printf("%d peers, %d pairwise mappings (chain)\n", net.Net.NumPeers(), net.Net.NumMappings())
 	// Stream the cross-schema answers: the first ones print as the
 	// union's join trees produce them, and Ctrl-C aborts mid-query.
+	// Rewriting branches execute with the requested parallelism.
 	cur, err := net.Net.Query(ctx, pdms.Request{
-		Peer: workload.PeerName(0), Query: net.TitleQuery(0)})
+		Peer: workload.PeerName(0), Query: net.TitleQuery(0), Parallelism: par})
 	if err != nil {
 		return err
 	}

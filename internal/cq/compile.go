@@ -190,7 +190,7 @@ type execState struct {
 	plan    *Plan
 	indexed []bool
 	slots   []relation.Value
-	seen    *relation.TupleSet
+	seen    relation.TupleAdder
 	yield   func(relation.Tuple) bool
 	ctx     context.Context
 	done    <-chan struct{}
@@ -243,8 +243,9 @@ func ExecUnion(plans []*Plan) (*relation.Relation, error) {
 // through yield. It returns ctx's error if execution was cancelled;
 // yield returning false stops enumeration without error. The upfront
 // check makes an already-dead context fail deterministically even on
-// joins smaller than one poll interval.
-func (p *Plan) streamInto(ctx context.Context, seen *relation.TupleSet, yield func(relation.Tuple) bool) error {
+// joins smaller than one poll interval. seen may be shared with other
+// executions running concurrently (it is only ever Added to).
+func (p *Plan) streamInto(ctx context.Context, seen relation.TupleAdder, yield func(relation.Tuple) bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -20,8 +20,18 @@ import (
 type ExecOptions struct {
 	// Limit stops execution after this many distinct answers have been
 	// yielded (0 = unlimited). Because deduplication happens before the
-	// limit check, exactly min(Limit, |answers|) tuples are delivered.
+	// limit check, exactly min(Limit, |answers|) tuples are delivered —
+	// sequential and parallel execution alike.
 	Limit int
+	// Parallelism is the number of union branches executing
+	// concurrently. 0 = auto: up to GOMAXPROCS workers when the union
+	// is wide and heavy enough to pay for the fan-in machinery, else
+	// sequential. 1 = always the sequential reference path. N > 1
+	// forces a pool of N workers (capped at the branch count). Answers
+	// of a parallel union arrive in nondeterministic order; the answer
+	// set, deduplication, and Limit exactness are identical to
+	// sequential execution.
+	Parallelism int
 }
 
 // Stream executes the plan, calling yield for every distinct answer as
@@ -48,7 +58,9 @@ func StreamUnion(ctx context.Context, plans []*Plan, yield func(relation.Tuple) 
 // StreamUnionOpts is StreamUnion with an options block. The limit is
 // pushed down into the shared dedup set: the join tree aborts — across
 // all remaining branches — the moment the Nth distinct answer has been
-// yielded.
+// yielded. When opts.Parallelism resolves to more than one worker the
+// branches execute concurrently (see streamUnionParallel); yield is
+// still invoked from this goroutine only.
 func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield func(relation.Tuple) bool) error {
 	if len(plans) == 0 {
 		return fmt.Errorf("cq: empty union")
@@ -58,6 +70,9 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 		if len(p.headSlots) != arity {
 			return fmt.Errorf("union: arity mismatch %d vs %d", arity, len(p.headSlots))
 		}
+	}
+	if par := effectiveParallelism(plans, opts); par > 1 {
+		return streamUnionParallel(ctx, plans, opts, par, yield)
 	}
 	seen := relation.NewTupleSet(16)
 	stopped := false

@@ -2,6 +2,8 @@ package pdms
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/cq"
@@ -30,12 +32,106 @@ type reformKey struct {
 
 // reformEntry caches a reformulation and, per global-DB snapshot, the
 // compiled plans of its rewritings — repeated queries skip both the
-// mapping-graph search and query compilation.
+// mapping-graph search and query compilation. planMu guards the plan
+// fields: concurrent cold hits on one entry compile once, not racing
+// to fill the slice.
 type reformEntry struct {
-	rws     []cq.Query
-	stats   ReformStats
+	rws   []cq.Query
+	stats ReformStats
+
+	planMu  sync.Mutex
 	plans   []*cq.Plan
 	plansDB *relation.Database
+}
+
+// plansFor returns the rewritings' compiled plans against db, compiling
+// at most once per database snapshot: warm hits share the cached
+// slice, and concurrent cold hits serialize on the entry's mutex so
+// only the first caller compiles.
+func (e *reformEntry) plansFor(db *relation.Database) ([]*cq.Plan, error) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if e.plansDB == db {
+		return e.plans, nil
+	}
+	plans := make([]*cq.Plan, len(e.rws))
+	for i, rw := range e.rws {
+		p, err := cq.Compile(db, rw)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	e.plans, e.plansDB = plans, db
+	return plans, nil
+}
+
+// reformCall is one in-flight reformulation that concurrent cold
+// misses on the same cache key coalesce on: the leader runs the
+// search, everyone else waits on done.
+type reformCall struct {
+	done chan struct{}
+	e    *reformEntry
+	err  error
+}
+
+// reformulateOnce returns the cache entry for key, running the
+// reformulation search at most once across concurrent callers
+// (singleflight). A waiter whose leader was cancelled — the leader's
+// own context dying mid-search, which says nothing about the query —
+// retries rather than inheriting the cancellation; any other leader
+// error is deterministic for the key (unknown peer, bad predicate) and
+// is shared with every waiter so a herd on a failing query errors once
+// instead of re-running the search per client. A waiter whose own ctx
+// dies returns promptly.
+func (n *Network) reformulateOnce(ctx context.Context, key reformKey, req Request) (*reformEntry, error) {
+	for {
+		n.mu.Lock()
+		if e := n.reformCache[key]; e != nil {
+			n.mu.Unlock()
+			return e, nil
+		}
+		if c := n.reformInflight[key]; c != nil {
+			n.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				return c.e, nil
+			}
+			if !errors.Is(c.err, context.Canceled) && !errors.Is(c.err, context.DeadlineExceeded) {
+				return nil, c.err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		call := &reformCall{done: make(chan struct{})}
+		n.reformInflight[key] = call
+		n.mu.Unlock()
+
+		n.reformCalls.Add(1)
+		rws, stats, err := NewReformulator(n, req.Reform).Reformulate(ctx, req.Peer, req.Query)
+		var e *reformEntry
+		if err == nil {
+			e = &reformEntry{rws: rws, stats: *stats}
+		}
+		n.mu.Lock()
+		delete(n.reformInflight, key)
+		if err == nil {
+			if len(n.reformCache) >= reformCacheMax {
+				n.evictReformLocked()
+			}
+			n.reformCache[key] = e
+		}
+		n.mu.Unlock()
+		call.e, call.err = e, err
+		close(call.done)
+		return e, err
+	}
 }
 
 // reformCacheMax bounds the answer cache (topology changes already

@@ -123,6 +123,14 @@ type Network struct {
 	// reformCache memoizes Answer's reformulations (and their compiled
 	// plans) per query; see Answer.
 	reformCache map[reformKey]*reformEntry
+	// reformInflight coalesces concurrent cold misses per cache key
+	// (singleflight); entries remove themselves when the leader
+	// finishes. See reformulateOnce.
+	reformInflight map[reformKey]*reformCall
+	// reformCalls counts reformulation searches actually run — cache
+	// hits and coalesced waiters don't increment it (observability for
+	// the singleflight path).
+	reformCalls atomic.Uint64
 }
 
 // relFingerprint identifies one stored relation's state at snapshot time.
@@ -135,11 +143,12 @@ type relFingerprint struct {
 // NewNetwork returns an empty overlay.
 func NewNetwork() *Network {
 	return &Network{
-		peers:        make(map[string]*Peer),
-		byTargetRel:  make(map[string][]*glav.Mapping),
-		gavDefs:      make(map[string][]cq.Query),
-		byTargetPeer: make(map[string][]*glav.Mapping),
-		reformCache:  make(map[reformKey]*reformEntry),
+		peers:          make(map[string]*Peer),
+		byTargetRel:    make(map[string][]*glav.Mapping),
+		gavDefs:        make(map[string][]cq.Query),
+		byTargetPeer:   make(map[string][]*glav.Mapping),
+		reformCache:    make(map[reformKey]*reformEntry),
+		reformInflight: make(map[reformKey]*reformCall),
 	}
 }
 

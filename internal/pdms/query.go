@@ -31,6 +31,13 @@ type Request struct {
 	// trees the moment the limit is reached, so existence queries
 	// (Limit=1) cost a tiny fraction of full materialization.
 	Limit int
+	// Parallelism is the number of rewriting branches executed
+	// concurrently by the engine: 0 = auto (GOMAXPROCS when the union
+	// is heavy enough), 1 = sequential, N > 1 = force N workers. See
+	// cq.ExecOptions.Parallelism. Answer order becomes
+	// nondeterministic above 1; the answer set and Limit exactness do
+	// not change.
+	Parallelism int
 }
 
 // Cursor streams the deduplicated answers of one Query call. Tuples are
@@ -54,6 +61,7 @@ type Cursor struct {
 	plans  []*cq.Plan
 	schema relation.Schema
 	limit  int
+	par    int
 
 	rewritings []cq.Query
 	stats      ReformStats
@@ -68,10 +76,12 @@ type Cursor struct {
 	err     error
 	started bool
 	closed  bool
+	drained bool
 }
 
-// errCursorClosed reports use of a drained or closed cursor.
-var errCursorClosed = errors.New("pdms: cursor already closed")
+// errCursorClosed reports Materialize on a cursor Closed mid-stream —
+// partial consumption must not masquerade as an empty answer set.
+var errCursorClosed = errors.New("pdms: cursor closed before being drained")
 
 // Schema returns the schema answer tuples conform to. It is available
 // before the first Next call, and identical whether or not the query
@@ -112,6 +122,9 @@ func (c *Cursor) Next() bool {
 	if !ok || err != nil {
 		c.cur = nil
 		c.err = err
+		if err == nil {
+			c.drained = true // exhausted (or limit reached), not aborted
+		}
 		c.finish()
 		return false
 	}
@@ -146,7 +159,8 @@ func (c *Cursor) start() {
 		c.stop = func() {}
 		return
 	}
-	c.next, c.stop = iter.Pull2(cq.UnionTuples(c.ctx, c.plans, cq.ExecOptions{Limit: c.limit}))
+	c.next, c.stop = iter.Pull2(cq.UnionTuples(c.ctx, c.plans,
+		cq.ExecOptions{Limit: c.limit, Parallelism: c.par}))
 }
 
 // finish records execution time and stops the pull iterator.
@@ -164,10 +178,18 @@ func (c *Cursor) finish() {
 // Materialize drains the cursor into a relation and closes it. On a
 // fresh cursor it executes push-style — no pull coroutine — which is the
 // path Answer uses; on a partially consumed cursor it drains the rest.
+// On a cursor already drained without error it returns an empty
+// relation of the cursor's schema (Err() == nil is not a failure
+// state); a failed cursor returns its error, and a cursor Closed
+// mid-stream returns errCursorClosed — partial consumption is not an
+// empty answer set.
 func (c *Cursor) Materialize() (*relation.Relation, error) {
 	if c.closed {
 		if c.err != nil {
 			return nil, c.err
+		}
+		if c.drained {
+			return relation.New(c.schema), nil
 		}
 		return nil, errCursorClosed
 	}
@@ -178,7 +200,8 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 		if len(c.plans) > 0 {
 			// c.schema is plans[0].HeadSchema() whenever plans exist.
 			var err error
-			out, err = cq.MaterializeUnion(c.ctx, c.plans, cq.ExecOptions{Limit: c.limit})
+			out, err = cq.MaterializeUnion(c.ctx, c.plans,
+				cq.ExecOptions{Limit: c.limit, Parallelism: c.par})
 			if err != nil {
 				c.err = err
 				c.closed = true
@@ -187,6 +210,7 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 		}
 		c.execTime = time.Since(c.execStart)
 		c.closed = true
+		c.drained = true
 		return out, nil
 	}
 	out := relation.New(c.schema)
@@ -205,8 +229,11 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 // Query reformulates req.Query at req.Peer over the transitive closure
 // of mappings and returns a Cursor over the deduplicated union of the
 // rewritings' answers. Reformulations and compiled plans are cached
-// exactly as for Answer; ctx cancels the reformulation search, the
-// containment pruning, and — through the cursor — execution itself.
+// exactly as for Answer, and a thundering herd of identical cold
+// queries coalesces: concurrent misses on one cache key reformulate
+// and compile exactly once (the rest wait for the leader). ctx cancels
+// the reformulation search, the containment pruning, and — through the
+// cursor — execution itself.
 func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -216,26 +243,14 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	}
 	key := n.reformCacheKey(req.Peer, req.Query, req.Reform)
 	t0 := time.Now()
-	n.mu.Lock()
-	e := n.reformCache[key]
-	n.mu.Unlock()
-	if e == nil {
-		rf := NewReformulator(n, req.Reform)
-		rws, stats, err := rf.Reformulate(ctx, req.Peer, req.Query)
-		if err != nil {
-			return nil, err
-		}
-		e = &reformEntry{rws: rws, stats: *stats}
-		n.mu.Lock()
-		if len(n.reformCache) >= reformCacheMax {
-			n.evictReformLocked()
-		}
-		n.reformCache[key] = e
-		n.mu.Unlock()
+	e, err := n.reformulateOnce(ctx, key, req)
+	if err != nil {
+		return nil, err
 	}
 	c := &Cursor{
 		ctx:        ctx,
 		limit:      req.Limit,
+		par:        req.Parallelism,
 		rewritings: e.rws,
 		stats:      e.stats,
 	}
@@ -247,22 +262,9 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 		c.reformTime = time.Since(t0)
 		return c, nil
 	}
-	db := n.GlobalDB()
-	n.mu.Lock()
-	plans, plansDB := e.plans, e.plansDB
-	n.mu.Unlock()
-	if plansDB != db {
-		plans = make([]*cq.Plan, len(e.rws))
-		for i, rw := range e.rws {
-			p, err := cq.Compile(db, rw)
-			if err != nil {
-				return nil, err
-			}
-			plans[i] = p
-		}
-		n.mu.Lock()
-		e.plans, e.plansDB = plans, db
-		n.mu.Unlock()
+	plans, err := e.plansFor(n.GlobalDB())
+	if err != nil {
+		return nil, err
 	}
 	c.plans = plans
 	c.schema = plans[0].HeadSchema()

@@ -114,7 +114,8 @@ func TestQueryLimit(t *testing.T) {
 
 // TestQueryMaterializeEqualsDrain checks both consumption styles of one
 // cursor API: push-style Materialize on a fresh cursor and Next-drain
-// produce the same relation, and a closed cursor refuses Materialize.
+// produce the same relation, and a cursor drained without error
+// materializes to an empty relation carrying the cursor schema.
 func TestQueryMaterializeEqualsDrain(t *testing.T) {
 	n := chainNetwork(t)
 	q := cq.MustParse("q(L) :- offering(L, S)")
@@ -135,12 +136,42 @@ func TestQueryMaterializeEqualsDrain(t *testing.T) {
 	if mat.Len() != len(rows) {
 		t.Errorf("Materialize %d tuples, drain %d", mat.Len(), len(rows))
 	}
-	if _, err := c1.Materialize(); !errors.Is(err, errCursorClosed) {
-		t.Errorf("Materialize after drain: err = %v, want errCursorClosed", err)
+	// Regression: Materialize on a cursor already drained (or closed)
+	// without error returns an empty relation of the cursor schema, not
+	// an error — Err() == nil is not a failure state.
+	empty, err := c1.Materialize()
+	if err != nil {
+		t.Fatalf("Materialize after Materialize: %v", err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("re-Materialize returned %d tuples, want 0", empty.Len())
+	}
+	if empty.Schema.String() != c1.Schema().String() {
+		t.Errorf("re-Materialize schema %v, want cursor schema %v", empty.Schema, c1.Schema())
+	}
+	empty2, err := c2.Materialize()
+	if err != nil {
+		t.Fatalf("Materialize after drain+Close: %v", err)
+	}
+	if empty2.Len() != 0 {
+		t.Errorf("Materialize after drain+Close returned %d tuples, want 0", empty2.Len())
 	}
 	// Close is idempotent and keeps returning the final error state.
 	if err := c2.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
+	}
+	// A cursor Closed mid-stream was not drained: Materialize must
+	// refuse rather than pass partial consumption off as no answers.
+	c3, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.Next() {
+		t.Fatal("expected at least one answer")
+	}
+	c3.Close()
+	if _, err := c3.Materialize(); !errors.Is(err, errCursorClosed) {
+		t.Errorf("Materialize after early Close: err = %v, want errCursorClosed", err)
 	}
 }
 

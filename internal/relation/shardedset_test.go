@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardedTupleSetBasics(t *testing.T) {
+	s := NewShardedTupleSet(8)
+	a := Tuple{SV("x"), IV(1)}
+	if !s.Add(a) {
+		t.Error("first Add = false")
+	}
+	if s.Add(Tuple{SV("x"), IV(1)}) {
+		t.Error("duplicate Add = true")
+	}
+	if !s.Add(Tuple{SV("x"), IV(2)}) {
+		t.Error("distinct Add = false")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(a) || s.Contains(Tuple{SV("y"), IV(1)}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestShardedTupleSetShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16},
+	} {
+		s := NewShardedTupleSet(tc.ask)
+		if len(s.shards) != tc.want {
+			t.Errorf("NewShardedTupleSet(%d): %d shards, want %d",
+				tc.ask, len(s.shards), tc.want)
+		}
+	}
+}
+
+// TestShardedTupleSetConcurrentExactlyOnce hammers one set from many
+// goroutines inserting overlapping key ranges: for every distinct
+// tuple, exactly one Add across all goroutines may return true. Run
+// under -race this also exercises the shard locking.
+func TestShardedTupleSetConcurrentExactlyOnce(t *testing.T) {
+	const (
+		workers  = 8
+		distinct = 2000
+	)
+	s := NewShardedTupleSet(workers)
+	var added atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks the full key space from a different
+			// offset, so every tuple is contended by all workers.
+			for i := 0; i < distinct; i++ {
+				k := (i + w*distinct/workers) % distinct
+				tup := Tuple{SV(fmt.Sprintf("k%d", k)), IV(int64(k % 7))}
+				if s.Add(tup) {
+					added.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := added.Load(); got != distinct {
+		t.Errorf("winning Adds = %d, want exactly %d", got, distinct)
+	}
+	if s.Len() != distinct {
+		t.Errorf("Len = %d, want %d", s.Len(), distinct)
+	}
+	for i := 0; i < distinct; i++ {
+		if !s.Contains(Tuple{SV(fmt.Sprintf("k%d", i)), IV(int64(i % 7))}) {
+			t.Fatalf("tuple k%d missing after concurrent insert", i)
+		}
+	}
+}
