@@ -1,9 +1,9 @@
 // Command experiments regenerates every experiment of the reproduction
-// (E1–E10 in DESIGN.md) and prints the result tables.
+// (E1–E12 in DESIGN.md) and prints the result tables.
 //
 // Usage:
 //
-//	experiments [-seed N] [-only E4]
+//	experiments [-seed N] [-only E4] [-explain]
 package main
 
 import (
@@ -14,13 +14,16 @@ import (
 	"os/signal"
 
 	"repro/internal/experiments"
+	"repro/internal/pdms"
+	"repro/internal/workload"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "random seed for all workloads")
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E12)")
 	format := flag.String("format", "text", "output format: text or csv")
 	par := flag.Int("par", 0, "query execution parallelism: 0 auto, 1 sequential, N workers")
+	explain := flag.Bool("explain", false, "print the E2 query's chosen join orders and cost estimates, then exit")
 	flag.Parse()
 
 	// Ctrl-C aborts in-flight reformulation searches and join trees
@@ -28,6 +31,14 @@ func main() {
 	// mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *explain {
+		if err := explainE2(ctx, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func() ([]*experiments.Table, error) {
 		if *only == "" {
@@ -87,4 +98,27 @@ func main() {
 		}
 		fmt.Println(t)
 	}
+}
+
+// explainE2 prints the execution plans the planner chooses for the E2
+// transitive-query workload (8-peer chain): per rewriting branch, the
+// join order, access paths, and cardinality estimates.
+func explainE2(ctx context.Context, seed int64) error {
+	g, err := workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: 8, Seed: seed, RowsPerPeer: 10})
+	if err != nil {
+		return err
+	}
+	cur, err := g.Net.Query(ctx, pdms.Request{
+		Peer:   workload.PeerName(0),
+		Query:  g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 9},
+	})
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	fmt.Printf("E2 title query at %s over an 8-peer chain:\n%s",
+		workload.PeerName(0), cur.Explain())
+	return nil
 }

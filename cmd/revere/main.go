@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	revere [-seed N] [-people N] [-courses N] [-peers N] [-par N]
+//	revere [-seed N] [-people N] [-courses N] [-peers N] [-par N] [-explain]
 package main
 
 import (
@@ -33,16 +33,17 @@ func main() {
 	courses := flag.Int("courses", 8, "courses on the generated site")
 	peers := flag.Int("peers", 5, "universities in the PDMS")
 	par := flag.Int("par", 0, "query execution parallelism: 0 auto, 1 sequential, N workers")
+	explain := flag.Bool("explain", false, "print the chosen join orders and cost estimates for the PDMS query")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *seed, *people, *courses, *peers, *par); err != nil {
+	if err := run(ctx, *seed, *people, *courses, *peers, *par, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "revere:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, seed int64, people, courses, peers, par int) error {
+func run(ctx context.Context, seed int64, people, courses, peers, par int, explain bool) error {
 	fmt.Println("=== MANGROVE: structuring a department web ===")
 	g := webgen.Generate(webgen.Options{Seed: seed, NPeople: people,
 		NCourses: courses, NTalks: 3, ConflictRate: 0.4, Malicious: true})
@@ -120,6 +121,9 @@ func run(ctx context.Context, seed int64, people, courses, peers, par int) error
 		return err
 	}
 	defer cur.Close()
+	if explain {
+		fmt.Print(cur.Explain())
+	}
 	answers := 0
 	for cur.Next() {
 		if answers < 3 {

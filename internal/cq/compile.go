@@ -8,11 +8,13 @@ import (
 )
 
 // This file implements the compiled execution engine. Compile resolves
-// every variable of a query to a fixed integer slot once, picks a static
-// greedy join order, and precomputes a probe plan per atom. Exec then
-// enumerates the join over a single flat []relation.Value slot row —
-// no per-binding maps, no per-row map copies — probing hash indexes
-// keyed directly on Value.
+// every variable of a query to a fixed integer slot once, fixes a join
+// order at compile time — cost-based from relation statistics when they
+// are available, the static greedy heuristic otherwise (see planner.go)
+// — and precomputes a probe plan per atom. Exec then enumerates the
+// join over a single flat []relation.Value slot row — no per-binding
+// maps, no per-row map copies — probing hash indexes keyed directly on
+// Value.
 
 // opKind says what an atom column contributes during enumeration.
 type opKind uint8
@@ -47,20 +49,33 @@ type atomPlan struct {
 
 // Plan is a compiled conjunctive query, bound to the database it was
 // compiled against. Exec may be called repeatedly; it re-reads the
-// relations' current rows each time.
+// relations' current rows each time. The join order is fixed at compile
+// time from the statistics current then — callers caching plans across
+// data changes should key on Database.StatsVersion so a plan ordered by
+// stale cardinalities is recompiled, not reused.
 type Plan struct {
 	query     Query
 	atoms     []atomPlan // in join order
 	nslots    int
 	headSlots []int
 	headAttrs []relation.Attribute
+
+	costBased bool      // order chosen by the cost model (see planner.go)
+	forced    bool      // greedy because ForceGreedy, not because stats were absent
+	estRows   []float64 // est intermediate size after each atom, when costBased
+	estCost   float64   // est rows examined (greedy fallback: driver atom rows)
 }
 
-// Compile validates q against db and builds an execution plan: slot
-// assignment, greedy join order (most-bound-vars first, ties to fewer
-// free vars, then body order — the same heuristic the reference
-// interpreter uses), and per-atom probe plans.
+// Compile validates q against db and builds an execution plan with the
+// default options: slot assignment, cost-based join order when every
+// body relation carries statistics (greedy order otherwise — see
+// CompileOptions), and per-atom probe plans.
 func Compile(db *relation.Database, q Query) (*Plan, error) {
+	return CompileOpts(db, q, CompileOptions{})
+}
+
+// CompileOpts is Compile with an options block; see CompileOptions.
+func CompileOpts(db *relation.Database, q Query, opts CompileOptions) (*Plan, error) {
 	if !q.IsSafe() {
 		return nil, fmt.Errorf("cq: unsafe query %s", q)
 	}
@@ -77,6 +92,33 @@ func Compile(db *relation.Database, q Query) (*Plan, error) {
 		rels[i] = r
 	}
 
+	// Join order: cost-based when every body relation maintains
+	// statistics, the static greedy heuristic otherwise.
+	var stats []relation.Stats
+	if !opts.ForceGreedy {
+		stats = make([]relation.Stats, len(rels))
+		for i, r := range rels {
+			stats[i] = r.Stats()
+			if stats[i].Distinct == nil {
+				stats = nil
+				break
+			}
+		}
+	}
+	p := &Plan{query: q, forced: opts.ForceGreedy}
+	var order []int
+	if stats != nil {
+		order, p.estRows, p.estCost = orderByCost(q, stats)
+		p.costBased = true
+	} else {
+		order = orderGreedy(q)
+		// Statistics-free cost proxy: the driver atom's row count (what
+		// the parallelism heuristic used before statistics existed).
+		if len(order) > 0 {
+			p.estCost = float64(rels[order[0]].Len())
+		}
+	}
+
 	// vars[s] is the variable bound to slot s; queries are small, so
 	// linear search beats maps and allocates only this one slice.
 	var vars []string
@@ -88,59 +130,32 @@ func Compile(db *relation.Database, q Query) (*Plan, error) {
 		}
 		return -1
 	}
-	remaining := make([]int, len(q.Body))
-	for i := range remaining {
-		remaining[i] = i
-	}
-	p := &Plan{query: q}
-	for len(remaining) > 0 {
-		// Greedy order: most already-bound distinct vars, fewest free.
-		best, bestScore, bestFree := 0, -1, 1<<30
-		for ri, ai := range remaining {
-			score, free := 0, 0
-			args := q.Body[ai].Args
-			for c, t := range args {
-				if !t.IsVar {
-					continue
-				}
-				dup := false
-				for _, u := range args[:c] {
-					if u.IsVar && u.Var == t.Var {
-						dup = true
-						break
-					}
-				}
-				if dup {
-					continue
-				}
-				if slotOf(t.Var) >= 0 {
-					score++
-				} else {
-					free++
-				}
-			}
-			if score > bestScore || (score == bestScore && free < bestFree) {
-				best, bestScore, bestFree = ri, score, free
-			}
-		}
-		ai := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
+	for _, ai := range order {
 		atom := q.Body[ai]
 
 		ap := atomPlan{rel: rels[ai], probeCol: -1}
-		// Probe column: first arg that is a constant or an already-bound
-		// variable (matching the reference evaluator's index choice).
-		for col, t := range atom.Args {
-			if !t.IsVar {
-				ap.probeCol = col
-				ap.probeVal = t.Const
-				break
+		if stats != nil {
+			// Cost-based probe choice: the indexable column with the
+			// most distinct values hands back the fewest candidates.
+			ap.probeCol, ap.probeSlot, ap.probeIsVar = bestProbeCol(atom, stats[ai], slotOf)
+			if ap.probeCol >= 0 && !ap.probeIsVar {
+				ap.probeVal = atom.Args[ap.probeCol].Const
 			}
-			if s := slotOf(t.Var); s >= 0 {
-				ap.probeCol = col
-				ap.probeIsVar = true
-				ap.probeSlot = s
-				break
+		} else {
+			// Greedy probe choice: first arg that is a constant or an
+			// already-bound variable (the reference evaluator's pick).
+			for col, t := range atom.Args {
+				if !t.IsVar {
+					ap.probeCol = col
+					ap.probeVal = t.Const
+					break
+				}
+				if s := slotOf(t.Var); s >= 0 {
+					ap.probeCol = col
+					ap.probeIsVar = true
+					ap.probeSlot = s
+					break
+				}
 			}
 		}
 		for col, t := range atom.Args {
@@ -204,9 +219,11 @@ type execState struct {
 // enough that the select never shows up in profiles.
 const ctxCheckInterval = 256
 
-// Exec runs the plan and returns the deduplicated head projection.
+// Exec runs the plan and returns the deduplicated head projection. The
+// result is an answer relation: it carries no column statistics (see
+// relation.NewResult).
 func (p *Plan) Exec() (*relation.Relation, error) {
-	out := relation.New(p.HeadSchema())
+	out := relation.NewResult(p.HeadSchema())
 	if err := p.ExecInto(out, relation.NewTupleSet(16)); err != nil {
 		return nil, err
 	}

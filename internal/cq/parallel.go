@@ -19,12 +19,13 @@ import (
 // consumer break drain the pool before StreamUnionOpts returns, so no
 // goroutine outlives the call.
 
-// parallelMinRows is the auto-mode threshold: a union is only worth
-// fanning out when the branches' probe relations together hold at
-// least this many rows. Below it the per-query worker spawn and
-// channel hop cost more than the join itself, so auto mode keeps the
-// sequential path (the warm small-network serving case).
-const parallelMinRows = 512
+// parallelMinCost is the auto-mode threshold: a union is only worth
+// fanning out when the branches' estimated execution costs (rows
+// examined, per the cost-based planner; driver-atom rows for plans
+// without statistics) together reach it. Below it the per-query worker
+// spawn and channel hop cost more than the joins themselves, so auto
+// mode keeps the sequential path (the warm small-network serving case).
+const parallelMinCost = 512
 
 // effectiveParallelism resolves opts.Parallelism to a worker count for
 // this union: explicit N > 1 forces N workers, explicit 1 (or a
@@ -59,20 +60,20 @@ func effectiveParallelism(plans []*Plan, opts ExecOptions) int {
 }
 
 // worthParallel estimates whether a union pays for the fan-in
-// machinery: at least two branches, and the first join atoms across
-// branches (the rows each branch starts enumerating from) total
-// parallelMinRows or more.
+// machinery: at least two branches, and the branches' estimated costs
+// (the planner's rows-examined estimates) total parallelMinCost or
+// more. With statistics the estimate accounts for join selectivity —
+// a wide union of highly selective probes stays sequential where the
+// old driver-atom-rows guess would have paid for a pool it could not
+// use.
 func worthParallel(plans []*Plan) bool {
 	if len(plans) < 2 {
 		return false
 	}
-	rows := 0
+	cost := 0.0
 	for _, p := range plans {
-		if len(p.atoms) == 0 {
-			continue
-		}
-		rows += p.atoms[0].rel.Len()
-		if rows >= parallelMinRows {
+		cost += p.estCostLive()
+		if cost >= parallelMinCost {
 			return true
 		}
 	}

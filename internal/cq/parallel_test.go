@@ -338,7 +338,7 @@ func TestEffectiveParallelismHeuristic(t *testing.T) {
 	}
 	heavy := unionCrossProductDB(t, 4) // 4 branches × 300-row probe atom
 	light := unionCrossProductDB(t, 4)[:1]
-	small := func() []*Plan { // wide but tiny: below parallelMinRows
+	small := func() []*Plan { // wide but tiny: below parallelMinCost
 		db := relation.NewDatabase()
 		r := relation.New(relation.NewSchema("r", relation.Attr("x")))
 		r.MustInsert(relation.SV("only"))
@@ -369,7 +369,7 @@ func TestEffectiveParallelismHeuristic(t *testing.T) {
 		t.Errorf("auto on single branch = %d, want 1", got)
 	}
 	if got := effectiveParallelism(small, ExecOptions{}); got != 1 {
-		t.Errorf("auto on tiny union = %d, want 1 (below parallelMinRows)", got)
+		t.Errorf("auto on tiny union = %d, want 1 (below parallelMinCost)", got)
 	}
 	if got := effectiveParallelism(small, ExecOptions{Parallelism: 4}); got != 4 {
 		t.Errorf("explicit 4 on tiny union = %d, want forced parallel", got)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sort"
 
 	"repro/internal/relation"
 )
@@ -58,9 +59,12 @@ func StreamUnion(ctx context.Context, plans []*Plan, yield func(relation.Tuple) 
 // StreamUnionOpts is StreamUnion with an options block. The limit is
 // pushed down into the shared dedup set: the join tree aborts — across
 // all remaining branches — the moment the Nth distinct answer has been
-// yielded. When opts.Parallelism resolves to more than one worker the
-// branches execute concurrently (see streamUnionParallel); yield is
-// still invoked from this goroutine only.
+// yielded. Limited unions run their branches cheapest-first (by the
+// planner's cost estimates), so the limit tends to fill before the
+// expensive branches start. When opts.Parallelism resolves to more than
+// one worker the branches execute concurrently (see
+// streamUnionParallel); yield is still invoked from this goroutine
+// only.
 func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield func(relation.Tuple) bool) error {
 	if len(plans) == 0 {
 		return fmt.Errorf("cq: empty union")
@@ -70,6 +74,9 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 		if len(p.headSlots) != arity {
 			return fmt.Errorf("union: arity mismatch %d vs %d", arity, len(p.headSlots))
 		}
+	}
+	if opts.Limit > 0 && len(plans) > 1 {
+		plans = plansCheapestFirst(plans)
 	}
 	if par := effectiveParallelism(plans, opts); par > 1 {
 		return streamUnionParallel(ctx, plans, opts, par, yield)
@@ -98,6 +105,28 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 		}
 	}
 	return nil
+}
+
+// plansCheapestFirst returns the plans ordered by ascending estimated
+// cost. The input — typically a slice cached and shared across
+// concurrent requests — is never mutated; the sort is stable so
+// equal-cost branches keep their reformulation order and plans stay
+// deterministic.
+func plansCheapestFirst(plans []*Plan) []*Plan {
+	type costed struct {
+		p    *Plan
+		cost float64
+	}
+	cs := make([]costed, len(plans))
+	for i, p := range plans {
+		cs[i] = costed{p: p, cost: p.estCostLive()}
+	}
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].cost < cs[j].cost })
+	out := make([]*Plan, len(cs))
+	for i, c := range cs {
+		out[i] = c.p
+	}
+	return out
 }
 
 // Tuples adapts the plan to a range-over-func iterator: each pair is
@@ -132,7 +161,7 @@ func MaterializeUnion(ctx context.Context, plans []*Plan, opts ExecOptions) (*re
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("cq: empty union")
 	}
-	out := relation.New(plans[0].HeadSchema())
+	out := relation.NewResult(plans[0].HeadSchema())
 	var insertErr error
 	err := StreamUnionOpts(ctx, plans, opts, func(t relation.Tuple) bool {
 		if e := out.Insert(t); e != nil {

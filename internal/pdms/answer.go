@@ -42,16 +42,26 @@ type reformEntry struct {
 	planMu  sync.Mutex
 	plans   []*cq.Plan
 	plansDB *relation.Database
+	// plansStatsVer is the database's statistics fingerprint the cached
+	// plans were ordered by. Snapshot databases are immutable in normal
+	// operation (a data change yields a fresh snapshot, hence a fresh
+	// plansDB), but the version guards the cache against any path that
+	// mutates relations behind a retained database: a plan whose join
+	// order came from stale cardinalities is recompiled, never reused.
+	plansStatsVer uint64
 }
 
 // plansFor returns the rewritings' compiled plans against db, compiling
-// at most once per database snapshot: warm hits share the cached
-// slice, and concurrent cold hits serialize on the entry's mutex so
-// only the first caller compiles.
+// at most once per (database snapshot, statistics version): warm hits
+// share the cached slice, and concurrent cold hits serialize on the
+// entry's mutex so only the first caller compiles. A statistics change
+// under the same database invalidates the plans, since the cost-based
+// join orders inside them were chosen from the old cardinalities.
 func (e *reformEntry) plansFor(db *relation.Database) ([]*cq.Plan, error) {
+	sv := db.StatsVersion()
 	e.planMu.Lock()
 	defer e.planMu.Unlock()
-	if e.plansDB == db {
+	if e.plansDB == db && e.plansStatsVer == sv {
 		return e.plans, nil
 	}
 	plans := make([]*cq.Plan, len(e.rws))
@@ -62,7 +72,7 @@ func (e *reformEntry) plansFor(db *relation.Database) ([]*cq.Plan, error) {
 		}
 		plans[i] = p
 	}
-	e.plans, e.plansDB = plans, db
+	e.plans, e.plansDB, e.plansStatsVer = plans, db, sv
 	return plans, nil
 }
 

@@ -1,0 +1,120 @@
+package pdms
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// plannerDB builds a two-relation database with the given cardinalities
+// for the plan-cache tests.
+func plannerDB(bigRows, smallRows int) *relation.Database {
+	db := relation.NewDatabase()
+	big := relation.New(relation.NewSchema("big", relation.Attr("x"), relation.Attr("y")))
+	small := relation.New(relation.NewSchema("small", relation.Attr("x"), relation.Attr("z")))
+	for i := 0; i < bigRows; i++ {
+		big.MustInsert(relation.SV(fmt.Sprintf("k%d", i)), relation.SV(fmt.Sprintf("y%d", i)))
+	}
+	for i := 0; i < smallRows; i++ {
+		small.MustInsert(relation.SV(fmt.Sprintf("k%d", i)), relation.SV(fmt.Sprintf("z%d", i)))
+	}
+	db.Put(big)
+	db.Put(small)
+	return db
+}
+
+// TestPlansForStatsVersionInvalidation white-boxes the plan cache: the
+// same database pointer returns the cached plans while its statistics
+// fingerprint is unchanged, and recompiles when data mutates behind it.
+func TestPlansForStatsVersionInvalidation(t *testing.T) {
+	db := plannerDB(200, 5)
+	q := cq.MustParse("q(Y, Z) :- big(X, Y), small(X, Z)")
+	e := &reformEntry{rws: []cq.Query{q}}
+
+	p1, err := e.plansFor(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.plansFor(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[0] != p2[0] {
+		t.Fatal("unchanged stats recompiled the plan instead of reusing it")
+	}
+
+	// Flip the cardinalities behind the same database pointer: small
+	// becomes the big side, so a reused plan would keep a stale order.
+	small := db.Get("small")
+	for i := 0; i < 4000; i++ {
+		small.MustInsert(relation.SV(fmt.Sprintf("n%d", i)), relation.SV("z"))
+	}
+	p3, err := e.plansFor(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3[0] == p1[0] {
+		t.Fatal("stats change under the cached database did not recompile the plan")
+	}
+}
+
+// TestServedPlanTracksDataSkew runs the whole serving pipeline: the
+// first answer caches plans ordered for the initial cardinalities;
+// after the data skews the other way, the next request plans from the
+// fresh statistics and flips the driver atom.
+func TestServedPlanTracksDataSkew(t *testing.T) {
+	p := NewPeer("uni",
+		relation.NewSchema("big", relation.Attr("x"), relation.Attr("y")),
+		relation.NewSchema("small", relation.Attr("x"), relation.Attr("z")))
+	n := NewNetwork()
+	if err := n.AddPeer(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := p.Insert("big", relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", i)), relation.SV(fmt.Sprintf("y%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Insert("small", relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", i)), relation.SV(fmt.Sprintf("z%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := Request{Peer: "uni", Query: cq.MustParse("q(Y, Z) :- big(X, Y), small(X, Z)")}
+
+	explain := func() string {
+		cur, err := n.Query(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		out := cur.Explain()
+		if _, err := cur.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	before := explain()
+	if !strings.Contains(before, "1. uni.small") {
+		t.Fatalf("initial plan does not drive from the 5-row relation:\n%s", before)
+	}
+
+	// Skew the other way: small outgrows big by an order of magnitude.
+	for i := 0; i < 6000; i++ {
+		if err := p.Insert("small", relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", i%300)), relation.SV(fmt.Sprintf("zz%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := explain()
+	if !strings.Contains(after, "1. uni.big") {
+		t.Fatalf("plan did not flip its driver after the skew inverted:\n%s", after)
+	}
+}

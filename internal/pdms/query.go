@@ -3,7 +3,9 @@ package pdms
 import (
 	"context"
 	"errors"
+	"fmt"
 	"iter"
+	"strings"
 	"time"
 
 	"repro/internal/cq"
@@ -98,6 +100,27 @@ func (c *Cursor) Rewritings() []cq.Query {
 // Stats returns the reformulation statistics (available immediately).
 func (c *Cursor) Stats() ReformStats { return c.stats }
 
+// Explain renders the compiled execution plan of every rewriting branch
+// — the join order the planner chose, each atom's access path, and the
+// cost estimates — without executing anything. Branches print in
+// reformulation order; limited executions run them cheapest-first.
+func (c *Cursor) Explain() string {
+	if len(c.plans) == 0 {
+		return "no rewriting reaches stored data\n"
+	}
+	var b strings.Builder
+	total := 0.0
+	for _, p := range c.plans {
+		total += p.EstimatedCost()
+	}
+	fmt.Fprintf(&b, "union of %d branch(es), est total cost %.1f rows\n",
+		len(c.plans), total)
+	for i, p := range c.plans {
+		fmt.Fprintf(&b, "branch %d: %s", i, p.Explain())
+	}
+	return b.String()
+}
+
 // ReformTime returns how long request preparation took — reformulation
 // plus, on a cold cursor, compiling the rewritings' plans (available
 // immediately).
@@ -189,14 +212,14 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 			return nil, c.err
 		}
 		if c.drained {
-			return relation.New(c.schema), nil
+			return relation.NewResult(c.schema), nil
 		}
 		return nil, errCursorClosed
 	}
 	if !c.started {
 		c.started = true
 		c.execStart = time.Now()
-		out := relation.New(c.schema)
+		out := relation.NewResult(c.schema)
 		if len(c.plans) > 0 {
 			// c.schema is plans[0].HeadSchema() whenever plans exist.
 			var err error
@@ -213,7 +236,7 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 		c.drained = true
 		return out, nil
 	}
-	out := relation.New(c.schema)
+	out := relation.NewResult(c.schema)
 	for c.Next() {
 		if err := out.Insert(c.Tuple()); err != nil {
 			c.Close()

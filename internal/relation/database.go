@@ -65,6 +65,22 @@ func (db *Database) Names() []string {
 // shared — callers must not modify it.
 func (db *Database) Relations() []*Relation { return db.sorted }
 
+// StatsVersion fingerprints the mutation versions of every relation in
+// the database (in name order). Plan caches key compiled plans on it:
+// any insert or delete anywhere in the database changes the fingerprint,
+// so a plan whose join order was chosen from stale statistics is never
+// reused. O(#relations), no allocation.
+func (db *Database) StatsVersion() uint64 {
+	h := uint64(fnvOffset64)
+	for _, r := range db.sorted {
+		h ^= r.Version()
+		h *= fnvPrime64
+		h ^= uint64(r.Len())
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Size returns the total number of tuples across relations.
 func (db *Database) Size() int {
 	n := 0

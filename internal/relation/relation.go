@@ -7,26 +7,48 @@ import (
 )
 
 // Relation is an in-memory bag of tuples conforming to a schema, with
-// optional per-column hash indexes used by the join evaluator. Indexes
-// key directly on Value (a comparable struct), so probes allocate
-// nothing — no per-lookup key-string construction.
+// optional per-column hash indexes used by the join evaluator and
+// incrementally maintained statistics (see Stats) used by the cost-
+// based join planner. Indexes key directly on Value (a comparable
+// struct), so probes allocate nothing — no per-lookup key-string
+// construction.
 //
-// Concurrency: reads (Lookup, Contains, Rows, EnsureIndex) may run
-// concurrently with each other — index construction is synchronized,
-// so concurrent readers lazily indexing a shared relation are safe.
-// Mutations (Insert, Delete, Dedup, SortRows) require external
-// synchronization with respect to readers.
+// Concurrency: reads (Lookup, Contains, Rows, EnsureIndex, Stats) may
+// run concurrently with each other — index construction is
+// synchronized, so concurrent readers lazily indexing a shared relation
+// are safe. Mutations (Insert, Delete, Dedup, SortRows) require
+// external synchronization with respect to readers, with one carve-out:
+// Stats may run concurrently with Insert (the statistics fields and
+// row count are exchanged under the lock).
 type Relation struct {
 	Schema  Schema
 	rows    []Tuple
-	mu      sync.RWMutex            // guards indexes
+	mu      sync.RWMutex            // guards indexes, sketches, rows len vs Insert
 	indexes map[int]map[Value][]int // column -> value -> row ids
 	version uint64                  // bumped on every mutation; see Version
+	// sketches holds one distinct-count sketch per column; statRows is
+	// how many rows they have absorbed. Statistics are valid iff
+	// statRows == len(rows) — rows appended without Insert (Project,
+	// Select) desynchronize the count and disable stats. See stats.go.
+	sketches []colSketch
+	statRows int
 }
 
-// New creates an empty relation with the given schema.
+// New creates an empty relation with the given schema. Column
+// statistics are maintained incrementally as rows are inserted; use
+// NewResult for relations that should skip that work.
 func New(schema Schema) *Relation {
 	return &Relation{Schema: schema}
+}
+
+// NewResult creates an empty relation that never maintains column
+// statistics — intended for answer/result relations, which are consumed
+// by the caller rather than joined against again, so per-insert value
+// hashing would be pure overhead on the serving hot path. A planner
+// compiling a query against such a relation falls back to the
+// statistics-free greedy order.
+func NewResult(schema Schema) *Relation {
+	return &Relation{Schema: schema, statRows: -1}
 }
 
 // FromTuples creates a relation and inserts the given tuples, panicking on
@@ -51,14 +73,23 @@ func (r *Relation) Version() uint64 { return r.version }
 // SnapshotAs returns a relation named name holding this relation's
 // current tuples. The tuple references are shared (tuples are never
 // mutated in place) but the row slice is copied, so later inserts or
-// deletes here do not affect the snapshot.
+// deletes here do not affect the snapshot. Statistics carry over, so
+// planning against a snapshot sees the source's cardinalities without
+// re-scanning.
 func (r *Relation) SnapshotAs(name string) *Relation {
 	rows := make([]Tuple, len(r.rows))
 	copy(rows, r.rows)
-	return &Relation{
+	out := &Relation{
 		Schema: Schema{Name: name, Attrs: r.Schema.Attrs},
 		rows:   rows,
 	}
+	r.mu.RLock()
+	if r.statRows == len(rows) {
+		out.sketches = cloneSketches(r.sketches)
+		out.statRows = len(rows)
+	}
+	r.mu.RUnlock()
+	return out
 }
 
 // Rows returns the underlying tuple slice; callers must not mutate it.
@@ -68,18 +99,19 @@ func (r *Relation) Rows() []Tuple { return r.rows }
 func (r *Relation) Row(i int) Tuple { return r.rows[i] }
 
 // Insert appends a tuple after validating it against the schema and
-// updates any existing indexes.
+// updates any existing indexes and column statistics.
 func (r *Relation) Insert(t Tuple) error {
 	if err := r.Schema.Compatible(t); err != nil {
 		return err
 	}
+	r.mu.Lock()
 	id := len(r.rows)
 	r.rows = append(r.rows, t)
 	r.version++
-	r.mu.Lock()
 	for col, idx := range r.indexes {
 		idx[t[col]] = append(idx[t[col]], id)
 	}
+	r.addStatsLocked(t, id)
 	r.mu.Unlock()
 	return nil
 }
@@ -92,8 +124,10 @@ func (r *Relation) MustInsert(vals ...Value) {
 }
 
 // Delete removes all tuples equal to t and reports how many were removed.
-// Indexes are rebuilt lazily on next use.
+// Indexes are rebuilt lazily on next use; column statistics are rebuilt
+// eagerly (the pass is already O(rows)).
 func (r *Relation) Delete(t Tuple) int {
+	statsValid := r.statRows == len(r.rows)
 	kept := r.rows[:0]
 	removed := 0
 	for _, row := range r.rows {
@@ -105,8 +139,13 @@ func (r *Relation) Delete(t Tuple) int {
 	}
 	r.rows = kept
 	if removed > 0 {
-		r.dropIndexes()
+		r.mu.Lock()
+		r.indexes = nil
 		r.version++
+		if statsValid {
+			r.rebuildStatsLocked()
+		}
+		r.mu.Unlock()
 	}
 	return removed
 }
@@ -211,8 +250,12 @@ func (r *Relation) Contains(t Tuple) bool {
 }
 
 // Dedup removes duplicate tuples in place, preserving first occurrence
-// order, and returns the relation for chaining.
+// order, and returns the relation for chaining. Column statistics
+// survive without a rebuild: removing duplicate tuples leaves every
+// column's distinct-value set — hence its sketch — unchanged; only the
+// tracked row count moves.
 func (r *Relation) Dedup() *Relation {
+	statsValid := r.statRows == len(r.rows)
 	seen := NewTupleSet(len(r.rows))
 	kept := r.rows[:0]
 	for _, row := range r.rows {
@@ -221,11 +264,17 @@ func (r *Relation) Dedup() *Relation {
 		}
 		kept = append(kept, row)
 	}
-	if len(kept) != len(r.rows) {
-		r.dropIndexes()
-		r.version++
-	}
+	changed := len(kept) != len(r.rows)
 	r.rows = kept
+	if changed {
+		r.mu.Lock()
+		r.indexes = nil
+		r.version++
+		if statsValid {
+			r.statRows = len(kept)
+		}
+		r.mu.Unlock()
+	}
 	return r
 }
 
@@ -238,12 +287,16 @@ func (r *Relation) SortRows() *Relation {
 	return r
 }
 
-// Clone returns a deep copy (indexes are not copied).
+// Clone returns a deep copy (indexes are not copied; statistics are).
 func (r *Relation) Clone() *Relation {
 	out := New(r.Schema.Clone())
 	out.rows = make([]Tuple, len(r.rows))
 	for i, row := range r.rows {
 		out.rows[i] = row.Clone()
+	}
+	if r.statRows == len(r.rows) {
+		out.sketches = cloneSketches(r.sketches)
+		out.statRows = len(out.rows)
 	}
 	return out
 }
