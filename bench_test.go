@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/relation"
 	"repro/internal/strutil"
+	"repro/internal/transport"
 	"repro/internal/webgen"
 	"repro/internal/workload"
 )
@@ -194,6 +196,80 @@ func BenchmarkE2Parallel(b *testing.B) {
 		}
 		run(procs)(b)
 	})
+}
+
+// BenchmarkE2Remote measures warm distributed serving on the 16-peer
+// E2 chain with the upper half of the peers behind a transport:
+// loopback (wire codecs, no sockets) and real TCP on localhost. A warm
+// iteration pays the per-remote-peer statistics-fingerprint probe on
+// top of the cached in-process path and moves no tuples — the delta
+// against BenchmarkE2Transitive/peers=16 is the price of freshness
+// checking, and the loopback/tcp gap is the price of sockets.
+func BenchmarkE2Remote(b *testing.B) {
+	for _, mode := range []string{"loopback", "tcp"} {
+		b.Run(mode, func(b *testing.B) {
+			g, err := workload.GenNetwork(workload.NetworkSpec{
+				Topology: workload.Chain, Peers: 16, Seed: 42, RowsPerPeer: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var served []*pdms.Peer
+			for i := 8; i < 16; i++ {
+				served = append(served, g.Net.Peer(workload.PeerName(i)))
+			}
+			var tr pdms.Transport
+			if mode == "loopback" {
+				tr = pdms.NewLoopback(served...)
+			} else {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := transport.NewServer(served...)
+				go srv.Serve(ln)
+				defer srv.Close()
+				c, err := transport.Dial(ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				tr = c
+			}
+			n := pdms.NewNetwork()
+			for i := 0; i < 16; i++ {
+				name := workload.PeerName(i)
+				if i < 8 {
+					if err := n.AddPeer(g.Net.Peer(name)); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if _, err := n.AddRemotePeer(context.Background(), name, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, m := range g.Net.Mappings() {
+				if err := n.AddMapping(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := g.TitleQuery(0)
+			opts := pdms.ReformOptions{MaxDepth: 17}
+			if _, err := n.Answer(workload.PeerName(0), q, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			answers := 0
+			for i := 0; i < b.N; i++ {
+				res, err := n.Answer(workload.PeerName(0), q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				answers = res.Answers.Len()
+			}
+			b.ReportMetric(float64(answers), "answers")
+		})
+	}
 }
 
 // BenchmarkQueryConcurrentClients measures warm-cache serving

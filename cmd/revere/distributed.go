@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pdms"
+	"repro/internal/relation"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// This file is revere's distributed mode: `revere serve` hosts a slice
+// of the deterministic E2 chain workload on a TCP port, and `revere
+// query` runs the E2 title query on a coordinator that reaches those
+// slices over the wire protocol. Every process regenerates the same
+// workload from the shared seed, so the data a server stores and the
+// mappings a coordinator registers agree by construction — what the
+// query moves over the network is the real tuple traffic. The query
+// output ends with a digest of the sorted answer set, so runs with
+// different peer placements (all-local, loopback, N OS processes) can
+// be compared byte for byte.
+
+// peerRange is a half-open [Lo, Hi) slice of the chain's peer indexes.
+type peerRange struct {
+	Lo, Hi int
+}
+
+// parseRange parses "lo:hi" (half-open, 0-based).
+func parseRange(s string, peers int) (peerRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return peerRange{}, fmt.Errorf("range %q: want lo:hi", s)
+	}
+	l, err := strconv.Atoi(lo)
+	if err != nil {
+		return peerRange{}, fmt.Errorf("range %q: %v", s, err)
+	}
+	h, err := strconv.Atoi(hi)
+	if err != nil {
+		return peerRange{}, fmt.Errorf("range %q: %v", s, err)
+	}
+	if l < 0 || h > peers || l >= h {
+		return peerRange{}, fmt.Errorf("range %q out of bounds for %d peers", s, peers)
+	}
+	return peerRange{Lo: l, Hi: h}, nil
+}
+
+// remoteFlag collects repeated -remote lo:hi=addr assignments.
+type remoteFlag struct {
+	ranges []peerRange
+	addrs  []string
+}
+
+// String implements flag.Value.
+func (r *remoteFlag) String() string {
+	parts := make([]string, len(r.ranges))
+	for i, pr := range r.ranges {
+		parts[i] = fmt.Sprintf("%d:%d=%s", pr.Lo, pr.Hi, r.addrs[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value; the range bounds are validated later, when
+// the peer count is known.
+func (r *remoteFlag) Set(s string) error {
+	spec, addr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("remote %q: want lo:hi=host:port", s)
+	}
+	lo, hi, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("remote %q: want lo:hi=host:port", s)
+	}
+	l, err := strconv.Atoi(lo)
+	if err != nil {
+		return err
+	}
+	h, err := strconv.Atoi(hi)
+	if err != nil {
+		return err
+	}
+	r.ranges = append(r.ranges, peerRange{Lo: l, Hi: h})
+	r.addrs = append(r.addrs, addr)
+	return nil
+}
+
+// genChain regenerates the deterministic E2 chain workload every
+// distributed-mode process shares.
+func genChain(seed int64, peers, rows int) (*workload.GeneratedNetwork, error) {
+	return workload.GenNetwork(workload.NetworkSpec{
+		Topology: workload.Chain, Peers: peers, Seed: seed, RowsPerPeer: rows})
+}
+
+// runServe hosts a peer range of the E2 chain on a TCP listener until
+// interrupted. It prints "listening <addr>" once ready, the line
+// supervisors and tests parse to learn an ephemeral port.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("revere serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7461", "address to listen on (use :0 for an ephemeral port)")
+	seed := fs.Int64("seed", 1, "random seed shared by every process of the deployment")
+	peers := fs.Int("peers", 16, "total peers in the chain workload")
+	rows := fs.Int("rows", 10, "course rows per peer")
+	own := fs.String("own", "", "peer index range lo:hi this process hosts (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := genChain(*seed, *peers, *rows)
+	if err != nil {
+		return err
+	}
+	pr := peerRange{Lo: 0, Hi: *peers}
+	if *own != "" {
+		if pr, err = parseRange(*own, *peers); err != nil {
+			return err
+		}
+	}
+	served := make([]*pdms.Peer, 0, pr.Hi-pr.Lo)
+	for i := pr.Lo; i < pr.Hi; i++ {
+		served = append(served, g.Net.Peer(workload.PeerName(i)))
+	}
+	srv := transport.NewServer(served...)
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen, ready) }()
+	select {
+	case err := <-errc:
+		return err
+	case addr := <-ready:
+		fmt.Printf("listening %s\n", addr)
+		fmt.Printf("serving peers [%d:%d) of the %d-peer chain (seed %d, %d rows/peer)\n",
+			pr.Lo, pr.Hi, *peers, *seed, *rows)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("shutting down")
+		return srv.Close()
+	}
+}
+
+// runQuery runs the E2 title query at peer 0 on a coordinator whose
+// peers are local except for the ranges handed to -remote, which are
+// reached over TCP. It prints the answer count against the oracle and
+// a digest of the sorted answer set: any two placements of the same
+// workload must print the same digest.
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("revere query", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed shared by every process of the deployment")
+	peers := fs.Int("peers", 16, "total peers in the chain workload")
+	rows := fs.Int("rows", 10, "course rows per peer")
+	par := fs.Int("par", 0, "union execution parallelism: 0 auto, 1 sequential, N workers")
+	var remotes remoteFlag
+	fs.Var(&remotes, "remote", "peer range served remotely, as lo:hi=host:port (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	g, err := genChain(*seed, *peers, *rows)
+	if err != nil {
+		return err
+	}
+	remoteAddr := make(map[int]string)
+	for i, pr := range remotes.ranges {
+		if pr.Lo < 0 || pr.Hi > *peers || pr.Lo >= pr.Hi {
+			return fmt.Errorf("remote range %d:%d out of bounds for %d peers", pr.Lo, pr.Hi, *peers)
+		}
+		for p := pr.Lo; p < pr.Hi; p++ {
+			remoteAddr[p] = remotes.addrs[i]
+		}
+	}
+	clients := make(map[string]*transport.Client)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	n := pdms.NewNetwork()
+	for i := 0; i < *peers; i++ {
+		name := workload.PeerName(i)
+		addr, remote := remoteAddr[i]
+		if !remote {
+			if err := n.AddPeer(g.Net.Peer(name)); err != nil {
+				return err
+			}
+			continue
+		}
+		c := clients[addr]
+		if c == nil {
+			if c, err = transport.Dial(addr); err != nil {
+				return fmt.Errorf("dial %s: %w", addr, err)
+			}
+			clients[addr] = c
+		}
+		if _, err := n.AddRemotePeer(ctx, name, c); err != nil {
+			return err
+		}
+	}
+	for _, m := range g.Net.Mappings() {
+		if err := n.AddMapping(m); err != nil {
+			return err
+		}
+	}
+	cur, err := n.Query(ctx, pdms.Request{
+		Peer:        workload.PeerName(0),
+		Query:       g.TitleQuery(0),
+		Reform:      pdms.ReformOptions{MaxDepth: *peers + 1},
+		Parallelism: *par,
+	})
+	if err != nil {
+		return err
+	}
+	answers, err := cur.Materialize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E2 chain peers=%d remote=%d reform=%s exec=%s\n",
+		*peers, len(remoteAddr), cur.ReformTime(), cur.ExecTime())
+	fmt.Printf("answers %d oracle %d digest %s\n",
+		answers.Len(), len(g.AllTitles), AnswerDigest(answers))
+	return nil
+}
+
+// AnswerDigest renders a relation's canonical content digest: the
+// sorted, deduplicated rows in their wire encoding, hashed. Two answer
+// sets are byte-identical iff their digests match — the check the
+// distributed acceptance test and the CI chain step rely on.
+func AnswerDigest(r *relation.Relation) string {
+	rows := append([]relation.Tuple(nil), r.Rows()...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Less(rows[j]) })
+	sum := sha256.Sum256(relation.EncodeTupleBatch(rows))
+	return hex.EncodeToString(sum[:8])
+}

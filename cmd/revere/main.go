@@ -7,6 +7,20 @@
 // Usage:
 //
 //	revere [-seed N] [-people N] [-courses N] [-peers N] [-par N] [-explain]
+//
+// The distributed modes split the deterministic E2 chain workload
+// across real OS processes speaking the wire protocol (PROTOCOL.md):
+//
+//	revere serve [-listen ADDR] [-seed N] [-peers N] [-rows N] [-own LO:HI]
+//	revere query [-seed N] [-peers N] [-rows N] [-par N] [-remote LO:HI=ADDR]...
+//
+// A serve process hosts the peers in [LO:HI) on a TCP port; a query
+// process runs the E2 title query on a coordinator whose -remote ranges
+// stream their relations over the wire. Both print enough to verify a
+// deployment: serve prints "listening ADDR" once ready, query ends with
+// a digest of the sorted answer set that is identical across placements
+// (all-local, loopback, N processes) of the same seed. See README.md
+// for a three-process quickstart.
 package main
 
 import (
@@ -28,6 +42,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "serve" || os.Args[1] == "query") {
+		var err error
+		if os.Args[1] == "serve" {
+			err = runServe(os.Args[2:])
+		} else {
+			err = runQuery(os.Args[2:])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "revere:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	seed := flag.Int64("seed", 1, "random seed")
 	people := flag.Int("people", 6, "people on the generated site")
 	courses := flag.Int("courses", 8, "courses on the generated site")

@@ -18,8 +18,11 @@ import (
 // silently. Extend the list as more packages stabilize their APIs.
 var docCheckedPackages = []string{
 	"internal/cq",
+	"internal/glav",
 	"internal/pdms",
 	"internal/relation",
+	"internal/transport",
+	"internal/view",
 }
 
 // TestExportedDocs fails for every exported identifier in the checked

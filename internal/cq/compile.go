@@ -70,12 +70,12 @@ type Plan struct {
 // default options: slot assignment, cost-based join order when every
 // body relation carries statistics (greedy order otherwise — see
 // CompileOptions), and per-atom probe plans.
-func Compile(db *relation.Database, q Query) (*Plan, error) {
+func Compile(db Catalog, q Query) (*Plan, error) {
 	return CompileOpts(db, q, CompileOptions{})
 }
 
 // CompileOpts is Compile with an options block; see CompileOptions.
-func CompileOpts(db *relation.Database, q Query, opts CompileOptions) (*Plan, error) {
+func CompileOpts(db Catalog, q Query, opts CompileOptions) (*Plan, error) {
 	if !q.IsSafe() {
 		return nil, fmt.Errorf("cq: unsafe query %s", q)
 	}

@@ -10,7 +10,7 @@ import (
 )
 
 // sortedRows evaluates with the given evaluator and returns sorted tuples.
-func sortedRows(t *testing.T, eval func(*relation.Database, Query) (*relation.Relation, error),
+func sortedRows(t *testing.T, eval func(Catalog, Query) (*relation.Relation, error),
 	db *relation.Database, q Query) []relation.Tuple {
 	t.Helper()
 	r, err := eval(db, q)

@@ -12,7 +12,7 @@ import (
 // slot-based plan (see compile.go) and executes it; the legacy
 // map-binding interpreter is kept as EvalReference for differential
 // testing.
-func Eval(db *relation.Database, q Query) (*relation.Relation, error) {
+func Eval(db Catalog, q Query) (*relation.Relation, error) {
 	plan, err := Compile(db, q)
 	if err != nil {
 		return nil, err
@@ -24,7 +24,7 @@ func Eval(db *relation.Database, q Query) (*relation.Relation, error) {
 // the set union of their answers, deduplicated through a single shared
 // hash set as branches execute — no per-branch relations or repeated
 // Dedup passes. All queries must share head arity.
-func EvalUnion(db *relation.Database, queries []Query) (*relation.Relation, error) {
+func EvalUnion(db Catalog, queries []Query) (*relation.Relation, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("cq: empty union")
 	}
@@ -41,7 +41,7 @@ func EvalUnion(db *relation.Database, queries []Query) (*relation.Relation, erro
 
 // EvalReference is the original map-bindings interpreter, retained as
 // the executable specification the compiled engine is tested against.
-func EvalReference(db *relation.Database, q Query) (*relation.Relation, error) {
+func EvalReference(db Catalog, q Query) (*relation.Relation, error) {
 	if !q.IsSafe() {
 		return nil, fmt.Errorf("cq: unsafe query %s", q)
 	}
@@ -95,7 +95,7 @@ func pickNextAtom(atoms []Atom, bindings []map[string]relation.Value) int {
 }
 
 // joinAtom extends each binding with matching rows of the atom's relation.
-func joinAtom(db *relation.Database, atom Atom, bindings []map[string]relation.Value) []map[string]relation.Value {
+func joinAtom(db Catalog, atom Atom, bindings []map[string]relation.Value) []map[string]relation.Value {
 	rel := db.Get(atom.Pred)
 	// Choose an index column: first arg position that is a constant or a
 	// variable bound in all bindings (bindings share a bound-var set).
@@ -171,7 +171,7 @@ func matchRow(atom Atom, row relation.Tuple, b map[string]relation.Value) (map[s
 }
 
 // projectHead builds the answer relation from the final bindings.
-func projectHead(db *relation.Database, q Query, bindings []map[string]relation.Value) (*relation.Relation, error) {
+func projectHead(db Catalog, q Query, bindings []map[string]relation.Value) (*relation.Relation, error) {
 	attrs := make([]relation.Attribute, len(q.HeadVars))
 	// Prefer the schema-derived type for each head column; fall back to
 	// the first binding (trusting bindings[0] alone mistypes a column
@@ -202,7 +202,7 @@ func projectHead(db *relation.Database, q Query, bindings []map[string]relation.
 
 // headTypeFromSchema infers a head variable's type from the schema of the
 // first body atom mentioning it.
-func headTypeFromSchema(db *relation.Database, q Query, varName string) (relation.Type, bool) {
+func headTypeFromSchema(db Catalog, q Query, varName string) (relation.Type, bool) {
 	for _, a := range q.Body {
 		rel := db.Get(a.Pred)
 		if rel == nil {
@@ -219,7 +219,7 @@ func headTypeFromSchema(db *relation.Database, q Query, varName string) (relatio
 
 // SortedAnswers is a convenience for tests: evaluates and returns tuples
 // in sorted order.
-func SortedAnswers(db *relation.Database, q Query) ([]relation.Tuple, error) {
+func SortedAnswers(db Catalog, q Query) ([]relation.Tuple, error) {
 	r, err := Eval(db, q)
 	if err != nil {
 		return nil, err

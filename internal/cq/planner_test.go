@@ -180,14 +180,14 @@ func TestPlannerDifferentialRandomized(t *testing.T) {
 		}
 		executed++
 
-		costEval := func(db *relation.Database, q Query) (*relation.Relation, error) {
+		costEval := func(db Catalog, q Query) (*relation.Relation, error) {
 			p, err := CompileOpts(db, q, CompileOptions{})
 			if err != nil {
 				return nil, err
 			}
 			return p.Exec()
 		}
-		greedyEval := func(db *relation.Database, q Query) (*relation.Relation, error) {
+		greedyEval := func(db Catalog, q Query) (*relation.Relation, error) {
 			p, err := CompileOpts(db, q, CompileOptions{ForceGreedy: true})
 			if err != nil {
 				return nil, err

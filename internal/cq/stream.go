@@ -184,7 +184,7 @@ func MaterializeUnion(ctx context.Context, plans []*Plan, opts ExecOptions) (*re
 // schema of the first body atom binding it (TString when no body atom
 // resolves). Both the compiled plan and the zero-rewriting answer path
 // derive their schema here, so empty and non-empty results agree.
-func HeadSchemaFor(db *relation.Database, q Query) relation.Schema {
+func HeadSchemaFor(db Catalog, q Query) relation.Schema {
 	attrs := make([]relation.Attribute, len(q.HeadVars))
 	for i, v := range q.HeadVars {
 		attrs[i] = relation.Attribute{Name: v, Type: relation.TString}

@@ -32,6 +32,21 @@ type Peer struct {
 	// by RemovePeer — a peer that outlives its network must be removed
 	// from it, or the network (and its caches) stays reachable here.
 	nets map[*Network]struct{}
+	// schemaVer counts AddSchema calls. Transports serve it in the
+	// peer's statistics fingerprint so a coordinator mirroring this peer
+	// can tell, in one cheap round trip, that the relation set grew.
+	// Atomic because a serving transport reads it concurrently with the
+	// single writer.
+	schemaVer atomic.Uint64
+	// serveMu makes serving this peer over a transport safe against the
+	// node's own mutations — exactly the live-freshness scenario the
+	// wire protocol's fingerprint probe exists for. Insert and AddSchema
+	// take the write side; the Serving* accessors (what Loopback and the
+	// TCP server read) take the read side. In-process readers (queries
+	// through a Network) keep the pre-existing contract: they are
+	// synchronized by the network's caches and fingerprints, not by this
+	// lock.
+	serveMu sync.RWMutex
 }
 
 // NewPeer creates a peer with the given relation schemas; stored
@@ -50,14 +65,22 @@ func NewPeer(name string, schemas ...relation.Schema) *Peer {
 // the peer has joined treat this as a topology change: reformulations
 // cached against the old schema are invalidated.
 func (p *Peer) AddSchema(s relation.Schema) {
+	p.serveMu.Lock()
 	p.schema[s.Name] = s
 	if p.Store.Get(s.Name) == nil {
 		p.Store.Put(relation.New(s))
 	}
+	p.schemaVer.Add(1)
+	p.serveMu.Unlock()
 	for n := range p.nets {
 		n.bumpTopology()
 	}
 }
+
+// SchemaVersion returns how many times AddSchema has been called — the
+// schema-growth counter a transport publishes so remote mirrors notice
+// new relations without diffing schema lists.
+func (p *Peer) SchemaVersion() uint64 { return p.schemaVer.Load() }
 
 // HasRelation reports whether the peer's schema includes rel.
 func (p *Peer) HasRelation(rel string) bool {
@@ -78,12 +101,56 @@ func (p *Peer) RelationNames() []string {
 	return out
 }
 
-// Insert stores a tuple locally.
+// Insert stores a tuple locally. It is safe against concurrent serving
+// of this peer over a transport (not against concurrent in-process
+// readers, which keep the single-writer contract).
 func (p *Peer) Insert(rel string, t relation.Tuple) error {
 	if !p.HasRelation(rel) {
 		return fmt.Errorf("pdms: peer %s has no relation %q", p.Name, rel)
 	}
+	p.serveMu.Lock()
+	defer p.serveMu.Unlock()
 	return p.Store.Insert(rel, t)
+}
+
+// ServingState returns, under the serving lock, the peer's schema
+// version and every stored relation's statistics fingerprint — the
+// State response transports send.
+func (p *Peer) ServingState() (uint64, []relation.NamedStats) {
+	p.serveMu.RLock()
+	defer p.serveMu.RUnlock()
+	rels := p.Store.Relations()
+	stats := make([]relation.NamedStats, 0, len(rels))
+	for _, r := range rels {
+		stats = append(stats, relation.NamedStats{Name: r.Schema.Name, Stats: r.Stats()})
+	}
+	return p.SchemaVersion(), stats
+}
+
+// ServingSchemas returns, under the serving lock, the peer's relation
+// schemas in name order — the Schemas response transports send.
+func (p *Peer) ServingSchemas() []relation.Schema {
+	p.serveMu.RLock()
+	defer p.serveMu.RUnlock()
+	out := make([]relation.Schema, 0, len(p.schema))
+	for _, name := range p.RelationNames() {
+		out = append(out, p.schema[name])
+	}
+	return out
+}
+
+// ServingScan returns, under the serving lock, a snapshot of the named
+// relation for a transport to stream (nil when the peer lacks it).
+// Streaming from the snapshot needs no lock: later inserts never touch
+// a snapshot already taken.
+func (p *Peer) ServingScan(rel string) *relation.Relation {
+	p.serveMu.RLock()
+	defer p.serveMu.RUnlock()
+	r := p.Store.Get(rel)
+	if r == nil {
+		return nil
+	}
+	return r.SnapshotAs(r.Schema.Name)
 }
 
 // Network is the PDMS overlay: peers plus the mapping graph. The arrows
@@ -131,6 +198,21 @@ type Network struct {
 	// hits and coalesced waiters don't increment it (observability for
 	// the singleflight path).
 	reformCalls atomic.Uint64
+
+	// remotes indexes the remote participants by name (a subset of
+	// peers: each remote peer's local mirror is registered there too).
+	// Like peers it is mutated only under the single-writer contract.
+	// remoteMu makes the hidden mirror mutation inside the remote
+	// query-prepare path — fingerprint sync, mirror AddSchema, replica
+	// Put — safe against the documented read-side concurrency: Query
+	// prepare takes the write side, and the other read-side entry
+	// points that walk peer stores (GlobalDB, LocalQuery, EstimateCost)
+	// take the read side, so concurrent readers stay safe exactly as
+	// they are on an all-local network. Execution never holds it:
+	// cursors run over immutable snapshots. All-local networks skip it
+	// entirely.
+	remotes  map[string]*RemotePeer
+	remoteMu sync.RWMutex
 }
 
 // relFingerprint identifies one stored relation's state at snapshot time.
@@ -176,15 +258,21 @@ func (n *Network) bumpTopology() {
 }
 
 // InvalidateCaches drops every cached reformulation, compiled plan,
-// global snapshot and memoized containment verdict. Topology and data
-// changes invalidate automatically; this exists for out-of-band
-// situations (and for benchmarking the cold path).
+// global snapshot, memoized containment verdict, and remote replica
+// fingerprint (so the next query re-fetches the remote relations it
+// references). Topology and data changes — local or observed remotely
+// through the per-query fingerprint sync — invalidate automatically;
+// this exists for out-of-band situations (and for benchmarking the
+// cold path).
 func (n *Network) InvalidateCaches() {
 	n.topoVersion.Add(1)
 	n.mu.Lock()
 	n.reformCache = make(map[reformKey]*reformEntry)
 	n.globalDB, n.globalFP = nil, nil
 	n.mu.Unlock()
+	n.remoteMu.Lock()
+	n.invalidateRemotesLocked()
+	n.remoteMu.Unlock()
 	resetContainCache()
 }
 
@@ -268,6 +356,7 @@ func (n *Network) RemovePeer(name string) error {
 	}
 	delete(p.nets, n)
 	delete(n.peers, name)
+	delete(n.remotes, name) // a remote leaver takes its mirror along; the transport stays caller-owned
 	for i, pn := range n.order {
 		if pn == name {
 			n.order = append(n.order[:i], n.order[i+1:]...)
@@ -320,7 +409,8 @@ func (n *Network) RemovePeer(name string) error {
 
 // GlobalDB builds the qualified database: every peer's stored relation
 // appears under "peer.rel". Reformulated queries are evaluated here,
-// simulating the distributed execution of §3.1.2 in-process.
+// simulating the distributed execution of §3.1.2 in-process (remote
+// peers appear through their locally mirrored replicas).
 //
 // The snapshot is cached: while no stored relation has been mutated
 // (tracked by relation version counters), repeated calls return the
@@ -328,6 +418,16 @@ func (n *Network) RemovePeer(name string) error {
 // across queries. Any mutation yields a fresh snapshot on the next
 // call; snapshots already handed out are never touched.
 func (n *Network) GlobalDB() *relation.Database {
+	if len(n.remotes) > 0 {
+		n.remoteMu.RLock()
+		defer n.remoteMu.RUnlock()
+	}
+	return n.globalSnapshot()
+}
+
+// globalSnapshot is GlobalDB without the remote read lock; callers on
+// the remote query-prepare path already hold remoteMu.
+func (n *Network) globalSnapshot() *relation.Database {
 	fp := n.fingerprint()
 	n.mu.Lock()
 	if n.globalDB != nil && fingerprintsEqual(n.globalFP, fp) {

@@ -43,6 +43,13 @@ type WorkloadQuery struct {
 // rewritings read: local relations (or local materialized copies) cost
 // 1 per tuple, remote relations cost RemoteFactor per tuple.
 func (n *Network) EstimateCost(peer string, q cq.Query, cm CostModel) (float64, error) {
+	// Read-side operation: reformulation reads peer schemas and the
+	// pricing walk reads stores, both of which a concurrent Query
+	// prepare may be syncing for remote mirrors.
+	if len(n.remotes) > 0 {
+		n.remoteMu.RLock()
+		defer n.remoteMu.RUnlock()
+	}
 	rf := NewReformulator(n, ReformOptions{})
 	rws, _, err := rf.Reformulate(context.Background(), peer, q)
 	if err != nil {

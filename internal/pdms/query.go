@@ -255,8 +255,18 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 // exactly as for Answer, and a thundering herd of identical cold
 // queries coalesces: concurrent misses on one cache key reformulate
 // and compile exactly once (the rest wait for the leader). ctx cancels
-// the reformulation search, the containment pruning, and — through the
-// cursor — execution itself.
+// the reformulation search, the containment pruning, the remote
+// fetches, and — through the cursor — execution itself.
+//
+// On a network with remote peers the preparation phase additionally
+// syncs their statistics fingerprints (one cheap State round trip per
+// remote peer — remote schema growth invalidates caches through the
+// same topoVersion path a local AddSchema takes) and lazily re-fetches
+// the remote relations the rewritings reference whose fingerprints
+// moved, streaming tuple batches on a bounded worker pool. Remote
+// preparation is serialized per network; execution still runs
+// unlocked over the immutable snapshot. An all-local network skips all
+// of this — the fast path is unchanged.
 func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -264,6 +274,16 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if len(n.remotes) > 0 {
+		n.remoteMu.Lock()
+		defer n.remoteMu.Unlock()
+		if err := n.syncRemotes(ctx); err != nil {
+			return nil, err
+		}
+	}
+	// The cache key reads topoVersion after the remote sync, so a
+	// reformulation derived before a remote schema change cannot be
+	// served for this request.
 	key := n.reformCacheKey(req.Peer, req.Query, req.Reform)
 	t0 := time.Now()
 	e, err := n.reformulateOnce(ctx, key, req)
@@ -285,7 +305,14 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 		c.reformTime = time.Since(t0)
 		return c, nil
 	}
-	plans, err := e.plansFor(n.GlobalDB())
+	if len(n.remotes) > 0 {
+		if err := n.fetchReferenced(ctx, e.rws); err != nil {
+			return nil, err
+		}
+	}
+	// globalSnapshot, not GlobalDB: on the remote path this goroutine
+	// already holds remoteMu.
+	plans, err := e.plansFor(n.globalSnapshot())
 	if err != nil {
 		return nil, err
 	}
@@ -304,6 +331,12 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 func (n *Network) LocalQuery(ctx context.Context, peer string, q cq.Query) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// The snapshot below reads the peer's store, which for a remote
+	// mirror may be receiving replicas from a concurrent Query prepare.
+	if len(n.remotes) > 0 {
+		n.remoteMu.RLock()
+		defer n.remoteMu.RUnlock()
 	}
 	p := n.Peer(peer)
 	if p == nil {

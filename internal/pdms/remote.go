@@ -1,0 +1,288 @@
+package pdms
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/glav"
+	"repro/internal/relation"
+)
+
+// This file implements remote peers: participants whose data lives on
+// another node, reached through a Transport. A RemotePeer keeps a local
+// mirror — the remote schemas plus lazily synced replica relations — so
+// reformulation, cost-based planning, and the compiled engine run
+// unchanged: they see ordinary relations whose rows happen to have
+// streamed in over the wire. Freshness is fingerprint-driven: every
+// Query starts with one cheap State round trip per remote peer, schema
+// growth flows into the same atomic topoVersion path local AddSchema
+// uses (so cached reformulations die exactly like they do for local
+// topology changes), and only referenced relations whose remote
+// (version, rows) fingerprint moved are re-scanned — warm queries move
+// no tuples.
+
+// RemotePeer is a network participant served over a Transport. Its
+// mirror peer carries the remote schemas and replica relations; the
+// coordinator plans and executes against those replicas, so what stays
+// node-local is exactly the query engine — only base tuples cross the
+// wire.
+type RemotePeer struct {
+	name   string
+	tr     Transport
+	mirror *Peer
+	// schemaVer is the last remote schema version synced into the mirror.
+	schemaVer uint64
+	// fetched maps relation name → the remote fingerprint its replica
+	// was built from; latest holds the fingerprints of the most recent
+	// State call. Both are guarded by the owning Network's remoteMu.
+	fetched map[string]remoteFP
+	latest  map[string]remoteFP
+}
+
+// remoteFP is the freshness fingerprint of one remote relation.
+type remoteFP struct {
+	ver  uint64
+	rows int
+}
+
+// Name returns the remote peer's name.
+func (rp *RemotePeer) Name() string { return rp.name }
+
+// fetchParallelism bounds how many relation scans the fetch path runs
+// concurrently — the remote analogue of the PR 3 union worker pool's
+// GOMAXPROCS cap (fetches are network-bound, so a small multiple).
+func fetchParallelism(jobs int) int {
+	par := 2 * runtime.GOMAXPROCS(0)
+	if par > jobs {
+		par = jobs
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// AddRemotePeer registers a peer whose data is served by tr under the
+// given name: the remote schemas are fetched and mirrored locally, and
+// from then on Network.Query keeps the mirror's replicas fresh,
+// fetching lazily — only relations the query's rewritings actually
+// reference, only when their remote fingerprint moved. Like AddPeer it
+// requires external synchronization with readers. The transport is
+// owned by the caller (one transport may serve many peers); RemovePeer
+// does not close it.
+func (n *Network) AddRemotePeer(ctx context.Context, name string, tr Transport) (*RemotePeer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, dup := n.peers[name]; dup {
+		return nil, fmt.Errorf("pdms: duplicate peer %q", name)
+	}
+	st, err := tr.State(ctx, name)
+	if err != nil {
+		return nil, fmt.Errorf("pdms: remote peer %s state: %w", name, err)
+	}
+	schemas, err := tr.Schemas(ctx, name)
+	if err != nil {
+		return nil, fmt.Errorf("pdms: remote peer %s schemas: %w", name, err)
+	}
+	mirror := NewPeer(name, schemas...)
+	if err := n.AddPeer(mirror); err != nil {
+		return nil, err
+	}
+	rp := &RemotePeer{
+		name:      name,
+		tr:        tr,
+		mirror:    mirror,
+		schemaVer: st.SchemaVersion,
+		fetched:   make(map[string]remoteFP),
+		latest:    latestFPs(st),
+	}
+	if n.remotes == nil {
+		n.remotes = make(map[string]*RemotePeer)
+	}
+	n.remotes[name] = rp
+	return rp, nil
+}
+
+// latestFPs extracts the per-relation fingerprints of a State response.
+func latestFPs(st PeerState) map[string]remoteFP {
+	out := make(map[string]remoteFP, len(st.Relations))
+	for _, ns := range st.Relations {
+		out[ns.Name] = remoteFP{ver: ns.Stats.Version, rows: ns.Stats.Rows}
+	}
+	return out
+}
+
+// syncRemotes refreshes every remote peer's fingerprint with one State
+// round trip each, and folds remote schema growth into the mirror via
+// Peer.AddSchema — which notifies the joined networks through the same
+// atomic topoVersion bump a local schema change takes, so reformulation
+// cache keys derived before the remote change can never be reused.
+// Caller holds n.remoteMu.
+func (n *Network) syncRemotes(ctx context.Context) error {
+	names := make([]string, 0, len(n.remotes))
+	for name := range n.remotes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Probe concurrently: the States are independent reads of distinct
+	// peers, and serializing them would make every query's prepare
+	// latency linear in remote peers × round-trip time. The bounded
+	// fan-out mirrors fetchReferenced's pool; mirror mutation stays on
+	// this goroutine (which holds remoteMu's write side).
+	states := make([]PeerState, len(names))
+	errs := make([]error, len(names))
+	if len(names) == 1 {
+		states[0], errs[0] = n.remotes[names[0]].tr.State(ctx, names[0])
+	} else {
+		work := make(chan int, len(names))
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		var wg sync.WaitGroup
+		for w := 0; w < fetchParallelism(len(names)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					states[i], errs[i] = n.remotes[names[i]].tr.State(ctx, names[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, name := range names {
+		rp, st, err := n.remotes[name], states[i], errs[i]
+		if err != nil {
+			return fmt.Errorf("pdms: sync remote peer %s: %w", name, err)
+		}
+		if st.SchemaVersion != rp.schemaVer {
+			schemas, err := rp.tr.Schemas(ctx, name)
+			if err != nil {
+				return fmt.Errorf("pdms: sync remote peer %s schemas: %w", name, err)
+			}
+			for _, s := range schemas {
+				if !rp.mirror.HasRelation(s.Name) {
+					rp.mirror.AddSchema(s)
+				}
+			}
+			rp.schemaVer = st.SchemaVersion
+		}
+		rp.latest = latestFPs(st)
+	}
+	return nil
+}
+
+// fetchJob names one stale replica to rebuild.
+type fetchJob struct {
+	rp   *RemotePeer
+	rel  string
+	want remoteFP
+}
+
+// fetchReferenced brings every remote relation referenced by the
+// rewritings up to date with the fingerprints syncRemotes just
+// recorded. Stale replicas are re-scanned concurrently on a bounded
+// worker pool (the PR 3 fan-out shape: a job channel, first error
+// cancels the rest), each scan streaming tuple batches into a fresh
+// relation built through Insert so column statistics accrue and the
+// cost-based planner orders joins from remote cardinalities. The
+// finished replica replaces the old one atomically from this
+// goroutine, which also bumps the global snapshot fingerprint — plans
+// compiled from the stale replica are recompiled, never reused. Caller
+// holds n.remoteMu.
+func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
+	var jobs []fetchJob
+	queued := make(map[string]bool)
+	for _, rw := range rws {
+		for _, a := range rw.Body {
+			peer, rel := glav.SplitQualified(a.Pred)
+			if peer == "" || queued[a.Pred] {
+				continue
+			}
+			rp := n.remotes[peer]
+			if rp == nil {
+				continue // local peer: the global snapshot already has it
+			}
+			queued[a.Pred] = true
+			want, known := rp.latest[rel]
+			if !known {
+				continue // mirror schema exists but remote serves no data yet
+			}
+			if got, ok := rp.fetched[rel]; ok && got == want {
+				continue // replica already matches the remote fingerprint
+			}
+			jobs = append(jobs, fetchJob{rp: rp, rel: rel, want: want})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type fetchResult struct {
+		job fetchJob
+		rel *relation.Relation
+		err error
+	}
+	work := make(chan fetchJob, len(jobs))
+	for _, job := range jobs {
+		work <- job
+	}
+	close(work)
+	results := make(chan fetchResult)
+	for w := 0; w < fetchParallelism(len(jobs)); w++ {
+		go func() {
+			for job := range work {
+				if err := fctx.Err(); err != nil {
+					results <- fetchResult{job: job, err: err}
+					continue
+				}
+				dst := relation.New(job.rp.mirror.Schema(job.rel))
+				err := job.rp.tr.Scan(fctx, job.rp.name, job.rel, func(batch []relation.Tuple) error {
+					for _, t := range batch {
+						if err := dst.Insert(t); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				results <- fetchResult{job: job, rel: dst, err: err}
+			}
+		}()
+	}
+	// Every queued job yields exactly one result, so draining is
+	// deadlock-free even when the first error cancels the stragglers.
+	var firstErr error
+	for pending := len(jobs); pending > 0; pending-- {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pdms: fetch %s.%s: %w", res.job.rp.name, res.job.rel, res.err)
+				cancel() // abort the remaining scans, PR 3 style
+			}
+			continue
+		}
+		if firstErr == nil {
+			res.job.rp.mirror.Store.Put(res.rel)
+			res.job.rp.fetched[res.job.rel] = res.job.want
+		}
+	}
+	return firstErr
+}
+
+// invalidateRemotesLocked drops every replica fingerprint so the next
+// query re-fetches whatever it references, InvalidateCaches's
+// out-of-band hammer extended to the distributed tier. Caller holds
+// n.remoteMu.
+func (n *Network) invalidateRemotesLocked() {
+	for _, rp := range n.remotes {
+		rp.fetched = make(map[string]remoteFP)
+	}
+}

@@ -1,0 +1,167 @@
+package pdms
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file defines the transport seam of the distributed PDMS: the
+// Transport interface a coordinator uses to reach a peer that lives
+// elsewhere, and Loopback, the in-process reference implementation.
+// Loopback deliberately round-trips every schema, statistics
+// fingerprint, and tuple batch through the wire codecs of
+// internal/relation, so the differential test axis is exactly one
+// variable long: in-process vs loopback isolates the encoding, and
+// loopback vs TCP isolates the sockets.
+
+// Transport is how a Network reaches a peer hosted on another node. The
+// three read operations mirror the wire protocol's request kinds
+// (PROTOCOL.md): a cheap statistics fingerprint used to decide whether
+// anything must move, the peer's relation schemas, and a streaming scan
+// of one relation's tuples. Implementations must be safe for concurrent
+// use — the fetch path scans several relations at once.
+type Transport interface {
+	// State returns the peer's current statistics fingerprint: its
+	// schema version plus, per relation, row count, mutation version,
+	// and distinct-value estimates. It is the per-query freshness probe,
+	// so it should be cheap.
+	State(ctx context.Context, peer string) (PeerState, error)
+	// Schemas returns the peer's relation schemas.
+	Schemas(ctx context.Context, peer string) ([]relation.Schema, error)
+	// Scan streams the named relation's tuples in batches, calling
+	// deliver for each batch in order. A deliver error or ctx
+	// cancellation aborts the scan with that error.
+	Scan(ctx context.Context, peer, rel string, deliver func([]relation.Tuple) error) error
+	// Close releases the transport's resources (connections, pools).
+	Close() error
+}
+
+// PeerState is a remote peer's statistics fingerprint: everything a
+// coordinator needs to decide whether its cached replicas and plans are
+// still current, in one round trip.
+type PeerState struct {
+	// SchemaVersion counts the peer's schema additions; a change means
+	// the relation set grew and cached reformulations may be stale.
+	SchemaVersion uint64
+	// Relations carries per-relation row counts, mutation versions, and
+	// per-column distinct estimates, in name order.
+	Relations []relation.NamedStats
+}
+
+// DefaultScanBatch is how many tuples a transport packs per tuple-batch
+// frame when streaming a scan. Large enough to amortize framing, small
+// enough that cancellation mid-scan is prompt.
+const DefaultScanBatch = 256
+
+// Loopback serves a set of local peers through the Transport interface
+// without sockets. Every payload still round-trips through the wire
+// codecs, so a loopback network exercises the full encoding path — it
+// is the differential reference between in-process execution and the
+// TCP transport. The zero value is unusable; use NewLoopback.
+type Loopback struct {
+	peers map[string]*Peer
+	scans atomic.Uint64
+}
+
+// NewLoopback returns a loopback transport serving the given peers.
+func NewLoopback(peers ...*Peer) *Loopback {
+	l := &Loopback{peers: make(map[string]*Peer, len(peers))}
+	for _, p := range peers {
+		l.peers[p.Name] = p
+	}
+	return l
+}
+
+// Scans returns how many relation scans the transport has served —
+// observability for the fetch path's laziness (tests assert that warm
+// queries move no tuples).
+func (l *Loopback) Scans() uint64 { return l.scans.Load() }
+
+func (l *Loopback) peer(name string) (*Peer, error) {
+	p := l.peers[name]
+	if p == nil {
+		return nil, &relation.WireError{Code: relation.ErrCodeUnknownPeer,
+			Message: "loopback serves no peer " + name}
+	}
+	return p, nil
+}
+
+// State implements Transport, round-tripping the fingerprint through
+// the stats frame codec.
+func (l *Loopback) State(ctx context.Context, peer string) (PeerState, error) {
+	if err := ctx.Err(); err != nil {
+		return PeerState{}, err
+	}
+	p, err := l.peer(peer)
+	if err != nil {
+		return PeerState{}, err
+	}
+	sv, stats := p.ServingState()
+	sv, decoded, err := relation.DecodePeerStats(relation.EncodePeerStats(sv, stats))
+	if err != nil {
+		return PeerState{}, fmt.Errorf("pdms: loopback stats round trip: %w", err)
+	}
+	return PeerState{SchemaVersion: sv, Relations: decoded}, nil
+}
+
+// Schemas implements Transport, round-tripping each schema through the
+// schema frame codec.
+func (l *Loopback) Schemas(ctx context.Context, peer string) ([]relation.Schema, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := l.peer(peer)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Schema
+	for _, schema := range p.ServingSchemas() {
+		s, err := relation.DecodeSchema(relation.EncodeSchema(schema))
+		if err != nil {
+			return nil, fmt.Errorf("pdms: loopback schema round trip: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Scan implements Transport: a snapshot of the relation's rows is cut
+// into DefaultScanBatch-sized batches, each round-tripped through the
+// tuple-batch frame codec, with cancellation checked between batches.
+func (l *Loopback) Scan(ctx context.Context, peer, rel string, deliver func([]relation.Tuple) error) error {
+	p, err := l.peer(peer)
+	if err != nil {
+		return err
+	}
+	r := p.ServingScan(rel)
+	if r == nil {
+		return &relation.WireError{Code: relation.ErrCodeUnknownRelation,
+			Message: "peer " + peer + " has no relation " + rel}
+	}
+	l.scans.Add(1)
+	rows := r.Rows()
+	for len(rows) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := DefaultScanBatch
+		if n > len(rows) {
+			n = len(rows)
+		}
+		batch, err := relation.DecodeTupleBatch(relation.EncodeTupleBatch(rows[:n]))
+		if err != nil {
+			return fmt.Errorf("pdms: loopback batch round trip: %w", err)
+		}
+		if err := deliver(batch); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
+// Close implements Transport; a loopback holds no resources.
+func (l *Loopback) Close() error { return nil }

@@ -1,0 +1,418 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the binary wire layer of the distributed serving
+// subsystem: a versioned, length-prefixed frame format plus payload
+// codecs for the things peers exchange — relation schemas, tuple
+// batches, per-peer statistics fingerprints, and errors. The framing is
+// deliberately dumb (one type byte, a big-endian length, opaque
+// payload) so any transport that can move bytes — TCP, pipes, an
+// in-process loopback — can carry it. PROTOCOL.md is the normative
+// spec, including a worked hex-annotated example frame; keep the two in
+// sync.
+
+// WireVersion is the protocol version this build speaks. Hello frames
+// carry it; an endpoint receiving a different version answers with an
+// ErrCodeVersion error frame and closes.
+const WireVersion = 1
+
+// wireMagic opens every Hello payload so a peer dialed by something
+// that is not speaking this protocol fails fast and loudly.
+var wireMagic = [4]byte{'R', 'V', 'R', 'P'}
+
+// FrameType tags what a frame's payload contains.
+type FrameType byte
+
+// Frame types of protocol version 1. Values are part of the wire
+// contract — never renumber, only append.
+const (
+	// FrameHello opens a connection in both directions: magic + version.
+	FrameHello FrameType = 0x01
+	// FrameRequest asks the serving side for schemas, state, or a scan.
+	// The payload layout is owned by the transport layer.
+	FrameRequest FrameType = 0x02
+	// FrameSchema carries one relation schema.
+	FrameSchema FrameType = 0x03
+	// FrameTupleBatch carries a batch of self-describing tuples.
+	FrameTupleBatch FrameType = 0x04
+	// FrameStats carries a peer's statistics fingerprint: its schema
+	// version plus per-relation row counts, mutation versions, and
+	// distinct-value estimates.
+	FrameStats FrameType = 0x05
+	// FrameError aborts a response with a code and message.
+	FrameError FrameType = 0x0E
+	// FrameEnd terminates a multi-frame response (schema lists, scans).
+	FrameEnd FrameType = 0x0F
+)
+
+// MaxFramePayload bounds a single frame's payload (16 MiB). ReadFrame
+// rejects anything larger before allocating, so a corrupt or hostile
+// length prefix cannot balloon memory.
+const MaxFramePayload = 16 << 20
+
+// frameHeaderLen is the fixed frame prefix: 1 type byte + 4 length bytes.
+const frameHeaderLen = 5
+
+// WriteFrame writes one frame — type byte, big-endian uint32 payload
+// length, payload — to w in a single Write call so concurrent framing
+// errors never interleave partial headers.
+func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("relation: frame payload %d exceeds %d bytes", len(payload), MaxFramePayload)
+	}
+	buf := make([]byte, frameHeaderLen+len(payload))
+	buf[0] = byte(typ)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r, returning its type and payload. It
+// fails on oversized length prefixes without allocating, and converts a
+// clean EOF on the frame boundary into io.EOF (mid-frame truncation is
+// io.ErrUnexpectedEOF).
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("relation: truncated frame header: %w", err)
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("relation: frame payload %d exceeds %d bytes", n, MaxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("relation: truncated frame payload: %w", err)
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// EncodeHello builds a Hello payload: magic + protocol version.
+func EncodeHello() []byte {
+	buf := append([]byte(nil), wireMagic[:]...)
+	return binary.AppendUvarint(buf, WireVersion)
+}
+
+// DecodeHello validates a Hello payload and returns the peer's protocol
+// version. A bad magic is a hard error; a version mismatch is returned
+// as the version with no error so the caller can answer with a typed
+// ErrCodeVersion error frame.
+func DecodeHello(payload []byte) (uint64, error) {
+	if len(payload) < len(wireMagic) || [4]byte(payload[:4]) != wireMagic {
+		return 0, fmt.Errorf("relation: bad hello magic")
+	}
+	ver, n := binary.Uvarint(payload[4:])
+	if n <= 0 {
+		return 0, fmt.Errorf("relation: truncated hello version")
+	}
+	return ver, nil
+}
+
+// appendString appends a uvarint length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeString consumes a uvarint length-prefixed string.
+func decodeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("relation: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// EncodeSchema renders a schema as a FrameSchema payload: relation
+// name, attribute count, then per attribute its name and a type byte.
+func EncodeSchema(s Schema) []byte {
+	buf := appendString(nil, s.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		buf = appendString(buf, a.Name)
+		buf = append(buf, byte(a.Type))
+	}
+	return buf
+}
+
+// DecodeSchema parses a FrameSchema payload.
+func DecodeSchema(payload []byte) (Schema, error) {
+	name, rest, err := decodeString(payload)
+	if err != nil {
+		return Schema{}, err
+	}
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return Schema{}, fmt.Errorf("relation: truncated schema arity")
+	}
+	rest = rest[sz:]
+	// Cap the pre-allocation: n is attacker-controlled until proven by
+	// actual payload bytes.
+	capN := n
+	if capN > 4096 {
+		capN = 4096
+	}
+	s := Schema{Name: name, Attrs: make([]Attribute, 0, capN)}
+	for i := uint64(0); i < n; i++ {
+		var attr string
+		attr, rest, err = decodeString(rest)
+		if err != nil {
+			return Schema{}, err
+		}
+		if len(rest) < 1 {
+			return Schema{}, fmt.Errorf("relation: truncated attribute type")
+		}
+		kind := Type(rest[0])
+		rest = rest[1:]
+		if kind != TString && kind != TInt && kind != TFloat {
+			return Schema{}, fmt.Errorf("relation: unknown attribute type %d", kind)
+		}
+		s.Attrs = append(s.Attrs, Attribute{Name: attr, Type: kind})
+	}
+	return s, nil
+}
+
+// appendValue appends one self-describing value: a kind byte followed
+// by the kind's payload (strings length-prefixed, ints zigzag varint,
+// floats 8-byte big-endian IEEE 754).
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case TString:
+		buf = appendString(buf, v.S)
+	case TInt:
+		buf = binary.AppendVarint(buf, v.I)
+	case TFloat:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F))
+	}
+	return buf
+}
+
+// decodeValue consumes one self-describing value.
+func decodeValue(b []byte) (Value, []byte, error) {
+	if len(b) < 1 {
+		return Value{}, nil, fmt.Errorf("relation: truncated value kind")
+	}
+	kind := Type(b[0])
+	b = b[1:]
+	switch kind {
+	case TString:
+		s, rest, err := decodeString(b)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return SV(s), rest, nil
+	case TInt:
+		i, sz := binary.Varint(b)
+		if sz <= 0 {
+			return Value{}, nil, fmt.Errorf("relation: truncated int value")
+		}
+		return IV(i), b[sz:], nil
+	case TFloat:
+		if len(b) < 8 {
+			return Value{}, nil, fmt.Errorf("relation: truncated float value")
+		}
+		return FV(math.Float64frombits(binary.BigEndian.Uint64(b[:8]))), b[8:], nil
+	}
+	return Value{}, nil, fmt.Errorf("relation: unknown value kind %d", kind)
+}
+
+// EncodeTupleBatch renders tuples as a FrameTupleBatch payload: tuple
+// count, then per tuple its arity and self-describing values. Batches
+// are self-contained — a reader needs no schema to decode one — so
+// mid-stream corruption is detected per frame, not per scan.
+func EncodeTupleBatch(batch []Tuple) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(batch)))
+	for _, t := range batch {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		for _, v := range t {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeTupleBatch parses a FrameTupleBatch payload.
+func DecodeTupleBatch(payload []byte) ([]Tuple, error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return nil, fmt.Errorf("relation: truncated batch count")
+	}
+	rest := payload[sz:]
+	// Cap the pre-allocation: n is attacker-controlled until proven by
+	// actual payload bytes.
+	capN := n
+	if capN > 4096 {
+		capN = 4096
+	}
+	batch := make([]Tuple, 0, capN)
+	for i := uint64(0); i < n; i++ {
+		arity, sz := binary.Uvarint(rest)
+		if sz <= 0 || arity > uint64(len(rest)) {
+			return nil, fmt.Errorf("relation: truncated tuple arity")
+		}
+		rest = rest[sz:]
+		t := make(Tuple, 0, arity)
+		for j := uint64(0); j < arity; j++ {
+			var v Value
+			var err error
+			v, rest, err = decodeValue(rest)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		batch = append(batch, t)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after tuple batch", len(rest))
+	}
+	return batch, nil
+}
+
+// NamedStats pairs a relation name with its statistics summary, the
+// per-relation unit of a peer's statistics fingerprint.
+type NamedStats struct {
+	// Name is the relation's unqualified name at the serving peer.
+	Name string
+	// Stats is the relation's row count, version, and per-column
+	// distinct estimates (Distinct may be nil when not maintained).
+	Stats Stats
+}
+
+// EncodePeerStats renders a peer's statistics fingerprint as a
+// FrameStats payload: the peer's schema version, then per relation its
+// name, row count, mutation version, and per-column distinct-value
+// estimates. Remote planners order joins from these cardinalities, and
+// plan caches key on the (version, rows) pairs to decide whether a
+// cached remote snapshot is still current.
+func EncodePeerStats(schemaVersion uint64, stats []NamedStats) []byte {
+	buf := binary.AppendUvarint(nil, schemaVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(stats)))
+	for _, st := range stats {
+		buf = appendString(buf, st.Name)
+		buf = binary.AppendUvarint(buf, uint64(st.Stats.Rows))
+		buf = binary.AppendUvarint(buf, st.Stats.Version)
+		buf = binary.AppendUvarint(buf, uint64(len(st.Stats.Distinct)))
+		for _, d := range st.Stats.Distinct {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d))
+		}
+	}
+	return buf
+}
+
+// DecodePeerStats parses a FrameStats payload.
+func DecodePeerStats(payload []byte) (schemaVersion uint64, stats []NamedStats, err error) {
+	schemaVersion, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("relation: truncated stats schema version")
+	}
+	rest := payload[sz:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("relation: truncated stats count")
+	}
+	rest = rest[sz:]
+	capN := n
+	if capN > 4096 {
+		capN = 4096
+	}
+	stats = make([]NamedStats, 0, capN)
+	for i := uint64(0); i < n; i++ {
+		var st NamedStats
+		st.Name, rest, err = decodeString(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		rows, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, nil, fmt.Errorf("relation: truncated stats rows")
+		}
+		rest = rest[sz:]
+		st.Stats.Rows = int(rows)
+		st.Stats.Version, sz = binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, nil, fmt.Errorf("relation: truncated stats version")
+		}
+		rest = rest[sz:]
+		cols, sz := binary.Uvarint(rest)
+		if sz <= 0 || cols > uint64(len(rest)) {
+			return 0, nil, fmt.Errorf("relation: truncated stats column count")
+		}
+		rest = rest[sz:]
+		if cols > 0 {
+			if uint64(len(rest)) < cols*8 {
+				return 0, nil, fmt.Errorf("relation: truncated stats distincts")
+			}
+			st.Stats.Distinct = make([]float64, cols)
+			for c := uint64(0); c < cols; c++ {
+				st.Stats.Distinct[c] = math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))
+				rest = rest[8:]
+			}
+		}
+		stats = append(stats, st)
+	}
+	return schemaVersion, stats, nil
+}
+
+// Wire error codes carried by FrameError payloads. Values are part of
+// the wire contract — never renumber, only append.
+const (
+	// ErrCodeUnknownPeer reports a request naming a peer the server
+	// does not host.
+	ErrCodeUnknownPeer uint64 = 1
+	// ErrCodeUnknownRelation reports a scan of a relation absent from
+	// the peer's schema.
+	ErrCodeUnknownRelation uint64 = 2
+	// ErrCodeBadRequest reports a malformed or unsupported request.
+	ErrCodeBadRequest uint64 = 3
+	// ErrCodeVersion reports a protocol version mismatch at handshake.
+	ErrCodeVersion uint64 = 4
+	// ErrCodeInternal reports a serving-side failure mid-response.
+	ErrCodeInternal uint64 = 5
+)
+
+// WireError is a protocol-level error decoded from a FrameError frame.
+type WireError struct {
+	// Code is one of the ErrCode constants.
+	Code uint64
+	// Message is the serving side's human-readable detail.
+	Message string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("wire error %d: %s", e.Code, e.Message)
+}
+
+// EncodeError renders a FrameError payload: code + message.
+func EncodeError(code uint64, msg string) []byte {
+	buf := binary.AppendUvarint(nil, code)
+	return appendString(buf, msg)
+}
+
+// DecodeError parses a FrameError payload into a *WireError.
+func DecodeError(payload []byte) (*WireError, error) {
+	code, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return nil, fmt.Errorf("relation: truncated error code")
+	}
+	msg, _, err := decodeString(payload[sz:])
+	if err != nil {
+		return nil, err
+	}
+	return &WireError{Code: code, Message: msg}, nil
+}

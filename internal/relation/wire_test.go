@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 10_000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, FrameType(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != FrameType(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	// Type byte + a length prefix claiming 1 GiB.
+	raw := []byte{byte(FrameTupleBatch), 0x40, 0x00, 0x00, 0x00}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameSchema, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	ver, err := DecodeHello(EncodeHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != WireVersion {
+		t.Fatalf("version %d, want %d", ver, WireVersion)
+	}
+	if _, err := DecodeHello([]byte("XXXX\x01")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeHello([]byte("RV")); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestSchemaWireRoundTrip(t *testing.T) {
+	s := NewSchema("course", Attr("title"), IntAttr("size"), FloatAttr("rating"))
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("round trip: %s, want %s", got, s)
+	}
+	// Empty schema (no attributes) survives too.
+	e, err := DecodeSchema(EncodeSchema(Schema{Name: "empty"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "empty" || e.Arity() != 0 {
+		t.Fatalf("empty schema round trip: %v", e)
+	}
+}
+
+func TestDecodeSchemaRejectsHostileCount(t *testing.T) {
+	// A tiny payload claiming 2^40 attributes must fail with an error,
+	// not pre-allocate by the claimed count.
+	payload := appendString(nil, "x")
+	payload = append(payload, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^42
+	if _, err := DecodeSchema(payload); err == nil {
+		t.Fatal("hostile attribute count accepted")
+	}
+}
+
+func TestTupleBatchWireRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	batch := []Tuple{
+		{SV(""), IV(0), FV(0)},
+		{SV("héllo\tworld\n"), IV(-42), FV(-3.14159)},
+		{SV(strings.Repeat("x", 1000)), IV(1 << 62), FV(1e300)},
+	}
+	for i := 0; i < 50; i++ {
+		t := Tuple{}
+		for j := 0; j < rnd.Intn(5); j++ {
+			switch rnd.Intn(3) {
+			case 0:
+				t = append(t, SV(string(rune('a'+rnd.Intn(26)))))
+			case 1:
+				t = append(t, IV(rnd.Int63()-rnd.Int63()))
+			default:
+				t = append(t, FV(rnd.NormFloat64()))
+			}
+		}
+		batch = append(batch, t)
+	}
+	got, err := DecodeTupleBatch(EncodeTupleBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("count %d, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if !got[i].Equal(batch[i]) {
+			t.Fatalf("tuple %d: %v, want %v", i, got[i], batch[i])
+		}
+	}
+	// Empty batch.
+	if got, err := DecodeTupleBatch(EncodeTupleBatch(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestTupleBatchRejectsCorruption(t *testing.T) {
+	good := EncodeTupleBatch([]Tuple{{SV("ab"), IV(7)}})
+	// Every strict prefix must fail, not decode partially.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeTupleBatch(good[:cut]); err == nil {
+			t.Fatalf("prefix of %d bytes accepted", cut)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeTupleBatch(append(append([]byte{}, good...), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Unknown value kind is rejected.
+	bad := append([]byte{}, good...)
+	bad[2] = 0x7F // first value's kind byte
+	if _, err := DecodeTupleBatch(bad); err == nil {
+		t.Fatal("unknown value kind accepted")
+	}
+}
+
+func TestPeerStatsWireRoundTrip(t *testing.T) {
+	r := New(NewSchema("c", Attr("a"), IntAttr("b")))
+	for i := 0; i < 100; i++ {
+		r.MustInsert(SV(string(rune('a'+i%7))), IV(int64(i)))
+	}
+	in := []NamedStats{
+		{Name: "c", Stats: r.Stats()},
+		{Name: "nostats", Stats: Stats{Rows: 3, Version: 9}}, // nil Distinct
+	}
+	sv, out, err := DecodePeerStats(EncodePeerStats(42, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv != 42 {
+		t.Fatalf("schema version %d, want 42", sv)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("relation count %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || out[i].Stats.Rows != in[i].Stats.Rows ||
+			out[i].Stats.Version != in[i].Stats.Version ||
+			len(out[i].Stats.Distinct) != len(in[i].Stats.Distinct) {
+			t.Fatalf("stats %d: %+v, want %+v", i, out[i], in[i])
+		}
+		for c := range in[i].Stats.Distinct {
+			if out[i].Stats.Distinct[c] != in[i].Stats.Distinct[c] {
+				t.Fatalf("stats %d col %d: %v, want %v", i, c,
+					out[i].Stats.Distinct[c], in[i].Stats.Distinct[c])
+			}
+		}
+	}
+}
+
+func TestErrorWireRoundTrip(t *testing.T) {
+	we, err := DecodeError(EncodeError(ErrCodeUnknownRelation, "no such relation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.Code != ErrCodeUnknownRelation || we.Message != "no such relation" {
+		t.Fatalf("round trip: %+v", we)
+	}
+	if we.Error() == "" {
+		t.Fatal("empty Error() string")
+	}
+	if _, err := DecodeError(nil); err == nil {
+		t.Fatal("empty error payload accepted")
+	}
+}

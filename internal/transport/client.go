@@ -1,0 +1,358 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pdms"
+	"repro/internal/relation"
+)
+
+// maxIdleConns bounds the client's connection pool. Concurrent requests
+// beyond the pool dial extra connections that are closed on return, so
+// the pool size caps steady-state sockets, not parallelism (the fetch
+// worker pool above bounds that).
+const maxIdleConns = 4
+
+// Client speaks the wire protocol to one Server and implements
+// pdms.Transport, so a coordinator adds TCP-served peers with
+// Network.AddRemotePeer exactly like loopback ones. Connections are
+// pooled and handshaken once; requests may run concurrently. A request
+// whose context dies mid-stream poisons its connection (the stream
+// position is unknown) and returns ctx's error. A pooled connection
+// that died while idle (server restart, dropped session) is detected
+// by the first request that fails before any response frame and
+// retried exactly once on a fresh dial — safe because every op is an
+// idempotent read.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+// compile-time proof the client is a pdms.Transport.
+var _ pdms.Transport = (*Client)(nil)
+
+// clientConn is one pooled, handshaken connection.
+type clientConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a Server at addr and performs the version handshake
+// eagerly, so a wrong address or incompatible server fails at setup
+// time, not first query.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	cc, err := c.dial(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	c.put(cc)
+	return c, nil
+}
+
+// handshakeTimeout bounds the Hello exchange against a server that
+// accepts the TCP connection but never answers — the floor even when
+// the caller's context cannot expire (Dial uses Background).
+const handshakeTimeout = 10 * time.Second
+
+// dial opens and handshakes one connection. The handshake runs under
+// both an absolute deadline and a ctx watchdog, so a hung or
+// black-holed server cannot block a caller whose context dies.
+func (c *Client) dial(ctx context.Context) (*clientConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now()) // unblock the handshake IO
+	})
+	cc := &clientConn{c: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	err = func() error {
+		if err := relation.WriteFrame(cc.bw, relation.FrameHello, relation.EncodeHello()); err != nil {
+			return err
+		}
+		if err := cc.bw.Flush(); err != nil {
+			return err
+		}
+		typ, payload, err := relation.ReadFrame(cc.br)
+		if err != nil {
+			return fmt.Errorf("transport: handshake: %w", err)
+		}
+		if typ == relation.FrameError {
+			we, derr := relation.DecodeError(payload)
+			if derr != nil {
+				return derr
+			}
+			return we
+		}
+		return checkHello(typ, payload)
+	}()
+	if !stop() {
+		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return cc, nil
+}
+
+// get pops an idle connection (pooled=true) or dials a fresh one. A
+// pooled connection may have died while idle; do compensates with a
+// one-shot retry when it turns out to be dead.
+func (c *Client) get(ctx context.Context) (cc *clientConn, pooled bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, errors.New("transport: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, true, nil
+	}
+	c.mu.Unlock()
+	cc, err = c.dial(ctx)
+	return cc, false, err
+}
+
+// put returns a healthy connection to the pool (closing it when the
+// pool is full or the client closed).
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < maxIdleConns {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.c.Close()
+}
+
+// dropIdle closes every idle pooled connection (used when one of them
+// turns out to be dead: its siblings died with the same server).
+func (c *Client) dropIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+}
+
+// Close closes every pooled connection; in-flight requests finish on
+// their own connections, which are then discarded.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle, c.closed = nil, true
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+	return nil
+}
+
+// do runs one request/response exchange. handle consumes the response
+// through read (which tracks whether any frame arrived) and reports
+// whether the connection is positioned at a clean request boundary
+// (reusable). Context death mid-exchange poisons the connection via a
+// deadline and surfaces as ctx's error. A pooled connection that turns
+// out to have died while idle — the request fails before a single
+// response frame — is retried exactly once on a freshly dialed
+// connection: the three ops are idempotent reads, so the retry cannot
+// duplicate side effects.
+func (c *Client) do(ctx context.Context, op byte, peer, rel string,
+	handle func(read func() (relation.FrameType, []byte, error)) (reusable bool, err error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		cc, pooled, err := c.get(ctx)
+		if err != nil {
+			return err
+		}
+		progressed := false
+		read := func() (relation.FrameType, []byte, error) {
+			typ, payload, err := relation.ReadFrame(cc.br)
+			if err == nil {
+				progressed = true
+			}
+			return typ, payload, err
+		}
+		stop := context.AfterFunc(ctx, func() {
+			cc.c.SetDeadline(time.Now()) // unblock any pending read/write
+		})
+		reusable := false
+		err = func() error {
+			if err := relation.WriteFrame(cc.bw, relation.FrameRequest, encodeRequest(op, peer, rel)); err != nil {
+				return err
+			}
+			if err := cc.bw.Flush(); err != nil {
+				return err
+			}
+			var herr error
+			reusable, herr = handle(read)
+			return herr
+		}()
+		if !stop() {
+			// The watchdog fired: whatever handle saw (a deadline
+			// error, a partial frame) is really a cancellation.
+			cc.c.Close()
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		if err != nil && !progressed && pooled && attempt == 0 {
+			// Dead idle connection (server restart, dropped session):
+			// nothing came back. Whatever killed it almost certainly
+			// killed the rest of the idle pool too, so drop every idle
+			// connection — the retry then dials fresh instead of popping
+			// another corpse and burning its only attempt.
+			cc.c.Close()
+			c.dropIdle()
+			continue
+		}
+		if reusable {
+			c.put(cc)
+		} else {
+			cc.c.Close()
+		}
+		return err
+	}
+}
+
+// readErrorFrame decodes an error frame into a *relation.WireError and
+// reports whether the connection stays at a clean request boundary.
+// Per PROTOCOL.md only the request-level codes (unknown peer, unknown
+// relation) leave the server's side of the connection open; for every
+// other code the server closes, so pooling the connection would hand a
+// dead socket to a later request.
+func readErrorFrame(payload []byte) (reusable bool, err error) {
+	we, derr := relation.DecodeError(payload)
+	if derr != nil {
+		return false, derr
+	}
+	reusable = we.Code == relation.ErrCodeUnknownPeer || we.Code == relation.ErrCodeUnknownRelation
+	return reusable, we
+}
+
+// State implements pdms.Transport: one OpState round trip for the
+// peer's statistics fingerprint.
+func (c *Client) State(ctx context.Context, peer string) (pdms.PeerState, error) {
+	var st pdms.PeerState
+	err := c.do(ctx, OpState, peer, "", func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+		typ, payload, err := read()
+		if err != nil {
+			return false, err
+		}
+		switch typ {
+		case relation.FrameStats:
+			sv, stats, err := relation.DecodePeerStats(payload)
+			if err != nil {
+				return false, err
+			}
+			st = pdms.PeerState{SchemaVersion: sv, Relations: stats}
+			return true, nil
+		case relation.FrameError:
+			return readErrorFrame(payload)
+		}
+		return false, fmt.Errorf("transport: unexpected frame type %d in state response", typ)
+	})
+	return st, err
+}
+
+// Schemas implements pdms.Transport: one OpSchemas round trip for the
+// peer's relation schemas.
+func (c *Client) Schemas(ctx context.Context, peer string) ([]relation.Schema, error) {
+	var out []relation.Schema
+	err := c.do(ctx, OpSchemas, peer, "", func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+		out = out[:0] // a retry must not keep frames from the dead attempt
+		for {
+			typ, payload, err := read()
+			if err != nil {
+				return false, err
+			}
+			switch typ {
+			case relation.FrameSchema:
+				s, err := relation.DecodeSchema(payload)
+				if err != nil {
+					return false, err
+				}
+				out = append(out, s)
+			case relation.FrameEnd:
+				return true, nil
+			case relation.FrameError:
+				return readErrorFrame(payload)
+			default:
+				return false, fmt.Errorf("transport: unexpected frame type %d in schemas response", typ)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scan implements pdms.Transport: the relation's tuples stream in as
+// batch frames, each handed to deliver as it arrives. A deliver error
+// abandons the stream (the connection is discarded, not drained).
+func (c *Client) Scan(ctx context.Context, peer, rel string, deliver func([]relation.Tuple) error) error {
+	return c.do(ctx, OpScan, peer, rel, func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+		sawSchema := false
+		for {
+			typ, payload, err := read()
+			if err != nil {
+				return false, err
+			}
+			switch typ {
+			case relation.FrameSchema:
+				if sawSchema {
+					return false, errors.New("transport: duplicate schema frame in scan")
+				}
+				if _, err := relation.DecodeSchema(payload); err != nil {
+					return false, err
+				}
+				sawSchema = true
+			case relation.FrameTupleBatch:
+				if !sawSchema {
+					return false, errors.New("transport: batch before schema frame in scan")
+				}
+				batch, err := relation.DecodeTupleBatch(payload)
+				if err != nil {
+					return false, err
+				}
+				if err := deliver(batch); err != nil {
+					return false, err
+				}
+			case relation.FrameEnd:
+				return true, nil
+			case relation.FrameError:
+				return readErrorFrame(payload)
+			default:
+				return false, fmt.Errorf("transport: unexpected frame type %d in scan response", typ)
+			}
+		}
+	})
+}

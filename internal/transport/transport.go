@@ -1,0 +1,81 @@
+// Package transport carries the PDMS wire protocol (PROTOCOL.md) over
+// TCP: a Server hosts local peers' schemas, statistics fingerprints,
+// and relation scans, and a Client implements pdms.Transport against
+// such a server, so a coordinator Network reaches peers on other nodes
+// exactly like it reaches pdms.Loopback peers in process. Framing and
+// payload codecs live in internal/relation; this package adds only the
+// connection lifecycle — handshake, request dispatch, pooling, and
+// cancellation.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Request op codes carried in FrameRequest payloads. Values are part of
+// the wire contract — never renumber, only append.
+const (
+	// OpState requests a peer's statistics fingerprint (FrameStats).
+	OpState byte = 1
+	// OpSchemas requests a peer's relation schemas (FrameSchema* + FrameEnd).
+	OpSchemas byte = 2
+	// OpScan requests one relation's tuples (FrameSchema +
+	// FrameTupleBatch* + FrameEnd).
+	OpScan byte = 3
+)
+
+// encodeRequest renders a FrameRequest payload: op byte, then the peer
+// and relation names as uvarint length-prefixed strings (rel is empty
+// for OpState/OpSchemas).
+func encodeRequest(op byte, peer, rel string) []byte {
+	buf := []byte{op}
+	buf = binary.AppendUvarint(buf, uint64(len(peer)))
+	buf = append(buf, peer...)
+	buf = binary.AppendUvarint(buf, uint64(len(rel)))
+	return append(buf, rel...)
+}
+
+// decodeRequest parses a FrameRequest payload.
+func decodeRequest(payload []byte) (op byte, peer, rel string, err error) {
+	if len(payload) < 1 {
+		return 0, "", "", fmt.Errorf("transport: empty request")
+	}
+	op = payload[0]
+	rest := payload[1:]
+	cut := func() (string, error) {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || n > uint64(len(rest)-sz) {
+			return "", fmt.Errorf("transport: truncated request string")
+		}
+		s := string(rest[sz : sz+int(n)])
+		rest = rest[sz+int(n):]
+		return s, nil
+	}
+	if peer, err = cut(); err != nil {
+		return 0, "", "", err
+	}
+	if rel, err = cut(); err != nil {
+		return 0, "", "", err
+	}
+	return op, peer, rel, nil
+}
+
+// checkHello validates a handshake frame, returning a typed error frame
+// payload when the peer speaks another protocol version.
+func checkHello(typ relation.FrameType, payload []byte) error {
+	if typ != relation.FrameHello {
+		return fmt.Errorf("transport: expected hello frame, got type %d", typ)
+	}
+	ver, err := relation.DecodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if ver != relation.WireVersion {
+		return &relation.WireError{Code: relation.ErrCodeVersion,
+			Message: fmt.Sprintf("protocol version %d, want %d", ver, relation.WireVersion)}
+	}
+	return nil
+}

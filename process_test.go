@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the acceptance test for the distributed serving
+// subsystem at full fidelity: the 16-peer E2 transitive-closure chain
+// running as three real OS processes — two `revere serve` nodes hosting
+// peers [6:11) and [11:16), and one `revere query` coordinator holding
+// the rest — must produce a byte-identical answer set to the all-local
+// run of the same workload. (The in-process and loopback placements of
+// the same differential are covered in internal/transport.)
+
+// digestLine matches the query command's final output line.
+var digestLine = regexp.MustCompile(`^answers (\d+) oracle (\d+) digest ([0-9a-f]+)$`)
+
+// buildRevere compiles cmd/revere into a temp dir once per test run.
+func buildRevere(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "revere")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/revere")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building revere: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServeProcess boots one `revere serve` OS process on an ephemeral
+// port and waits for its readiness line, returning the address and a
+// clean-shutdown function.
+func startServeProcess(t *testing.T, bin, own string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cmd := exec.CommandContext(ctx, bin, "serve",
+		"-listen", "127.0.0.1:0", "-seed", "1", "-peers", "16", "-rows", "10", "-own", own)
+	cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string, 4)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("serve %s exited before reporting readiness", own)
+			}
+			if rest, found := strings.CutPrefix(line, "listening "); found {
+				addr = rest
+			}
+		case <-deadline:
+			t.Fatalf("serve %s never reported readiness", own)
+		}
+	}
+	shutdown := func() error {
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			return err
+		}
+		err := cmd.Wait()
+		cancel()
+		return err
+	}
+	return addr, shutdown
+}
+
+// runQueryProcess runs `revere query` with the given extra args and
+// parses its answers/oracle/digest line.
+func runQueryProcess(t *testing.T, bin string, extra ...string) (answers, oracle, digest string) {
+	t.Helper()
+	args := append([]string{"query", "-seed", "1", "-peers", "16", "-rows", "10"}, extra...)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("revere %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if m := digestLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			return m[1], m[2], m[3]
+		}
+	}
+	t.Fatalf("no digest line in output:\n%s", out)
+	return "", "", ""
+}
+
+// TestE2ThreeProcessChain boots the 16-peer chain as three OS
+// processes, runs the distributed E2 query, checks the answer set is
+// byte-identical to the all-local placement, and tears the deployment
+// down cleanly (both servers must exit 0 on SIGINT).
+func TestE2ThreeProcessChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and compiles the binary")
+	}
+	bin := buildRevere(t)
+
+	// Placement (a): every peer local to one process.
+	localAnswers, localOracle, localDigest := runQueryProcess(t, bin)
+	if localAnswers != localOracle {
+		t.Fatalf("all-local run incomplete: answers %s, oracle %s", localAnswers, localOracle)
+	}
+
+	// Placement (c): two serving nodes + one coordinator.
+	addr1, shutdown1 := startServeProcess(t, bin, "6:11")
+	addr2, shutdown2 := startServeProcess(t, bin, "11:16")
+	answers, oracle, digest := runQueryProcess(t, bin,
+		"-remote", "6:11="+addr1, "-remote", "11:16="+addr2)
+	if answers != oracle {
+		t.Errorf("distributed run incomplete: answers %s, oracle %s", answers, oracle)
+	}
+	if digest != localDigest {
+		t.Errorf("distributed digest %s != all-local digest %s: answer sets differ", digest, localDigest)
+	}
+
+	// Clean teardown: SIGINT, zero exit.
+	for i, shutdown := range []func() error{shutdown1, shutdown2} {
+		if err := shutdown(); err != nil {
+			t.Errorf("server %d did not shut down cleanly: %v", i+1, err)
+		}
+	}
+}
+
+// TestServeRejectsBadRange covers the serve-mode flag validation
+// without booting a listener.
+func TestServeRejectsBadRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	bin := buildRevere(t)
+	out, err := exec.Command(bin, "serve", "-own", "9:3").CombinedOutput()
+	if err == nil {
+		t.Fatalf("inverted -own range accepted:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+}
