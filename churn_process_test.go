@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the OS-process half of the churn story (the in-process
+// half, with scripted schedules and concurrent clients, lives in
+// internal/workload): a real server process is crashed with SIGKILL
+// mid-deployment, queries against the half-dead deployment must fail
+// typed — fast, never hanging — and after the process restarts on its
+// old address the same query must produce answers byte-identical to
+// the all-local placement.
+
+// runQueryProcessErr runs `revere query` expecting failure, returning
+// its combined output and error. The context bounds it: a query against
+// a crashed server must fail, not hang.
+func runQueryProcessErr(t *testing.T, bin string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"query", "-seed", "1", "-peers", "16", "-rows", "10"}, extra...)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("revere %s hung past its deadline:\n%s", strings.Join(args, " "), out)
+	}
+	return string(out), err
+}
+
+// TestE2ProcessChurn crashes and restarts a real server process under
+// the 16-peer chain deployment: the coordinator must fail typed while
+// the node is down (retry policy active, bounded wall clock) and
+// recover to byte-identical answers once the node rebinds its old
+// address.
+func TestE2ProcessChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and compiles the binary")
+	}
+	bin := buildRevere(t)
+	_, _, localDigest := runQueryProcess(t, bin)
+
+	p1 := startServeAt(t, bin, "6:11", "127.0.0.1:0")
+	p2 := startServeAt(t, bin, "11:16", "127.0.0.1:0")
+	remoteArgs := []string{"-remote", "6:11=" + p1.addr, "-remote", "11:16=" + p2.addr,
+		"-retry", "3", "-timeout", "2s"}
+
+	_, _, digest := runQueryProcess(t, bin, remoteArgs...)
+	if digest != localDigest {
+		t.Fatalf("healthy distributed digest %s != all-local %s", digest, localDigest)
+	}
+
+	// Crash: SIGKILL the upper-range server. The retry policy burns its
+	// attempts against the dead address and the query must exit nonzero
+	// (typed unreachable) well within the process deadline.
+	p2.kill()
+	start := time.Now()
+	out, err := runQueryProcessErr(t, bin, remoteArgs...)
+	if err == nil {
+		t.Fatalf("query against a SIGKILLed server succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("failure against a crashed server is not typed unreachable:\n%s", out)
+	}
+	if elapsed := time.Since(start); elapsed > 45*time.Second {
+		t.Errorf("failure took %s; a crashed peer must fail fast, not hang", elapsed)
+	}
+
+	// Rejoin: restart the crashed range on its old fixed address (the
+	// listener sets SO_REUSEADDR, so the rebind races nothing) and the
+	// deployment must answer byte-identically again.
+	p3 := startServeAt(t, bin, "11:16", p2.addr)
+	if p3.addr != p2.addr {
+		t.Fatalf("restarted server reports %s, want its old address %s", p3.addr, p2.addr)
+	}
+	answers, oracle, digest := runQueryProcess(t, bin, remoteArgs...)
+	if answers != oracle {
+		t.Errorf("post-rejoin run incomplete: answers %s, oracle %s", answers, oracle)
+	}
+	if digest != localDigest {
+		t.Errorf("post-rejoin digest %s != all-local %s", digest, localDigest)
+	}
+
+	for i, p := range []*serveProc{p1, p3} {
+		if err := p.shutdown(); err != nil {
+			t.Errorf("server %d did not shut down cleanly: %v", i+1, err)
+		}
+	}
+}

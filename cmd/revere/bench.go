@@ -1,0 +1,35 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/perfledger"
+)
+
+// runBench measures the serving-path perf ledger (warm, degraded, and
+// recovery E2/16 latencies) and writes it as JSON — the machine-checked
+// record behind BENCH_6.json and the CI regression gate.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("revere bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_6.json", "path to write the JSON perf ledger to")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("measuring the E2/16 serving-path ledger (four benchmarks, ~1s each)…")
+	l, err := perfledger.Run()
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{perfledger.BenchWarm, perfledger.BenchWarmRemote,
+		perfledger.BenchDegraded, perfledger.BenchRecovery} {
+		b := l.Benches[name]
+		fmt.Printf("%-24s %10.0f ns/op %6d allocs/op %4d answers %6.2f retries/op\n",
+			name, b.NsPerOp, b.AllocsPerOp, b.Answers, b.RetriesPerOp)
+	}
+	if err := l.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/pdms"
 	"repro/internal/relation"
@@ -162,6 +163,10 @@ func runQuery(args []string) error {
 	peers := fs.Int("peers", 16, "total peers in the chain workload")
 	rows := fs.Int("rows", 10, "course rows per peer")
 	par := fs.Int("par", 0, "union execution parallelism: 0 auto, 1 sequential, N workers")
+	retry := fs.Int("retry", 0, "attempts per remote operation (0 = single attempt, no policy)")
+	timeout := fs.Duration("timeout", 0, "per-attempt timeout for remote operations (with -retry)")
+	stale := fs.Bool("stale", false, "serve last-good mirror snapshots when a remote peer is unreachable")
+	watch := fs.Duration("watch", 0, "re-run the query at this interval until interrupted (0 = run once)")
 	var remotes remoteFlag
 	fs.Var(&remotes, "remote", "peer range served remotely, as lo:hi=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -215,24 +220,68 @@ func runQuery(args []string) error {
 			return err
 		}
 	}
-	cur, err := n.Query(ctx, pdms.Request{
+	// -retry/-timeout select the declarative retry policy; without them
+	// the zero policy keeps the pre-policy single-attempt behavior.
+	var pol pdms.RetryPolicy
+	if *retry > 0 || *timeout > 0 {
+		pol = pdms.DefaultRetryPolicy()
+		if *retry > 0 {
+			pol.MaxAttempts = *retry
+		}
+		if *timeout > 0 {
+			pol.OpTimeout = *timeout
+		}
+	}
+	req := pdms.Request{
 		Peer:        workload.PeerName(0),
 		Query:       g.TitleQuery(0),
 		Reform:      pdms.ReformOptions{MaxDepth: *peers + 1},
 		Parallelism: *par,
-	})
-	if err != nil {
-		return err
+		Retry:       pol,
+		AllowStale:  *stale,
 	}
-	answers, err := cur.Materialize()
-	if err != nil {
-		return err
+	runOnce := func() error {
+		cur, err := n.Query(ctx, req)
+		if err != nil {
+			return err
+		}
+		answers, err := cur.Materialize()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E2 chain peers=%d remote=%d reform=%s exec=%s\n",
+			*peers, len(remoteAddr), cur.ReformTime(), cur.ExecTime())
+		for _, d := range cur.Degraded() {
+			fmt.Printf("degraded %s last-sync %s: %v\n", d.Peer, d.LastSync.Format("15:04:05.000"), d.Err)
+		}
+		if r := cur.Retries(); r > 0 {
+			fmt.Printf("retries %d\n", r)
+		}
+		fmt.Printf("answers %d oracle %d digest %s\n",
+			answers.Len(), len(g.AllTitles), AnswerDigest(answers))
+		return nil
 	}
-	fmt.Printf("E2 chain peers=%d remote=%d reform=%s exec=%s\n",
-		*peers, len(remoteAddr), cur.ReformTime(), cur.ExecTime())
-	fmt.Printf("answers %d oracle %d digest %s\n",
-		answers.Len(), len(g.AllTitles), AnswerDigest(answers))
-	return nil
+	if *watch <= 0 {
+		return runOnce()
+	}
+	// Watch mode keeps one coordinator (and its remote mirrors) alive
+	// across iterations, so killing and restarting a serve process mid
+	// -watch demonstrates the full degradation cycle: fresh → degraded
+	// stale serving (with -stale) or typed failure (without) → fresh
+	// again once the background prober sees the peer return.
+	for {
+		if err := runOnce(); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			fmt.Printf("query error: %v\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*watch):
+		}
+	}
 }
 
 // AnswerDigest renders a relation's canonical content digest: the

@@ -13,6 +13,8 @@
 //
 //	revere serve [-listen ADDR] [-seed N] [-peers N] [-rows N] [-own LO:HI]
 //	revere query [-seed N] [-peers N] [-rows N] [-par N] [-remote LO:HI=ADDR]...
+//	             [-retry N] [-timeout D] [-stale] [-watch D]
+//	revere bench [-out FILE]
 //
 // A serve process hosts the peers in [LO:HI) on a TCP port; a query
 // process runs the E2 title query on a coordinator whose -remote ranges
@@ -21,6 +23,19 @@
 // a digest of the sorted answer set that is identical across placements
 // (all-local, loopback, N processes) of the same seed. See README.md
 // for a three-process quickstart.
+//
+// -retry and -timeout put the query's remote operations under the
+// declarative retry policy (capped jittered backoff, per-attempt
+// timeout, shared budget); -stale additionally serves last-good mirror
+// snapshots when a remote peer stays unreachable, printing one
+// "degraded PEER ..." line per stale peer. -watch re-runs the query at
+// an interval with one long-lived coordinator, so killing and
+// restarting a serve process mid-watch shows the full degradation
+// cycle (stale serving needs a mirror from a successful earlier sync —
+// a coordinator started after the peer died has nothing to serve and
+// fails typed). bench measures the serving path (warm, degraded,
+// recovery) and writes the machine-checked perf ledger that CI gates
+// on (BENCH_6.json).
 package main
 
 import (
@@ -42,18 +57,23 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && (os.Args[1] == "serve" || os.Args[1] == "query") {
-		var err error
-		if os.Args[1] == "serve" {
-			err = runServe(os.Args[2:])
-		} else {
-			err = runQuery(os.Args[2:])
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "serve":
+			sub = runServe
+		case "query":
+			sub = runQuery
+		case "bench":
+			sub = runBench
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "revere:", err)
-			os.Exit(1)
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "revere:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	seed := flag.Int64("seed", 1, "random seed")
 	people := flag.Int("people", 6, "people on the generated site")

@@ -18,8 +18,10 @@ import (
 // silently. Extend the list as more packages stabilize their APIs.
 var docCheckedPackages = []string{
 	"internal/cq",
+	"internal/faults",
 	"internal/glav",
 	"internal/pdms",
+	"internal/perfledger",
 	"internal/relation",
 	"internal/transport",
 	"internal/view",

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyConfig declares socket-level faults for a Proxy. The zero value
+// relays transparently.
+type ProxyConfig struct {
+	// ResponseLimit cuts each connection after relaying this many
+	// response bytes (server→client); 0 means unlimited. This is the
+	// generalized form of the byte-limited proxy the transport tests
+	// introduced: by sizing the limit, a test lands the cut mid-
+	// handshake, mid-schema, or mid-TupleBatch, deterministically and
+	// regardless of socket buffering.
+	ResponseLimit int64
+	// Mute accepts connections and swallows requests without ever
+	// relaying a response byte — a black-holed server. The client's
+	// handshake timeout / context watchdog are what must save it.
+	Mute bool
+	// ResponseDelay sleeps this long before relaying any response bytes
+	// on each connection — injected connection latency.
+	ResponseDelay time.Duration
+}
+
+// Proxy is a TCP relay that injects socket-level faults between a
+// client and a real server: byte-limited cuts, response muting, and
+// latency. Unlike the Transport decorator it sits below the wire
+// codecs, so it produces the truly ugly failures — frames cut mid-
+// payload, handshakes that never answer. Each accepted connection gets
+// its own fresh fault state.
+type Proxy struct {
+	cfg    ProxyConfig
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy starts a proxy on an ephemeral localhost port relaying to
+// target with the given fault configuration.
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and severs every relayed connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+// track registers a connection for Close teardown; it reports false
+// when the proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+// untrack removes a finished connection.
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// acceptLoop relays each accepted connection until Close.
+func (p *Proxy) acceptLoop() {
+	for {
+		up, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(up) {
+			up.Close()
+			return
+		}
+		go p.relay(up)
+	}
+}
+
+// relay forwards one client connection through the fault gates.
+func (p *Proxy) relay(up net.Conn) {
+	defer p.untrack(up)
+	defer up.Close()
+	if p.cfg.Mute {
+		// Swallow the client's bytes forever; never answer. The
+		// connection dies when the client gives up or the proxy closes.
+		io.Copy(io.Discard, up)
+		return
+	}
+	down, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(down) {
+		down.Close()
+		return
+	}
+	defer p.untrack(down)
+	defer down.Close()
+	go io.Copy(down, up) // requests flow freely
+	if p.cfg.ResponseDelay > 0 {
+		time.Sleep(p.cfg.ResponseDelay)
+	}
+	if p.cfg.ResponseLimit > 0 {
+		io.CopyN(up, down, p.cfg.ResponseLimit)
+		return // the cut: both deferred Closes sever the wire mid-stream
+	}
+	io.Copy(up, down)
+}

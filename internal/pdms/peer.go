@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/glav"
@@ -213,6 +214,12 @@ type Network struct {
 	// entirely.
 	remotes  map[string]*RemotePeer
 	remoteMu sync.RWMutex
+
+	// DownProbeInterval is how often the background prober re-checks a
+	// remote peer that graceful degradation marked down
+	// (DefaultDownProbeInterval when zero). Set it before the first
+	// query; it is read when a peer goes down.
+	DownProbeInterval time.Duration
 }
 
 // relFingerprint identifies one stored relation's state at snapshot time.
@@ -356,6 +363,9 @@ func (n *Network) RemovePeer(name string) error {
 	}
 	delete(p.nets, n)
 	delete(n.peers, name)
+	if rp := n.remotes[name]; rp != nil {
+		rp.stopProber() // a down leaver must not keep a prober goroutine alive
+	}
 	delete(n.remotes, name) // a remote leaver takes its mirror along; the transport stays caller-owned
 	for i, pn := range n.order {
 		if pn == name {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +41,22 @@ type Request struct {
 	// nondeterministic above 1; the answer set and Limit exactness do
 	// not change.
 	Parallelism int
+	// Retry governs the remote operations of this request's preparation
+	// (freshness probes, schema syncs, relation scans). The zero value
+	// keeps the pre-policy behavior: one attempt per operation, no
+	// per-attempt timeout, unlimited budget. See DefaultRetryPolicy for
+	// a serving-path configuration.
+	Retry RetryPolicy
+	// AllowStale opts into graceful degradation: when a remote peer
+	// cannot be freshened within the retry policy (unreachable, hung,
+	// or out of budget), the request serves that peer's last-good
+	// mirror snapshot instead of failing, reports it via
+	// Cursor.Degraded, and marks the peer down — stale-tolerant queries
+	// skip probing it entirely while a background prober watches for
+	// its return (cadence: Network.DownProbeInterval). Off by default:
+	// unreachable peers fail the query with a typed ErrPeerUnreachable
+	// error rather than silently serving stale replicas as fresh.
+	AllowStale bool
 }
 
 // Cursor streams the deduplicated answers of one Query call. Tuples are
@@ -68,6 +85,8 @@ type Cursor struct {
 	rewritings []cq.Query
 	stats      ReformStats
 	reformTime time.Duration
+	degraded   []DegradedPeer
+	retries    int
 
 	execStart time.Time
 	execTime  time.Duration
@@ -99,6 +118,22 @@ func (c *Cursor) Rewritings() []cq.Query {
 
 // Stats returns the reformulation statistics (available immediately).
 func (c *Cursor) Stats() ReformStats { return c.stats }
+
+// Degraded reports the remote peers this request could not freshen and
+// therefore serves from their last-good mirror snapshots, in peer-name
+// order. It is empty unless the request set AllowStale and a peer was
+// actually unreachable; a non-empty result means the answer set may
+// omit or predate those peers' latest data. Available immediately.
+func (c *Cursor) Degraded() []DegradedPeer {
+	out := make([]DegradedPeer, len(c.degraded))
+	copy(out, c.degraded)
+	return out
+}
+
+// Retries reports how many remote-operation retries request
+// preparation spent under the request's RetryPolicy (0 on an all-local
+// network or a clean prepare). Available immediately.
+func (c *Cursor) Retries() int { return c.retries }
 
 // Explain renders the compiled execution plan of every rewriting branch
 // — the join order the planner chose, each atom's access path, and the
@@ -274,10 +309,19 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var (
+		budget   *retryBudget
+		degraded map[string]*DegradedPeer
+		retries  int
+	)
 	if len(n.remotes) > 0 {
 		n.remoteMu.Lock()
 		defer n.remoteMu.Unlock()
-		if err := n.syncRemotes(ctx); err != nil {
+		budget = newRetryBudget(req.Retry)
+		degraded = make(map[string]*DegradedPeer)
+		r, err := n.syncRemotes(ctx, req.Retry, budget, req.AllowStale, degraded)
+		retries += r
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -297,16 +341,23 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 		rewritings: e.rws,
 		stats:      e.stats,
 	}
+	finishRemote := func() {
+		c.retries = retries
+		c.degraded = flattenDegraded(degraded)
+	}
 	if len(e.rws) == 0 {
 		// No rewriting reaches stored data: the cursor is empty but its
 		// schema still carries the typed head attributes the non-empty
 		// path would produce.
 		c.schema = cq.HeadSchemaFor(n.Peer(req.Peer).Store, req.Query)
 		c.reformTime = time.Since(t0)
+		finishRemote()
 		return c, nil
 	}
 	if len(n.remotes) > 0 {
-		if err := n.fetchReferenced(ctx, e.rws); err != nil {
+		r, err := n.fetchReferenced(ctx, e.rws, req.Retry, budget, req.AllowStale, degraded)
+		retries += r
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -321,7 +372,27 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 	// Preparation time includes plan compilation (a cold-cursor cost the
 	// old Answer counted too), so cold and warm timings stay comparable.
 	c.reformTime = time.Since(t0)
+	finishRemote()
 	return c, nil
+}
+
+// flattenDegraded renders the per-peer degradation records in
+// deterministic peer-name order (nil in, nil out — the all-local path
+// allocates nothing).
+func flattenDegraded(m map[string]*DegradedPeer) []DegradedPeer {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DegradedPeer, len(names))
+	for i, name := range names {
+		out[i] = *m[name]
+	}
+	return out
 }
 
 // LocalQuery returns a cursor over q evaluated against the peer's own

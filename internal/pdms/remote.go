@@ -2,10 +2,13 @@ package pdms
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/glav"
@@ -41,6 +44,135 @@ type RemotePeer struct {
 	// State call. Both are guarded by the owning Network's remoteMu.
 	fetched map[string]remoteFP
 	latest  map[string]remoteFP
+	// lastSync is when the last successful freshness probe completed;
+	// lastErr is the failure that marked the peer down. Both guarded by
+	// the owning Network's remoteMu.
+	lastSync time.Time
+	lastErr  error
+	// down marks a peer whose retries were exhausted: stale-tolerant
+	// queries stop probing it (they serve the last-good mirror
+	// immediately) until the background prober, or a fresh-only query,
+	// reaches it again. Atomic because the prober goroutine reads and
+	// clears it without remoteMu.
+	down atomic.Bool
+	// proberMu guards proberStop, the cancel channel of the background
+	// prober launched when the peer goes down. Its own mutex because
+	// RemovePeer and the prober itself touch it outside remoteMu.
+	proberMu   sync.Mutex
+	proberStop chan struct{}
+}
+
+// DegradedPeer reports one remote peer a request could not freshen:
+// its answers come from the peer's last-good mirror snapshot instead
+// of live data. Err is the failure that forced the degradation (an
+// ErrPeerUnreachable- or ErrBudgetExhausted-class error); LastSync is
+// when the mirror was last verified fresh.
+type DegradedPeer struct {
+	Peer     string
+	Err      error
+	LastSync time.Time
+}
+
+// Down reports whether the peer is currently marked down — retries
+// against it were exhausted and the background prober has not yet seen
+// it answer.
+func (rp *RemotePeer) Down() bool { return rp.down.Load() }
+
+// Remote returns the named remote peer, or nil — the handle for
+// observing down/degraded state from tests and harnesses.
+func (n *Network) Remote(name string) *RemotePeer {
+	n.remoteMu.RLock()
+	defer n.remoteMu.RUnlock()
+	return n.remotes[name]
+}
+
+// DefaultDownProbeInterval is how often the background prober checks a
+// down peer when Network.DownProbeInterval is zero.
+const DefaultDownProbeInterval = 2 * time.Second
+
+// markDown records a degradation-class failure against the peer and
+// launches the background prober (once per down transition). Caller
+// holds n.remoteMu.
+func (n *Network) markDown(rp *RemotePeer, err error) {
+	rp.lastErr = err
+	if rp.down.CompareAndSwap(false, true) {
+		n.startProber(rp)
+	}
+}
+
+// startProber launches the goroutine that periodically probes a down
+// peer with one cheap State call until the peer answers (the down flag
+// clears and the next query re-syncs in full), the flag is cleared by
+// a successful foreground sync, or RemovePeer stops it. Only the flag
+// flips here: fingerprints and mirror state stay untouched, so
+// recovery always flows through the ordinary sync path under remoteMu.
+func (n *Network) startProber(rp *RemotePeer) {
+	interval := n.DownProbeInterval
+	if interval <= 0 {
+		interval = DefaultDownProbeInterval
+	}
+	stop := make(chan struct{})
+	rp.proberMu.Lock()
+	if rp.proberStop != nil {
+		close(rp.proberStop) // replace a stale prober from a previous outage
+	}
+	rp.proberStop = stop
+	rp.proberMu.Unlock()
+	go func() {
+		defer func() {
+			rp.proberMu.Lock()
+			if rp.proberStop == stop {
+				rp.proberStop = nil
+			}
+			rp.proberMu.Unlock()
+		}()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if !rp.down.Load() {
+					return // a foreground sync already saw the peer answer
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				_, err := rp.tr.State(ctx, rp.name)
+				cancel()
+				if err == nil {
+					rp.down.Store(false)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// stopProber cancels the background prober, if one is running.
+func (rp *RemotePeer) stopProber() {
+	rp.proberMu.Lock()
+	if rp.proberStop != nil {
+		close(rp.proberStop)
+		rp.proberStop = nil
+	}
+	rp.proberMu.Unlock()
+}
+
+// degradable reports whether a remote-operation failure may be
+// absorbed by serving the last-good mirror: unreachable-class errors,
+// spent budgets, hung-peer timeouts, and transient failures that
+// outlasted their retries qualify. Deterministic protocol errors
+// (version mismatch, unknown names) and the caller's own cancellation
+// do not — degrading would mask a configuration bug or a dead request.
+func degradable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, ErrVersionMismatch) {
+		return false
+	}
+	return errors.Is(err, ErrPeerUnreachable) || errors.Is(err, ErrBudgetExhausted) ||
+		errors.Is(err, context.DeadlineExceeded) || Retryable(err)
 }
 
 // remoteFP is the freshness fingerprint of one remote relation.
@@ -100,6 +232,7 @@ func (n *Network) AddRemotePeer(ctx context.Context, name string, tr Transport) 
 		schemaVer: st.SchemaVersion,
 		fetched:   make(map[string]remoteFP),
 		latest:    latestFPs(st),
+		lastSync:  time.Now(),
 	}
 	if n.remotes == nil {
 		n.remotes = make(map[string]*RemotePeer)
@@ -118,14 +251,30 @@ func latestFPs(st PeerState) map[string]remoteFP {
 }
 
 // syncRemotes refreshes every remote peer's fingerprint with one State
-// round trip each, and folds remote schema growth into the mirror via
-// Peer.AddSchema — which notifies the joined networks through the same
-// atomic topoVersion bump a local schema change takes, so reformulation
-// cache keys derived before the remote change can never be reused.
-// Caller holds n.remoteMu.
-func (n *Network) syncRemotes(ctx context.Context) error {
+// round trip each (retried under the request's policy), and folds
+// remote schema growth into the mirror via Peer.AddSchema — which
+// notifies the joined networks through the same atomic topoVersion
+// bump a local schema change takes, so reformulation cache keys
+// derived before the remote change can never be reused.
+//
+// Failure handling is where the request's degradation contract lives:
+// a peer whose probe exhausts its retries fails the whole request
+// unless allowStale is set, in which case the peer is recorded in
+// degraded, marked down (the background prober takes over), and its
+// mirror serves whatever the last successful sync left behind. Peers
+// already down are not probed at all on the stale-tolerant path —
+// their queries pay zero retry latency. retries reports how many
+// retries the probes actually spent. Caller holds n.remoteMu.
+func (n *Network) syncRemotes(ctx context.Context, pol RetryPolicy, budget *retryBudget,
+	allowStale bool, degraded map[string]*DegradedPeer) (retries int, err error) {
 	names := make([]string, 0, len(n.remotes))
 	for name := range n.remotes {
+		rp := n.remotes[name]
+		if allowStale && rp.down.Load() {
+			// Known-down peer: skip the probe, serve the last-good mirror.
+			degraded[name] = &DegradedPeer{Peer: name, Err: rp.lastErr, LastSync: rp.lastSync}
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -136,8 +285,21 @@ func (n *Network) syncRemotes(ctx context.Context) error {
 	// this goroutine (which holds remoteMu's write side).
 	states := make([]PeerState, len(names))
 	errs := make([]error, len(names))
+	var retried atomic.Int64
+	probe := func(i int) {
+		rp := n.remotes[names[i]]
+		r, perr := retryOp(ctx, pol, budget, func(actx context.Context) error {
+			st, serr := rp.tr.State(actx, names[i])
+			if serr == nil {
+				states[i] = st
+			}
+			return serr
+		})
+		retried.Add(int64(r))
+		errs[i] = perr
+	}
 	if len(names) == 1 {
-		states[0], errs[0] = n.remotes[names[0]].tr.State(ctx, names[0])
+		probe(0)
 	} else {
 		work := make(chan int, len(names))
 		for i := range names {
@@ -150,32 +312,47 @@ func (n *Network) syncRemotes(ctx context.Context) error {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					states[i], errs[i] = n.remotes[names[i]].tr.State(ctx, names[i])
+					probe(i)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	retries = int(retried.Load())
 	for i, name := range names {
-		rp, st, err := n.remotes[name], states[i], errs[i]
-		if err != nil {
-			return fmt.Errorf("pdms: sync remote peer %s: %w", name, err)
-		}
-		if st.SchemaVersion != rp.schemaVer {
-			schemas, err := rp.tr.Schemas(ctx, name)
-			if err != nil {
-				return fmt.Errorf("pdms: sync remote peer %s schemas: %w", name, err)
-			}
-			for _, s := range schemas {
-				if !rp.mirror.HasRelation(s.Name) {
-					rp.mirror.AddSchema(s)
+		rp, st, perr := n.remotes[name], states[i], errs[i]
+		if perr == nil && st.SchemaVersion != rp.schemaVer {
+			var schemas []relation.Schema
+			r, serr := retryOp(ctx, pol, budget, func(actx context.Context) error {
+				var e error
+				schemas, e = rp.tr.Schemas(actx, name)
+				return e
+			})
+			retries += r
+			if serr != nil {
+				perr = serr
+			} else {
+				for _, s := range schemas {
+					if !rp.mirror.HasRelation(s.Name) {
+						rp.mirror.AddSchema(s)
+					}
 				}
+				rp.schemaVer = st.SchemaVersion
 			}
-			rp.schemaVer = st.SchemaVersion
+		}
+		if perr != nil {
+			if allowStale && degradable(ctx, perr) {
+				degraded[name] = &DegradedPeer{Peer: name, Err: perr, LastSync: rp.lastSync}
+				n.markDown(rp, perr)
+				continue
+			}
+			return retries, fmt.Errorf("pdms: sync remote peer %s: %w", name, perr)
 		}
 		rp.latest = latestFPs(st)
+		rp.lastSync = time.Now()
+		rp.down.Store(false) // a successful probe resurrects a down peer
 	}
-	return nil
+	return retries, nil
 }
 
 // fetchJob names one stale replica to rebuild.
@@ -188,15 +365,23 @@ type fetchJob struct {
 // fetchReferenced brings every remote relation referenced by the
 // rewritings up to date with the fingerprints syncRemotes just
 // recorded. Stale replicas are re-scanned concurrently on a bounded
-// worker pool (the PR 3 fan-out shape: a job channel, first error
-// cancels the rest), each scan streaming tuple batches into a fresh
-// relation built through Insert so column statistics accrue and the
-// cost-based planner orders joins from remote cardinalities. The
-// finished replica replaces the old one atomically from this
-// goroutine, which also bumps the global snapshot fingerprint — plans
-// compiled from the stale replica are recompiled, never reused. Caller
-// holds n.remoteMu.
-func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
+// worker pool (the PR 3 fan-out shape: a job channel, first
+// non-absorbable error cancels the rest), each scan retried under the
+// request's policy and streaming tuple batches into a fresh relation
+// built through Insert so column statistics accrue and the cost-based
+// planner orders joins from remote cardinalities. A failed attempt
+// discards its partial relation — a replica is replaced only by a
+// complete scan, atomically, from this goroutine, which also bumps
+// the global snapshot fingerprint so plans compiled from the stale
+// replica are recompiled, never reused.
+//
+// Peers already recorded in degraded are skipped (their replicas
+// deliberately stay at the last-good snapshot), and when allowStale
+// is set, a peer whose scan exhausts its retries mid-query joins them
+// instead of failing the request — covering peers that die between
+// the freshness probe and the fetch. Caller holds n.remoteMu.
+func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol RetryPolicy,
+	budget *retryBudget, allowStale bool, degraded map[string]*DegradedPeer) (retries int, err error) {
 	var jobs []fetchJob
 	queued := make(map[string]bool)
 	for _, rw := range rws {
@@ -208,6 +393,9 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
 			rp := n.remotes[peer]
 			if rp == nil {
 				continue // local peer: the global snapshot already has it
+			}
+			if degraded[peer] != nil {
+				continue // degraded peer: its last-good replicas serve as-is
 			}
 			queued[a.Pred] = true
 			want, known := rp.latest[rel]
@@ -221,7 +409,7 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
 		}
 	}
 	if len(jobs) == 0 {
-		return nil
+		return 0, nil
 	}
 
 	fctx, cancel := context.WithCancel(ctx)
@@ -237,6 +425,7 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
 	}
 	close(work)
 	results := make(chan fetchResult)
+	var retried atomic.Int64
 	for w := 0; w < fetchParallelism(len(jobs)); w++ {
 		go func() {
 			for job := range work {
@@ -244,25 +433,46 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
 					results <- fetchResult{job: job, err: err}
 					continue
 				}
-				dst := relation.New(job.rp.mirror.Schema(job.rel))
-				err := job.rp.tr.Scan(fctx, job.rp.name, job.rel, func(batch []relation.Tuple) error {
-					for _, t := range batch {
-						if err := dst.Insert(t); err != nil {
-							return err
+				if job.rp.down.Load() {
+					// The peer went down while this job queued (another of
+					// its scans exhausted retries): don't spend ours too.
+					results <- fetchResult{job: job,
+						err: fmt.Errorf("%w: peer %s marked down", ErrPeerUnreachable, job.rp.name)}
+					continue
+				}
+				var dst *relation.Relation
+				r, err := retryOp(fctx, pol, budget, func(actx context.Context) error {
+					// Fresh destination per attempt: a dropped scan's partial
+					// tuples must never leak into the retry.
+					dst = relation.New(job.rp.mirror.Schema(job.rel))
+					return job.rp.tr.Scan(actx, job.rp.name, job.rel, func(batch []relation.Tuple) error {
+						for _, t := range batch {
+							if err := dst.Insert(t); err != nil {
+								return err
+							}
 						}
-					}
-					return nil
+						return nil
+					})
 				})
+				retried.Add(int64(r))
 				results <- fetchResult{job: job, rel: dst, err: err}
 			}
 		}()
 	}
 	// Every queued job yields exactly one result, so draining is
-	// deadlock-free even when the first error cancels the stragglers.
+	// deadlock-free even when an error cancels the stragglers.
 	var firstErr error
 	for pending := len(jobs); pending > 0; pending-- {
 		res := <-results
 		if res.err != nil {
+			if allowStale && degradable(ctx, res.err) {
+				name := res.job.rp.name
+				if degraded[name] == nil {
+					degraded[name] = &DegradedPeer{Peer: name, Err: res.err, LastSync: res.job.rp.lastSync}
+					n.markDown(res.job.rp, res.err)
+				}
+				continue // last-good replica keeps serving; don't cancel the rest
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("pdms: fetch %s.%s: %w", res.job.rp.name, res.job.rel, res.err)
 				cancel() // abort the remaining scans, PR 3 style
@@ -274,7 +484,7 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query) error {
 			res.job.rp.fetched[res.job.rel] = res.job.want
 		}
 	}
-	return firstErr
+	return int(retried.Load()), firstErr
 }
 
 // invalidateRemotesLocked drops every replica fingerprint so the next

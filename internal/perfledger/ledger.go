@@ -1,0 +1,322 @@
+// Package perfledger measures and records the serving-path performance
+// ledger: a small JSON document (BENCH_6.json at the repo root) holding
+// the warm, degraded, and recovery latencies of the E2/16 workload,
+// written by `revere bench` and checked by the repo-root
+// TestPerfLedgerGate so a perf regression fails the build instead of
+// rotting silently in a hand-copied README table.
+//
+// Every measurement here is a real testing.Benchmark run over the same
+// deterministic workload the benchmarks in bench_test.go use
+// (16-peer E2 chain, seed 42, 5 rows/peer), so ledger numbers and
+// `go test -bench` numbers are directly comparable.
+package perfledger
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/pdms"
+	"repro/internal/workload"
+)
+
+// Ledger is the machine-readable perf record. Benches maps a stable
+// bench name to its measurement; names are part of the gate contract
+// (TestPerfLedgerGate fails when a required name is missing).
+type Ledger struct {
+	// Schema versions the ledger format itself.
+	Schema int `json:"schema"`
+	// PR is the pull-request number the baseline was recorded under.
+	PR int `json:"pr"`
+	// GoVersion records the toolchain that produced the numbers.
+	GoVersion string `json:"go_version"`
+	// Benches holds one measurement per stable bench name.
+	Benches map[string]Bench `json:"benches"`
+}
+
+// Bench is one recorded measurement.
+type Bench struct {
+	// N is the iteration count the benchmark settled on.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Answers is the answer-set size each operation produced (a
+	// correctness cross-check: every placement must answer in full).
+	Answers int `json:"answers"`
+	// RetriesPerOp is the mean retry count one operation spent (only
+	// meaningful for the degraded bench; the down-peer fast path keeps
+	// it at zero).
+	RetriesPerOp float64 `json:"retries_per_op"`
+}
+
+// The stable bench names the ledger records and the gate requires.
+const (
+	// BenchWarm is the all-local warm E2/16 path — the regression gate's
+	// primary target (the tax every PR must not grow).
+	BenchWarm = "warm_e2_16"
+	// BenchWarmRemote is the warm E2/16 path with the upper half of the
+	// peers behind a loopback transport: the warm path plus one
+	// freshness fingerprint probe per remote peer.
+	BenchWarmRemote = "warm_remote_loopback_16"
+	// BenchDegraded is the warm stale-serving path: one remote peer
+	// blacked out and marked down, queries running with AllowStale. The
+	// down-peer fast path makes this comparable to BenchWarmRemote with
+	// one probe fewer.
+	BenchDegraded = "degraded_stale_16"
+	// BenchRecovery is the resync path a recovered peer pays: every
+	// cache invalidated, so one operation re-probes, re-fetches, and
+	// re-plans from scratch over loopback.
+	BenchRecovery = "recovery_resync_16"
+)
+
+// Load reads a ledger from path.
+func Load(path string) (*Ledger, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(raw, &l); err != nil {
+		return nil, fmt.Errorf("perfledger: parsing %s: %w", path, err)
+	}
+	return &l, nil
+}
+
+// Save writes the ledger to path, pretty-printed so diffs review well.
+func (l *Ledger) Save(path string) error {
+	raw, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// record converts a benchmark result into a ledger entry.
+func record(r testing.BenchmarkResult, answers int, retries int64) Bench {
+	b := Bench{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Answers:     answers,
+	}
+	if r.N > 0 {
+		b.RetriesPerOp = float64(retries) / float64(r.N)
+	}
+	return b
+}
+
+// e2Spec is the shared E2/16 workload every ledger bench runs over.
+func e2Spec() workload.NetworkSpec {
+	return workload.NetworkSpec{Topology: workload.Chain, Peers: 16, Seed: 42, RowsPerPeer: 5}
+}
+
+// ledgerPolicy is the retry policy the degraded benches query under:
+// fast backoff so the one marking query converges immediately, and a
+// per-attempt timeout so nothing can hang the bench runner.
+func ledgerPolicy() pdms.RetryPolicy {
+	return pdms.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, OpTimeout: 2 * time.Second, Budget: 8}
+}
+
+// WarmE2 measures the all-local warm E2/16 answer path — the gate's
+// regression target.
+func WarmE2() (Bench, error) {
+	g, err := workload.GenNetwork(e2Spec())
+	if err != nil {
+		return Bench{}, err
+	}
+	q := g.TitleQuery(0)
+	opts := pdms.ReformOptions{MaxDepth: 17}
+	if _, err := g.Net.Answer(workload.PeerName(0), q, opts); err != nil {
+		return Bench{}, err
+	}
+	answers := 0
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := g.Net.Answer(workload.PeerName(0), q, opts)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers = res.Answers.Len()
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	return record(r, answers, 0), nil
+}
+
+// remoteCoordinator builds the E2/16 network with the upper eight peers
+// behind a loopback transport wrapped in the given fault decorator
+// (pass a zero faults.Config for a clean wire), returning the
+// coordinator, the fault handle, and the warm request.
+func remoteCoordinator(fcfg faults.Config) (*pdms.Network, *faults.Transport, pdms.Request, error) {
+	g, err := workload.GenNetwork(e2Spec())
+	if err != nil {
+		return nil, nil, pdms.Request{}, err
+	}
+	var served []*pdms.Peer
+	for i := 8; i < 16; i++ {
+		served = append(served, g.Net.Peer(workload.PeerName(i)))
+	}
+	ft := faults.New(pdms.NewLoopback(served...), fcfg)
+	n := pdms.NewNetwork()
+	n.DownProbeInterval = time.Hour // keep the background prober out of the timings
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		name := workload.PeerName(i)
+		if i < 8 {
+			if err := n.AddPeer(g.Net.Peer(name)); err != nil {
+				return nil, nil, pdms.Request{}, err
+			}
+			continue
+		}
+		if _, err := n.AddRemotePeer(ctx, name, ft); err != nil {
+			return nil, nil, pdms.Request{}, err
+		}
+	}
+	for _, m := range g.Net.Mappings() {
+		if err := n.AddMapping(m); err != nil {
+			return nil, nil, pdms.Request{}, err
+		}
+	}
+	req := pdms.Request{Peer: workload.PeerName(0), Query: g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 17}}
+	return n, ft, req, nil
+}
+
+// runQuery materializes one request, returning the answer count and
+// the retries the cursor spent.
+func runQuery(n *pdms.Network, req pdms.Request) (answers, retries int, err error) {
+	cur, err := n.Query(context.Background(), req)
+	if err != nil {
+		return 0, 0, err
+	}
+	rel, err := cur.Materialize()
+	if err != nil {
+		return 0, cur.Retries(), err
+	}
+	return rel.Len(), cur.Retries(), nil
+}
+
+// WarmRemote measures the warm E2/16 path with the upper half of the
+// peers behind loopback: the in-process path plus eight freshness
+// probes per operation.
+func WarmRemote() (Bench, error) {
+	n, _, req, err := remoteCoordinator(faults.Config{})
+	if err != nil {
+		return Bench{}, err
+	}
+	if _, _, err := runQuery(n, req); err != nil {
+		return Bench{}, err
+	}
+	return benchQueries(n, req)
+}
+
+// Degraded measures warm stale serving: one remote peer blacked out
+// and marked down, every operation an AllowStale query that skips the
+// dead peer's probe and serves its last-good snapshot.
+func Degraded() (Bench, error) {
+	n, ft, req, err := remoteCoordinator(faults.Config{})
+	if err != nil {
+		return Bench{}, err
+	}
+	req.Retry, req.AllowStale = ledgerPolicy(), true
+	if _, _, err := runQuery(n, req); err != nil { // warm every mirror first
+		return Bench{}, err
+	}
+	ft.Blackout(workload.PeerName(15), true)
+	// One marking query: the dead probe degrades, the peer goes down,
+	// and from then on the fast path skips it entirely.
+	if _, _, err := runQuery(n, req); err != nil {
+		return Bench{}, err
+	}
+	return benchQueries(n, req)
+}
+
+// Recovery measures the resync a rejoining peer triggers: every cache
+// dropped per operation, so the coordinator re-probes and re-fetches
+// all eight remote mirrors and recompiles its plans from scratch.
+func Recovery() (Bench, error) {
+	n, _, req, err := remoteCoordinator(faults.Config{})
+	if err != nil {
+		return Bench{}, err
+	}
+	req.Retry = ledgerPolicy()
+	if _, _, err := runQuery(n, req); err != nil {
+		return Bench{}, err
+	}
+	answers, retries := 0, int64(0)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.InvalidateCaches()
+			a, ret, err := runQuery(n, req)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers, retries = a, retries+int64(ret)
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	return record(r, answers, retries), nil
+}
+
+// benchQueries benchmarks repeated materialized queries of req.
+func benchQueries(n *pdms.Network, req pdms.Request) (Bench, error) {
+	answers, retries := 0, int64(0)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, ret, err := runQuery(n, req)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers, retries = a, retries+int64(ret)
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	return record(r, answers, retries), nil
+}
+
+// Run measures the full ledger suite.
+func Run() (*Ledger, error) {
+	l := &Ledger{Schema: 1, PR: 6, GoVersion: runtime.Version(), Benches: map[string]Bench{}}
+	for _, bench := range []struct {
+		name string
+		run  func() (Bench, error)
+	}{
+		{BenchWarm, WarmE2},
+		{BenchWarmRemote, WarmRemote},
+		{BenchDegraded, Degraded},
+		{BenchRecovery, Recovery},
+	} {
+		b, err := bench.run()
+		if err != nil {
+			return nil, fmt.Errorf("perfledger: %s: %w", bench.name, err)
+		}
+		l.Benches[bench.name] = b
+	}
+	return l, nil
+}

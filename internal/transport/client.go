@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -24,21 +25,80 @@ const maxIdleConns = 4
 // Network.AddRemotePeer exactly like loopback ones. Connections are
 // pooled and handshaken once; requests may run concurrently. A request
 // whose context dies mid-stream poisons its connection (the stream
-// position is unknown) and returns ctx's error. A pooled connection
-// that died while idle (server restart, dropped session) is detected
-// by the first request that fails before any response frame and
-// retried exactly once on a fresh dial — safe because every op is an
-// idempotent read.
+// position is unknown) and returns ctx's error. A connection that dies
+// before a single response frame arrives (server restart, dropped
+// session, dial against a rebooting listener) is compensated under
+// Policy: the request redials after a jittered backoff and tries again,
+// up to the policy's attempt count — safe because every op is an
+// idempotent read. Failures carry typed sentinels: connection-level
+// ones match pdms.ErrPeerUnreachable, handshake protocol mismatches
+// match pdms.ErrVersionMismatch (both via errors.Is).
 type Client struct {
 	addr string
+
+	// Policy declares the redial compensation: attempts per request and
+	// the jittered backoff between them. The zero value means
+	// DefaultClientPolicy. Set before the first request.
+	Policy pdms.RetryPolicy
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	idle   []*clientConn
 	closed bool
 }
 
+// DefaultClientPolicy is the client's built-in redial compensation:
+// one retry (two attempts) after a short jittered delay — the old
+// hard-wired dead-idle-pool retry, now with backoff so a restarting
+// server is not hammered by an immediate redial.
+func DefaultClientPolicy() pdms.RetryPolicy {
+	return pdms.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      pdms.DefaultRetryJitter,
+	}
+}
+
+// policy returns the effective redial policy.
+func (c *Client) policy() pdms.RetryPolicy {
+	if c.Policy == (pdms.RetryPolicy{}) {
+		return DefaultClientPolicy()
+	}
+	return c.Policy
+}
+
+// backoffSleep sleeps the policy's jittered backoff before the given
+// retry, honoring ctx.
+func (c *Client) backoffSleep(ctx context.Context, pol pdms.RetryPolicy, retry int) error {
+	c.rngMu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := pol.Backoff(retry, c.rng)
+	c.rngMu.Unlock()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // compile-time proof the client is a pdms.Transport.
 var _ pdms.Transport = (*Client)(nil)
+
+// errClientClosed reports a request against a Client after Close —
+// terminal, never retried.
+var errClientClosed = errors.New("transport: client closed")
 
 // clientConn is one pooled, handshaken connection.
 type clientConn struct {
@@ -72,7 +132,7 @@ func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: dial %s: %w", pdms.ErrPeerUnreachable, c.addr, err)
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	stop := context.AfterFunc(ctx, func() {
@@ -81,19 +141,26 @@ func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	cc := &clientConn{c: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	err = func() error {
 		if err := relation.WriteFrame(cc.bw, relation.FrameHello, relation.EncodeHello()); err != nil {
-			return err
+			return fmt.Errorf("%w: handshake write: %w", pdms.ErrPeerUnreachable, err)
 		}
 		if err := cc.bw.Flush(); err != nil {
-			return err
+			return fmt.Errorf("%w: handshake write: %w", pdms.ErrPeerUnreachable, err)
 		}
 		typ, payload, err := relation.ReadFrame(cc.br)
 		if err != nil {
-			return fmt.Errorf("transport: handshake: %w", err)
+			// A server that crashes (or a proxy that cuts the wire)
+			// mid-handshake lands here: the hello never completed, so the
+			// peer is unreachable-class, typed and bounded by the deadline
+			// above.
+			return fmt.Errorf("%w: handshake: %w", pdms.ErrPeerUnreachable, err)
 		}
 		if typ == relation.FrameError {
 			we, derr := relation.DecodeError(payload)
 			if derr != nil {
 				return derr
+			}
+			if we.Code == relation.ErrCodeVersion {
+				return fmt.Errorf("%w: %w", pdms.ErrVersionMismatch, we)
 			}
 			return we
 		}
@@ -121,7 +188,7 @@ func (c *Client) get(ctx context.Context) (cc *clientConn, pooled bool, err erro
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, false, errors.New("transport: client closed")
+		return nil, false, errClientClosed
 	}
 	if n := len(c.idle); n > 0 {
 		cc := c.idle[n-1]
@@ -176,70 +243,98 @@ func (c *Client) Close() error {
 // through read (which tracks whether any frame arrived) and reports
 // whether the connection is positioned at a clean request boundary
 // (reusable). Context death mid-exchange poisons the connection via a
-// deadline and surfaces as ctx's error. A pooled connection that turns
-// out to have died while idle — the request fails before a single
-// response frame — is retried exactly once on a freshly dialed
-// connection: the three ops are idempotent reads, so the retry cannot
-// duplicate side effects.
+// deadline and surfaces as ctx's error. A connection that turns out to
+// be dead before a single response frame arrives — a pooled conn whose
+// server restarted, or a dial against a listener mid-reboot — is
+// compensated under the client's Policy: every idle conn is dropped
+// (whatever killed one killed its siblings), the request waits a
+// jittered backoff, and redials, up to the policy's attempt count. The
+// three ops are idempotent reads and nothing came back, so the retry
+// cannot duplicate side effects; a request that progressed past the
+// first response frame is never retried here (its deliver callbacks
+// already saw data — op-level retries belong to the caller, who can
+// reset state).
 func (c *Client) do(ctx context.Context, op byte, peer, rel string,
 	handle func(read func() (relation.FrameType, []byte, error)) (reusable bool, err error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for attempt := 0; ; attempt++ {
-		cc, pooled, err := c.get(ctx)
-		if err != nil {
-			return err
-		}
-		progressed := false
-		read := func() (relation.FrameType, []byte, error) {
-			typ, payload, err := relation.ReadFrame(cc.br)
-			if err == nil {
-				progressed = true
-			}
-			return typ, payload, err
-		}
-		stop := context.AfterFunc(ctx, func() {
-			cc.c.SetDeadline(time.Now()) // unblock any pending read/write
-		})
-		reusable := false
-		err = func() error {
-			if err := relation.WriteFrame(cc.bw, relation.FrameRequest, encodeRequest(op, peer, rel)); err != nil {
-				return err
-			}
-			if err := cc.bw.Flush(); err != nil {
-				return err
-			}
-			var herr error
-			reusable, herr = handle(read)
-			return herr
-		}()
-		if !stop() {
-			// The watchdog fired: whatever handle saw (a deadline
-			// error, a partial frame) is really a cancellation.
-			cc.c.Close()
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
-			return err
-		}
-		if err != nil && !progressed && pooled && attempt == 0 {
-			// Dead idle connection (server restart, dropped session):
-			// nothing came back. Whatever killed it almost certainly
-			// killed the rest of the idle pool too, so drop every idle
-			// connection — the retry then dials fresh instead of popping
-			// another corpse and burning its only attempt.
-			cc.c.Close()
-			c.dropIdle()
-			continue
-		}
-		if reusable {
-			c.put(cc)
-		} else {
-			cc.c.Close()
-		}
-		return err
+	pol := c.policy()
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
+	for attempt := 1; ; attempt++ {
+		progressed, err := c.doOnce(ctx, op, peer, rel, handle)
+		if err == nil || progressed || attempt >= attempts || ctx.Err() != nil ||
+			errors.Is(err, errClientClosed) || !pdms.Retryable(err) {
+			return err
+		}
+		// Nothing came back on this connection, so its idle siblings are
+		// almost certainly corpses from the same dead server: drop them
+		// all, back off (jittered, so a thundering herd of clients does
+		// not hammer a restarting server in lockstep), then redial fresh.
+		c.dropIdle()
+		if serr := c.backoffSleep(ctx, pol, attempt); serr != nil {
+			return serr
+		}
+	}
+}
+
+// doOnce runs one attempt of a request/response exchange on one
+// connection, reporting whether any response frame arrived (progressed
+// — the boundary past which a retry could duplicate deliveries).
+func (c *Client) doOnce(ctx context.Context, op byte, peer, rel string,
+	handle func(read func() (relation.FrameType, []byte, error)) (reusable bool, err error)) (progressed bool, err error) {
+	cc, _, err := c.get(ctx)
+	if err != nil {
+		return false, err
+	}
+	read := func() (relation.FrameType, []byte, error) {
+		typ, payload, err := relation.ReadFrame(cc.br)
+		if err == nil {
+			progressed = true
+		} else {
+			// A response stream that dies mid-read — reset, EOF, or a
+			// corrupted frame — is a connection-level failure: typed
+			// unreachable, so callers can errors.Is it and retry policies
+			// can classify it.
+			err = fmt.Errorf("%w: %w", pdms.ErrPeerUnreachable, err)
+		}
+		return typ, payload, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		cc.c.SetDeadline(time.Now()) // unblock any pending read/write
+	})
+	reusable := false
+	err = func() error {
+		if err := relation.WriteFrame(cc.bw, relation.FrameRequest, encodeRequest(op, peer, rel)); err != nil {
+			return fmt.Errorf("%w: request write: %w", pdms.ErrPeerUnreachable, err)
+		}
+		if err := cc.bw.Flush(); err != nil {
+			return fmt.Errorf("%w: request write: %w", pdms.ErrPeerUnreachable, err)
+		}
+		var herr error
+		reusable, herr = handle(read)
+		return herr
+	}()
+	if !stop() {
+		// The watchdog fired: whatever handle saw (a deadline error, a
+		// partial frame) is really a cancellation.
+		cc.c.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return progressed, cerr
+		}
+		return progressed, err
+	}
+	if reusable {
+		// reusable may hold even when err != nil: request-level error
+		// frames leave the stream at a clean boundary (readErrorFrame).
+		c.put(cc)
+	} else {
+		cc.c.Close()
+	}
+	return progressed, err
 }
 
 // readErrorFrame decodes an error frame into a *relation.WireError and

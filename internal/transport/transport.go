@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/pdms"
 	"repro/internal/relation"
 )
 
@@ -74,8 +75,9 @@ func checkHello(typ relation.FrameType, payload []byte) error {
 		return err
 	}
 	if ver != relation.WireVersion {
-		return &relation.WireError{Code: relation.ErrCodeVersion,
-			Message: fmt.Sprintf("protocol version %d, want %d", ver, relation.WireVersion)}
+		return fmt.Errorf("%w: %w", pdms.ErrVersionMismatch,
+			&relation.WireError{Code: relation.ErrCodeVersion,
+				Message: fmt.Sprintf("protocol version %d, want %d", ver, relation.WireVersion)})
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cq"
+	"repro/internal/faults"
 	"repro/internal/glav"
 	"repro/internal/pdms"
 	"repro/internal/relation"
@@ -246,37 +247,25 @@ func TestScanCancelMidStreamTCP(t *testing.T) {
 	}
 }
 
-// dropProxy forwards one connection to target but cuts it after
+// dropProxy forwards connections to target but cuts each after
 // relaying limit response bytes — a deterministic mid-stream connection
-// drop regardless of socket buffering.
+// drop regardless of socket buffering (faults.Proxy generalizes the
+// byte-limited proxy this file used to hand-roll).
 func dropProxy(t *testing.T, target string, limit int64) string {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	proxy, err := faults.NewProxy(target, faults.ProxyConfig{ResponseLimit: limit})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
-	go func() {
-		up, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		down, err := net.Dial("tcp", target)
-		if err != nil {
-			up.Close()
-			return
-		}
-		go io.Copy(down, up) // requests flow freely
-		io.CopyN(up, down, limit)
-		up.Close()
-		down.Close()
-	}()
-	return ln.Addr().String()
+	t.Cleanup(func() { proxy.Close() })
+	return proxy.Addr()
 }
 
 // TestConnectionDropMidScan drops the connection after a handful of
-// response bytes: the scan fails with a transport error rather than
-// returning a silent partial answer.
+// response bytes — the server crashing mid-TupleBatch stream: the scan
+// fails with a typed transport error rather than returning a silent
+// partial answer, and the poisoned connection is never pooled (the next
+// request succeeds on a fresh one even with retries disabled).
 func TestConnectionDropMidScan(t *testing.T) {
 	p := servedPeer(t, 500)
 	srv, addr := startServer(t, p)
@@ -284,6 +273,7 @@ func TestConnectionDropMidScan(t *testing.T) {
 	// Enough for the handshake, the request's schema frame, and about
 	// one batch — then the wire goes dead.
 	c := dialT(t, dropProxy(t, addr, 1500))
+	c.Policy = pdms.RetryPolicy{MaxAttempts: 1} // a pooled corpse would be fatal below
 	rows := 0
 	err := c.Scan(context.Background(), "served", "course", func(batch []relation.Tuple) error {
 		rows += len(batch)
@@ -292,9 +282,63 @@ func TestConnectionDropMidScan(t *testing.T) {
 	if err == nil {
 		t.Fatal("scan over a dropped connection reported success")
 	}
+	if !errors.Is(err, pdms.ErrPeerUnreachable) {
+		t.Fatalf("mid-batch drop: err = %v, want ErrPeerUnreachable class", err)
+	}
 	if rows >= 500 {
 		t.Fatalf("saw all %d rows despite the drop", rows)
 	}
+	// The cut connection must not be pooled: with retries off, a State
+	// request only succeeds if it dials fresh (its response fits well
+	// under the proxy's byte limit).
+	st, err := c.State(context.Background(), "served")
+	if err != nil {
+		t.Fatalf("request after mid-batch drop failed — poisoned conn pooled? %v", err)
+	}
+	if len(st.Relations) != 1 || st.Relations[0].Stats.Rows != 500 {
+		t.Fatalf("state after drop: %+v", st)
+	}
+}
+
+// TestServerCrashMidHandshake covers a server dying during the hello
+// exchange, in both shapes: the wire cut after a few response bytes
+// (partial hello frame) and a server that accepts but never answers.
+// The client must surface a typed error within the handshake bound —
+// never hang — and, having no handshaken connection, pool nothing.
+func TestServerCrashMidHandshake(t *testing.T) {
+	_, addr := startServer(t, servedPeer(t, 5))
+	t.Run("cut", func(t *testing.T) {
+		// Three bytes of hello response, then the wire dies mid-frame.
+		c := &Client{addr: dropProxy(t, addr, 3), Policy: pdms.RetryPolicy{MaxAttempts: 1}}
+		start := time.Now()
+		_, err := c.State(context.Background(), "served")
+		if err == nil {
+			t.Fatal("handshake against a cut wire succeeded")
+		}
+		if !errors.Is(err, pdms.ErrPeerUnreachable) {
+			t.Fatalf("cut handshake: err = %v, want ErrPeerUnreachable class", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cut handshake took %s; must fail fast", elapsed)
+		}
+	})
+	t.Run("mute", func(t *testing.T) {
+		proxy, err := faults.NewProxy(addr, faults.ProxyConfig{Mute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		c := &Client{addr: proxy.Addr(), Policy: pdms.RetryPolicy{MaxAttempts: 1}}
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		if _, err := c.State(ctx, "served"); err == nil {
+			t.Fatal("handshake against a mute server succeeded")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("mute handshake ignored its deadline for %s", elapsed)
+		}
+	})
 }
 
 // TestPeerDropAndRejoin exercises the coordinator-level failure path: a

@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+)
+
+// churnPolicy is the fast retry policy the chaos tests run under: the
+// OpTimeout is mandatory — injected hangs only end when an attempt's
+// deadline fires.
+func churnPolicy() pdms.RetryPolicy {
+	return pdms.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, OpTimeout: 250 * time.Millisecond, Budget: 24}
+}
+
+func TestGenChurnScriptDeterministicAndValid(t *testing.T) {
+	a := GenChurnScript(7, 6, 40)
+	b := GenChurnScript(7, 6, 40)
+	if len(a) != 40 {
+		t.Fatalf("script length = %d, want 40", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Validity: no event touches peer 0, and ops respect per-peer state.
+	state := make(map[int]ChurnOp)
+	for _, ev := range a {
+		if ev.Peer == 0 {
+			t.Fatalf("script churned the anchor peer: %+v", ev)
+		}
+		prev := state[ev.Peer]
+		valid := map[ChurnOp][]ChurnOp{
+			"":        {OpCrash, OpLeave},
+			OpRecover: {OpCrash, OpLeave},
+			OpJoin:    {OpCrash, OpLeave},
+			OpCrash:   {OpRecover},
+			OpLeave:   {OpJoin},
+		}
+		ok := false
+		for _, v := range valid[prev] {
+			if ev.Op == v {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("invalid transition %v -> %v for peer %d", prev, ev.Op, ev.Peer)
+		}
+		state[ev.Peer] = ev.Op
+	}
+}
+
+// TestChurnDifferential is the headline chaos test: an 8-peer network
+// under a scripted crash/leave/recover/rejoin schedule plus background
+// fault noise, with concurrent stale-tolerant clients. Every query
+// must succeed (degraded queries say so) or fail typed — never hang,
+// never return garbage — and at quiesce the coordinator's answers are
+// byte-identical to the all-local oracle.
+func TestChurnDifferential(t *testing.T) {
+	cn, err := NewChurnNetwork(
+		NetworkSpec{Topology: Random, Peers: 8, Seed: 11, RowsPerPeer: 6, ExtraEdgeProb: 0.3},
+		faults.Config{Seed: 23, LatencyProb: 0.05, MaxLatency: 2 * time.Millisecond,
+			ErrorProb: 0.03, DropProb: 0.03, HangProb: 0.01, ScanDropProb: 0.02},
+		5*time.Millisecond,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := GenChurnScript(31, 8, 24)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Concurrent client load for the whole churn window.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, degradedQueries, typedFailures, retriesTotal int64
+	var statMu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pol := churnPolicy()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qctx, qcancel := context.WithTimeout(ctx, 10*time.Second)
+				rows, cur, err := cn.Query(qctx, pol, true)
+				qcancel()
+				statMu.Lock()
+				queries++
+				switch {
+				case err == nil:
+					if cur.Retries() > 0 {
+						retriesTotal += int64(cur.Retries())
+					}
+					if len(cur.Degraded()) > 0 {
+						degradedQueries++
+					}
+					if rows.Len() == 0 {
+						statMu.Unlock()
+						t.Errorf("query returned zero answers (anchor peer data should always be present)")
+						return
+					}
+				case errors.Is(err, pdms.ErrPeerUnreachable) ||
+					errors.Is(err, pdms.ErrBudgetExhausted) ||
+					errors.Is(err, context.DeadlineExceeded):
+					typedFailures++
+				default:
+					statMu.Unlock()
+					t.Errorf("query failed untyped under churn: %v", err)
+					return
+				}
+				statMu.Unlock()
+			}
+		}()
+	}
+
+	for i, ev := range script {
+		if err := cn.Apply(ctx, ev); err != nil {
+			// A join can race injected faults; retry it rather than fail
+			// the schedule (crashed-state joins are excluded by the script).
+			deadline := time.Now().Add(5 * time.Second)
+			for err != nil && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+				err = cn.Apply(ctx, ev)
+			}
+			if err != nil {
+				t.Fatalf("event %d %+v: %v", i, ev, err)
+			}
+		}
+		time.Sleep(3 * time.Millisecond) // let clients interleave
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce: all peers live again, answers must match the oracle.
+	if err := cn.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, cur, err := cn.Query(ctx, churnPolicy(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Degraded()) != 0 {
+		t.Fatalf("quiesced query still degraded: %+v", cur.Degraded())
+	}
+	want, err := cn.OracleDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AnswerDigest(rows); got != want {
+		t.Fatalf("quiesced digest %s != all-local oracle %s (rows=%d, oracle titles=%d)",
+			got, want, rows.Len(), len(cn.Local.AllTitles))
+	}
+	t.Logf("churn: %d queries (%d degraded, %d typed failures, %d retries spent), %d events",
+		queries, degradedQueries, typedFailures, retriesTotal, len(script))
+}
+
+// TestChurnSoakLeakFree runs several churn rounds back to back and
+// checks the process returns to its goroutine baseline — no leaked
+// probers, fetch workers, or cursor coroutines.
+func TestChurnSoakLeakFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak mode skipped in -short")
+	}
+	baseline := runtime.NumGoroutine()
+	rounds := 3
+	for r := 0; r < rounds; r++ {
+		cn, err := NewChurnNetwork(
+			NetworkSpec{Topology: Chain, Peers: 5, Seed: int64(100 + r), RowsPerPeer: 4},
+			faults.Config{Seed: int64(r), DropProb: 0.05},
+			3*time.Millisecond,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		script := GenChurnScript(int64(7*r+1), 5, 12)
+		for _, ev := range script {
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if err := cn.Apply(ctx, ev); err == nil {
+					break
+				} else if time.Now().After(deadline) {
+					cancel()
+					t.Fatalf("round %d event %+v: %v", r, ev, err)
+				}
+				time.Sleep(3 * time.Millisecond)
+			}
+			if _, _, err := cn.Query(ctx, churnPolicy(), true); err != nil &&
+				!errors.Is(err, pdms.ErrPeerUnreachable) && !errors.Is(err, pdms.ErrBudgetExhausted) {
+				cancel()
+				t.Fatalf("round %d query: %v", r, err)
+			}
+		}
+		if err := cn.Quiesce(ctx); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	// Probers and workers wind down asynchronously; poll with a deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 { // small slack for runtime helpers
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked under soak: baseline %d, now %d\n%s",
+				baseline, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChurnLeaveShrinksAnswers pins the membership semantics: while a
+// peer is away its titles (and anything only reachable through it)
+// drop out of the answer set, and they return after rejoin.
+func TestChurnLeaveShrinksAnswers(t *testing.T) {
+	cn, err := NewChurnNetwork(
+		NetworkSpec{Topology: Star, Peers: 4, Seed: 3, RowsPerPeer: 3},
+		faults.Config{}, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pol := churnPolicy()
+	full, _, err := cn.Query(ctx, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 12 {
+		t.Fatalf("full answers = %d, want 12", full.Len())
+	}
+	if err := cn.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	smaller, cur, err := cn.Query(ctx, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Degraded()) != 0 {
+		t.Fatalf("membership departure is not degradation: %+v", cur.Degraded())
+	}
+	if smaller.Len() != 9 {
+		t.Fatalf("answers without peer2 = %d, want 9", smaller.Len())
+	}
+	if err := cn.Join(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := cn.Query(ctx, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnswerDigest(again) != AnswerDigest(full) {
+		t.Fatal("rejoin did not restore the full answer set byte-identically")
+	}
+}
+
+// TestChurnCrashDegradesThenRecovers pins the crash semantics end to
+// end at the harness level: a crashed peer degrades stale-tolerant
+// queries, fails fresh-only ones typed, and serves fresh data again
+// after recovery — including a write that happened mid-outage.
+func TestChurnCrashDegradesThenRecovers(t *testing.T) {
+	cn, err := NewChurnNetwork(
+		NetworkSpec{Topology: Chain, Peers: 3, Seed: 5, RowsPerPeer: 3},
+		faults.Config{}, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pol := churnPolicy()
+	warm, _, err := cn.Query(ctx, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn.Crash(1)
+	// The crashed node keeps taking local writes the coordinator can't see:
+	// clone an existing row and give it a fresh, globally unique title.
+	served := cn.Served(1)
+	relName := served.RelationNames()[0]
+	row := served.Store.Get(relName).Rows()[0].Clone()
+	names := cn.Local.Specs[1].Schema.AttrNames()
+	for c, n := range names {
+		if cn.Local.Specs[1].Truth[n] == "title" {
+			row[c] = relation.SV("Mid-Outage Special [peer1#offline]")
+		}
+	}
+	if err := served.Insert(relName, row); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := cn.Query(ctx, pol, false); !errors.Is(err, pdms.ErrPeerUnreachable) {
+		t.Fatalf("fresh-only query on crashed peer: %v, want ErrPeerUnreachable", err)
+	}
+	stale, cur, err := cn.Query(ctx, pol, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Degraded()) != 1 || cur.Degraded()[0].Peer != PeerName(1) {
+		t.Fatalf("Degraded() = %+v, want peer1", cur.Degraded())
+	}
+	if AnswerDigest(stale) != AnswerDigest(warm) {
+		t.Fatal("degraded answers differ from the last-good snapshot")
+	}
+
+	cn.Recover(1)
+	if err := cn.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fresh, cur, err := cn.Query(ctx, pol, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Degraded()) != 0 {
+		t.Fatalf("recovered peer still degraded: %+v", cur.Degraded())
+	}
+	if fresh.Len() != warm.Len()+1 {
+		t.Fatalf("post-recovery answers = %d, want %d (outage-time write visible)",
+			fresh.Len(), warm.Len()+1)
+	}
+}

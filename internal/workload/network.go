@@ -160,6 +160,19 @@ func (g *GeneratedNetwork) addMappingPair(a, b int) error {
 }
 
 func (g *GeneratedNetwork) addMapping(src, tgt int) error {
+	m, err := g.BuildMapping(src, tgt)
+	if err != nil {
+		return err
+	}
+	return g.Net.AddMapping(m)
+}
+
+// BuildMapping constructs (without registering) the directional GAV
+// mapping from peer src to tgt, aligning columns by mediated tag. It
+// exists so harnesses that serve this generated network through
+// another coordinator — remote transports, churn drivers re-admitting
+// a returned peer — can register identical mappings there.
+func (g *GeneratedNetwork) BuildMapping(src, tgt int) (*glav.Mapping, error) {
 	s, t := g.Specs[src], g.Specs[tgt]
 	// Source atom: every source column gets a distinct variable named by
 	// its mediated tag.
@@ -178,22 +191,18 @@ func (g *GeneratedNetwork) addMapping(src, tgt int) error {
 	for i, n := range tNames {
 		v, ok := varOfTag[t.Truth[n]]
 		if !ok {
-			return fmt.Errorf("workload: tag %q of %s missing at %s", t.Truth[n], t.Name, s.Name)
+			return nil, fmt.Errorf("workload: tag %q of %s missing at %s", t.Truth[n], t.Name, s.Name)
 		}
 		head[i] = v
 		tgtArgs[i] = cq.V(v)
 	}
-	m, err := glav.New(
+	return glav.New(
 		fmt.Sprintf("m_%s_to_%s", s.Name, t.Name),
 		s.Name,
 		cq.Query{HeadPred: "m", HeadVars: head, Body: []cq.Atom{{Pred: s.Schema.Name, Args: srcArgs}}},
 		t.Name,
 		cq.Query{HeadPred: "m", HeadVars: head, Body: []cq.Atom{{Pred: t.Schema.Name, Args: tgtArgs}}},
 	)
-	if err != nil {
-		return err
-	}
-	return g.Net.AddMapping(m)
 }
 
 // TitleQuery returns the query "all course titles" in peer i's own

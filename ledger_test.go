@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/perfledger"
+)
+
+// TestPerfLedgerGate is the machine check behind BENCH_6.json: it
+// re-measures the all-local warm E2/16 path live and fails when it
+// regresses beyond noise against the committed baseline. Allocations
+// are deterministic, so their gate is tight; wall-clock varies across
+// CI machines, so its gate is generous — it catches a path regression
+// (an accidental cold re-plan, a lock convoy), not a slow runner.
+func TestPerfLedgerGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a ~1s benchmark")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation slows the measured path far past the non-race baseline")
+	}
+	ledger, err := perfledger.Load("BENCH_6.json")
+	if err != nil {
+		t.Fatalf("loading the committed perf ledger: %v", err)
+	}
+	for _, name := range []string{perfledger.BenchWarm, perfledger.BenchWarmRemote,
+		perfledger.BenchDegraded, perfledger.BenchRecovery} {
+		if _, ok := ledger.Benches[name]; !ok {
+			t.Errorf("ledger is missing required bench %q (re-run `revere bench -out BENCH_6.json`)", name)
+		}
+	}
+	base, ok := ledger.Benches[perfledger.BenchWarm]
+	if !ok || base.NsPerOp <= 0 || base.AllocsPerOp <= 0 {
+		t.Fatalf("ledger %s entry unusable: %+v", perfledger.BenchWarm, base)
+	}
+	live, err := perfledger.WarmE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("warm E2/16: live %.0f ns/op %d allocs/op vs ledger %.0f ns/op %d allocs/op",
+		live.NsPerOp, live.AllocsPerOp, base.NsPerOp, base.AllocsPerOp)
+	if live.Answers != base.Answers {
+		t.Errorf("warm E2/16 answers = %d, ledger recorded %d", live.Answers, base.Answers)
+	}
+	// Allocation count barely varies run to run: +25% (plus a small
+	// absolute slack) is a real regression, not noise.
+	if maxAllocs := base.AllocsPerOp*5/4 + 8; live.AllocsPerOp > maxAllocs {
+		t.Errorf("warm E2/16 allocs regressed: %d/op, gate %d/op (ledger %d/op)",
+			live.AllocsPerOp, maxAllocs, base.AllocsPerOp)
+	}
+	// Wall clock varies with the runner; 4x the recorded baseline is
+	// far outside machine noise.
+	if maxNs := base.NsPerOp * 4; live.NsPerOp > maxNs {
+		t.Errorf("warm E2/16 wall clock regressed: %.0f ns/op, gate %.0f ns/op (ledger %.0f ns/op)",
+			live.NsPerOp, maxNs, base.NsPerOp)
+	}
+}

@@ -36,14 +36,30 @@ func buildRevere(t *testing.T) string {
 	return bin
 }
 
+// serveProc is one running `revere serve` OS process.
+type serveProc struct {
+	addr   string
+	cmd    *exec.Cmd
+	cancel context.CancelFunc
+}
+
 // startServeProcess boots one `revere serve` OS process on an ephemeral
 // port and waits for its readiness line, returning the address and a
 // clean-shutdown function.
 func startServeProcess(t *testing.T, bin, own string) (string, func() error) {
+	p := startServeAt(t, bin, own, "127.0.0.1:0")
+	return p.addr, p.shutdown
+}
+
+// startServeAt boots one `revere serve` OS process on the given listen
+// address (use 127.0.0.1:0 for an ephemeral port) and waits for its
+// readiness line. The churn test restarts a crashed server on its old
+// fixed address this way.
+func startServeAt(t *testing.T, bin, own, listen string) *serveProc {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	cmd := exec.CommandContext(ctx, bin, "serve",
-		"-listen", "127.0.0.1:0", "-seed", "1", "-peers", "16", "-rows", "10", "-own", own)
+		"-listen", listen, "-seed", "1", "-peers", "16", "-rows", "10", "-own", own)
 	cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -78,15 +94,26 @@ func startServeProcess(t *testing.T, bin, own string) (string, func() error) {
 			t.Fatalf("serve %s never reported readiness", own)
 		}
 	}
-	shutdown := func() error {
-		if err := cmd.Process.Signal(os.Interrupt); err != nil {
-			return err
-		}
-		err := cmd.Wait()
-		cancel()
+	return &serveProc{addr: addr, cmd: cmd, cancel: cancel}
+}
+
+// shutdown stops the server cleanly: SIGINT, then waits for a zero
+// exit.
+func (p *serveProc) shutdown() error {
+	if err := p.cmd.Process.Signal(os.Interrupt); err != nil {
 		return err
 	}
-	return addr, shutdown
+	err := p.cmd.Wait()
+	p.cancel()
+	return err
+}
+
+// kill crashes the server: SIGKILL, no chance to flush or say goodbye —
+// the churn harness's node failure.
+func (p *serveProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cancel()
 }
 
 // runQueryProcess runs `revere query` with the given extra args and

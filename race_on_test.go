@@ -1,0 +1,9 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Perf gates skip under race: instrumentation slows the
+// measured path ~5-10x, so comparing against a non-race baseline would
+// fail every run without indicating a regression.
+const raceEnabled = true
