@@ -9,10 +9,11 @@ import (
 
 // runBench measures the serving-path perf ledger (warm, degraded, and
 // recovery E2/16 latencies) and writes it as JSON — the machine-checked
-// record behind BENCH_6.json and the CI regression gate.
+// record behind the committed BENCH_N.json trajectory and the CI
+// regression gate (which always compares against the latest one).
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("revere bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_6.json", "path to write the JSON perf ledger to")
+	out := fs.String("out", fmt.Sprintf("BENCH_%d.json", perfledger.CurrentPR), "path to write the JSON perf ledger to")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -104,7 +105,13 @@ func genChain(seed int64, peers, rows int) (*workload.GeneratedNetwork, error) {
 
 // runServe hosts a peer range of the E2 chain on a TCP listener until
 // interrupted. It prints "listening <addr>" once ready, the line
-// supervisors and tests parse to learn an ephemeral port.
+// supervisors and tests parse to learn an ephemeral port. With -data
+// the served peers are durable: each gets a snapshot+WAL store under
+// DIR/<peer>, a fresh directory is populated from the generated
+// workload (and checkpointed), and a restart — even after SIGKILL —
+// recovers the exact pre-crash state, fingerprints included, so
+// coordinators that synced before the crash rejoin via Delta records
+// instead of full rescans.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("revere serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7461", "address to listen on (use :0 for an ephemeral port)")
@@ -112,6 +119,8 @@ func runServe(args []string) error {
 	peers := fs.Int("peers", 16, "total peers in the chain workload")
 	rows := fs.Int("rows", 10, "course rows per peer")
 	own := fs.String("own", "", "peer index range lo:hi this process hosts (default: all)")
+	data := fs.String("data", "", "durable store directory: peers persist to DIR/<peer> and restarts recover without rescan")
+	extra := fs.Int("extra", 0, "insert this many extra deterministic rows per served peer after startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,8 +135,53 @@ func runServe(args []string) error {
 		}
 	}
 	served := make([]*pdms.Peer, 0, pr.Hi-pr.Lo)
+	populated, recovered, recRows, replayed := 0, 0, 0, 0
 	for i := pr.Lo; i < pr.Hi; i++ {
-		served = append(served, g.Net.Peer(workload.PeerName(i)))
+		name := workload.PeerName(i)
+		p := g.Net.Peer(name)
+		rel := g.Specs[i].Schema.Name
+		if *data != "" {
+			// One store directory per peer: relation names may collide
+			// across peers (the workload obfuscates vocabularies
+			// independently), so peers cannot share a database.
+			if p, err = pdms.OpenDurablePeer(name, filepath.Join(*data, name), g.Specs[i].Schema); err != nil {
+				return err
+			}
+			rec := p.Persist().Recovered()
+			if n := p.Store.Get(rel).Len(); n > 0 {
+				recovered++
+				recRows += n
+				replayed += rec.Replayed
+			} else {
+				// Fresh store: ingest the generated workload through the
+				// durable peer so every row is logged, then checkpoint so
+				// the next start recovers from the snapshot alone.
+				for _, row := range g.Specs[i].Data.Rows() {
+					if err := p.Insert(rel, row.Clone()); err != nil {
+						return err
+					}
+				}
+				if err := p.Checkpoint(); err != nil {
+					return err
+				}
+				populated++
+			}
+		}
+		// Extra rows mutate the serving peer past the shared generated
+		// state — the knob the durability test turns to force fingerprint
+		// movement (and a delta catch-up) after a restart. Offset by the
+		// current row count so repeated restarts keep titles unique.
+		off := p.Store.Get(rel).Len()
+		for k := 0; k < *extra; k++ {
+			if err := p.Insert(rel, g.ExtraRow(i, off+k)); err != nil {
+				return err
+			}
+		}
+		served = append(served, p)
+	}
+	if *data != "" {
+		fmt.Printf("store %s: populated %d peers, recovered %d peers (%d rows, %d log records replayed)\n",
+			*data, populated, recovered, recRows, replayed)
 	}
 	srv := transport.NewServer(served...)
 	ready := make(chan net.Addr, 1)
@@ -148,7 +202,19 @@ func runServe(args []string) error {
 		return err
 	case <-ctx.Done():
 		fmt.Println("shutting down")
-		return srv.Close()
+		err := srv.Close()
+		// Clean shutdown folds each durable peer's log into a fresh
+		// snapshot; a SIGKILL skips this, which is exactly what the
+		// crash-recovery path exists for.
+		for _, p := range served {
+			if cerr := p.Checkpoint(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if cerr := p.ClosePersist(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
 	}
 }
 
@@ -257,6 +323,11 @@ func runQuery(args []string) error {
 		if r := cur.Retries(); r > 0 {
 			fmt.Printf("retries %d\n", r)
 		}
+		// Cumulative replica-refresh counters: the proof line the
+		// durability churn test parses to show a restarted durable peer
+		// rejoined via Delta records, not full relation scans.
+		scans, deltas := n.RemoteSyncCounts()
+		fmt.Printf("sync scans %d deltas %d\n", scans, deltas)
 		fmt.Printf("answers %d oracle %d digest %s\n",
 			answers.Len(), len(g.AllTitles), AnswerDigest(answers))
 		return nil

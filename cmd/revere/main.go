@@ -12,6 +12,7 @@
 // across real OS processes speaking the wire protocol (PROTOCOL.md):
 //
 //	revere serve [-listen ADDR] [-seed N] [-peers N] [-rows N] [-own LO:HI]
+//	             [-data DIR] [-extra K]
 //	revere query [-seed N] [-peers N] [-rows N] [-par N] [-remote LO:HI=ADDR]...
 //	             [-retry N] [-timeout D] [-stale] [-watch D]
 //	revere bench [-out FILE]
@@ -33,9 +34,16 @@
 // restarting a serve process mid-watch shows the full degradation
 // cycle (stale serving needs a mirror from a successful earlier sync —
 // a coordinator started after the peer died has nothing to serve and
-// fails typed). bench measures the serving path (warm, degraded,
-// recovery) and writes the machine-checked perf ledger that CI gates
-// on (BENCH_6.json).
+// fails typed). -data DIR makes the served peers durable: a fresh
+// directory is populated from the generated workload and checkpointed,
+// and a restarted process — even after SIGKILL — recovers the exact
+// pre-crash state from snapshot+log, so a watching coordinator rejoins
+// it via Delta records instead of full rescans (query prints a
+// cumulative "sync scans N deltas M" line to prove it); -extra K
+// inserts K deterministic extra rows per served peer after startup, the
+// knob that forces fingerprint movement. bench measures the serving
+// path (warm, degraded, recovery) and writes the machine-checked perf
+// ledger that CI gates on (the latest BENCH_N.json).
 package main
 
 import (

@@ -23,6 +23,7 @@ var docCheckedPackages = []string{
 	"internal/pdms",
 	"internal/perfledger",
 	"internal/relation",
+	"internal/store",
 	"internal/transport",
 	"internal/view",
 }

@@ -1,0 +1,308 @@
+package repro
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the acceptance test for ISSUE 7's durability tentpole at
+// full OS-process fidelity: a `revere serve -data DIR` node is SIGKILLed
+// and restarted over the same store directory while one long-lived
+// watch-mode coordinator keeps querying it. The restarted process must
+// recover byte-identical state from snapshot+log (no workload rescan:
+// its own startup line says "recovered"), and — because recovery lands
+// on the exact pre-crash fingerprints — the coordinator must rejoin it
+// by syncing only Delta change records: the cumulative `sync scans N
+// deltas M` counters prove no full relation re-scan happened.
+
+// syncLine matches the query command's cumulative replica-refresh
+// counter line.
+var syncLine = regexp.MustCompile(`^sync scans (\d+) deltas (\d+)$`)
+
+// storeLine matches the serve command's recovery summary.
+var storeLine = regexp.MustCompile(`^store .*: populated (\d+) peers, recovered (\d+) peers \((\d+) rows, (\d+) log records replayed\)$`)
+
+// watchResult is one successful iteration of a watch-mode query
+// process: the answer digest plus the coordinator's cumulative sync
+// counters at that point.
+type watchResult struct {
+	scans, deltas   int
+	answers, oracle int
+	digest          string
+}
+
+// watchProc is one long-lived `revere query -watch` OS process — the
+// coordinator that stays alive across server crashes and restarts, so
+// its mirrors (and their fingerprints) persist between iterations.
+type watchProc struct {
+	cmd    *exec.Cmd
+	cancel context.CancelFunc
+	lines  chan string
+}
+
+// startWatchQuery boots the watch-mode coordinator with the given extra
+// arguments.
+func startWatchQuery(t *testing.T, bin string, extra ...string) *watchProc {
+	t.Helper()
+	args := append([]string{"query", "-seed", "1", "-peers", "16", "-rows", "10"}, extra...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); cmd.Wait() })
+	w := &watchProc{cmd: cmd, cancel: cancel, lines: make(chan string, 16)}
+	sc := bufio.NewScanner(stdout)
+	go func() {
+		for sc.Scan() {
+			w.lines <- sc.Text()
+		}
+		close(w.lines)
+	}()
+	return w
+}
+
+// next blocks until the coordinator completes one successful iteration
+// (a sync-counter line followed by an answers line) and returns it.
+// Failed iterations ("query error: ...", printed while the server is
+// down) are skipped.
+func (w *watchProc) next(t *testing.T) watchResult {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	var res watchResult
+	haveSync := false
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", s, err)
+		}
+		return n
+	}
+	for {
+		select {
+		case line, ok := <-w.lines:
+			if !ok {
+				t.Fatal("watch coordinator exited mid-test")
+			}
+			line = strings.TrimSpace(line)
+			if m := syncLine.FindStringSubmatch(line); m != nil {
+				res.scans, res.deltas = atoi(m[1]), atoi(m[2])
+				haveSync = true
+				continue
+			}
+			if m := digestLine.FindStringSubmatch(line); m != nil {
+				if !haveSync {
+					t.Fatal("answers line arrived before its sync-counter line")
+				}
+				res.answers, res.oracle, res.digest = atoi(m[1]), atoi(m[2]), m[3]
+				return res
+			}
+		case <-deadline:
+			t.Fatal("no successful watch iteration within the deadline")
+		}
+	}
+}
+
+// stop interrupts the coordinator and waits for a clean exit.
+func (w *watchProc) stop() error {
+	if err := w.cmd.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	err := w.cmd.Wait()
+	w.cancel()
+	return err
+}
+
+// recoverySummary parses the serve process's "store ..." prelude line.
+func recoverySummary(t *testing.T, p *serveProc) (populated, recovered, rows, replayed int) {
+	t.Helper()
+	for _, line := range p.prelude {
+		if m := storeLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			vals := make([]int, 4)
+			for i := range vals {
+				n, err := strconv.Atoi(m[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals[i] = n
+			}
+			return vals[0], vals[1], vals[2], vals[3]
+		}
+	}
+	t.Fatalf("serve printed no store recovery summary; prelude: %q", p.prelude)
+	return 0, 0, 0, 0
+}
+
+// TestDurableServeCrashRecoveryDeltaRejoin is the ISSUE 7 acceptance
+// scenario: SIGKILL a `revere serve -data DIR` process, restart it over
+// the same directory (with -extra 1 so every served peer's fingerprint
+// moves past what the coordinator last synced), and assert that
+//
+//   - the restarted process recovers from snapshot+log, not a rescan
+//     (its startup summary reports 8 recovered peers, 0 populated);
+//   - the long-lived coordinator rejoins it by shipping Delta change
+//     records only: its cumulative scan counter does not move, its
+//     delta counter advances by exactly the 8 served relations;
+//   - the answers are exact: a cold coordinator that full-scans the
+//     same deployment prints a byte-identical digest.
+func TestDurableServeCrashRecoveryDeltaRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and compiles the binary")
+	}
+	bin := buildRevere(t)
+	dataDir := t.TempDir()
+
+	// Baseline: the all-local digest of the unmodified workload.
+	_, _, localDigest := runQueryProcess(t, bin)
+
+	// First incarnation: a fresh store directory is populated from the
+	// generated workload and checkpointed.
+	p1 := startServeAt(t, bin, "8:16", "127.0.0.1:0", "-data", dataDir)
+	if populated, recovered, _, _ := recoverySummary(t, p1); populated != 8 || recovered != 0 {
+		t.Fatalf("fresh start populated %d recovered %d, want 8/0", populated, recovered)
+	}
+
+	w := startWatchQuery(t, bin, "-remote", "8:16="+p1.addr,
+		"-retry", "3", "-timeout", "2s", "-watch", "300ms")
+	r1 := w.next(t)
+	if r1.answers != r1.oracle {
+		t.Fatalf("healthy run incomplete: answers %d, oracle %d", r1.answers, r1.oracle)
+	}
+	if r1.digest != localDigest {
+		t.Fatalf("durable-served digest %s != all-local %s", r1.digest, localDigest)
+	}
+	if r1.scans != 8 || r1.deltas != 0 {
+		t.Fatalf("cold sync scans %d deltas %d, want 8/0 (one scan per served relation)", r1.scans, r1.deltas)
+	}
+
+	// Crash. No flush, no goodbye: whatever survives is the snapshot
+	// plus whatever Appends reached the kernel.
+	p1.kill()
+
+	// Second incarnation over the same directory. -extra 1 inserts one
+	// extra row per served peer after recovery, so every fingerprint
+	// moves past the coordinator's last sync — the rejoin has real
+	// changes to ship.
+	p2 := startServeAt(t, bin, "8:16", p1.addr, "-data", dataDir, "-extra", "1")
+	if p2.addr != p1.addr {
+		t.Fatalf("restarted server reports %s, want its old address %s", p2.addr, p1.addr)
+	}
+	populated, recovered, rows, _ := recoverySummary(t, p2)
+	if populated != 0 || recovered != 8 {
+		t.Fatalf("restart populated %d recovered %d, want 0/8 (recovery, not rescan)", populated, recovered)
+	}
+	if rows != 8*10 {
+		t.Fatalf("restart recovered %d rows, want %d", rows, 8*10)
+	}
+
+	// The rejoin: skip failed iterations from the crash window, then the
+	// first successful one must carry the 8 extra titles — synced as
+	// exactly 8 Delta catch-ups, with the scan counter frozen at its
+	// pre-crash value.
+	var r2 watchResult
+	for r2 = w.next(t); r2.answers == r2.oracle; r2 = w.next(t) {
+	}
+	if r2.answers != r2.oracle+8 {
+		t.Errorf("post-restart answers %d, want oracle+8 = %d", r2.answers, r2.oracle+8)
+	}
+	if r2.scans != r1.scans {
+		t.Errorf("rejoin re-scanned: scans %d, want still %d", r2.scans, r1.scans)
+	}
+	if r2.deltas != r1.deltas+8 {
+		t.Errorf("rejoin deltas %d, want %d (one per served relation)", r2.deltas, r1.deltas+8)
+	}
+	if r2.digest == localDigest {
+		t.Error("post-restart digest unchanged despite extra rows")
+	}
+
+	// Differential: a cold coordinator full-scans the same deployment —
+	// the delta-synced replica state must be byte-identical to scans.
+	coldOut := runQueryProcessRaw(t, bin, "-remote", "8:16="+p2.addr)
+	coldScans, coldDeltas, coldAnswers, coldDigest := parseQueryOutput(t, coldOut)
+	if coldScans != 8 || coldDeltas != 0 {
+		t.Errorf("cold coordinator sync scans %d deltas %d, want 8/0", coldScans, coldDeltas)
+	}
+	if coldAnswers != r2.answers {
+		t.Errorf("cold coordinator answers %d, watch coordinator %d", coldAnswers, r2.answers)
+	}
+	if coldDigest != r2.digest {
+		t.Errorf("delta-synced digest %s != full-scan digest %s", r2.digest, coldDigest)
+	}
+
+	if err := w.stop(); err != nil {
+		t.Errorf("watch coordinator did not stop cleanly: %v", err)
+	}
+	// Clean shutdown checkpoints; a third incarnation recovers from the
+	// snapshot alone (zero log records replayed) and serves the same
+	// state.
+	if err := p2.shutdown(); err != nil {
+		t.Fatalf("server did not shut down cleanly: %v", err)
+	}
+	p3 := startServeAt(t, bin, "8:16", p2.addr, "-data", dataDir)
+	populated, recovered, rows, replayed := recoverySummary(t, p3)
+	if populated != 0 || recovered != 8 || replayed != 0 {
+		t.Errorf("post-checkpoint restart populated %d recovered %d replayed %d, want 0/8/0",
+			populated, recovered, replayed)
+	}
+	if rows != 8*11 { // 10 generated + 1 extra per peer
+		t.Errorf("post-checkpoint restart recovered %d rows, want %d", rows, 8*11)
+	}
+	_, _, _, finalDigest := parseQueryOutput(t, runQueryProcessRaw(t, bin, "-remote", "8:16="+p3.addr))
+	if finalDigest != r2.digest {
+		t.Errorf("post-checkpoint digest %s != pre-shutdown digest %s", finalDigest, r2.digest)
+	}
+	if err := p3.shutdown(); err != nil {
+		t.Errorf("third incarnation did not shut down cleanly: %v", err)
+	}
+}
+
+// runQueryProcessRaw runs `revere query` once and returns its full
+// output (the caller parses counters as well as the digest line).
+func runQueryProcessRaw(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"query", "-seed", "1", "-peers", "16", "-rows", "10"}, extra...)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("revere %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// parseQueryOutput extracts the sync counters and the answers/digest
+// line from one query run's output.
+func parseQueryOutput(t *testing.T, out string) (scans, deltas, answers int, digest string) {
+	t.Helper()
+	haveSync, haveDigest := false, false
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		line = strings.TrimSpace(line)
+		if m := syncLine.FindStringSubmatch(line); m != nil {
+			scans, _ = strconv.Atoi(m[1])
+			deltas, _ = strconv.Atoi(m[2])
+			haveSync = true
+		}
+		if m := digestLine.FindStringSubmatch(line); m != nil {
+			answers, _ = strconv.Atoi(m[1])
+			digest = m[3]
+			haveDigest = true
+		}
+	}
+	if !haveSync || !haveDigest {
+		t.Fatalf("query output missing sync or digest line:\n%s", out)
+	}
+	return scans, deltas, answers, digest
+}

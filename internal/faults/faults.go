@@ -88,8 +88,13 @@ type Transport struct {
 	scanDrops atomic.Uint64
 }
 
-// compile-time proof the decorator is a pdms.Transport.
-var _ pdms.Transport = (*Transport)(nil)
+// compile-time proof the decorator is a pdms.Transport — and a
+// pdms.DeltaTransport (it forwards Delta when the inner transport
+// supports it, and reports ok=false when it doesn't).
+var (
+	_ pdms.Transport      = (*Transport)(nil)
+	_ pdms.DeltaTransport = (*Transport)(nil)
+)
 
 // New wraps inner with the given fault configuration.
 func New(inner pdms.Transport, cfg Config) *Transport {
@@ -235,6 +240,21 @@ func (t *Transport) Scan(ctx context.Context, peer, rel string, deliver func([]r
 		}
 		return nil
 	})
+}
+
+// Delta implements pdms.DeltaTransport with the fault gate in front.
+// When the inner transport cannot ship deltas, every call reports
+// ok=false (after the gate), so the wrapped stack degrades to full
+// scans exactly like an undecorated scan-only transport.
+func (t *Transport) Delta(ctx context.Context, peer, rel string, since uint64) ([]relation.ChangeRecord, bool, error) {
+	if err := t.before(ctx, "delta", peer); err != nil {
+		return nil, false, err
+	}
+	dt, can := t.inner.(pdms.DeltaTransport)
+	if !can {
+		return nil, false, nil
+	}
+	return dt.Delta(ctx, peer, rel, since)
 }
 
 // Close implements pdms.Transport, closing the inner transport.

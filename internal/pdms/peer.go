@@ -16,6 +16,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/glav"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // Peer is one participant: a named schema plus locally stored relations.
@@ -41,13 +42,18 @@ type Peer struct {
 	schemaVer atomic.Uint64
 	// serveMu makes serving this peer over a transport safe against the
 	// node's own mutations — exactly the live-freshness scenario the
-	// wire protocol's fingerprint probe exists for. Insert and AddSchema
-	// take the write side; the Serving* accessors (what Loopback and the
-	// TCP server read) take the read side. In-process readers (queries
-	// through a Network) keep the pre-existing contract: they are
-	// synchronized by the network's caches and fingerprints, not by this
-	// lock.
+	// wire protocol's fingerprint probe exists for. Insert, Delete, and
+	// AddSchema take the write side; the Serving* accessors (what
+	// Loopback and the TCP server read) take the read side. In-process
+	// readers (queries through a Network) keep the pre-existing
+	// contract: they are synchronized by the network's caches and
+	// fingerprints, not by this lock.
 	serveMu sync.RWMutex
+	// persist, when non-nil, is the durable snapshot+WAL store backing
+	// Store: mutations through Insert/Delete/AddSchema are logged to it
+	// under serveMu, and ServingDelta serves catch-up records from its
+	// resident log. Nil for ordinary in-memory peers. See OpenDurablePeer.
+	persist *store.Store
 }
 
 // NewPeer creates a peer with the given relation schemas; stored
@@ -62,16 +68,106 @@ func NewPeer(name string, schemas ...relation.Schema) *Peer {
 	return p
 }
 
+// OpenDurablePeer creates a peer backed by the snapshot+WAL store rooted
+// at dir, recovering whatever state a previous incarnation persisted
+// there: relations come back with their exact (version, rows)
+// fingerprints, so remote mirrors that synced before the restart see
+// nothing to re-fetch. Schemas already recovered from the store are kept
+// as-is; schemas in the argument list that the store does not know yet
+// are added (and logged) — so the same call serves both a fresh start
+// and a restart. Mutations through Insert, Delete, and AddSchema are
+// logged to the store; Checkpoint folds the log into a fresh snapshot,
+// and ClosePersist releases the store on shutdown.
+func OpenDurablePeer(name, dir string, schemas ...relation.Schema) (*Peer, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{Name: name, Store: st.Database(),
+		schema: make(map[string]relation.Schema), nets: make(map[*Network]struct{}),
+		persist: st}
+	p.schemaVer.Store(st.SchemaVersion())
+	for _, r := range p.Store.Relations() {
+		p.schema[r.Schema.Name] = r.Schema
+	}
+	for _, s := range schemas {
+		if _, known := p.schema[s.Name]; known {
+			continue
+		}
+		p.schema[s.Name] = s
+		p.Store.Put(relation.New(s))
+		ver := p.schemaVer.Add(1)
+		if err := st.Append(relation.ChangeRecord{Op: relation.ChangeSchema,
+			Rel: s.Name, Ver: ver, Schema: s}); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Persist returns the durable store backing this peer, or nil for an
+// ordinary in-memory peer. Callers use it to inspect recovery counters
+// (Recovered), durability health (Err), or to opt into fsync-per-record
+// appends (SyncAppend).
+func (p *Peer) Persist() *store.Store { return p.persist }
+
+// Checkpoint folds the durable peer's change log into a fresh snapshot,
+// under the serving lock so the snapshot captures a consistent database.
+// A no-op (nil) on an in-memory peer.
+func (p *Peer) Checkpoint() error {
+	if p.persist == nil {
+		return nil
+	}
+	p.serveMu.Lock()
+	defer p.serveMu.Unlock()
+	return p.persist.Checkpoint()
+}
+
+// ClosePersist closes the durable store (a no-op on an in-memory peer).
+// The snapshot stays as the last Checkpoint wrote it; callers wanting an
+// empty log on the next start should Checkpoint first.
+func (p *Peer) ClosePersist() error {
+	if p.persist == nil {
+		return nil
+	}
+	return p.persist.Close()
+}
+
+// ServingDelta returns, under the serving lock, the change records of
+// rel with version > since — the Delta response a transport sends to a
+// mirror catching up from a known fingerprint. ok is false when the
+// catch-up cannot be served: the peer is not durable, or a checkpoint
+// already folded the requested range into the snapshot; the caller falls
+// back to a full scan.
+func (p *Peer) ServingDelta(rel string, since uint64) (recs []relation.ChangeRecord, ok bool) {
+	if p.persist == nil {
+		return nil, false
+	}
+	p.serveMu.RLock()
+	defer p.serveMu.RUnlock()
+	if p.Store.Get(rel) == nil {
+		return nil, false // unknown relation: never claim an empty delta covers it
+	}
+	return p.persist.Since(rel, since)
+}
+
 // AddSchema registers one more relation in the peer's schema. Networks
 // the peer has joined treat this as a topology change: reformulations
-// cached against the old schema are invalidated.
+// cached against the old schema are invalidated. On a durable peer the
+// addition is logged; a log failure poisons the store (Persist().Err())
+// rather than failing this call.
 func (p *Peer) AddSchema(s relation.Schema) {
 	p.serveMu.Lock()
 	p.schema[s.Name] = s
 	if p.Store.Get(s.Name) == nil {
 		p.Store.Put(relation.New(s))
 	}
-	p.schemaVer.Add(1)
+	ver := p.schemaVer.Add(1)
+	if p.persist != nil {
+		p.persist.Append(relation.ChangeRecord{Op: relation.ChangeSchema,
+			Rel: s.Name, Ver: ver, Schema: s})
+	}
 	p.serveMu.Unlock()
 	for n := range p.nets {
 		n.bumpTopology()
@@ -104,14 +200,43 @@ func (p *Peer) RelationNames() []string {
 
 // Insert stores a tuple locally. It is safe against concurrent serving
 // of this peer over a transport (not against concurrent in-process
-// readers, which keep the single-writer contract).
+// readers, which keep the single-writer contract). On a durable peer
+// the insert is additionally logged to the write-ahead log before
+// returning; a log failure is the call's error (the tuple is in memory
+// but not durable).
 func (p *Peer) Insert(rel string, t relation.Tuple) error {
 	if !p.HasRelation(rel) {
 		return fmt.Errorf("pdms: peer %s has no relation %q", p.Name, rel)
 	}
 	p.serveMu.Lock()
 	defer p.serveMu.Unlock()
-	return p.Store.Insert(rel, t)
+	if err := p.Store.Insert(rel, t); err != nil {
+		return err
+	}
+	if p.persist != nil {
+		r := p.Store.Get(rel)
+		return p.persist.Append(relation.ChangeRecord{Op: relation.ChangeInsert,
+			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t})
+	}
+	return nil
+}
+
+// Delete removes every stored tuple of rel equal to t, reporting how
+// many were removed. Like Insert it is safe against concurrent serving,
+// and on a durable peer an effective delete (removed > 0) is logged.
+func (p *Peer) Delete(rel string, t relation.Tuple) (int, error) {
+	if !p.HasRelation(rel) {
+		return 0, fmt.Errorf("pdms: peer %s has no relation %q", p.Name, rel)
+	}
+	p.serveMu.Lock()
+	defer p.serveMu.Unlock()
+	r := p.Store.Get(rel)
+	removed := r.Delete(t)
+	if removed > 0 && p.persist != nil {
+		return removed, p.persist.Append(relation.ChangeRecord{Op: relation.ChangeDelete,
+			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t})
+	}
+	return removed, nil
 }
 
 // ServingState returns, under the serving lock, the peer's schema
@@ -214,6 +339,12 @@ type Network struct {
 	// entirely.
 	remotes  map[string]*RemotePeer
 	remoteMu sync.RWMutex
+
+	// remoteScans and remoteDeltas count replica refreshes by full scan
+	// vs by delta catch-up — the counters RemoteSyncCounts exposes so
+	// harnesses can prove a rejoin moved records, not relations.
+	remoteScans  atomic.Uint64
+	remoteDeltas atomic.Uint64
 
 	// DownProbeInterval is how often the background prober re-checks a
 	// remote peer that graceful degradation marked down

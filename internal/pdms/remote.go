@@ -355,11 +355,61 @@ func (n *Network) syncRemotes(ctx context.Context, pol RetryPolicy, budget *retr
 	return retries, nil
 }
 
-// fetchJob names one stale replica to rebuild.
+// fetchJob names one stale replica to rebuild. When the mirror already
+// holds a replica built from a known fingerprint, base carries that
+// replica and have its fingerprint, so the worker can try a delta
+// catch-up before falling back to a full scan; base is captured while
+// the caller holds remoteMu, because workers must not read the mirror
+// store concurrently with the drain loop's replica publishes.
 type fetchJob struct {
 	rp   *RemotePeer
 	rel  string
 	want remoteFP
+	base *relation.Relation
+	have remoteFP
+}
+
+// RemoteSyncCounts reports how many replica refreshes the network has
+// performed by full relation scan vs by delta catch-up since creation —
+// the observability the durability tests (and revere query's sync line)
+// use to prove a restarted durable peer rejoined without re-scans.
+func (n *Network) RemoteSyncCounts() (scans, deltas uint64) {
+	return n.remoteScans.Load(), n.remoteDeltas.Load()
+}
+
+// applyDelta replays change records onto a clone of the replica built
+// from fingerprint have, verifying every record's post-change (version,
+// rows) fingerprint along the way, and returns the caught-up relation
+// plus the fingerprint it landed on. Any inconsistency — wrong relation,
+// non-advancing version, row count mismatch — returns an error and the
+// caller falls back to a full scan: a delta must reconstruct exactly the
+// serving peer's state or not be used at all.
+func applyDelta(base *relation.Relation, rel string, have remoteFP, recs []relation.ChangeRecord) (*relation.Relation, remoteFP, error) {
+	dst := base.Clone()
+	fp := have
+	for _, rec := range recs {
+		if rec.Rel != rel {
+			return nil, remoteFP{}, fmt.Errorf("delta for %s carries record of %s", rel, rec.Rel)
+		}
+		if rec.Ver <= fp.ver {
+			return nil, remoteFP{}, fmt.Errorf("delta version %d does not advance past %d", rec.Ver, fp.ver)
+		}
+		switch rec.Op {
+		case relation.ChangeInsert:
+			if err := dst.Insert(rec.Tuple); err != nil {
+				return nil, remoteFP{}, err
+			}
+		case relation.ChangeDelete:
+			dst.Delete(rec.Tuple)
+		default:
+			return nil, remoteFP{}, fmt.Errorf("delta carries unexpected op %d", rec.Op)
+		}
+		if dst.Len() != rec.Rows {
+			return nil, remoteFP{}, fmt.Errorf("delta replay left %d rows, record says %d", dst.Len(), rec.Rows)
+		}
+		fp = remoteFP{ver: rec.Ver, rows: rec.Rows}
+	}
+	return dst, fp, nil
 }
 
 // fetchReferenced brings every remote relation referenced by the
@@ -402,10 +452,17 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 			if !known {
 				continue // mirror schema exists but remote serves no data yet
 			}
-			if got, ok := rp.fetched[rel]; ok && got == want {
-				continue // replica already matches the remote fingerprint
+			job := fetchJob{rp: rp, rel: rel, want: want}
+			if got, ok := rp.fetched[rel]; ok {
+				if got == want {
+					continue // replica already matches the remote fingerprint
+				}
+				// Stale but known: hand the worker the current replica and
+				// its fingerprint so it can catch up from the serving peer's
+				// change log instead of re-scanning.
+				job.base, job.have = rp.mirror.Store.Get(rel), got
 			}
-			jobs = append(jobs, fetchJob{rp: rp, rel: rel, want: want})
+			jobs = append(jobs, job)
 		}
 	}
 	if len(jobs) == 0 {
@@ -417,7 +474,14 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 	type fetchResult struct {
 		job fetchJob
 		rel *relation.Relation
-		err error
+		// got is the fingerprint the new replica was built to — want for
+		// a scan, possibly fresher for a delta that caught records written
+		// after the State probe.
+		got remoteFP
+		// viaDelta marks a replica rebuilt from change records rather than
+		// a full scan (feeds the RemoteSyncCounts observability).
+		viaDelta bool
+		err      error
 	}
 	work := make(chan fetchJob, len(jobs))
 	for _, job := range jobs {
@@ -440,8 +504,23 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 						err: fmt.Errorf("%w: peer %s marked down", ErrPeerUnreachable, job.rp.name)}
 					continue
 				}
-				var dst *relation.Relation
-				r, err := retryOp(fctx, pol, budget, func(actx context.Context) error {
+				// Cheap path first: when the replica's last-synced fingerprint
+				// is known and the transport can ship change records, catch up
+				// from the serving peer's log instead of re-reading the
+				// relation. A transport failure here is the job's failure (a
+				// scan against the same peer would fare no better); an
+				// uncovered or inconsistent delta falls through to the scan.
+				dst, got, viaDelta, r, err := n.tryDelta(fctx, pol, budget, job)
+				retried.Add(int64(r))
+				if err != nil {
+					results <- fetchResult{job: job, err: err}
+					continue
+				}
+				if viaDelta {
+					results <- fetchResult{job: job, rel: dst, got: got, viaDelta: true}
+					continue
+				}
+				r, err = retryOp(fctx, pol, budget, func(actx context.Context) error {
 					// Fresh destination per attempt: a dropped scan's partial
 					// tuples must never leak into the retry.
 					dst = relation.New(job.rp.mirror.Schema(job.rel))
@@ -455,7 +534,7 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 					})
 				})
 				retried.Add(int64(r))
-				results <- fetchResult{job: job, rel: dst, err: err}
+				results <- fetchResult{job: job, rel: dst, got: job.want, err: err}
 			}
 		}()
 	}
@@ -481,10 +560,51 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 		}
 		if firstErr == nil {
 			res.job.rp.mirror.Store.Put(res.rel)
-			res.job.rp.fetched[res.job.rel] = res.job.want
+			res.job.rp.fetched[res.job.rel] = res.got
+			if res.viaDelta {
+				n.remoteDeltas.Add(1)
+			} else {
+				n.remoteScans.Add(1)
+			}
 		}
 	}
 	return int(retried.Load()), firstErr
+}
+
+// tryDelta attempts the delta catch-up for one stale replica. used is
+// false (with a nil error) when the cheap path does not apply — the
+// transport cannot ship deltas, the replica has no known fingerprint,
+// the serving peer's log no longer covers the range, or the records
+// fail their per-step fingerprint verification — and the caller falls
+// back to a full scan. A transport error is returned as err: a scan
+// against the same unreachable peer would only spend more retries, so
+// the failure flows into the request's ordinary degradation handling.
+func (n *Network) tryDelta(ctx context.Context, pol RetryPolicy, budget *retryBudget,
+	job fetchJob) (dst *relation.Relation, got remoteFP, used bool, retries int, err error) {
+	dt, can := job.rp.tr.(DeltaTransport)
+	if !can || job.base == nil {
+		return nil, remoteFP{}, false, 0, nil
+	}
+	var recs []relation.ChangeRecord
+	var covered bool
+	retries, err = retryOp(ctx, pol, budget, func(actx context.Context) error {
+		var derr error
+		recs, covered, derr = dt.Delta(actx, job.rp.name, job.rel, job.have.ver)
+		return derr
+	})
+	if err != nil {
+		return nil, remoteFP{}, false, retries, err
+	}
+	if !covered {
+		return nil, remoteFP{}, false, retries, nil
+	}
+	dst, got, aerr := applyDelta(job.base, job.rel, job.have, recs)
+	if aerr != nil || got.ver < job.want.ver {
+		// Inconsistent records, or a catch-up that fell short of the
+		// fingerprint the State probe promised: the scan is the truth.
+		return nil, remoteFP{}, false, retries, nil
+	}
+	return dst, got, true, retries, nil
 }
 
 // invalidateRemotesLocked drops every replica fingerprint so the next

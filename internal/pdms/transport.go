@@ -39,6 +39,24 @@ type Transport interface {
 	Close() error
 }
 
+// DeltaTransport is the optional catch-up extension of Transport: a
+// transport that can ship the change records of one relation since a
+// known mutation version, so a mirror holding a replica at that version
+// applies a handful of records instead of re-scanning the relation.
+// ok=false (with a nil error) means the serving side cannot cover the
+// range — the peer is not durable, a checkpoint discarded the records,
+// or the transport predates the Delta request — and the caller falls
+// back to a full scan. Transports that cannot ever serve deltas simply
+// don't implement the interface.
+type DeltaTransport interface {
+	Transport
+	// Delta returns rel's change records with version > since, in log
+	// order. The final record's fingerprint may be newer than the State
+	// probe that motivated the call — the mirror lands on the fresher
+	// state, which is fine.
+	Delta(ctx context.Context, peer, rel string, since uint64) (recs []relation.ChangeRecord, ok bool, err error)
+}
+
 // PeerState is a remote peer's statistics fingerprint: everything a
 // coordinator needs to decide whether its cached replicas and plans are
 // still current, in one round trip.
@@ -62,8 +80,9 @@ const DefaultScanBatch = 256
 // is the differential reference between in-process execution and the
 // TCP transport. The zero value is unusable; use NewLoopback.
 type Loopback struct {
-	peers map[string]*Peer
-	scans atomic.Uint64
+	peers  map[string]*Peer
+	scans  atomic.Uint64
+	deltas atomic.Uint64
 }
 
 // NewLoopback returns a loopback transport serving the given peers.
@@ -79,6 +98,11 @@ func NewLoopback(peers ...*Peer) *Loopback {
 // observability for the fetch path's laziness (tests assert that warm
 // queries move no tuples).
 func (l *Loopback) Scans() uint64 { return l.scans.Load() }
+
+// Deltas returns how many delta catch-ups the transport has served —
+// the counterpart of Scans for the cheap path (tests assert a restarted
+// durable peer's mirror caught up via deltas, not scans).
+func (l *Loopback) Deltas() uint64 { return l.deltas.Load() }
 
 func (l *Loopback) peer(name string) (*Peer, error) {
 	p := l.peers[name]
@@ -161,6 +185,30 @@ func (l *Loopback) Scan(ctx context.Context, peer, rel string, deliver func([]re
 		rows = rows[n:]
 	}
 	return nil
+}
+
+// Delta implements DeltaTransport, round-tripping the records through
+// the change-batch frame codec. ok is false when the served peer cannot
+// cover the range from its resident log (not durable, or checkpointed
+// past since).
+func (l *Loopback) Delta(ctx context.Context, peer, rel string, since uint64) ([]relation.ChangeRecord, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	p, err := l.peer(peer)
+	if err != nil {
+		return nil, false, err
+	}
+	recs, ok := p.ServingDelta(rel, since)
+	if !ok {
+		return nil, false, nil
+	}
+	decoded, err := relation.DecodeChangeBatch(relation.EncodeChangeBatch(recs))
+	if err != nil {
+		return nil, false, fmt.Errorf("pdms: loopback delta round trip: %w", err)
+	}
+	l.deltas.Add(1)
+	return decoded, true, nil
 }
 
 // Close implements Transport; a loopback holds no resources.

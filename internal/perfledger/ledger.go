@@ -1,9 +1,10 @@
 // Package perfledger measures and records the serving-path performance
-// ledger: a small JSON document (BENCH_6.json at the repo root) holding
-// the warm, degraded, and recovery latencies of the E2/16 workload,
-// written by `revere bench` and checked by the repo-root
-// TestPerfLedgerGate so a perf regression fails the build instead of
-// rotting silently in a hand-copied README table.
+// ledger: a small JSON document (the BENCH_N.json trajectory at the
+// repo root, one per PR, resolved by Latest) holding the warm,
+// degraded, and recovery latencies of the E2/16 workload, written by
+// `revere bench` and checked by the repo-root TestPerfLedgerGate so a
+// perf regression fails the build instead of rotting silently in a
+// hand-copied README table.
 //
 // Every measurement here is a real testing.Benchmark run over the same
 // deterministic workload the benchmarks in bench_test.go use
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -77,6 +79,40 @@ const (
 	// re-plans from scratch over loopback.
 	BenchRecovery = "recovery_resync_16"
 )
+
+// CurrentPR is the PR number `revere bench` stamps into the ledger it
+// writes (and the N of the default BENCH_N.json output name). Bump it
+// each PR that regenerates the ledger; the gate keys on Latest, so old
+// ledgers stay behind as the committed perf trajectory.
+const CurrentPR = 7
+
+// Latest resolves the newest BENCH_N.json in dir — the baseline
+// TestPerfLedgerGate compares a live measurement against, so the gate
+// re-anchors itself every PR that writes a new ledger instead of
+// hard-coding a file name that rots.
+func Latest(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err != nil || e.IsDir() {
+			continue
+		}
+		if fmt.Sprintf("BENCH_%d.json", n) != e.Name() {
+			continue // reject partial matches like BENCH_3.json.bak
+		}
+		if n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	if bestN < 0 {
+		return "", fmt.Errorf("perfledger: no BENCH_N.json ledger in %s", dir)
+	}
+	return best, nil
+}
 
 // Load reads a ledger from path.
 func Load(path string) (*Ledger, error) {
@@ -302,7 +338,7 @@ func benchQueries(n *pdms.Network, req pdms.Request) (Bench, error) {
 
 // Run measures the full ledger suite.
 func Run() (*Ledger, error) {
-	l := &Ledger{Schema: 1, PR: 6, GoVersion: runtime.Version(), Benches: map[string]Bench{}}
+	l := &Ledger{Schema: 1, PR: CurrentPR, GoVersion: runtime.Version(), Benches: map[string]Bench{}}
 	for _, bench := range []struct {
 		name string
 		run  func() (Bench, error)

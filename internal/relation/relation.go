@@ -70,6 +70,17 @@ func (r *Relation) Len() int { return len(r.rows) }
 // (Insert, Delete, Dedup, SortRows). Caches key snapshots on it.
 func (r *Relation) Version() uint64 { return r.version }
 
+// RestoreVersion overwrites the mutation-version counter. Recovery and
+// delta catch-up use it to re-establish the exact (version, rows)
+// freshness fingerprint a relation had when its state was persisted or
+// served, so mirrors synced before a restart still match after it. It
+// follows the mutation contract: external synchronization with readers.
+func (r *Relation) RestoreVersion(v uint64) {
+	r.mu.Lock()
+	r.version = v
+	r.mu.Unlock()
+}
+
 // SnapshotAs returns a relation named name holding this relation's
 // current tuples. The tuple references are shared (tuples are never
 // mutated in place) but the row slice is copied, so later inserts or

@@ -45,6 +45,10 @@ const (
 	// version plus per-relation row counts, mutation versions, and
 	// distinct-value estimates.
 	FrameStats FrameType = 0x05
+	// FrameDelta carries a batch of change records: the insert/delete
+	// log entries a durable peer replays to a mirror that is catching up
+	// from a known (version, rows) fingerprint instead of re-scanning.
+	FrameDelta FrameType = 0x06
 	// FrameError aborts a response with a code and message.
 	FrameError FrameType = 0x0E
 	// FrameEnd terminates a multi-frame response (schema lists, scans).
@@ -383,6 +387,12 @@ const (
 	ErrCodeVersion uint64 = 4
 	// ErrCodeInternal reports a serving-side failure mid-response.
 	ErrCodeInternal uint64 = 5
+	// ErrCodeDeltaUnavailable reports a Delta request the serving peer
+	// cannot satisfy from its change log — the peer is not durable, or a
+	// checkpoint already discarded the records after the requested
+	// version. Request-level: the client falls back to a full scan on
+	// the same connection.
+	ErrCodeDeltaUnavailable uint64 = 6
 )
 
 // WireError is a protocol-level error decoded from a FrameError frame.
@@ -402,6 +412,157 @@ func (e *WireError) Error() string {
 func EncodeError(code uint64, msg string) []byte {
 	buf := binary.AppendUvarint(nil, code)
 	return appendString(buf, msg)
+}
+
+// ChangeOp tags what a ChangeRecord did to its relation. Values are
+// part of the wire contract — never renumber, only append.
+type ChangeOp byte
+
+// Change operations carried by ChangeRecord entries.
+const (
+	// ChangeInsert records one tuple inserted into Rel.
+	ChangeInsert ChangeOp = 1
+	// ChangeDelete records the removal of every tuple equal to Tuple
+	// from Rel (bag semantics: Rows reflects the post-removal count).
+	ChangeDelete ChangeOp = 2
+	// ChangeSchema records a relation added to the peer's schema. Only
+	// the durable write-ahead log carries schema records; Delta frames
+	// ship data records only (schema growth syncs through the Schemas
+	// request, as before).
+	ChangeSchema ChangeOp = 3
+)
+
+// ChangeRecord is one entry of a peer's mutation log: the unit both the
+// durable store's WAL and FrameDelta payloads are made of. Each data
+// record carries the relation's (version, rows) fingerprint *after* the
+// mutation, so a reader applying records in order can verify at every
+// step that it reconstructed exactly the state the writer had — the
+// same fingerprint the State probe serves, which is what lets a mirror
+// prove a delta catch-up reached the fingerprint it was aiming for.
+type ChangeRecord struct {
+	// Op says what happened: insert, delete, or schema addition.
+	Op ChangeOp
+	// Rel is the relation's name (the schema's name for ChangeSchema).
+	Rel string
+	// Ver is the relation's mutation version after the change — for
+	// ChangeSchema, the peer's schema version after the addition.
+	Ver uint64
+	// Rows is the relation's row count after the change (data records
+	// only).
+	Rows int
+	// Tuple is the inserted or deleted tuple (data records only).
+	Tuple Tuple
+	// Schema is the added relation schema (ChangeSchema only).
+	Schema Schema
+}
+
+// EncodeChangeBatch renders change records as a FrameDelta payload (and
+// the body of WAL entries): a record count, then per record its op
+// byte, relation name, post-change fingerprint, and tuple — or, for
+// schema records, the post-change schema version and a length-prefixed
+// schema encoding.
+func EncodeChangeBatch(recs []ChangeRecord) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(recs)))
+	for _, rec := range recs {
+		buf = append(buf, byte(rec.Op))
+		if rec.Op == ChangeSchema {
+			buf = binary.AppendUvarint(buf, rec.Ver)
+			enc := EncodeSchema(rec.Schema)
+			buf = binary.AppendUvarint(buf, uint64(len(enc)))
+			buf = append(buf, enc...)
+			continue
+		}
+		buf = appendString(buf, rec.Rel)
+		buf = binary.AppendUvarint(buf, rec.Ver)
+		buf = binary.AppendUvarint(buf, uint64(rec.Rows))
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Tuple)))
+		for _, v := range rec.Tuple {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeChangeBatch parses a FrameDelta payload, rejecting trailing
+// bytes (every record must account for itself — a torn or corrupt
+// batch never half-applies).
+func DecodeChangeBatch(payload []byte) ([]ChangeRecord, error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return nil, fmt.Errorf("relation: truncated change batch count")
+	}
+	rest := payload[sz:]
+	// Cap the pre-allocation: n is attacker-controlled until proven by
+	// actual payload bytes.
+	capN := n
+	if capN > 4096 {
+		capN = 4096
+	}
+	recs := make([]ChangeRecord, 0, capN)
+	for i := uint64(0); i < n; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("relation: truncated change op")
+		}
+		rec := ChangeRecord{Op: ChangeOp(rest[0])}
+		rest = rest[1:]
+		if rec.Op == ChangeSchema {
+			ver, sz := binary.Uvarint(rest)
+			if sz <= 0 {
+				return nil, fmt.Errorf("relation: truncated change schema version")
+			}
+			rest = rest[sz:]
+			ln, sz := binary.Uvarint(rest)
+			if sz <= 0 || ln > uint64(len(rest)-sz) {
+				return nil, fmt.Errorf("relation: truncated change schema")
+			}
+			s, err := DecodeSchema(rest[sz : sz+int(ln)])
+			if err != nil {
+				return nil, err
+			}
+			rest = rest[sz+int(ln):]
+			rec.Ver, rec.Rel, rec.Schema = ver, s.Name, s
+			recs = append(recs, rec)
+			continue
+		}
+		if rec.Op != ChangeInsert && rec.Op != ChangeDelete {
+			return nil, fmt.Errorf("relation: unknown change op %d", rec.Op)
+		}
+		var err error
+		rec.Rel, rest, err = decodeString(rest)
+		if err != nil {
+			return nil, err
+		}
+		ver, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("relation: truncated change version")
+		}
+		rest = rest[sz:]
+		rows, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("relation: truncated change row count")
+		}
+		rest = rest[sz:]
+		arity, sz := binary.Uvarint(rest)
+		if sz <= 0 || arity > uint64(len(rest)) {
+			return nil, fmt.Errorf("relation: truncated change tuple arity")
+		}
+		rest = rest[sz:]
+		t := make(Tuple, 0, arity)
+		for j := uint64(0); j < arity; j++ {
+			var v Value
+			v, rest, err = decodeValue(rest)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		rec.Ver, rec.Rows, rec.Tuple = ver, int(rows), t
+		recs = append(recs, rec)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after change batch", len(rest))
+	}
+	return recs, nil
 }
 
 // DecodeError parses a FrameError payload into a *WireError.

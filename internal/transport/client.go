@@ -93,8 +93,12 @@ func (c *Client) backoffSleep(ctx context.Context, pol pdms.RetryPolicy, retry i
 	}
 }
 
-// compile-time proof the client is a pdms.Transport.
-var _ pdms.Transport = (*Client)(nil)
+// compile-time proof the client is a pdms.Transport and a
+// pdms.DeltaTransport.
+var (
+	_ pdms.Transport      = (*Client)(nil)
+	_ pdms.DeltaTransport = (*Client)(nil)
+)
 
 // errClientClosed reports a request against a Client after Close —
 // terminal, never retried.
@@ -254,7 +258,7 @@ func (c *Client) Close() error {
 // first response frame is never retried here (its deliver callbacks
 // already saw data — op-level retries belong to the caller, who can
 // reset state).
-func (c *Client) do(ctx context.Context, op byte, peer, rel string,
+func (c *Client) do(ctx context.Context, request []byte,
 	handle func(read func() (relation.FrameType, []byte, error)) (reusable bool, err error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -265,7 +269,7 @@ func (c *Client) do(ctx context.Context, op byte, peer, rel string,
 		attempts = 1
 	}
 	for attempt := 1; ; attempt++ {
-		progressed, err := c.doOnce(ctx, op, peer, rel, handle)
+		progressed, err := c.doOnce(ctx, request, handle)
 		if err == nil || progressed || attempt >= attempts || ctx.Err() != nil ||
 			errors.Is(err, errClientClosed) || !pdms.Retryable(err) {
 			return err
@@ -284,7 +288,7 @@ func (c *Client) do(ctx context.Context, op byte, peer, rel string,
 // doOnce runs one attempt of a request/response exchange on one
 // connection, reporting whether any response frame arrived (progressed
 // — the boundary past which a retry could duplicate deliveries).
-func (c *Client) doOnce(ctx context.Context, op byte, peer, rel string,
+func (c *Client) doOnce(ctx context.Context, request []byte,
 	handle func(read func() (relation.FrameType, []byte, error)) (reusable bool, err error)) (progressed bool, err error) {
 	cc, _, err := c.get(ctx)
 	if err != nil {
@@ -308,7 +312,7 @@ func (c *Client) doOnce(ctx context.Context, op byte, peer, rel string,
 	})
 	reusable := false
 	err = func() error {
-		if err := relation.WriteFrame(cc.bw, relation.FrameRequest, encodeRequest(op, peer, rel)); err != nil {
+		if err := relation.WriteFrame(cc.bw, relation.FrameRequest, request); err != nil {
 			return fmt.Errorf("%w: request write: %w", pdms.ErrPeerUnreachable, err)
 		}
 		if err := cc.bw.Flush(); err != nil {
@@ -340,15 +344,16 @@ func (c *Client) doOnce(ctx context.Context, op byte, peer, rel string,
 // readErrorFrame decodes an error frame into a *relation.WireError and
 // reports whether the connection stays at a clean request boundary.
 // Per PROTOCOL.md only the request-level codes (unknown peer, unknown
-// relation) leave the server's side of the connection open; for every
-// other code the server closes, so pooling the connection would hand a
-// dead socket to a later request.
+// relation, delta unavailable) leave the server's side of the
+// connection open; for every other code the server closes, so pooling
+// the connection would hand a dead socket to a later request.
 func readErrorFrame(payload []byte) (reusable bool, err error) {
 	we, derr := relation.DecodeError(payload)
 	if derr != nil {
 		return false, derr
 	}
-	reusable = we.Code == relation.ErrCodeUnknownPeer || we.Code == relation.ErrCodeUnknownRelation
+	reusable = we.Code == relation.ErrCodeUnknownPeer || we.Code == relation.ErrCodeUnknownRelation ||
+		we.Code == relation.ErrCodeDeltaUnavailable
 	return reusable, we
 }
 
@@ -356,7 +361,7 @@ func readErrorFrame(payload []byte) (reusable bool, err error) {
 // peer's statistics fingerprint.
 func (c *Client) State(ctx context.Context, peer string) (pdms.PeerState, error) {
 	var st pdms.PeerState
-	err := c.do(ctx, OpState, peer, "", func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+	err := c.do(ctx, encodeRequest(OpState, peer, ""), func(read func() (relation.FrameType, []byte, error)) (bool, error) {
 		typ, payload, err := read()
 		if err != nil {
 			return false, err
@@ -381,7 +386,7 @@ func (c *Client) State(ctx context.Context, peer string) (pdms.PeerState, error)
 // peer's relation schemas.
 func (c *Client) Schemas(ctx context.Context, peer string) ([]relation.Schema, error) {
 	var out []relation.Schema
-	err := c.do(ctx, OpSchemas, peer, "", func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+	err := c.do(ctx, encodeRequest(OpSchemas, peer, ""), func(read func() (relation.FrameType, []byte, error)) (bool, error) {
 		out = out[:0] // a retry must not keep frames from the dead attempt
 		for {
 			typ, payload, err := read()
@@ -410,11 +415,46 @@ func (c *Client) Schemas(ctx context.Context, peer string) ([]relation.Schema, e
 	return out, nil
 }
 
+// Delta implements pdms.DeltaTransport: one OpDelta round trip for the
+// relation's change records since a mutation version. A request-level
+// ErrCodeDeltaUnavailable answer — the serving peer is not durable, or
+// its log no longer covers the range — returns ok=false with no error
+// (the connection stays pooled; the caller falls back to Scan).
+func (c *Client) Delta(ctx context.Context, peer, rel string, since uint64) ([]relation.ChangeRecord, bool, error) {
+	var recs []relation.ChangeRecord
+	ok := false
+	err := c.do(ctx, encodeDeltaRequest(peer, rel, since), func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+		recs, ok = nil, false // a retry must not keep a dead attempt's records
+		typ, payload, err := read()
+		if err != nil {
+			return false, err
+		}
+		switch typ {
+		case relation.FrameDelta:
+			batch, derr := relation.DecodeChangeBatch(payload)
+			if derr != nil {
+				return false, derr
+			}
+			recs, ok = batch, true
+			return true, nil
+		case relation.FrameError:
+			reusable, werr := readErrorFrame(payload)
+			var we *relation.WireError
+			if errors.As(werr, &we) && we.Code == relation.ErrCodeDeltaUnavailable {
+				return reusable, nil // a clean "can't cover it": scan instead
+			}
+			return reusable, werr
+		}
+		return false, fmt.Errorf("transport: unexpected frame type %d in delta response", typ)
+	})
+	return recs, ok, err
+}
+
 // Scan implements pdms.Transport: the relation's tuples stream in as
 // batch frames, each handed to deliver as it arrives. A deliver error
 // abandons the stream (the connection is discarded, not drained).
 func (c *Client) Scan(ctx context.Context, peer, rel string, deliver func([]relation.Tuple) error) error {
-	return c.do(ctx, OpScan, peer, rel, func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+	return c.do(ctx, encodeRequest(OpScan, peer, rel), func(read func() (relation.FrameType, []byte, error)) (bool, error) {
 		sawSchema := false
 		for {
 			typ, payload, err := read()

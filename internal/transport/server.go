@@ -167,7 +167,7 @@ func (s *Server) handle(c net.Conn) {
 			s.sendError(bw, relation.ErrCodeBadRequest, fmt.Sprintf("unexpected frame type %d", typ))
 			return
 		}
-		op, peerName, rel, err := decodeRequest(payload)
+		op, peerName, rel, since, err := decodeRequest(payload)
 		if err != nil {
 			s.sendError(bw, relation.ErrCodeBadRequest, err.Error())
 			return
@@ -188,6 +188,8 @@ func (s *Server) handle(c net.Conn) {
 			ok = s.serveSchemas(bw, p)
 		case OpScan:
 			ok = s.serveScan(bw, p, rel)
+		case OpDelta:
+			ok = s.serveDelta(bw, p, rel, since)
 		default:
 			s.sendError(bw, relation.ErrCodeBadRequest, fmt.Sprintf("unknown op %d", op))
 			return
@@ -264,6 +266,29 @@ func (s *Server) serveScan(bw *bufio.Writer, p *pdms.Peer, rel string) bool {
 		rows = rows[n:]
 	}
 	if err := relation.WriteFrame(bw, relation.FrameEnd, nil); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// serveDelta answers OpDelta with one delta frame of the relation's
+// change records since the requested version. A range the peer cannot
+// cover from its resident log — not durable, checkpointed past since,
+// unknown relation, or a batch too large for one frame — answers with a
+// request-level ErrCodeDeltaUnavailable error: the connection stays
+// healthy and the client falls back to a full scan.
+func (s *Server) serveDelta(bw *bufio.Writer, p *pdms.Peer, rel string, since uint64) bool {
+	recs, ok := p.ServingDelta(rel, since)
+	if !ok {
+		return s.sendError(bw, relation.ErrCodeDeltaUnavailable,
+			fmt.Sprintf("peer %s cannot serve %s deltas since version %d; rescan", p.Name, rel, since))
+	}
+	payload := relation.EncodeChangeBatch(recs)
+	if len(payload) > relation.MaxFramePayload {
+		return s.sendError(bw, relation.ErrCodeDeltaUnavailable,
+			fmt.Sprintf("delta for %s exceeds one frame (%d bytes); rescan", rel, len(payload)))
+	}
+	if err := relation.WriteFrame(bw, relation.FrameDelta, payload); err != nil {
 		return false
 	}
 	return bw.Flush() == nil

@@ -26,6 +26,12 @@ const (
 	// OpScan requests one relation's tuples (FrameSchema +
 	// FrameTupleBatch* + FrameEnd).
 	OpScan byte = 3
+	// OpDelta requests one relation's change records since a mutation
+	// version (FrameDelta, or a request-level ErrCodeDeltaUnavailable
+	// error when the serving peer's log cannot cover the range). Its
+	// payload appends the since version after the peer and relation
+	// names — a new field in a new op, per the compat rules.
+	OpDelta byte = 4
 )
 
 // encodeRequest renders a FrameRequest payload: op byte, then the peer
@@ -39,10 +45,18 @@ func encodeRequest(op byte, peer, rel string) []byte {
 	return append(buf, rel...)
 }
 
-// decodeRequest parses a FrameRequest payload.
-func decodeRequest(payload []byte) (op byte, peer, rel string, err error) {
+// encodeDeltaRequest renders an OpDelta request payload: the common
+// request prefix plus the mutation version the mirror last synced.
+func encodeDeltaRequest(peer, rel string, since uint64) []byte {
+	return binary.AppendUvarint(encodeRequest(OpDelta, peer, rel), since)
+}
+
+// decodeRequest parses a FrameRequest payload. since is meaningful only
+// for OpDelta, the one op whose payload carries a version after the
+// names.
+func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, err error) {
 	if len(payload) < 1 {
-		return 0, "", "", fmt.Errorf("transport: empty request")
+		return 0, "", "", 0, fmt.Errorf("transport: empty request")
 	}
 	op = payload[0]
 	rest := payload[1:]
@@ -56,12 +70,19 @@ func decodeRequest(payload []byte) (op byte, peer, rel string, err error) {
 		return s, nil
 	}
 	if peer, err = cut(); err != nil {
-		return 0, "", "", err
+		return 0, "", "", 0, err
 	}
 	if rel, err = cut(); err != nil {
-		return 0, "", "", err
+		return 0, "", "", 0, err
 	}
-	return op, peer, rel, nil
+	if op == OpDelta {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, "", "", 0, fmt.Errorf("transport: truncated delta since version")
+		}
+		since = n
+	}
+	return op, peer, rel, since, nil
 }
 
 // checkHello validates a handshake frame, returning a typed error frame

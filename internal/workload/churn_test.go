@@ -172,13 +172,17 @@ func TestChurnDifferential(t *testing.T) {
 }
 
 // TestChurnSoakLeakFree runs several churn rounds back to back and
-// checks the process returns to its goroutine baseline — no leaked
-// probers, fetch workers, or cursor coroutines.
+// checks the process returns to its goroutine and heap baselines — no
+// leaked probers, fetch workers, cursor coroutines, or unbounded
+// retained memory (mirrors, caches, replica snapshots).
 func TestChurnSoakLeakFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak mode skipped in -short")
 	}
 	baseline := runtime.NumGoroutine()
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
 	rounds := 3
 	for r := 0; r < rounds; r++ {
 		cn, err := NewChurnNetwork(
@@ -220,7 +224,7 @@ func TestChurnSoakLeakFree(t *testing.T) {
 		runtime.GC()
 		now := runtime.NumGoroutine()
 		if now <= baseline+2 { // small slack for runtime helpers
-			return
+			break
 		}
 		if time.Now().After(deadline) {
 			buf := make([]byte, 1<<20)
@@ -229,6 +233,20 @@ func TestChurnSoakLeakFree(t *testing.T) {
 				baseline, now, buf[:n])
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	// Every round's networks, mirrors, and caches are unreachable now, so
+	// live heap must return near the pre-soak baseline. The bound is a
+	// generous absolute number — it catches a leak that scales with
+	// rounds (each round's workload is a few hundred KB; retaining all
+	// three rounds plus their replicas would clear it), not allocator
+	// noise.
+	var memAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memAfter)
+	const maxHeapGrowth = 12 << 20
+	if grew := int64(memAfter.HeapAlloc) - int64(memBefore.HeapAlloc); grew > maxHeapGrowth {
+		t.Fatalf("heap grew %d bytes across the soak (baseline %d, now %d), bound %d",
+			grew, memBefore.HeapAlloc, memAfter.HeapAlloc, int64(maxHeapGrowth))
 	}
 }
 

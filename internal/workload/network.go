@@ -205,6 +205,28 @@ func (g *GeneratedNetwork) BuildMapping(src, tgt int) (*glav.Mapping, error) {
 	)
 }
 
+// ExtraTitle is the globally unique title ExtraRow(i, k) carries, so
+// harnesses know exactly which answers a post-generation insert adds.
+func ExtraTitle(i, k int) string {
+	return fmt.Sprintf("Extra Course [%s+%d]", PeerName(i), k)
+}
+
+// ExtraRow builds the k-th deterministic post-generation row for peer
+// i: a clone of the peer's first generated course with the globally
+// unique ExtraTitle(i, k), so harnesses that mutate a serving peer
+// after startup (the durability churn test's -extra flag) grow the
+// answer set by exactly one known title per row.
+func (g *GeneratedNetwork) ExtraRow(i, k int) relation.Tuple {
+	src := g.Specs[i]
+	row := src.Data.Rows()[0].Clone()
+	for c, n := range src.Schema.AttrNames() {
+		if src.Truth[n] == "title" {
+			row[c] = relation.SV(ExtraTitle(i, k))
+		}
+	}
+	return row
+}
+
 // TitleQuery returns the query "all course titles" in peer i's own
 // vocabulary.
 func (g *GeneratedNetwork) TitleQuery(i int) cq.Query {

@@ -6,12 +6,13 @@ import (
 	"repro/internal/perfledger"
 )
 
-// TestPerfLedgerGate is the machine check behind BENCH_6.json: it
-// re-measures the all-local warm E2/16 path live and fails when it
-// regresses beyond noise against the committed baseline. Allocations
-// are deterministic, so their gate is tight; wall-clock varies across
-// CI machines, so its gate is generous — it catches a path regression
-// (an accidental cold re-plan, a lock convoy), not a slow runner.
+// TestPerfLedgerGate is the machine check behind the committed
+// BENCH_N.json trajectory: it loads the latest ledger, re-measures the
+// all-local warm E2/16 path live, and fails when it regresses beyond
+// noise against that baseline. Allocations are deterministic, so their
+// gate is tight; wall-clock varies across CI machines, so its gate is
+// generous — it catches a path regression (an accidental cold re-plan,
+// a lock convoy), not a slow runner.
 func TestPerfLedgerGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a ~1s benchmark")
@@ -19,14 +20,19 @@ func TestPerfLedgerGate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation slows the measured path far past the non-race baseline")
 	}
-	ledger, err := perfledger.Load("BENCH_6.json")
+	path, err := perfledger.Latest(".")
+	if err != nil {
+		t.Fatalf("resolving the latest committed perf ledger: %v", err)
+	}
+	t.Logf("gating against %s", path)
+	ledger, err := perfledger.Load(path)
 	if err != nil {
 		t.Fatalf("loading the committed perf ledger: %v", err)
 	}
 	for _, name := range []string{perfledger.BenchWarm, perfledger.BenchWarmRemote,
 		perfledger.BenchDegraded, perfledger.BenchRecovery} {
 		if _, ok := ledger.Benches[name]; !ok {
-			t.Errorf("ledger is missing required bench %q (re-run `revere bench -out BENCH_6.json`)", name)
+			t.Errorf("ledger is missing required bench %q (re-run `revere bench`)", name)
 		}
 	}
 	base, ok := ledger.Benches[perfledger.BenchWarm]

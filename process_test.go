@@ -38,9 +38,12 @@ func buildRevere(t *testing.T) string {
 
 // serveProc is one running `revere serve` OS process.
 type serveProc struct {
-	addr   string
-	cmd    *exec.Cmd
-	cancel context.CancelFunc
+	addr string
+	// prelude holds the stdout lines printed before the readiness line —
+	// the durability test reads the "store ..." recovery summary there.
+	prelude []string
+	cmd     *exec.Cmd
+	cancel  context.CancelFunc
 }
 
 // startServeProcess boots one `revere serve` OS process on an ephemeral
@@ -54,12 +57,14 @@ func startServeProcess(t *testing.T, bin, own string) (string, func() error) {
 // startServeAt boots one `revere serve` OS process on the given listen
 // address (use 127.0.0.1:0 for an ephemeral port) and waits for its
 // readiness line. The churn test restarts a crashed server on its old
-// fixed address this way.
-func startServeAt(t *testing.T, bin, own, listen string) *serveProc {
+// fixed address this way; the durability test appends -data/-extra
+// through extraArgs.
+func startServeAt(t *testing.T, bin, own, listen string, extraArgs ...string) *serveProc {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	cmd := exec.CommandContext(ctx, bin, "serve",
-		"-listen", listen, "-seed", "1", "-peers", "16", "-rows", "10", "-own", own)
+	args := append([]string{"serve",
+		"-listen", listen, "-seed", "1", "-peers", "16", "-rows", "10", "-own", own}, extraArgs...)
+	cmd := exec.CommandContext(ctx, bin, args...)
 	cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -73,6 +78,7 @@ func startServeAt(t *testing.T, bin, own, listen string) *serveProc {
 
 	sc := bufio.NewScanner(stdout)
 	addr := ""
+	var prelude []string
 	deadline := time.After(30 * time.Second)
 	lines := make(chan string, 4)
 	go func() {
@@ -89,12 +95,14 @@ func startServeAt(t *testing.T, bin, own, listen string) *serveProc {
 			}
 			if rest, found := strings.CutPrefix(line, "listening "); found {
 				addr = rest
+			} else {
+				prelude = append(prelude, line)
 			}
 		case <-deadline:
 			t.Fatalf("serve %s never reported readiness", own)
 		}
 	}
-	return &serveProc{addr: addr, cmd: cmd, cancel: cancel}
+	return &serveProc{addr: addr, prelude: prelude, cmd: cmd, cancel: cancel}
 }
 
 // shutdown stops the server cleanly: SIGINT, then waits for a zero
