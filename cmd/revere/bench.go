@@ -17,13 +17,13 @@ func runBench(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Println("measuring the E2/16 serving-path ledger (four benchmarks, ~1s each)…")
+	fmt.Printf("measuring the serving-path ledger (%d benchmarks, ~1s each)…\n",
+		len(perfledger.RequiredBenches))
 	l, err := perfledger.Run()
 	if err != nil {
 		return err
 	}
-	for _, name := range []string{perfledger.BenchWarm, perfledger.BenchWarmRemote,
-		perfledger.BenchDegraded, perfledger.BenchRecovery} {
+	for _, name := range perfledger.RequiredBenches {
 		b := l.Benches[name]
 		fmt.Printf("%-24s %10.0f ns/op %6d allocs/op %4d answers %6.2f retries/op\n",
 			name, b.NsPerOp, b.AllocsPerOp, b.Answers, b.RetriesPerOp)

@@ -232,6 +232,7 @@ func runQuery(args []string) error {
 	retry := fs.Int("retry", 0, "attempts per remote operation (0 = single attempt, no policy)")
 	timeout := fs.Duration("timeout", 0, "per-attempt timeout for remote operations (with -retry)")
 	stale := fs.Bool("stale", false, "serve last-good mirror snapshots when a remote peer is unreachable")
+	explain := fs.Bool("explain", false, "print each branch's join order, cost estimate, and kernel (batch vs tuple-at-a-time) before executing")
 	watch := fs.Duration("watch", 0, "re-run the query at this interval until interrupted (0 = run once)")
 	var remotes remoteFlag
 	fs.Var(&remotes, "remote", "peer range served remotely, as lo:hi=host:port (repeatable)")
@@ -311,12 +312,18 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *explain {
+			fmt.Print(cur.Explain())
+		}
 		answers, err := cur.Materialize()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("E2 chain peers=%d remote=%d reform=%s exec=%s\n",
 			*peers, len(remoteAddr), cur.ReformTime(), cur.ExecTime())
+		if s := cur.Stats(); s.BatchBranches+s.FallbackBranches > 0 {
+			fmt.Printf("kernels batch %d fallback %d\n", s.BatchBranches, s.FallbackBranches)
+		}
 		for _, d := range cur.Degraded() {
 			fmt.Printf("degraded %s last-sync %s: %v\n", d.Peer, d.LastSync.Format("15:04:05.000"), d.Err)
 		}

@@ -14,7 +14,7 @@
 //	revere serve [-listen ADDR] [-seed N] [-peers N] [-rows N] [-own LO:HI]
 //	             [-data DIR] [-extra K]
 //	revere query [-seed N] [-peers N] [-rows N] [-par N] [-remote LO:HI=ADDR]...
-//	             [-retry N] [-timeout D] [-stale] [-watch D]
+//	             [-retry N] [-timeout D] [-stale] [-explain] [-watch D]
 //	revere bench [-out FILE]
 //
 // A serve process hosts the peers in [LO:HI) on a TCP port; a query

@@ -47,6 +47,15 @@ type atomPlan struct {
 	ops        []slotOp
 }
 
+// slotSource records where a slot gets its value: the plan-order atom
+// whose opBind writes it and the column read. The batch kernel resolves
+// it to the binding column's dictionary — the code space every read of
+// that slot translates from.
+type slotSource struct {
+	atom int
+	col  int
+}
+
 // Plan is a compiled conjunctive query, bound to the database it was
 // compiled against. Exec may be called repeatedly; it re-reads the
 // relations' current rows each time. The join order is fixed at compile
@@ -59,6 +68,13 @@ type Plan struct {
 	nslots    int
 	headSlots []int
 	headAttrs []relation.Attribute
+
+	// slotSrc[s] is slot s's binding (atom, column); boundBefore[d] is
+	// how many slots are bound entering atom d (slots are numbered in
+	// binding order, so those are exactly slots [0, boundBefore[d])).
+	// Both feed the columnar batch kernel (batch.go).
+	slotSrc     []slotSource
+	boundBefore []int
 
 	costBased bool      // order chosen by the cost model (see planner.go)
 	forced    bool      // greedy because ForceGreedy, not because stats were absent
@@ -132,6 +148,7 @@ func CompileOpts(db Catalog, q Query, opts CompileOptions) (*Plan, error) {
 	}
 	for _, ai := range order {
 		atom := q.Body[ai]
+		p.boundBefore = append(p.boundBefore, p.nslots)
 
 		ap := atomPlan{rel: rels[ai], probeCol: -1}
 		if stats != nil {
@@ -176,10 +193,12 @@ func CompileOpts(db Catalog, q Query, opts CompileOptions) (*Plan, error) {
 			s := p.nslots
 			p.nslots++
 			vars = append(vars, t.Var)
+			p.slotSrc = append(p.slotSrc, slotSource{atom: len(p.atoms), col: col})
 			ap.ops = append(ap.ops, slotOp{col: col, kind: opBind, slot: s})
 		}
 		p.atoms = append(p.atoms, ap)
 	}
+	p.boundBefore = append(p.boundBefore, p.nslots)
 
 	p.headSlots = make([]int, len(q.HeadVars))
 	for i, v := range q.HeadVars {
@@ -209,7 +228,7 @@ type execState struct {
 	yield   func(relation.Tuple) bool
 	ctx     context.Context
 	done    <-chan struct{}
-	steps   uint
+	credit  int
 	stop    bool
 	err     error
 }
@@ -221,13 +240,12 @@ const ctxCheckInterval = 256
 
 // Exec runs the plan and returns the deduplicated head projection. The
 // result is an answer relation: it carries no column statistics (see
-// relation.NewResult).
+// relation.NewResult). Execution goes through the streaming union path,
+// so it rides the columnar batch kernel whenever the body relations are
+// dictionary-encoded; ExecInto remains the tuple-at-a-time reference
+// materializer.
 func (p *Plan) Exec() (*relation.Relation, error) {
-	out := relation.NewResult(p.HeadSchema())
-	if err := p.ExecInto(out, relation.NewTupleSet(16)); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return MaterializeUnion(context.Background(), []*Plan{p}, ExecOptions{})
 }
 
 // ExecInto runs the plan appending deduplicated answers to out (sharing
@@ -274,6 +292,7 @@ func (p *Plan) streamInto(ctx context.Context, seen relation.TupleAdder, yield f
 		yield:   yield,
 		ctx:     ctx,
 		done:    ctx.Done(),
+		credit:  ctxCheckInterval,
 	}
 	for i, ap := range p.atoms {
 		if ap.probeCol >= 0 && ap.rel.Len() > 16 {
@@ -287,16 +306,19 @@ func (p *Plan) streamInto(ctx context.Context, seen relation.TupleAdder, yield f
 	return e.err
 }
 
-// tick polls cancellation every ctxCheckInterval examined rows; it is a
-// no-op for contexts that can never be cancelled (done == nil).
+// tick polls cancellation every ctxCheckInterval examined rows — a
+// decrement-to-zero credit counter, cheaper per row than the modulo it
+// replaced; it is a no-op for contexts that can never be cancelled
+// (done == nil).
 func (e *execState) tick() {
 	if e.done == nil {
 		return
 	}
-	e.steps++
-	if e.steps%ctxCheckInterval != 0 {
+	e.credit--
+	if e.credit > 0 {
 		return
 	}
+	e.credit = ctxCheckInterval
 	select {
 	case <-e.done:
 		e.err = e.ctx.Err()

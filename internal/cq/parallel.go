@@ -132,12 +132,21 @@ func streamUnionParallel(ctx context.Context, plans []*Plan, opts ExecOptions, p
 					buf = make([]relation.Tuple, 0, parallelBatch)
 				}
 			}
+			// Per-worker batch kernel state (tuple mode: answers decode
+			// before the shared sharded set, so dedup spans workers),
+			// lazily acquired and reused across this worker's branches.
+			var be *batchExec
+			defer func() {
+				if be != nil {
+					be.release()
+				}
+			}()
 			for {
 				i := int(nextBranch.Add(1)) - 1
 				if i >= len(plans) || bctx.Err() != nil {
 					return
 				}
-				err := plans[i].streamInto(bctx, seen, func(t relation.Tuple) bool {
+				workerYield := func(t relation.Tuple) bool {
 					if limit > 0 {
 						c := claimed.Add(1)
 						if c > limit {
@@ -156,7 +165,21 @@ func streamUnionParallel(ctx context.Context, plans []*Plan, opts ExecOptions, p
 						flush()
 					}
 					return true
-				})
+				}
+				ran := false
+				var err error
+				if !opts.ForceTupleAtATime {
+					if be == nil {
+						be = getBatchExec(len(plans[i].headSlots), false)
+					}
+					ran, err = be.run(bctx, plans[i], seen, workerYield)
+				}
+				if err == nil && !ran {
+					opts.Kernels.noteFallback()
+					err = plans[i].streamInto(bctx, seen, workerYield)
+				} else if ran {
+					opts.Kernels.noteBatch()
+				}
 				// Flush before looking at err: slot-claiming tuples
 				// buffered by a branch that was then cancelled (limit
 				// filled elsewhere) must still reach the consumer.

@@ -33,6 +33,16 @@ type ExecOptions struct {
 	// set, deduplication, and Limit exactness are identical to
 	// sequential execution.
 	Parallelism int
+	// ForceTupleAtATime disables the columnar batch kernel, running
+	// every branch on the tuple-at-a-time reference path — the
+	// differential mode the batch kernel is held to, playing the role
+	// CompileOptions.ForceGreedy plays for the planner. Branches over
+	// relations without a current dictionary encoding take that path
+	// regardless.
+	ForceTupleAtATime bool
+	// Kernels, when non-nil, counts how many branches of this execution
+	// ran the batch kernel vs the tuple-at-a-time fallback.
+	Kernels *KernelCounts
 }
 
 // Stream executes the plan, calling yield for every distinct answer as
@@ -81,7 +91,19 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 	if par := effectiveParallelism(plans, opts); par > 1 {
 		return streamUnionParallel(ctx, plans, opts, par, yield)
 	}
-	seen := relation.NewTupleSet(16)
+	// Dedup state: when any branch can ride the batch kernel, the union
+	// dedups over code vectors in one shared output encoding (fallback
+	// branches adapt through codeAdder); a pure tuple-at-a-time union
+	// keeps the plain TupleSet.
+	var be *batchExec
+	var seen relation.TupleAdder
+	if !opts.ForceTupleAtATime && anyBatchEligible(plans) {
+		be = getBatchExec(arity, true)
+		defer be.release()
+		seen = be.fallbackAdder()
+	} else {
+		seen = relation.NewTupleSet(16)
+	}
 	stopped := false
 	emitted := 0
 	inner := func(t relation.Tuple) bool {
@@ -97,7 +119,18 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 		return true
 	}
 	for _, p := range plans {
-		if err := p.streamInto(ctx, seen, inner); err != nil {
+		ran := false
+		var err error
+		if be != nil {
+			ran, err = be.run(ctx, p, nil, inner)
+		}
+		if err == nil && !ran {
+			opts.Kernels.noteFallback()
+			err = p.streamInto(ctx, seen, inner)
+		} else if ran {
+			opts.Kernels.noteBatch()
+		}
+		if err != nil {
 			return err
 		}
 		if stopped {
@@ -105,6 +138,18 @@ func StreamUnionOpts(ctx context.Context, plans []*Plan, opts ExecOptions, yield
 		}
 	}
 	return nil
+}
+
+// anyBatchEligible reports whether at least one branch can take the
+// batch kernel right now — the cue to set the union's dedup state up in
+// code space.
+func anyBatchEligible(plans []*Plan) bool {
+	for _, p := range plans {
+		if p.BatchEligible() {
+			return true
+		}
+	}
+	return false
 }
 
 // plansCheapestFirst returns the plans ordered by ascending estimated
@@ -162,14 +207,24 @@ func MaterializeUnion(ctx context.Context, plans []*Plan, opts ExecOptions) (*re
 		return nil, fmt.Errorf("cq: empty union")
 	}
 	out := relation.NewResult(plans[0].HeadSchema())
+	// Buffer streamed answers and append them in runs: one lock and one
+	// capacity reservation per materializeBatch rows instead of per row.
+	buf := make([]relation.Tuple, 0, materializeBatch)
 	var insertErr error
 	err := StreamUnionOpts(ctx, plans, opts, func(t relation.Tuple) bool {
-		if e := out.Insert(t); e != nil {
-			insertErr = e
-			return false
+		buf = append(buf, t)
+		if len(buf) == materializeBatch {
+			if e := out.InsertBatch(buf); e != nil {
+				insertErr = e
+				return false
+			}
+			buf = buf[:0]
 		}
 		return true
 	})
+	if err == nil && insertErr == nil && len(buf) > 0 {
+		insertErr = out.InsertBatch(buf)
+	}
 	if err == nil {
 		err = insertErr
 	}
@@ -178,6 +233,10 @@ func MaterializeUnion(ctx context.Context, plans []*Plan, opts ExecOptions) (*re
 	}
 	return out, nil
 }
+
+// materializeBatch is how many streamed answers MaterializeUnion
+// buffers between InsertBatch calls.
+const materializeBatch = 64
 
 // HeadSchemaFor returns the schema a query's answers carry when
 // evaluated against db: one attribute per head variable, typed from the

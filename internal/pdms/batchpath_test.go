@@ -1,0 +1,54 @@
+package pdms
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// TestWarmPathUsesBatchKernel pins the serving hot path to the columnar
+// kernel: on a warm cursor over stored (encoded) relations, every union
+// branch must ride the batch kernel — a fallback here is a silent
+// performance regression the ledger would only catch later.
+func TestWarmPathUsesBatchKernel(t *testing.T) {
+	n := chainNetwork(t)
+	q := cq.MustParse("q(L) :- offering(L, S)")
+	// Warm the reformulation and plan caches.
+	if _, err := n.Answer("oxford", q, ReformOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := n.Query(context.Background(), Request{Peer: "oxford", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	s := cur.Stats()
+	if s.BatchBranches == 0 {
+		t.Fatal("warm query ran no branch on the batch kernel")
+	}
+	if s.FallbackBranches != 0 {
+		t.Fatalf("warm query fell back on %d branch(es)", s.FallbackBranches)
+	}
+}
+
+// TestExplainNamesKernel checks the per-branch kernel annotation the
+// revere query -explain flag surfaces.
+func TestExplainNamesKernel(t *testing.T) {
+	n := chainNetwork(t)
+	cur, err := n.Query(context.Background(), Request{
+		Peer:  "oxford",
+		Query: cq.MustParse("q(L) :- offering(L, S)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	out := cur.Explain()
+	if !strings.Contains(out, "kernel=batch") {
+		t.Fatalf("Explain lacks kernel annotation:\n%s", out)
+	}
+}

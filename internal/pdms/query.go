@@ -84,6 +84,7 @@ type Cursor struct {
 
 	rewritings []cq.Query
 	stats      ReformStats
+	kernels    cq.KernelCounts
 	reformTime time.Duration
 	degraded   []DegradedPeer
 	retries    int
@@ -117,7 +118,15 @@ func (c *Cursor) Rewritings() []cq.Query {
 }
 
 // Stats returns the reformulation statistics (available immediately).
-func (c *Cursor) Stats() ReformStats { return c.stats }
+// The execution-side counters — BatchBranches and FallbackBranches —
+// fill in as branches run; read them after draining the cursor for
+// final values.
+func (c *Cursor) Stats() ReformStats {
+	s := c.stats
+	s.BatchBranches = c.kernels.Batch()
+	s.FallbackBranches = c.kernels.Fallback()
+	return s
+}
 
 // Degraded reports the remote peers this request could not freshen and
 // therefore serves from their last-good mirror snapshots, in peer-name
@@ -136,9 +145,12 @@ func (c *Cursor) Degraded() []DegradedPeer {
 func (c *Cursor) Retries() int { return c.retries }
 
 // Explain renders the compiled execution plan of every rewriting branch
-// — the join order the planner chose, each atom's access path, and the
-// cost estimates — without executing anything. Branches print in
-// reformulation order; limited executions run them cheapest-first.
+// — the join order the planner chose, each atom's access path, the cost
+// estimates, and which kernel the branch would ride (batch when every
+// relation it reads has a current dictionary encoding, else the
+// tuple-at-a-time fallback) — without executing anything. Branches
+// print in reformulation order; limited executions run them
+// cheapest-first.
 func (c *Cursor) Explain() string {
 	if len(c.plans) == 0 {
 		return "no rewriting reaches stored data\n"
@@ -151,7 +163,11 @@ func (c *Cursor) Explain() string {
 	fmt.Fprintf(&b, "union of %d branch(es), est total cost %.1f rows\n",
 		len(c.plans), total)
 	for i, p := range c.plans {
-		fmt.Fprintf(&b, "branch %d: %s", i, p.Explain())
+		kernel := "tuple"
+		if p.BatchEligible() {
+			kernel = "batch"
+		}
+		fmt.Fprintf(&b, "branch %d [kernel=%s]: %s", i, kernel, p.Explain())
 	}
 	return b.String()
 }
@@ -218,7 +234,7 @@ func (c *Cursor) start() {
 		return
 	}
 	c.next, c.stop = iter.Pull2(cq.UnionTuples(c.ctx, c.plans,
-		cq.ExecOptions{Limit: c.limit, Parallelism: c.par}))
+		cq.ExecOptions{Limit: c.limit, Parallelism: c.par, Kernels: &c.kernels}))
 }
 
 // finish records execution time and stops the pull iterator.
@@ -259,7 +275,7 @@ func (c *Cursor) Materialize() (*relation.Relation, error) {
 			// c.schema is plans[0].HeadSchema() whenever plans exist.
 			var err error
 			out, err = cq.MaterializeUnion(c.ctx, c.plans,
-				cq.ExecOptions{Limit: c.limit, Parallelism: c.par})
+				cq.ExecOptions{Limit: c.limit, Parallelism: c.par, Kernels: &c.kernels})
 			if err != nil {
 				c.err = err
 				c.closed = true

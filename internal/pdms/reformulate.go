@@ -66,6 +66,14 @@ type ReformStats struct {
 	// PeersTouched counts distinct peers whose storage the kept
 	// rewritings read — the number of peers contacted at execution.
 	PeersTouched int
+	// BatchBranches counts union branches executed on the columnar batch
+	// kernel. Zero until the cursor has executed (Cursor.Stats fills it
+	// live from the engine's counters).
+	BatchBranches int
+	// FallbackBranches counts union branches executed on the
+	// tuple-at-a-time reference path, typically because a relation they
+	// read has no current dictionary encoding.
+	FallbackBranches int
 }
 
 // Reformulator rewrites queries posed in one peer's schema into unions of

@@ -78,10 +78,14 @@ func (n *Network) Publish(peer, rel string, u view.Updategram) (*PublishStats, e
 	post := n.GlobalDB()
 	stats := &PublishStats{}
 	qu := view.Updategram{Relation: qualified, Inserts: u.Inserts, Deletes: u.Deletes}
+	// The prepared update (scratch databases with the delta installed) is
+	// shared by every affected subscription — built lazily on the first
+	// one instead of rebuilt per view.
+	var prepared *view.PreparedUpdate
 	for _, sub := range n.subs {
 		mentions := false
-		for _, pred := range sub.MV.View.Def.Predicates() {
-			if pred == qualified {
+		for _, a := range sub.MV.View.Def.Body {
+			if a.Pred == qualified {
 				mentions = true
 				break
 			}
@@ -90,7 +94,13 @@ func (n *Network) Publish(peer, rel string, u view.Updategram) (*PublishStats, e
 			continue
 		}
 		stats.ViewsTouched++
-		delta, err := sub.MV.ViewDelta(pre, post, qu)
+		if prepared == nil {
+			var err error
+			if prepared, err = view.PrepareUpdate(pre, post, qu); err != nil {
+				return nil, err
+			}
+		}
+		delta, err := sub.MV.DeltaFrom(prepared)
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cq"
 	"repro/internal/faults"
 	"repro/internal/pdms"
 	"repro/internal/workload"
@@ -78,13 +79,30 @@ const (
 	// cache invalidated, so one operation re-probes, re-fetches, and
 	// re-plans from scratch over loopback.
 	BenchRecovery = "recovery_resync_16"
+	// BenchSkewed is the engine-level Zipf-skewed fact ⋈ dim join — the
+	// adversarial case for the batch kernel's translation memos and
+	// code-vector dedup (a few hot codes, a long tail).
+	BenchSkewed = "skewed_join"
+	// BenchWarmBatch is the warm E2/16 path measured through the cursor
+	// (Network.Query + Materialize) with the kernel counters checked:
+	// the run fails if any union branch falls back tuple-at-a-time, so
+	// the ledger certifies the batch kernel actually carried the number.
+	BenchWarmBatch = "warm_e2_16_batch"
 )
+
+// RequiredBenches is the bench-name contract shared by `revere bench`
+// (which must record them all) and TestPerfLedgerGate (which fails when
+// the committed ledger is missing one).
+var RequiredBenches = []string{
+	BenchWarm, BenchWarmRemote, BenchDegraded, BenchRecovery,
+	BenchSkewed, BenchWarmBatch,
+}
 
 // CurrentPR is the PR number `revere bench` stamps into the ledger it
 // writes (and the N of the default BENCH_N.json output name). Bump it
 // each PR that regenerates the ledger; the gate keys on Latest, so old
 // ledgers stay behind as the committed perf trajectory.
-const CurrentPR = 7
+const CurrentPR = 8
 
 // Latest resolves the newest BENCH_N.json in dir — the baseline
 // TestPerfLedgerGate compares a live measurement against, so the gate
@@ -315,6 +333,96 @@ func Recovery() (Bench, error) {
 	return record(r, answers, retries), nil
 }
 
+// SkewedJoin measures the engine-level Zipf-skewed join on precompiled
+// plans — reformulation and the network stack out of the loop, so the
+// number isolates the batch kernel itself. It fails if the branch does
+// not ride the kernel.
+func SkewedJoin() (Bench, error) {
+	db, q, err := workload.SkewedJoin(workload.SkewedJoinSpec{Seed: 42})
+	if err != nil {
+		return Bench{}, err
+	}
+	plan, err := cq.Compile(db, q)
+	if err != nil {
+		return Bench{}, err
+	}
+	plans := []*cq.Plan{plan}
+	ctx := context.Background()
+	var kernels cq.KernelCounts
+	opts := cq.ExecOptions{Kernels: &kernels}
+	if _, err := cq.MaterializeUnion(ctx, plans, opts); err != nil {
+		return Bench{}, err
+	}
+	if kernels.Fallback() > 0 {
+		return Bench{}, fmt.Errorf("perfledger: skewed join fell back tuple-at-a-time")
+	}
+	answers := 0
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := cq.MaterializeUnion(ctx, plans, opts)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers = res.Len()
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	return record(r, answers, 0), nil
+}
+
+// WarmBatch measures the warm E2/16 path through the cursor and fails
+// unless every union branch rode the batch kernel — the certified
+// counterpart of WarmE2.
+func WarmBatch() (Bench, error) {
+	g, err := workload.GenNetwork(e2Spec())
+	if err != nil {
+		return Bench{}, err
+	}
+	req := pdms.Request{Peer: workload.PeerName(0), Query: g.TitleQuery(0),
+		Reform: pdms.ReformOptions{MaxDepth: 17}}
+	ctx := context.Background()
+	run := func() (int, pdms.ReformStats, error) {
+		cur, err := g.Net.Query(ctx, req)
+		if err != nil {
+			return 0, pdms.ReformStats{}, err
+		}
+		res, err := cur.Materialize()
+		if err != nil {
+			return 0, pdms.ReformStats{}, err
+		}
+		return res.Len(), cur.Stats(), nil
+	}
+	if _, _, err := run(); err != nil {
+		return Bench{}, err
+	}
+	answers := 0
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, stats, err := run()
+			if err == nil && stats.FallbackBranches > 0 {
+				err = fmt.Errorf("perfledger: warm E2/16 fell back on %d branch(es)",
+					stats.FallbackBranches)
+			}
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers = a
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	return record(r, answers, 0), nil
+}
+
 // benchQueries benchmarks repeated materialized queries of req.
 func benchQueries(n *pdms.Network, req pdms.Request) (Bench, error) {
 	answers, retries := 0, int64(0)
@@ -347,6 +455,8 @@ func Run() (*Ledger, error) {
 		{BenchWarmRemote, WarmRemote},
 		{BenchDegraded, Degraded},
 		{BenchRecovery, Recovery},
+		{BenchSkewed, SkewedJoin},
+		{BenchWarmBatch, WarmBatch},
 	} {
 		b, err := bench.run()
 		if err != nil {

@@ -32,6 +32,13 @@ type Relation struct {
 	// Select) desynchronize the count and disable stats. See stats.go.
 	sketches []colSketch
 	statRows int
+	// dict is the per-column dictionary encoding behind the columnar
+	// batch kernel; encRows mirrors statRows — the encoding is valid
+	// iff encRows == len(rows). codeIdx caches packed code→rows
+	// indexes built from dict; any mutation drops it. See dict.go.
+	dict    *Dict
+	encRows int
+	codeIdx map[int]*CodeIndex
 }
 
 // New creates an empty relation with the given schema. Column
@@ -42,13 +49,14 @@ func New(schema Schema) *Relation {
 }
 
 // NewResult creates an empty relation that never maintains column
-// statistics — intended for answer/result relations, which are consumed
-// by the caller rather than joined against again, so per-insert value
-// hashing would be pure overhead on the serving hot path. A planner
-// compiling a query against such a relation falls back to the
-// statistics-free greedy order.
+// statistics or a dictionary encoding — intended for answer/result
+// relations, which are consumed by the caller rather than joined
+// against again, so per-insert value hashing would be pure overhead on
+// the serving hot path. A planner compiling a query against such a
+// relation falls back to the statistics-free greedy order, and the
+// engine to the tuple-at-a-time kernel.
 func NewResult(schema Schema) *Relation {
-	return &Relation{Schema: schema, statRows: -1}
+	return &Relation{Schema: schema, statRows: -1, encRows: -1}
 }
 
 // FromTuples creates a relation and inserts the given tuples, panicking on
@@ -84,8 +92,10 @@ func (r *Relation) RestoreVersion(v uint64) {
 // SnapshotAs returns a relation named name holding this relation's
 // current tuples. The tuple references are shared (tuples are never
 // mutated in place) but the row slice is copied, so later inserts or
-// deletes here do not affect the snapshot. Statistics carry over, so
-// planning against a snapshot sees the source's cardinalities without
+// deletes here do not affect the snapshot. Statistics and the
+// dictionary encoding carry over — deep-copied, so the snapshot
+// executes batched while the source keeps growing — and planning
+// against a snapshot sees the source's cardinalities without
 // re-scanning.
 func (r *Relation) SnapshotAs(name string) *Relation {
 	rows := make([]Tuple, len(r.rows))
@@ -98,6 +108,10 @@ func (r *Relation) SnapshotAs(name string) *Relation {
 	if r.statRows == len(rows) {
 		out.sketches = cloneSketches(r.sketches)
 		out.statRows = len(rows)
+	}
+	if r.encRows == len(rows) {
+		out.dict = r.dict.clone()
+		out.encRows = len(rows)
 	}
 	r.mu.RUnlock()
 	return out
@@ -123,6 +137,7 @@ func (r *Relation) Insert(t Tuple) error {
 		idx[t[col]] = append(idx[t[col]], id)
 	}
 	r.addStatsLocked(t, id)
+	r.addEncodingLocked(t, id)
 	r.mu.Unlock()
 	return nil
 }
@@ -134,11 +149,43 @@ func (r *Relation) MustInsert(vals ...Value) {
 	}
 }
 
+// InsertBatch appends a run of tuples under one lock acquisition,
+// with the same per-row validation, index, statistics, and encoding
+// maintenance as Insert. Materializing consumers that buffer streamed
+// answers use it to amortize the locking and slice-growth cost of
+// row-at-a-time appends.
+func (r *Relation) InsertBatch(ts []Tuple) error {
+	for _, t := range ts {
+		if err := r.Schema.Compatible(t); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	if need := len(r.rows) + len(ts); cap(r.rows) < need {
+		grown := make([]Tuple, len(r.rows), need+need/2)
+		copy(grown, r.rows)
+		r.rows = grown
+	}
+	for _, t := range ts {
+		id := len(r.rows)
+		r.rows = append(r.rows, t)
+		for col, idx := range r.indexes {
+			idx[t[col]] = append(idx[t[col]], id)
+		}
+		r.addStatsLocked(t, id)
+		r.addEncodingLocked(t, id)
+	}
+	r.version++
+	r.mu.Unlock()
+	return nil
+}
+
 // Delete removes all tuples equal to t and reports how many were removed.
-// Indexes are rebuilt lazily on next use; column statistics are rebuilt
-// eagerly (the pass is already O(rows)).
+// Indexes are rebuilt lazily on next use; column statistics and the
+// dictionary encoding are rebuilt eagerly (the pass is already O(rows)).
 func (r *Relation) Delete(t Tuple) int {
 	statsValid := r.statRows == len(r.rows)
+	encValid := r.encRows == len(r.rows)
 	kept := r.rows[:0]
 	removed := 0
 	for _, row := range r.rows {
@@ -152,9 +199,13 @@ func (r *Relation) Delete(t Tuple) int {
 	if removed > 0 {
 		r.mu.Lock()
 		r.indexes = nil
+		r.codeIdx = nil
 		r.version++
 		if statsValid {
 			r.rebuildStatsLocked()
+		}
+		if encValid {
+			r.rebuildEncodingLocked()
 		}
 		r.mu.Unlock()
 	}
@@ -267,6 +318,7 @@ func (r *Relation) Contains(t Tuple) bool {
 // tracked row count moves.
 func (r *Relation) Dedup() *Relation {
 	statsValid := r.statRows == len(r.rows)
+	encValid := r.encRows == len(r.rows)
 	seen := NewTupleSet(len(r.rows))
 	kept := r.rows[:0]
 	for _, row := range r.rows {
@@ -280,9 +332,15 @@ func (r *Relation) Dedup() *Relation {
 	if changed {
 		r.mu.Lock()
 		r.indexes = nil
+		r.codeIdx = nil
 		r.version++
 		if statsValid {
 			r.statRows = len(kept)
+		}
+		if encValid {
+			// The code vectors are positional; dropping rows shifts
+			// every id after the first duplicate, so re-encode.
+			r.rebuildEncodingLocked()
 		}
 		r.mu.Unlock()
 	}
@@ -290,15 +348,25 @@ func (r *Relation) Dedup() *Relation {
 }
 
 // SortRows orders tuples lexicographically in place (for deterministic
-// output) and returns the relation.
+// output) and returns the relation. The row count is unchanged but the
+// order is not, so the positional dictionary encoding is re-derived
+// rather than trusted.
 func (r *Relation) SortRows() *Relation {
+	encValid := r.encRows == len(r.rows)
 	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Less(r.rows[j]) })
-	r.dropIndexes()
+	r.mu.Lock()
+	r.indexes = nil
+	r.codeIdx = nil
+	if encValid {
+		r.rebuildEncodingLocked()
+	}
+	r.mu.Unlock()
 	r.version++
 	return r
 }
 
-// Clone returns a deep copy (indexes are not copied; statistics are).
+// Clone returns a deep copy (indexes are not copied; statistics and the
+// dictionary encoding are).
 func (r *Relation) Clone() *Relation {
 	out := New(r.Schema.Clone())
 	out.rows = make([]Tuple, len(r.rows))
@@ -308,6 +376,10 @@ func (r *Relation) Clone() *Relation {
 	if r.statRows == len(r.rows) {
 		out.sketches = cloneSketches(r.sketches)
 		out.statRows = len(out.rows)
+	}
+	if r.encRows == len(r.rows) {
+		out.dict = r.dict.clone()
+		out.encRows = len(out.rows)
 	}
 	return out
 }

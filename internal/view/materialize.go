@@ -76,19 +76,85 @@ func (m *MaterializedView) Refresh(db *relation.Database) error {
 // implementation computes the delta by evaluating the view body with the
 // changed atom's relation replaced by the delta tuples; a final
 // existence check against the other state removes spurious deletes.
+//
+// When one base update fans out to many views (the data-placement case),
+// prepare the update once with PrepareUpdate and call DeltaFrom per
+// view instead — ViewDelta rebuilds the shared scratch state per call.
 func (m *MaterializedView) ViewDelta(pre, post *relation.Database, u Updategram) (Updategram, error) {
+	p, err := PrepareUpdate(pre, post, u)
+	if err != nil {
+		return Updategram{Relation: m.View.Name}, err
+	}
+	return m.DeltaFrom(p)
+}
+
+// PreparedUpdate is the per-base-update evaluation state shared by every
+// view affected by one updategram: the pre/post databases plus scratch
+// databases with the delta tuples installed as a relation, built once
+// and reused by each affected view's DeltaFrom. Without it, propagating
+// one update to N subscriptions rebuilds N identical scratch databases.
+type PreparedUpdate struct {
+	u         Updategram
+	post      *relation.Database
+	insDB     *relation.Database // post state with Δ installed; nil without inserts
+	delDB     *relation.Database // pre state with Δ installed; nil without deletes
+	deltaName string
+}
+
+// PrepareUpdate builds the shared delta-evaluation state for one base
+// updategram against the pre- and post-update database states.
+func PrepareUpdate(pre, post *relation.Database, u Updategram) (*PreparedUpdate, error) {
+	p := &PreparedUpdate{u: u, post: post, deltaName: "\x00delta_" + u.Relation}
+	var err error
+	if len(u.Inserts) > 0 {
+		if p.insDB, err = deltaDB(post, u.Relation, p.deltaName, u.Inserts); err != nil {
+			return nil, err
+		}
+	}
+	if len(u.Deletes) > 0 {
+		if p.delDB, err = deltaDB(pre, u.Relation, p.deltaName, u.Deletes); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// deltaDB returns db plus the delta tuples installed under deltaName
+// with the updated relation's schema.
+func deltaDB(db *relation.Database, relName, deltaName string, tuples []relation.Tuple) (*relation.Database, error) {
+	base := db.Get(relName)
+	if base == nil {
+		return nil, fmt.Errorf("view: unknown relation %q", relName)
+	}
+	scratch := relation.NewDatabase()
+	for _, r := range db.Relations() {
+		scratch.Put(r)
+	}
+	dr := relation.New(relation.Schema{Name: deltaName, Attrs: base.Schema.Attrs})
+	for _, t := range tuples {
+		if err := dr.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	scratch.Put(dr)
+	return scratch, nil
+}
+
+// DeltaFrom computes this view's updategram from a shared prepared
+// update — the fan-out form of ViewDelta.
+func (m *MaterializedView) DeltaFrom(p *PreparedUpdate) (Updategram, error) {
 	out := Updategram{Relation: m.View.Name}
 	occurrences := 0
 	for _, a := range m.View.Def.Body {
-		if a.Pred == u.Relation {
+		if a.Pred == p.u.Relation {
 			occurrences++
 		}
 	}
 	if occurrences == 0 {
 		return out, nil
 	}
-	if len(u.Inserts) > 0 {
-		ins, err := deltaEval(post, m.View.Def, u.Relation, u.Inserts)
+	if len(p.u.Inserts) > 0 {
+		ins, err := deltaEval(p.insDB, m.View.Def, p.u.Relation, p.deltaName)
 		if err != nil {
 			return out, err
 		}
@@ -98,15 +164,15 @@ func (m *MaterializedView) ViewDelta(pre, post *relation.Database, u Updategram)
 			}
 		}
 	}
-	if len(u.Deletes) > 0 {
-		dels, err := deltaEval(pre, m.View.Def, u.Relation, u.Deletes)
+	if len(p.u.Deletes) > 0 {
+		dels, err := deltaEval(p.delDB, m.View.Def, p.u.Relation, p.deltaName)
 		if err != nil {
 			return out, err
 		}
 		// A derived deletion only holds if the tuple is no longer
 		// derivable in the post state (other derivations may remain).
 		for _, t := range dels {
-			still, err := derivable(post, m.View.Def, t)
+			still, err := derivable(p.post, m.View.Def, t)
 			if err != nil {
 				return out, err
 			}
@@ -138,40 +204,15 @@ func (m *MaterializedView) ApplyDelta(d Updategram) error {
 	return nil
 }
 
-// deltaEval evaluates the view body with relName's extent replaced by the
-// given delta tuples (for one occurrence at a time, unioning results).
-func deltaEval(db *relation.Database, def cq.Query, relName string, delta []relation.Tuple) ([]relation.Tuple, error) {
-	base := db.Get(relName)
-	if base == nil {
-		return nil, fmt.Errorf("view: unknown relation %q", relName)
-	}
-	deltaRel := relation.New(base.Schema.Clone())
-	for _, t := range delta {
-		if err := deltaRel.Insert(t); err != nil {
-			return nil, err
-		}
-	}
+// deltaEval evaluates the view body against a prepared scratch database
+// (base state plus delta relation), substituting the delta for one
+// occurrence of relName at a time and unioning the results.
+func deltaEval(scratch *relation.Database, def cq.Query, relName, deltaName string) ([]relation.Tuple, error) {
 	var results []relation.Tuple
-	occ := 0
 	for i, a := range def.Body {
 		if a.Pred != relName {
 			continue
 		}
-		occ++
-		// Build a scratch database where occurrence i reads from the
-		// delta via a uniquely-named relation.
-		scratch := relation.NewDatabase()
-		for _, r := range db.Relations() {
-			scratch.Put(r)
-		}
-		deltaName := "\x00delta_" + relName
-		dr := relation.New(relation.Schema{Name: deltaName, Attrs: deltaRel.Schema.Attrs})
-		for _, t := range deltaRel.Rows() {
-			if err := dr.Insert(t); err != nil {
-				return nil, err
-			}
-		}
-		scratch.Put(dr)
 		q := def.Clone()
 		q.Body[i].Pred = deltaName
 		r, err := cq.Eval(scratch, q)
@@ -180,7 +221,6 @@ func deltaEval(db *relation.Database, def cq.Query, relName string, delta []rela
 		}
 		results = append(results, r.Rows()...)
 	}
-	_ = occ
 	return results, nil
 }
 
@@ -194,6 +234,9 @@ func derivable(db *relation.Database, def cq.Query, t relation.Tuple) (bool, err
 }
 
 func dedupTuples(ts []relation.Tuple) []relation.Tuple {
+	if len(ts) < 2 {
+		return ts
+	}
 	seen := make(map[string]bool, len(ts))
 	out := ts[:0]
 	for _, t := range ts {

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// SkewedJoinSpec sizes the skewed-join workload: a fact relation whose
+// join key follows a Zipf distribution probing a small dimension
+// relation. Heavy keys hit the same dictionary codes over and over, so
+// this is the adversarial case for the batch kernel's translation
+// memos and code-vector dedup — a handful of hot codes and a long tail.
+type SkewedJoinSpec struct {
+	// FactRows is the fact-relation row count (0 = 4096).
+	FactRows int
+	// DimKeys is the number of distinct join keys, all present in the
+	// dimension relation (0 = 64).
+	DimKeys int
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+func (s SkewedJoinSpec) factRows() int {
+	if s.FactRows <= 0 {
+		return 4096
+	}
+	return s.FactRows
+}
+
+func (s SkewedJoinSpec) dimKeys() int {
+	if s.DimKeys <= 0 {
+		return 64
+	}
+	return s.DimKeys
+}
+
+// SkewedJoin generates the fact ⋈ dim database and the join query
+// q(P, L) :- fact(K, P), dim(K, L). Both relations are built through
+// the ordinary Insert path, so they carry dictionary encodings and the
+// join is batch-eligible.
+func SkewedJoin(spec SkewedJoinSpec) (*relation.Database, cq.Query, error) {
+	rnd := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rnd, 1.2, 1, uint64(spec.dimKeys()-1))
+	fact := relation.New(relation.Schema{
+		Name:  "fact",
+		Attrs: []relation.Attribute{relation.Attr("key"), relation.Attr("payload")},
+	})
+	for i := 0; i < spec.factRows(); i++ {
+		t := relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", zipf.Uint64())),
+			relation.SV(fmt.Sprintf("p%d", i%97)),
+		}
+		if err := fact.Insert(t); err != nil {
+			return nil, cq.Query{}, err
+		}
+	}
+	dim := relation.New(relation.Schema{
+		Name:  "dim",
+		Attrs: []relation.Attribute{relation.Attr("key"), relation.Attr("label")},
+	})
+	for k := 0; k < spec.dimKeys(); k++ {
+		t := relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", k)),
+			relation.SV(fmt.Sprintf("l%d", k%7)),
+		}
+		if err := dim.Insert(t); err != nil {
+			return nil, cq.Query{}, err
+		}
+	}
+	db := relation.NewDatabase()
+	db.Put(fact)
+	db.Put(dim)
+	return db, cq.MustParse("q(P, L) :- fact(K, P), dim(K, L)"), nil
+}

@@ -29,8 +29,7 @@ func TestPerfLedgerGate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading the committed perf ledger: %v", err)
 	}
-	for _, name := range []string{perfledger.BenchWarm, perfledger.BenchWarmRemote,
-		perfledger.BenchDegraded, perfledger.BenchRecovery} {
+	for _, name := range perfledger.RequiredBenches {
 		if _, ok := ledger.Benches[name]; !ok {
 			t.Errorf("ledger is missing required bench %q (re-run `revere bench`)", name)
 		}
