@@ -25,8 +25,12 @@ func runBench(args []string) error {
 	}
 	for _, name := range perfledger.RequiredBenches {
 		b := l.Benches[name]
-		fmt.Printf("%-24s %10.0f ns/op %6d allocs/op %4d answers %6.2f retries/op\n",
+		fmt.Printf("%-24s %10.0f ns/op %6d allocs/op %4d answers %6.2f retries/op",
 			name, b.NsPerOp, b.AllocsPerOp, b.Answers, b.RetriesPerOp)
+		if b.WireBytesPerOp > 0 {
+			fmt.Printf(" %10.0f wire B/op", b.WireBytesPerOp)
+		}
+		fmt.Println()
 	}
 	if err := l.Save(*out); err != nil {
 		return err

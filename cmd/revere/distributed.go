@@ -232,6 +232,7 @@ func runQuery(args []string) error {
 	retry := fs.Int("retry", 0, "attempts per remote operation (0 = single attempt, no policy)")
 	timeout := fs.Duration("timeout", 0, "per-attempt timeout for remote operations (with -retry)")
 	stale := fs.Bool("stale", false, "serve last-good mirror snapshots when a remote peer is unreachable")
+	ship := fs.String("ship", "never", "plan shipping for stale remote relations: never, auto, or always")
 	explain := fs.Bool("explain", false, "print each branch's join order, cost estimate, and kernel (batch vs tuple-at-a-time) before executing")
 	watch := fs.Duration("watch", 0, "re-run the query at this interval until interrupted (0 = run once)")
 	var remotes remoteFlag
@@ -299,6 +300,17 @@ func runQuery(args []string) error {
 			pol.OpTimeout = *timeout
 		}
 	}
+	var shipMode pdms.ShipMode
+	switch *ship {
+	case "never":
+		shipMode = pdms.ShipNever
+	case "auto":
+		shipMode = pdms.ShipAuto
+	case "always":
+		shipMode = pdms.ShipAlways
+	default:
+		return fmt.Errorf("unknown -ship mode %q (want never, auto, or always)", *ship)
+	}
 	req := pdms.Request{
 		Peer:        workload.PeerName(0),
 		Query:       g.TitleQuery(0),
@@ -306,6 +318,7 @@ func runQuery(args []string) error {
 		Parallelism: *par,
 		Retry:       pol,
 		AllowStale:  *stale,
+		Ship:        shipMode,
 	}
 	runOnce := func() error {
 		cur, err := n.Query(ctx, req)
@@ -333,8 +346,8 @@ func runQuery(args []string) error {
 		// Cumulative replica-refresh counters: the proof line the
 		// durability churn test parses to show a restarted durable peer
 		// rejoined via Delta records, not full relation scans.
-		scans, deltas := n.RemoteSyncCounts()
-		fmt.Printf("sync scans %d deltas %d\n", scans, deltas)
+		scans, deltas, ships := n.RemoteSyncCounts()
+		fmt.Printf("sync scans %d deltas %d ships %d\n", scans, deltas, ships)
 		fmt.Printf("answers %d oracle %d digest %s\n",
 			answers.Len(), len(g.AllTitles), AnswerDigest(answers))
 		return nil

@@ -24,7 +24,7 @@ import (
 
 // syncLine matches the query command's cumulative replica-refresh
 // counter line.
-var syncLine = regexp.MustCompile(`^sync scans (\d+) deltas (\d+)$`)
+var syncLine = regexp.MustCompile(`^sync scans (\d+) deltas (\d+) ships (\d+)$`)
 
 // storeLine matches the serve command's recovery summary.
 var storeLine = regexp.MustCompile(`^store .*: populated (\d+) peers, recovered (\d+) peers \((\d+) rows, (\d+) log records replayed\)$`)

@@ -89,11 +89,13 @@ type Transport struct {
 }
 
 // compile-time proof the decorator is a pdms.Transport — and a
-// pdms.DeltaTransport (it forwards Delta when the inner transport
-// supports it, and reports ok=false when it doesn't).
+// pdms.DeltaTransport and pdms.PlanTransport (it forwards Delta and
+// ExecPlan when the inner transport supports them, degrading typed
+// when it doesn't).
 var (
 	_ pdms.Transport      = (*Transport)(nil)
 	_ pdms.DeltaTransport = (*Transport)(nil)
+	_ pdms.PlanTransport  = (*Transport)(nil)
 )
 
 // New wraps inner with the given fault configuration.
@@ -237,6 +239,34 @@ func (t *Transport) Scan(ctx context.Context, peer, rel string, deliver func([]r
 		if t.drawScanDrop() {
 			t.scanDrops.Add(1)
 			return injected("connection drop mid-scan of "+rel, peer)
+		}
+		return nil
+	})
+}
+
+// ExecPlan implements pdms.PlanTransport: the fault gate runs up
+// front, and each delivered answer batch may additionally trip a
+// mid-stream connection drop (the same per-batch schedule Scan uses,
+// so a shipped-plan stream dies exactly like a scan stream). When the
+// inner transport cannot execute plans, every call fails typed as
+// pdms.ErrPlanUnsupported (after the gate), so the wrapped stack falls
+// back to mirroring exactly like an undecorated scan-only transport.
+func (t *Transport) ExecPlan(ctx context.Context, peer string, sp relation.SubPlan,
+	deliver func([]relation.Tuple) error) error {
+	if err := t.before(ctx, "execplan", peer); err != nil {
+		return err
+	}
+	pt, can := t.inner.(pdms.PlanTransport)
+	if !can {
+		return fmt.Errorf("%w: inner transport cannot execute plans", pdms.ErrPlanUnsupported)
+	}
+	return pt.ExecPlan(ctx, peer, sp, func(batch []relation.Tuple) error {
+		if err := deliver(batch); err != nil {
+			return err
+		}
+		if t.drawScanDrop() {
+			t.scanDrops.Add(1)
+			return injected("connection drop mid-shipped-plan stream", peer)
 		}
 		return nil
 	})

@@ -40,6 +40,15 @@ func (s *stubTransport) Close() error {
 	return nil
 }
 
+// stubPlanTransport extends stubTransport with plan execution: ExecPlan
+// streams the same fixed single-tuple batches Scan does.
+type stubPlanTransport struct{ stubTransport }
+
+func (s *stubPlanTransport) ExecPlan(ctx context.Context, peer string, sp relation.SubPlan,
+	deliver func([]relation.Tuple) error) error {
+	return s.Scan(ctx, peer, "R", deliver)
+}
+
 // drive runs n State ops against tr, returning how many failed.
 func drive(t *testing.T, tr pdms.Transport, n int) (failed int) {
 	t.Helper()
@@ -158,6 +167,40 @@ func TestScanDropCutsMidStream(t *testing.T) {
 	_, _, _, _, sd := ft.Counts()
 	if sd != 1 {
 		t.Fatalf("scan drop counter = %d, want 1", sd)
+	}
+}
+
+func TestExecPlanDropCutsMidStream(t *testing.T) {
+	// A prob-1 per-batch drop cuts a shipped-plan stream after its first
+	// batch, typed exactly like a mid-scan cut.
+	ft := New(&stubPlanTransport{stubTransport{batches: 10}}, Config{ScanDropProb: 1})
+	var delivered int
+	err := ft.ExecPlan(context.Background(), "p", relation.SubPlan{}, func(b []relation.Tuple) error {
+		delivered += len(b)
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, pdms.ErrPeerUnreachable) {
+		t.Fatalf("mid-plan drop should be an injected unreachable error, got %v", err)
+	}
+	if errors.Is(err, pdms.ErrPlanUnsupported) {
+		t.Fatalf("mid-plan drop %v must not look like a clean mirror fallback", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("prob-1 plan drop should cut after the first batch, delivered %d", delivered)
+	}
+	_, _, _, _, sd := ft.Counts()
+	if sd != 1 {
+		t.Fatalf("scan-drop counter = %d, want 1", sd)
+	}
+}
+
+func TestExecPlanScanOnlyInnerFallsBackTyped(t *testing.T) {
+	// Wrapping a scan-only transport keeps the decorator a PlanTransport,
+	// but every ExecPlan fails as the clean fallback signal.
+	ft := New(&stubTransport{batches: 1}, Config{})
+	err := ft.ExecPlan(context.Background(), "p", relation.SubPlan{}, func([]relation.Tuple) error { return nil })
+	if !errors.Is(err, pdms.ErrPlanUnsupported) {
+		t.Fatalf("scan-only inner: err = %v, want ErrPlanUnsupported", err)
 	}
 }
 

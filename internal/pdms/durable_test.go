@@ -113,7 +113,7 @@ func TestDurablePeerRestartInvisibleThenDeltaSync(t *testing.T) {
 		if res.Answers.Len() != wantAnswers {
 			t.Errorf("%s: %d answers, want %d", when, res.Answers.Len(), wantAnswers)
 		}
-		scans, deltas := n.RemoteSyncCounts()
+		scans, deltas, _ := n.RemoteSyncCounts()
 		if scans != wantScans || deltas != wantDeltas {
 			t.Errorf("%s: sync scans %d deltas %d, want scans %d deltas %d",
 				when, scans, deltas, wantScans, wantDeltas)

@@ -340,11 +340,13 @@ type Network struct {
 	remotes  map[string]*RemotePeer
 	remoteMu sync.RWMutex
 
-	// remoteScans and remoteDeltas count replica refreshes by full scan
-	// vs by delta catch-up — the counters RemoteSyncCounts exposes so
-	// harnesses can prove a rejoin moved records, not relations.
+	// remoteScans, remoteDeltas, and remoteShips count replica refreshes
+	// by full scan, by delta catch-up, and by shipped sub-plan — the
+	// counters RemoteSyncCounts exposes so harnesses can prove a rejoin
+	// moved records, not relations, and that plan shipping actually ran.
 	remoteScans  atomic.Uint64
 	remoteDeltas atomic.Uint64
+	remoteShips  atomic.Uint64
 
 	// DownProbeInterval is how often the background prober re-checks a
 	// remote peer that graceful degradation marked down

@@ -57,6 +57,18 @@ type Request struct {
 	// unreachable peers fail the query with a typed ErrPeerUnreachable
 	// error rather than silently serving stale replicas as fresh.
 	AllowStale bool
+	// Ship selects the plan-shipping tier for stale remote relations:
+	// ShipNever (the zero value — mirror exactly as before), ShipAuto
+	// (the statistics model decides per relation), or ShipAlways (ship
+	// every eligible relation). Which path each relation actually took
+	// is reported by Cursor.SyncPaths.
+	Ship ShipMode
+	// ShipRowBudget caps a shipped sub-plan's distinct answers
+	// (DefaultShipRowBudget when 0, unlimited when negative). A plan
+	// that overflows its budget is not truncated — the serving peer
+	// fails it typed (ErrPlanBudget) and the coordinator falls back to
+	// mirroring the relation.
+	ShipRowBudget int
 }
 
 // Cursor streams the deduplicated answers of one Query call. Tuples are
@@ -88,6 +100,7 @@ type Cursor struct {
 	reformTime time.Duration
 	degraded   []DegradedPeer
 	retries    int
+	syncPaths  []SyncPath
 
 	execStart time.Time
 	execTime  time.Duration
@@ -144,6 +157,17 @@ func (c *Cursor) Degraded() []DegradedPeer {
 // network or a clean prepare). Available immediately.
 func (c *Cursor) Retries() int { return c.retries }
 
+// SyncPaths reports, per remote relation this request had to refresh,
+// which path the refresh took — "ship" (remote sub-plan execution),
+// "delta" (change-record catch-up), or "scan" (full mirror re-scan) —
+// in (peer, relation) order. Empty when every referenced replica was
+// already current. Available immediately.
+func (c *Cursor) SyncPaths() []SyncPath {
+	out := make([]SyncPath, len(c.syncPaths))
+	copy(out, c.syncPaths)
+	return out
+}
+
 // Explain renders the compiled execution plan of every rewriting branch
 // — the join order the planner chose, each atom's access path, the cost
 // estimates, and which kernel the branch would ride (batch when every
@@ -168,6 +192,9 @@ func (c *Cursor) Explain() string {
 			kernel = "batch"
 		}
 		fmt.Fprintf(&b, "branch %d [kernel=%s]: %s", i, kernel, p.Explain())
+	}
+	for _, sp := range c.syncPaths {
+		fmt.Fprintf(&b, "sync %s.%s via %s\n", sp.Peer, sp.Rel, sp.Path)
 	}
 	return b.String()
 }
@@ -370,18 +397,45 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 		finishRemote()
 		return c, nil
 	}
+	var ships map[string]*relation.Relation
 	if len(n.remotes) > 0 {
-		r, err := n.fetchReferenced(ctx, e.rws, req.Retry, budget, req.AllowStale, degraded)
+		shipBudget := uint64(DefaultShipRowBudget)
+		switch {
+		case req.ShipRowBudget > 0:
+			shipBudget = uint64(req.ShipRowBudget)
+		case req.ShipRowBudget < 0:
+			shipBudget = 0
+		}
+		r, sh, paths, err := n.fetchReferenced(ctx, e.rws, req.Retry, budget,
+			req.AllowStale, degraded, req.Ship, shipBudget)
 		retries += r
 		if err != nil {
 			return nil, err
 		}
+		ships, c.syncPaths = sh, paths
 	}
 	// globalSnapshot, not GlobalDB: on the remote path this goroutine
 	// already holds remoteMu.
-	plans, err := e.plansFor(n.globalSnapshot())
-	if err != nil {
-		return nil, err
+	var plans []*cq.Plan
+	var err2 error
+	if len(ships) > 0 {
+		// Shipped partial replicas shadow the global snapshot through a
+		// per-request overlay catalog. They bypass the plan cache: the
+		// overlay's relations are request-specific, so a cached plan
+		// compiled against them could never be reused safely anyway.
+		cat := overlayCatalog{base: n.globalSnapshot(), over: ships}
+		plans = make([]*cq.Plan, len(e.rws))
+		for i, rw := range e.rws {
+			plans[i], err2 = cq.Compile(cat, rw)
+			if err2 != nil {
+				return nil, err2
+			}
+		}
+	} else {
+		plans, err2 = e.plansFor(n.globalSnapshot())
+		if err2 != nil {
+			return nil, err2
+		}
 	}
 	c.plans = plans
 	c.schema = plans[0].HeadSchema()

@@ -44,6 +44,12 @@ type RemotePeer struct {
 	// State call. Both are guarded by the owning Network's remoteMu.
 	fetched map[string]remoteFP
 	latest  map[string]remoteFP
+	// latestStats holds the full per-relation statistics of the most
+	// recent State call — the remoteFP fingerprints above stay a tiny
+	// comparable pair, while the ship-vs-mirror cost model reads the
+	// per-column distinct estimates from here. Guarded by the owning
+	// Network's remoteMu.
+	latestStats map[string]relation.Stats
 	// lastSync is when the last successful freshness probe completed;
 	// lastErr is the failure that marked the peer down. Both guarded by
 	// the owning Network's remoteMu.
@@ -226,13 +232,14 @@ func (n *Network) AddRemotePeer(ctx context.Context, name string, tr Transport) 
 		return nil, err
 	}
 	rp := &RemotePeer{
-		name:      name,
-		tr:        tr,
-		mirror:    mirror,
-		schemaVer: st.SchemaVersion,
-		fetched:   make(map[string]remoteFP),
-		latest:    latestFPs(st),
-		lastSync:  time.Now(),
+		name:        name,
+		tr:          tr,
+		mirror:      mirror,
+		schemaVer:   st.SchemaVersion,
+		fetched:     make(map[string]remoteFP),
+		latest:      latestFPs(st),
+		latestStats: latestStatsMap(st),
+		lastSync:    time.Now(),
 	}
 	if n.remotes == nil {
 		n.remotes = make(map[string]*RemotePeer)
@@ -246,6 +253,16 @@ func latestFPs(st PeerState) map[string]remoteFP {
 	out := make(map[string]remoteFP, len(st.Relations))
 	for _, ns := range st.Relations {
 		out[ns.Name] = remoteFP{ver: ns.Stats.Version, rows: ns.Stats.Rows}
+	}
+	return out
+}
+
+// latestStatsMap extracts the full per-relation statistics of a State
+// response — the ship-vs-mirror cost model's input.
+func latestStatsMap(st PeerState) map[string]relation.Stats {
+	out := make(map[string]relation.Stats, len(st.Relations))
+	for _, ns := range st.Relations {
+		out[ns.Name] = ns.Stats
 	}
 	return out
 }
@@ -349,6 +366,7 @@ func (n *Network) syncRemotes(ctx context.Context, pol RetryPolicy, budget *retr
 			return retries, fmt.Errorf("pdms: sync remote peer %s: %w", name, perr)
 		}
 		rp.latest = latestFPs(st)
+		rp.latestStats = latestStatsMap(st)
 		rp.lastSync = time.Now()
 		rp.down.Store(false) // a successful probe resurrects a down peer
 	}
@@ -367,14 +385,20 @@ type fetchJob struct {
 	want remoteFP
 	base *relation.Relation
 	have remoteFP
+	// ship, when set, tells the worker to refresh the relation by remote
+	// sub-plan execution — streaming O(answers) bytes into a per-request
+	// overlay replica — before considering the delta and scan paths.
+	ship *shipSpec
 }
 
 // RemoteSyncCounts reports how many replica refreshes the network has
-// performed by full relation scan vs by delta catch-up since creation —
-// the observability the durability tests (and revere query's sync line)
-// use to prove a restarted durable peer rejoined without re-scans.
-func (n *Network) RemoteSyncCounts() (scans, deltas uint64) {
-	return n.remoteScans.Load(), n.remoteDeltas.Load()
+// performed by full relation scan, by delta catch-up, and by shipped
+// sub-plan since creation — the observability the durability tests (and
+// revere query's sync line) use to prove a restarted durable peer
+// rejoined without re-scans, and the differential tests use to prove
+// the ship path actually ran.
+func (n *Network) RemoteSyncCounts() (scans, deltas, ships uint64) {
+	return n.remoteScans.Load(), n.remoteDeltas.Load(), n.remoteShips.Load()
 }
 
 // applyDelta replays change records onto a clone of the replica built
@@ -430,8 +454,18 @@ func applyDelta(base *relation.Relation, rel string, have remoteFP, recs []relat
 // is set, a peer whose scan exhausts its retries mid-query joins them
 // instead of failing the request — covering peers that die between
 // the freshness probe and the fetch. Caller holds n.remoteMu.
+//
+// mode and shipBudget select the plan-shipping tier (ship.go): a stale
+// relation the mode elects ships its atoms as bound sub-plans and the
+// resulting partial replica is returned in ships (keyed by qualified
+// name) for a per-request catalog overlay — never published to the
+// mirror, whose replicas must stay complete. A ship the serving side
+// rejects (ErrPlanUnsupported-class, including row-budget overflows)
+// falls back to the delta/scan paths inside the same job. paths
+// records, per refreshed relation, which path won.
 func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol RetryPolicy,
-	budget *retryBudget, allowStale bool, degraded map[string]*DegradedPeer) (retries int, err error) {
+	budget *retryBudget, allowStale bool, degraded map[string]*DegradedPeer,
+	mode ShipMode, shipBudget uint64) (retries int, ships map[string]*relation.Relation, paths []SyncPath, err error) {
 	var jobs []fetchJob
 	queued := make(map[string]bool)
 	for _, rw := range rws {
@@ -466,8 +500,9 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 		}
 	}
 	if len(jobs) == 0 {
-		return 0, nil
+		return 0, nil, nil, nil
 	}
+	n.planShips(rws, jobs, mode, shipBudget, degraded)
 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -481,7 +516,11 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 		// viaDelta marks a replica rebuilt from change records rather than
 		// a full scan (feeds the RemoteSyncCounts observability).
 		viaDelta bool
-		err      error
+		// overlay marks a partial replica built by shipped sub-plan
+		// execution: it goes into the per-request ships overlay, never the
+		// mirror store.
+		overlay bool
+		err     error
 	}
 	work := make(chan fetchJob, len(jobs))
 	for _, job := range jobs {
@@ -503,6 +542,25 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 					results <- fetchResult{job: job,
 						err: fmt.Errorf("%w: peer %s marked down", ErrPeerUnreachable, job.rp.name)}
 					continue
+				}
+				if job.ship != nil {
+					// Plan shipping first: execute the relation's bound
+					// sub-plans at the serving peer and reassemble a partial
+					// replica from the answers. A rejection the serving side
+					// types as ErrPlanUnsupported — old server, uncompilable
+					// plan, row-budget overflow — falls through to the mirror
+					// paths below on the same connection; any other failure is
+					// the job's failure, like a failed scan.
+					dst, r, serr := n.runShip(fctx, pol, budget, job)
+					retried.Add(int64(r))
+					if serr == nil {
+						results <- fetchResult{job: job, rel: dst, got: job.want, overlay: true}
+						continue
+					}
+					if !errors.Is(serr, ErrPlanUnsupported) {
+						results <- fetchResult{job: job, err: serr}
+						continue
+					}
 				}
 				// Cheap path first: when the replica's last-synced fingerprint
 				// is known and the transport can ship change records, catch up
@@ -559,16 +617,33 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 			continue
 		}
 		if firstErr == nil {
+			if res.overlay {
+				if ships == nil {
+					ships = make(map[string]*relation.Relation)
+				}
+				ships[glav.QualifiedName(res.job.rp.name, res.job.rel)] = res.rel
+				n.remoteShips.Add(1)
+				paths = append(paths, SyncPath{Peer: res.job.rp.name, Rel: res.job.rel, Path: "ship"})
+				continue
+			}
 			res.job.rp.mirror.Store.Put(res.rel)
 			res.job.rp.fetched[res.job.rel] = res.got
 			if res.viaDelta {
 				n.remoteDeltas.Add(1)
+				paths = append(paths, SyncPath{Peer: res.job.rp.name, Rel: res.job.rel, Path: "delta"})
 			} else {
 				n.remoteScans.Add(1)
+				paths = append(paths, SyncPath{Peer: res.job.rp.name, Rel: res.job.rel, Path: "scan"})
 			}
 		}
 	}
-	return int(retried.Load()), firstErr
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].Peer != paths[j].Peer {
+			return paths[i].Peer < paths[j].Peer
+		}
+		return paths[i].Rel < paths[j].Rel
+	})
+	return int(retried.Load()), ships, paths, firstErr
 }
 
 // tryDelta attempts the delta catch-up for one stale replica. used is

@@ -1,0 +1,263 @@
+package pdms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// shipTestPeer holds r(name string, n int) with a few rows.
+func shipTestPeer(t *testing.T) *Peer {
+	t.Helper()
+	p := NewPeer("p",
+		relation.NewSchema("r", relation.Attr("name"), relation.IntAttr("n")),
+		relation.NewSchema("pair", relation.Attr("x"), relation.Attr("y")))
+	for _, row := range []relation.Tuple{
+		{relation.SV("a"), relation.IV(1)},
+		{relation.SV("b"), relation.IV(2)},
+		{relation.SV("a"), relation.IV(3)},
+	} {
+		if err := p.Insert("r", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, row := range []relation.Tuple{
+		{relation.SV("a"), relation.SV("a")},
+		{relation.SV("a"), relation.SV("b")},
+	} {
+		if err := p.Insert("pair", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// execAll drains a sub-plan into its answer rows and schema.
+func execAll(t *testing.T, p *Peer, sp relation.SubPlan) ([]relation.Tuple, relation.Schema, error) {
+	t.Helper()
+	var rows []relation.Tuple
+	var sch relation.Schema
+	schemas := 0
+	err := p.ServingExecPlan(context.Background(), sp, 2,
+		func(s relation.Schema) error { schemas++; sch = s; return nil },
+		func(b []relation.Tuple) error { rows = append(rows, b...); return nil })
+	if err == nil && schemas != 1 {
+		t.Fatalf("schema callback ran %d times, want 1", schemas)
+	}
+	return rows, sch, err
+}
+
+// vterm and cterm build sub-plan terms.
+func vterm(v string) relation.SubPlanTerm { return relation.SubPlanTerm{IsVar: true, Var: v} }
+func cterm(v relation.Value) relation.SubPlanTerm {
+	return relation.SubPlanTerm{Const: v}
+}
+
+// TestServingExecPlanReconstruction pins the serving semantics: atom
+// constants filter, head variables project, and answers are distinct.
+func TestServingExecPlanReconstruction(t *testing.T) {
+	p := shipTestPeer(t)
+	sp := relation.SubPlan{
+		HeadVars: []string{"N"},
+		Atoms: []relation.SubPlanAtom{{Pred: "r",
+			Args: []relation.SubPlanTerm{cterm(relation.SV("a")), vterm("N")}}},
+	}
+	rows, sch, err := execAll(t, p, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Arity() != 1 {
+		t.Fatalf("answer schema arity %d, want 1", sch.Arity())
+	}
+	got := map[int64]bool{}
+	for _, r := range rows {
+		got[r[0].I] = true
+	}
+	if len(rows) != 2 || !got[1] || !got[3] {
+		t.Fatalf("answers %v, want {1, 3}", rows)
+	}
+}
+
+// TestServingExecPlanRepeatedVar pins that a variable repeated inside
+// one atom joins the two positions.
+func TestServingExecPlanRepeatedVar(t *testing.T) {
+	p := shipTestPeer(t)
+	sp := relation.SubPlan{
+		HeadVars: []string{"X"},
+		Atoms: []relation.SubPlanAtom{{Pred: "pair",
+			Args: []relation.SubPlanTerm{vterm("X"), vterm("X")}}},
+	}
+	rows, _, err := execAll(t, p, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S != "a" {
+		t.Fatalf("pair(X, X) answers %v, want just (a)", rows)
+	}
+}
+
+// TestServingExecPlanBindings pins binding semantics: forwarded values
+// restrict the answers, and a value whose kind cannot match the bound
+// column is dropped (it could never join) rather than failing the plan.
+func TestServingExecPlanBindings(t *testing.T) {
+	p := shipTestPeer(t)
+	sp := relation.SubPlan{
+		HeadVars: []string{"S", "N"},
+		Atoms: []relation.SubPlanAtom{{Pred: "r",
+			Args: []relation.SubPlanTerm{vterm("S"), vterm("N")}}},
+		Bindings: []relation.SubPlanBinding{{Var: "N",
+			Values: []relation.Value{relation.IV(1), relation.SV("kind-mismatch"), relation.IV(5)}}},
+	}
+	rows, _, err := execAll(t, p, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S != "a" || rows[0][1].I != 1 {
+		t.Fatalf("bound answers %v, want just (a, 1)", rows)
+	}
+}
+
+// TestServingExecPlanBudget pins the row budget: a plan with more
+// distinct answers than its budget fails typed as ErrPlanBudget (which
+// is also ErrPlanUnsupported-class, the mirror-fallback signal) — it
+// never truncates.
+func TestServingExecPlanBudget(t *testing.T) {
+	p := shipTestPeer(t)
+	sp := relation.SubPlan{
+		HeadVars: []string{"S", "N"},
+		Atoms: []relation.SubPlanAtom{{Pred: "r",
+			Args: []relation.SubPlanTerm{vterm("S"), vterm("N")}}},
+		RowBudget: 2,
+	}
+	if _, _, err := execAll(t, p, sp); !errors.Is(err, ErrPlanBudget) || !errors.Is(err, ErrPlanUnsupported) {
+		t.Fatalf("over-budget plan: err = %v, want ErrPlanBudget (ErrPlanUnsupported class)", err)
+	}
+	sp.RowBudget = 3
+	rows, _, err := execAll(t, p, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("exactly-at-budget plan returned %d rows, want 3", len(rows))
+	}
+}
+
+// TestServingExecPlanUnsupported enumerates the unexecutable plans:
+// empty, unknown relation, wrong arity, and a binding over a variable
+// no atom binds. All must fail typed before streaming anything.
+func TestServingExecPlanUnsupported(t *testing.T) {
+	p := shipTestPeer(t)
+	cases := map[string]relation.SubPlan{
+		"empty": {},
+		"unknown relation": {HeadVars: []string{"X"},
+			Atoms: []relation.SubPlanAtom{{Pred: "ghost", Args: []relation.SubPlanTerm{vterm("X")}}}},
+		"arity mismatch": {HeadVars: []string{"X"},
+			Atoms: []relation.SubPlanAtom{{Pred: "r", Args: []relation.SubPlanTerm{vterm("X")}}}},
+		"unbound binding var": {HeadVars: []string{"S"},
+			Atoms: []relation.SubPlanAtom{{Pred: "r",
+				Args: []relation.SubPlanTerm{vterm("S"), vterm("N")}}},
+			Bindings: []relation.SubPlanBinding{{Var: "Z", Values: []relation.Value{relation.IV(1)}}}},
+	}
+	for name, sp := range cases {
+		rows, _, err := execAll(t, p, sp)
+		if !errors.Is(err, ErrPlanUnsupported) {
+			t.Errorf("%s: err = %v, want ErrPlanUnsupported", name, err)
+		}
+		if len(rows) != 0 {
+			t.Errorf("%s: streamed %d rows before failing", name, len(rows))
+		}
+	}
+}
+
+// TestLoopbackExecPlan pins the loopback transport's plan path: it
+// round-trips the sub-plan and every answer batch through the wire
+// codecs (counted in WireBytes), counts the call in Plans, and honors
+// context cancellation.
+func TestLoopbackExecPlan(t *testing.T) {
+	p := shipTestPeer(t)
+	lb := NewLoopback(p)
+	sp := relation.SubPlan{
+		HeadVars: []string{"S", "N"},
+		Atoms: []relation.SubPlanAtom{{Pred: "r",
+			Args: []relation.SubPlanTerm{vterm("S"), vterm("N")}}},
+	}
+	rows := 0
+	if err := lb.ExecPlan(context.Background(), "p", sp, func(b []relation.Tuple) error {
+		rows += len(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("loopback plan streamed %d rows, want 3", rows)
+	}
+	if lb.Plans() != 1 {
+		t.Fatalf("Plans() = %d, want 1", lb.Plans())
+	}
+	if lb.WireBytes() == 0 {
+		t.Fatal("loopback plan execution counted zero wire bytes")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := lb.ExecPlan(ctx, "p", sp, func([]relation.Tuple) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled loopback plan: err = %v, want context.Canceled", err)
+	}
+	if err := lb.ExecPlan(context.Background(), "ghost", sp, func([]relation.Tuple) error { return nil }); err == nil {
+		t.Fatal("plan against unknown loopback peer succeeded")
+	}
+}
+
+// TestDistinctColumnCap pins the binding extractor's cap: at or under
+// the cap the sorted distinct values come back; one past it the whole
+// binding is dropped (nil), never truncated.
+func TestDistinctColumnCap(t *testing.T) {
+	r := relation.New(relation.NewSchema("t", relation.Attr("x")))
+	for i := 0; i < 10; i++ {
+		if err := r.Insert(relation.Tuple{relation.SV(fmt.Sprintf("v%02d", i%5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals := distinctColumn(r, 0, 5)
+	if len(vals) != 5 {
+		t.Fatalf("distinctColumn = %d values, want 5", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if !vals[i-1].Less(vals[i]) {
+			t.Fatalf("distinct values not sorted: %v", vals)
+		}
+	}
+	if got := distinctColumn(r, 0, 4); got != nil {
+		t.Fatalf("over-cap distinctColumn = %v, want nil (dropped, not truncated)", got)
+	}
+}
+
+// TestShipWorthIt pins the ShipAuto cost model on hand-built stats: a
+// selective binding ships, an unselective one mirrors, and a relation
+// with no rows never ships.
+func TestShipWorthIt(t *testing.T) {
+	st := relation.Stats{Rows: 50000, Distinct: []float64{64, 97}}
+	part := func(k int) shipPart {
+		vals := make([]relation.Value, k)
+		for i := range vals {
+			vals[i] = relation.SV(fmt.Sprintf("k%d", i))
+		}
+		return shipPart{sp: relation.SubPlan{
+			HeadVars: []string{"K", "P"},
+			Atoms: []relation.SubPlanAtom{{Pred: "fact",
+				Args: []relation.SubPlanTerm{vterm("K"), vterm("P")}}},
+			Bindings: []relation.SubPlanBinding{{Var: "K", Values: vals}},
+		}}
+	}
+	if !shipWorthIt([]shipPart{part(8)}, st) {
+		t.Error("8-of-64-key binding over 50k rows should ship")
+	}
+	if shipWorthIt([]shipPart{part(64)}, st) {
+		t.Error("full-key binding should mirror")
+	}
+	if shipWorthIt([]shipPart{part(8)}, relation.Stats{Distinct: []float64{64, 97}}) {
+		t.Error("zero-row stats should never ship")
+	}
+}

@@ -80,9 +80,11 @@ const DefaultScanBatch = 256
 // is the differential reference between in-process execution and the
 // TCP transport. The zero value is unusable; use NewLoopback.
 type Loopback struct {
-	peers  map[string]*Peer
-	scans  atomic.Uint64
-	deltas atomic.Uint64
+	peers     map[string]*Peer
+	scans     atomic.Uint64
+	deltas    atomic.Uint64
+	plans     atomic.Uint64
+	wireBytes atomic.Uint64
 }
 
 // NewLoopback returns a loopback transport serving the given peers.
@@ -104,6 +106,17 @@ func (l *Loopback) Scans() uint64 { return l.scans.Load() }
 // durable peer's mirror caught up via deltas, not scans).
 func (l *Loopback) Deltas() uint64 { return l.deltas.Load() }
 
+// Plans returns how many shipped sub-plans the transport has executed —
+// the counter differential tests use to assert the ship path actually
+// ran (not silently fell back to mirroring).
+func (l *Loopback) Plans() uint64 { return l.plans.Load() }
+
+// WireBytes returns the total payload bytes the transport has moved
+// across every operation — the loopback analogue of the TCP client's
+// framed-byte counter, and what the ship-vs-mirror ≥10× byte assertion
+// measures.
+func (l *Loopback) WireBytes() uint64 { return l.wireBytes.Load() }
+
 func (l *Loopback) peer(name string) (*Peer, error) {
 	p := l.peers[name]
 	if p == nil {
@@ -124,7 +137,9 @@ func (l *Loopback) State(ctx context.Context, peer string) (PeerState, error) {
 		return PeerState{}, err
 	}
 	sv, stats := p.ServingState()
-	sv, decoded, err := relation.DecodePeerStats(relation.EncodePeerStats(sv, stats))
+	enc := relation.EncodePeerStats(sv, stats)
+	l.wireBytes.Add(uint64(len(enc)))
+	sv, decoded, err := relation.DecodePeerStats(enc)
 	if err != nil {
 		return PeerState{}, fmt.Errorf("pdms: loopback stats round trip: %w", err)
 	}
@@ -143,7 +158,9 @@ func (l *Loopback) Schemas(ctx context.Context, peer string) ([]relation.Schema,
 	}
 	var out []relation.Schema
 	for _, schema := range p.ServingSchemas() {
-		s, err := relation.DecodeSchema(relation.EncodeSchema(schema))
+		enc := relation.EncodeSchema(schema)
+		l.wireBytes.Add(uint64(len(enc)))
+		s, err := relation.DecodeSchema(enc)
 		if err != nil {
 			return nil, fmt.Errorf("pdms: loopback schema round trip: %w", err)
 		}
@@ -175,7 +192,9 @@ func (l *Loopback) Scan(ctx context.Context, peer, rel string, deliver func([]re
 		if n > len(rows) {
 			n = len(rows)
 		}
-		batch, err := relation.DecodeTupleBatch(relation.EncodeTupleBatch(rows[:n]))
+		enc := relation.EncodeTupleBatch(rows[:n])
+		l.wireBytes.Add(uint64(len(enc)))
+		batch, err := relation.DecodeTupleBatch(enc)
 		if err != nil {
 			return fmt.Errorf("pdms: loopback batch round trip: %w", err)
 		}
@@ -203,13 +222,57 @@ func (l *Loopback) Delta(ctx context.Context, peer, rel string, since uint64) ([
 	if !ok {
 		return nil, false, nil
 	}
-	decoded, err := relation.DecodeChangeBatch(relation.EncodeChangeBatch(recs))
+	enc := relation.EncodeChangeBatch(recs)
+	l.wireBytes.Add(uint64(len(enc)))
+	decoded, err := relation.DecodeChangeBatch(enc)
 	if err != nil {
 		return nil, false, fmt.Errorf("pdms: loopback delta round trip: %w", err)
 	}
 	l.deltas.Add(1)
 	return decoded, true, nil
 }
+
+// ExecPlan implements PlanTransport: the sub-plan round-trips through
+// its wire codec, executes at the served peer under its serving lock,
+// and each answer batch round-trips through the tuple-batch codec on
+// the way back — so loopback plan shipping exercises exactly the bytes
+// TCP would move, keeping the differential axis one variable long.
+func (l *Loopback) ExecPlan(ctx context.Context, peer string, sp relation.SubPlan,
+	deliver func([]relation.Tuple) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p, err := l.peer(peer)
+	if err != nil {
+		return err
+	}
+	enc := relation.EncodeSubPlan(sp)
+	l.wireBytes.Add(uint64(len(enc)))
+	decoded, err := relation.DecodeSubPlan(enc)
+	if err != nil {
+		return fmt.Errorf("pdms: loopback subplan round trip: %w", err)
+	}
+	l.plans.Add(1)
+	return p.ServingExecPlan(ctx, decoded, DefaultScanBatch,
+		func(s relation.Schema) error {
+			b := relation.EncodeSchema(s)
+			l.wireBytes.Add(uint64(len(b)))
+			_, derr := relation.DecodeSchema(b)
+			return derr
+		},
+		func(batch []relation.Tuple) error {
+			b := relation.EncodeTupleBatch(batch)
+			l.wireBytes.Add(uint64(len(b)))
+			rt, derr := relation.DecodeTupleBatch(b)
+			if derr != nil {
+				return fmt.Errorf("pdms: loopback batch round trip: %w", derr)
+			}
+			return deliver(rt)
+		})
+}
+
+// compile-time proof the loopback is a PlanTransport.
+var _ PlanTransport = (*Loopback)(nil)
 
 // Close implements Transport; a loopback holds no resources.
 func (l *Loopback) Close() error { return nil }

@@ -24,7 +24,9 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/faults"
+	"repro/internal/glav"
 	"repro/internal/pdms"
+	"repro/internal/relation"
 	"repro/internal/workload"
 )
 
@@ -59,6 +61,10 @@ type Bench struct {
 	// meaningful for the degraded bench; the down-peer fast path keeps
 	// it at zero).
 	RetriesPerOp float64 `json:"retries_per_op"`
+	// WireBytesPerOp is the mean framed bytes one operation moved over
+	// the transport (only recorded by the cold-remote benches, where
+	// bytes on the wire are the measured quantity).
+	WireBytesPerOp float64 `json:"wire_bytes_per_op,omitempty"`
 }
 
 // The stable bench names the ledger records and the gate requires.
@@ -88,6 +94,16 @@ const (
 	// the run fails if any union branch falls back tuple-at-a-time, so
 	// the ledger certifies the batch kernel actually carried the number.
 	BenchWarmBatch = "warm_e2_16_batch"
+	// BenchColdShip is the cold remote skewed join with plan shipping:
+	// every operation drops all caches, then refreshes the remote 50k-row
+	// fact relation by shipping the bound sub-plan — O(answers) on the
+	// wire. Its WireBytesPerOp is the acceptance quantity.
+	BenchColdShip = "cold_remote_shipplan"
+	// BenchColdMirror is the same cold remote skewed join with shipping
+	// off: every operation mirrors the full 50k-row relation —
+	// O(relation) on the wire, the baseline BenchColdShip must beat by
+	// at least 10x (Run enforces the ratio).
+	BenchColdMirror = "cold_remote_mirror"
 )
 
 // RequiredBenches is the bench-name contract shared by `revere bench`
@@ -95,14 +111,14 @@ const (
 // the committed ledger is missing one).
 var RequiredBenches = []string{
 	BenchWarm, BenchWarmRemote, BenchDegraded, BenchRecovery,
-	BenchSkewed, BenchWarmBatch,
+	BenchSkewed, BenchWarmBatch, BenchColdShip, BenchColdMirror,
 }
 
 // CurrentPR is the PR number `revere bench` stamps into the ledger it
 // writes (and the N of the default BENCH_N.json output name). Bump it
 // each PR that regenerates the ledger; the gate keys on Latest, so old
 // ledgers stay behind as the committed perf trajectory.
-const CurrentPR = 8
+const CurrentPR = 9
 
 // Latest resolves the newest BENCH_N.json in dir — the baseline
 // TestPerfLedgerGate compares a live measurement against, so the gate
@@ -423,6 +439,97 @@ func WarmBatch() (Bench, error) {
 	return record(r, answers, 0), nil
 }
 
+// coldRemoteNet builds the cold-remote skewed-join fixture: peer "src"
+// (remote over loopback) serves the Zipf-skewed 50k-row fact relation;
+// peer "home" (local, the coordinator) holds a selective 8-key tail
+// dimension plus the empty fact vocabulary relation, mapped to src's.
+func coldRemoteNet() (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
+	fail := func(err error) (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
+		return nil, nil, pdms.Request{}, err
+	}
+	db, _, err := workload.SkewedJoin(workload.SkewedJoinSpec{FactRows: 50000, DimKeys: 64, Seed: 42})
+	if err != nil {
+		return fail(err)
+	}
+	src := pdms.NewPeer("src", relation.NewSchema("fact", relation.Attr("key"), relation.Attr("payload")))
+	for _, row := range db.Get("fact").Rows() {
+		if err := src.Insert("fact", row); err != nil {
+			return fail(err)
+		}
+	}
+	home := pdms.NewPeer("home",
+		relation.NewSchema("fact", relation.Attr("key"), relation.Attr("payload")),
+		relation.NewSchema("dim", relation.Attr("key"), relation.Attr("label")))
+	for k := 40; k < 48; k++ {
+		if err := home.Insert("dim", relation.Tuple{
+			relation.SV(fmt.Sprintf("k%d", k)), relation.SV(fmt.Sprintf("l%d", k%7))}); err != nil {
+			return fail(err)
+		}
+	}
+	lb := pdms.NewLoopback(src)
+	n := pdms.NewNetwork()
+	n.DownProbeInterval = time.Hour
+	if err := n.AddPeer(home); err != nil {
+		return fail(err)
+	}
+	if _, err := n.AddRemotePeer(context.Background(), "src", lb); err != nil {
+		return fail(err)
+	}
+	m := glav.MustNew("src2home", "src", cq.MustParse("m(K, P) :- fact(K, P)"),
+		"home", cq.MustParse("m(K, P) :- fact(K, P)"))
+	if err := n.AddMapping(m); err != nil {
+		return fail(err)
+	}
+	req := pdms.Request{Peer: "home", Query: cq.MustParse("q(P, L) :- fact(K, P), dim(K, L)"),
+		Reform: pdms.ReformOptions{MaxDepth: 3}}
+	return n, lb, req, nil
+}
+
+// coldRemote measures the cold remote skewed join under the given ship
+// mode: every operation invalidates all caches, so the stale fact
+// relation is refreshed — by shipped sub-plan or full mirror scan — on
+// each query, and the loopback byte counter prices the refresh path.
+func coldRemote(mode pdms.ShipMode) (Bench, error) {
+	n, lb, req, err := coldRemoteNet()
+	if err != nil {
+		return Bench{}, err
+	}
+	req.Ship = mode
+	if _, _, err := runQuery(n, req); err != nil {
+		return Bench{}, err
+	}
+	answers, ops := 0, int64(0)
+	wireBase := lb.WireBytes()
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.InvalidateCaches()
+			a, _, err := runQuery(n, req)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers = a
+			ops++
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	bench := record(r, answers, 0)
+	if ops > 0 {
+		bench.WireBytesPerOp = float64(lb.WireBytes()-wireBase) / float64(ops)
+	}
+	return bench, nil
+}
+
+// ColdShip measures BenchColdShip (plan shipping on, deterministic).
+func ColdShip() (Bench, error) { return coldRemote(pdms.ShipAlways) }
+
+// ColdMirror measures BenchColdMirror (the full-scan baseline).
+func ColdMirror() (Bench, error) { return coldRemote(pdms.ShipNever) }
+
 // benchQueries benchmarks repeated materialized queries of req.
 func benchQueries(n *pdms.Network, req pdms.Request) (Bench, error) {
 	answers, retries := 0, int64(0)
@@ -457,12 +564,26 @@ func Run() (*Ledger, error) {
 		{BenchRecovery, Recovery},
 		{BenchSkewed, SkewedJoin},
 		{BenchWarmBatch, WarmBatch},
+		{BenchColdShip, ColdShip},
+		{BenchColdMirror, ColdMirror},
 	} {
 		b, err := bench.run()
 		if err != nil {
 			return nil, fmt.Errorf("perfledger: %s: %w", bench.name, err)
 		}
 		l.Benches[bench.name] = b
+	}
+	ship, mirror := l.Benches[BenchColdShip], l.Benches[BenchColdMirror]
+	if ship.Answers != mirror.Answers {
+		return nil, fmt.Errorf("perfledger: cold remote answers diverge: ship %d vs mirror %d",
+			ship.Answers, mirror.Answers)
+	}
+	// The PR's acceptance bound, enforced where the numbers are minted:
+	// shipping the bound sub-plan must move at least 10x fewer wire
+	// bytes than mirroring the relation.
+	if ship.WireBytesPerOp <= 0 || mirror.WireBytesPerOp < 10*ship.WireBytesPerOp {
+		return nil, fmt.Errorf("perfledger: plan shipping moved %.0f wire bytes/op vs mirror's %.0f — want >= 10x reduction",
+			ship.WireBytesPerOp, mirror.WireBytesPerOp)
 	}
 	return l, nil
 }

@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at every wire decoder — the
+// surface a hostile or corrupt peer controls. The invariant is the one
+// DecodeSubPlan's doc promises for the whole file: a decoder either
+// returns a value or an error, never a panic or an outsized
+// allocation. Where a decode succeeds, the value must survive a
+// re-encode/re-decode round trip judged by canonical encoding bytes:
+// the encoders are deterministic pure functions, so two equal values
+// encode identically, and comparing re-encodings (rather than the
+// values, or the raw input — decoders accept non-minimal varints)
+// stays exact even for float payloads carrying NaN, which the codec
+// preserves bit-for-bit but reflect.DeepEqual would call unequal.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeHello())
+	f.Add(EncodeSchema(NewSchema("course", Attr("title"), IntAttr("size"))))
+	f.Add(EncodeTupleBatch([]Tuple{{SV("a"), IV(1), FV(0.5)}, {SV("b"), IV(2), FV(-3)}}))
+	f.Add(EncodePeerStats(7, []NamedStats{{Name: "r", Stats: Stats{Rows: 3, Distinct: []float64{2, 3}, Version: 9}}}))
+	f.Add(EncodeError(ErrCodeRowBudget, "row budget exceeded"))
+	f.Add(EncodeChangeBatch([]ChangeRecord{{Op: ChangeInsert, Rel: "r", Ver: 1, Rows: 1, Tuple: Tuple{SV("x")}}}))
+	f.Add(EncodeSubPlan(SubPlan{
+		HeadVars: []string{"K", "P"},
+		Atoms: []SubPlanAtom{{Pred: "fact", Args: []SubPlanTerm{
+			{IsVar: true, Var: "K"}, {Const: SV("p1")}}}},
+		Bindings:  []SubPlanBinding{{Var: "K", Values: []Value{SV("k1"), IV(2)}}},
+		RowBudget: 1 << 20,
+	}))
+	var frame bytes.Buffer
+	WriteFrame(&frame, FrameTupleBatch, EncodeTupleBatch([]Tuple{{IV(42)}}))
+	f.Add(frame.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeHello(data)
+		DecodeError(data)
+		if s, err := DecodeSchema(data); err == nil {
+			enc := EncodeSchema(s)
+			if s2, err := DecodeSchema(enc); err != nil || !bytes.Equal(enc, EncodeSchema(s2)) {
+				t.Fatalf("schema round trip: %+v -> %+v (%v)", s, s2, err)
+			}
+		}
+		if b, err := DecodeTupleBatch(data); err == nil {
+			enc := EncodeTupleBatch(b)
+			if b2, err := DecodeTupleBatch(enc); err != nil || !bytes.Equal(enc, EncodeTupleBatch(b2)) {
+				t.Fatalf("tuple batch round trip: %v -> %v (%v)", b, b2, err)
+			}
+		}
+		if sv, st, err := DecodePeerStats(data); err == nil {
+			enc := EncodePeerStats(sv, st)
+			sv2, st2, err := DecodePeerStats(enc)
+			if err != nil || !bytes.Equal(enc, EncodePeerStats(sv2, st2)) {
+				t.Fatalf("peer stats round trip: %d/%v -> %d/%v (%v)", sv, st, sv2, st2, err)
+			}
+		}
+		if recs, err := DecodeChangeBatch(data); err == nil {
+			enc := EncodeChangeBatch(recs)
+			if r2, err := DecodeChangeBatch(enc); err != nil || !bytes.Equal(enc, EncodeChangeBatch(r2)) {
+				t.Fatalf("change batch round trip: %v -> %v (%v)", recs, r2, err)
+			}
+		}
+		if sp, err := DecodeSubPlan(data); err == nil {
+			enc := EncodeSubPlan(sp)
+			if sp2, err := DecodeSubPlan(enc); err != nil || !bytes.Equal(enc, EncodeSubPlan(sp2)) {
+				t.Fatalf("sub-plan round trip: %+v -> %+v (%v)", sp, sp2, err)
+			}
+		}
+		// Frame parsing over the same bytes: header + bounded payload.
+		ReadFrame(bytes.NewReader(data))
+	})
+}

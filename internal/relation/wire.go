@@ -393,6 +393,18 @@ const (
 	// version. Request-level: the client falls back to a full scan on
 	// the same connection.
 	ErrCodeDeltaUnavailable uint64 = 6
+	// ErrCodePlanUnsupported reports a Query request the serving peer
+	// cannot execute as a shipped sub-plan — it does not implement the
+	// op, or the plan references relations it cannot compile.
+	// Request-level: the client falls back to mirroring the relation on
+	// the same connection.
+	ErrCodePlanUnsupported uint64 = 7
+	// ErrCodeRowBudget reports a Query request whose shipped sub-plan
+	// produced more distinct answers than the request's row budget — the
+	// coordinator's cost model guessed wrong, and the serving peer
+	// refuses to stream an unbounded result. Request-level: the client
+	// falls back to mirroring the relation on the same connection.
+	ErrCodeRowBudget uint64 = 8
 )
 
 // WireError is a protocol-level error decoded from a FrameError frame.
@@ -563,6 +575,207 @@ func DecodeChangeBatch(payload []byte) ([]ChangeRecord, error) {
 		return nil, fmt.Errorf("relation: %d trailing bytes after change batch", len(rest))
 	}
 	return recs, nil
+}
+
+// SubPlanTerm is one argument slot of a shipped sub-plan atom: either a
+// variable (joined by name across atoms and bindings) or a constant
+// value the serving side must match exactly.
+type SubPlanTerm struct {
+	// IsVar distinguishes variables from constants.
+	IsVar bool
+	// Var is the variable name (IsVar true).
+	Var string
+	// Const is the constant value (IsVar false).
+	Const Value
+}
+
+// SubPlanAtom is one conjunct of a shipped sub-plan: a relation name at
+// the serving peer plus its argument terms.
+type SubPlanAtom struct {
+	// Pred is the relation's unqualified name at the serving peer.
+	Pred string
+	// Args are the atom's argument terms, one per attribute.
+	Args []SubPlanTerm
+}
+
+// SubPlanBinding carries the distinct values a coordinator has already
+// produced locally for one variable — the semi-join half of plan
+// shipping. The serving side joins each binding against the atoms, so
+// only tuples matching at least one forwarded value cross the wire
+// back.
+type SubPlanBinding struct {
+	// Var is the variable the values bind.
+	Var string
+	// Values is the distinct value set (order carries no meaning).
+	Values []Value
+}
+
+// SubPlan is a conjunctive query shipped to a serving peer for remote
+// execution: the payload of a Query request (transport op 5). The
+// serving side compiles the atoms (restricted by the bindings) against
+// its own relations and streams back only the distinct head tuples —
+// O(answers) bytes instead of the O(relation) bytes a mirror scan
+// moves.
+type SubPlan struct {
+	// HeadVars are the variables of the result tuples, in order. Every
+	// head variable must occur in some atom.
+	HeadVars []string
+	// Atoms are the conjuncts, all over relations of one serving peer.
+	Atoms []SubPlanAtom
+	// Bindings are per-variable distinct value sets forwarded from the
+	// coordinator (may be empty).
+	Bindings []SubPlanBinding
+	// RowBudget caps the distinct answers the serving side may stream
+	// (0 = unlimited). Exceeding it is an ErrCodeRowBudget error, not a
+	// truncation: a budget overflow means the coordinator should mirror
+	// instead, never silently drop answers.
+	RowBudget uint64
+}
+
+// EncodeSubPlan renders a sub-plan as the trailing section of a Query
+// request payload: head variables, atoms (terms as a var/const tag byte
+// plus name or value), bindings, and the row budget.
+func EncodeSubPlan(sp SubPlan) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(sp.HeadVars)))
+	for _, v := range sp.HeadVars {
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Atoms)))
+	for _, a := range sp.Atoms {
+		buf = appendString(buf, a.Pred)
+		buf = binary.AppendUvarint(buf, uint64(len(a.Args)))
+		for _, t := range a.Args {
+			if t.IsVar {
+				buf = append(buf, 1)
+				buf = appendString(buf, t.Var)
+			} else {
+				buf = append(buf, 0)
+				buf = appendValue(buf, t.Const)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(sp.Bindings)))
+	for _, b := range sp.Bindings {
+		buf = appendString(buf, b.Var)
+		buf = binary.AppendUvarint(buf, uint64(len(b.Values)))
+		for _, v := range b.Values {
+			buf = appendValue(buf, v)
+		}
+	}
+	return binary.AppendUvarint(buf, sp.RowBudget)
+}
+
+// DecodeSubPlan parses an encoded sub-plan, rejecting trailing bytes.
+// Like every decoder in this file it bounds-checks all counts before
+// allocating, so corrupt or hostile payloads fail with an error, never
+// a panic or an outsized allocation.
+func DecodeSubPlan(payload []byte) (SubPlan, error) {
+	var sp SubPlan
+	nh, sz := binary.Uvarint(payload)
+	if sz <= 0 || nh > uint64(len(payload)) {
+		return SubPlan{}, fmt.Errorf("relation: truncated subplan head count")
+	}
+	rest := payload[sz:]
+	var err error
+	if nh > 0 {
+		sp.HeadVars = make([]string, 0, capAlloc(nh))
+		for i := uint64(0); i < nh; i++ {
+			var v string
+			v, rest, err = decodeString(rest)
+			if err != nil {
+				return SubPlan{}, err
+			}
+			sp.HeadVars = append(sp.HeadVars, v)
+		}
+	}
+	na, sz := binary.Uvarint(rest)
+	if sz <= 0 || na > uint64(len(rest)) {
+		return SubPlan{}, fmt.Errorf("relation: truncated subplan atom count")
+	}
+	rest = rest[sz:]
+	sp.Atoms = make([]SubPlanAtom, 0, capAlloc(na))
+	for i := uint64(0); i < na; i++ {
+		var a SubPlanAtom
+		a.Pred, rest, err = decodeString(rest)
+		if err != nil {
+			return SubPlan{}, err
+		}
+		arity, sz := binary.Uvarint(rest)
+		if sz <= 0 || arity > uint64(len(rest)) {
+			return SubPlan{}, fmt.Errorf("relation: truncated subplan atom arity")
+		}
+		rest = rest[sz:]
+		a.Args = make([]SubPlanTerm, 0, capAlloc(arity))
+		for j := uint64(0); j < arity; j++ {
+			if len(rest) < 1 {
+				return SubPlan{}, fmt.Errorf("relation: truncated subplan term tag")
+			}
+			tag := rest[0]
+			rest = rest[1:]
+			var t SubPlanTerm
+			switch tag {
+			case 1:
+				t.IsVar = true
+				t.Var, rest, err = decodeString(rest)
+			case 0:
+				t.Const, rest, err = decodeValue(rest)
+			default:
+				return SubPlan{}, fmt.Errorf("relation: unknown subplan term tag %d", tag)
+			}
+			if err != nil {
+				return SubPlan{}, err
+			}
+			a.Args = append(a.Args, t)
+		}
+		sp.Atoms = append(sp.Atoms, a)
+	}
+	nb, sz := binary.Uvarint(rest)
+	if sz <= 0 || nb > uint64(len(rest)) {
+		return SubPlan{}, fmt.Errorf("relation: truncated subplan binding count")
+	}
+	rest = rest[sz:]
+	if nb > 0 {
+		sp.Bindings = make([]SubPlanBinding, 0, capAlloc(nb))
+		for i := uint64(0); i < nb; i++ {
+			var b SubPlanBinding
+			b.Var, rest, err = decodeString(rest)
+			if err != nil {
+				return SubPlan{}, err
+			}
+			nv, sz := binary.Uvarint(rest)
+			if sz <= 0 || nv > uint64(len(rest)) {
+				return SubPlan{}, fmt.Errorf("relation: truncated subplan binding count")
+			}
+			rest = rest[sz:]
+			b.Values = make([]Value, 0, capAlloc(nv))
+			for j := uint64(0); j < nv; j++ {
+				var v Value
+				v, rest, err = decodeValue(rest)
+				if err != nil {
+					return SubPlan{}, err
+				}
+				b.Values = append(b.Values, v)
+			}
+			sp.Bindings = append(sp.Bindings, b)
+		}
+	}
+	sp.RowBudget, sz = binary.Uvarint(rest)
+	if sz <= 0 {
+		return SubPlan{}, fmt.Errorf("relation: truncated subplan row budget")
+	}
+	if len(rest[sz:]) != 0 {
+		return SubPlan{}, fmt.Errorf("relation: %d trailing bytes after subplan", len(rest[sz:]))
+	}
+	return sp, nil
+}
+
+// capAlloc caps a pre-allocation count: counts are attacker-controlled
+// until proven by actual payload bytes.
+func capAlloc(n uint64) uint64 {
+	if n > 4096 {
+		return 4096
+	}
+	return n
 }
 
 // DecodeError parses a FrameError payload into a *WireError.

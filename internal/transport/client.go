@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pdms"
@@ -19,6 +20,10 @@ import (
 // the pool size caps steady-state sockets, not parallelism (the fetch
 // worker pool above bounds that).
 const maxIdleConns = 4
+
+// frameOverhead is the framed bytes around every payload (one type byte
+// plus the 4-byte big-endian length), counted into Client.WireBytes.
+const frameOverhead = 5
 
 // Client speaks the wire protocol to one Server and implements
 // pdms.Transport, so a coordinator adds TCP-served peers with
@@ -44,10 +49,18 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	wireBytes atomic.Uint64
+
 	mu     sync.Mutex
 	idle   []*clientConn
 	closed bool
 }
+
+// WireBytes returns the total framed bytes this client moved in either
+// direction across all requests (header + payload per frame, handshakes
+// excluded) — the counter the plan-shipping vs. mirroring byte
+// assertions read.
+func (c *Client) WireBytes() uint64 { return c.wireBytes.Load() }
 
 // DefaultClientPolicy is the client's built-in redial compensation:
 // one retry (two attempts) after a short jittered delay — the old
@@ -93,11 +106,12 @@ func (c *Client) backoffSleep(ctx context.Context, pol pdms.RetryPolicy, retry i
 	}
 }
 
-// compile-time proof the client is a pdms.Transport and a
-// pdms.DeltaTransport.
+// compile-time proof the client is a pdms.Transport, a
+// pdms.DeltaTransport, and a pdms.PlanTransport.
 var (
 	_ pdms.Transport      = (*Client)(nil)
 	_ pdms.DeltaTransport = (*Client)(nil)
+	_ pdms.PlanTransport  = (*Client)(nil)
 )
 
 // errClientClosed reports a request against a Client after Close —
@@ -298,6 +312,7 @@ func (c *Client) doOnce(ctx context.Context, request []byte,
 		typ, payload, err := relation.ReadFrame(cc.br)
 		if err == nil {
 			progressed = true
+			c.wireBytes.Add(uint64(frameOverhead + len(payload)))
 		} else {
 			// A response stream that dies mid-read — reset, EOF, or a
 			// corrupted frame — is a connection-level failure: typed
@@ -318,6 +333,7 @@ func (c *Client) doOnce(ctx context.Context, request []byte,
 		if err := cc.bw.Flush(); err != nil {
 			return fmt.Errorf("%w: request write: %w", pdms.ErrPeerUnreachable, err)
 		}
+		c.wireBytes.Add(uint64(frameOverhead + len(request)))
 		var herr error
 		reusable, herr = handle(read)
 		return herr
@@ -344,16 +360,21 @@ func (c *Client) doOnce(ctx context.Context, request []byte,
 // readErrorFrame decodes an error frame into a *relation.WireError and
 // reports whether the connection stays at a clean request boundary.
 // Per PROTOCOL.md only the request-level codes (unknown peer, unknown
-// relation, delta unavailable) leave the server's side of the
-// connection open; for every other code the server closes, so pooling
-// the connection would hand a dead socket to a later request.
+// relation, delta unavailable, plan unsupported, row budget) leave the
+// server's side of the connection open; for every other code the
+// server closes, so pooling the connection would hand a dead socket to
+// a later request.
 func readErrorFrame(payload []byte) (reusable bool, err error) {
 	we, derr := relation.DecodeError(payload)
 	if derr != nil {
 		return false, derr
 	}
-	reusable = we.Code == relation.ErrCodeUnknownPeer || we.Code == relation.ErrCodeUnknownRelation ||
-		we.Code == relation.ErrCodeDeltaUnavailable
+	switch we.Code {
+	case relation.ErrCodeUnknownPeer, relation.ErrCodeUnknownRelation,
+		relation.ErrCodeDeltaUnavailable, relation.ErrCodePlanUnsupported,
+		relation.ErrCodeRowBudget:
+		reusable = true
+	}
 	return reusable, we
 }
 
@@ -448,6 +469,67 @@ func (c *Client) Delta(ctx context.Context, peer, rel string, since uint64) ([]r
 		return false, fmt.Errorf("transport: unexpected frame type %d in delta response", typ)
 	})
 	return recs, ok, err
+}
+
+// ExecPlan implements pdms.PlanTransport: one OpQuery round trip that
+// executes the sub-plan at the serving peer and streams its distinct
+// answers to deliver batch by batch. A server that cannot run the plan
+// — an old binary answering ErrCodeBadRequest for the unknown op, a
+// peer answering ErrCodePlanUnsupported, or a row-budget overflow
+// (ErrCodeRowBudget, possibly mid-stream) — returns an error matching
+// pdms.ErrPlanUnsupported via errors.Is, so the caller falls back to
+// mirroring; budget overflows additionally match pdms.ErrPlanBudget.
+func (c *Client) ExecPlan(ctx context.Context, peer string, sp relation.SubPlan,
+	deliver func([]relation.Tuple) error) error {
+	return c.do(ctx, encodeQueryRequest(peer, sp), func(read func() (relation.FrameType, []byte, error)) (bool, error) {
+		sawSchema := false
+		for {
+			typ, payload, err := read()
+			if err != nil {
+				return false, err
+			}
+			switch typ {
+			case relation.FrameSchema:
+				if sawSchema {
+					return false, errors.New("transport: duplicate schema frame in query")
+				}
+				if _, err := relation.DecodeSchema(payload); err != nil {
+					return false, err
+				}
+				sawSchema = true
+			case relation.FrameTupleBatch:
+				if !sawSchema {
+					return false, errors.New("transport: batch before schema frame in query")
+				}
+				batch, err := relation.DecodeTupleBatch(payload)
+				if err != nil {
+					return false, err
+				}
+				if err := deliver(batch); err != nil {
+					return false, err
+				}
+			case relation.FrameEnd:
+				return true, nil
+			case relation.FrameError:
+				reusable, werr := readErrorFrame(payload)
+				var we *relation.WireError
+				if errors.As(werr, &we) {
+					switch we.Code {
+					case relation.ErrCodeRowBudget:
+						return reusable, fmt.Errorf("%w: %w", pdms.ErrPlanBudget, we)
+					case relation.ErrCodePlanUnsupported, relation.ErrCodeBadRequest:
+						// ErrCodeBadRequest is how servers predating OpQuery
+						// answer the unknown op (and they close the conn, which
+						// reusable=false already reflects): same clean fallback.
+						return reusable, fmt.Errorf("%w: %w", pdms.ErrPlanUnsupported, we)
+					}
+				}
+				return reusable, werr
+			default:
+				return false, fmt.Errorf("transport: unexpected frame type %d in query response", typ)
+			}
+		}
+	})
 }
 
 // Scan implements pdms.Transport: the relation's tuples stream in as

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -167,7 +168,7 @@ func (s *Server) handle(c net.Conn) {
 			s.sendError(bw, relation.ErrCodeBadRequest, fmt.Sprintf("unexpected frame type %d", typ))
 			return
 		}
-		op, peerName, rel, since, err := decodeRequest(payload)
+		op, peerName, rel, since, sub, err := decodeRequest(payload)
 		if err != nil {
 			s.sendError(bw, relation.ErrCodeBadRequest, err.Error())
 			return
@@ -190,6 +191,8 @@ func (s *Server) handle(c net.Conn) {
 			ok = s.serveScan(bw, p, rel)
 		case OpDelta:
 			ok = s.serveDelta(bw, p, rel, since)
+		case OpQuery:
+			ok = s.serveQuery(bw, p, sub)
 		default:
 			s.sendError(bw, relation.ErrCodeBadRequest, fmt.Sprintf("unknown op %d", op))
 			return
@@ -264,6 +267,52 @@ func (s *Server) serveScan(bw *bufio.Writer, p *pdms.Peer, rel string) bool {
 			return false
 		}
 		rows = rows[n:]
+	}
+	if err := relation.WriteFrame(bw, relation.FrameEnd, nil); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// serveQuery answers OpQuery by executing the shipped sub-plan at the
+// serving peer and streaming its distinct answers: the answer schema,
+// tuple batches flushed as they are produced, and an end frame. Plans
+// the peer cannot execute answer a request-level ErrCodePlanUnsupported
+// error and a row-budget overflow a request-level ErrCodeRowBudget
+// error — in both cases the connection stays pooled and the client
+// falls back to mirroring. A budget overflow detected mid-stream still
+// ends with a clean error frame (the frame boundary keeps the stream
+// parseable); the client discards the partial batches.
+func (s *Server) serveQuery(bw *bufio.Writer, p *pdms.Peer, sub []byte) bool {
+	sp, err := relation.DecodeSubPlan(sub)
+	if err != nil {
+		s.sendError(bw, relation.ErrCodeBadRequest, err.Error())
+		return false
+	}
+	wroteFrames := false
+	err = p.ServingExecPlan(context.Background(), sp, s.BatchSize,
+		func(schema relation.Schema) error {
+			if err := relation.WriteFrame(bw, relation.FrameSchema, relation.EncodeSchema(schema)); err != nil {
+				return err
+			}
+			wroteFrames = true
+			return nil
+		},
+		func(batch []relation.Tuple) error {
+			if err := relation.WriteFrame(bw, relation.FrameTupleBatch, relation.EncodeTupleBatch(batch)); err != nil {
+				return err
+			}
+			return bw.Flush()
+		})
+	if err != nil {
+		switch {
+		case errors.Is(err, pdms.ErrPlanBudget):
+			return s.sendError(bw, relation.ErrCodeRowBudget, err.Error())
+		case errors.Is(err, pdms.ErrPlanUnsupported) && !wroteFrames:
+			return s.sendError(bw, relation.ErrCodePlanUnsupported, err.Error())
+		}
+		s.sendError(bw, relation.ErrCodeInternal, err.Error())
+		return false
 	}
 	if err := relation.WriteFrame(bw, relation.FrameEnd, nil); err != nil {
 		return false

@@ -32,6 +32,16 @@ const (
 	// payload appends the since version after the peer and relation
 	// names — a new field in a new op, per the compat rules.
 	OpDelta byte = 4
+	// OpQuery requests remote execution of a conjunctive sub-plan at
+	// the serving peer (FrameSchema + FrameTupleBatch* + FrameEnd, like
+	// a scan, but carrying only the plan's distinct answers). Its
+	// payload appends an encoded relation.SubPlan after the peer and
+	// relation names (rel is empty — the plan names its own relations).
+	// Servers that cannot execute the plan answer a request-level
+	// ErrCodePlanUnsupported error; a plan that overflows its row
+	// budget answers a request-level ErrCodeRowBudget error. Either
+	// way the client falls back to mirroring on the same connection.
+	OpQuery byte = 5
 )
 
 // encodeRequest renders a FrameRequest payload: op byte, then the peer
@@ -51,12 +61,18 @@ func encodeDeltaRequest(peer, rel string, since uint64) []byte {
 	return binary.AppendUvarint(encodeRequest(OpDelta, peer, rel), since)
 }
 
+// encodeQueryRequest renders an OpQuery request payload: the common
+// request prefix (empty relation) plus the encoded sub-plan.
+func encodeQueryRequest(peer string, sp relation.SubPlan) []byte {
+	return append(encodeRequest(OpQuery, peer, ""), relation.EncodeSubPlan(sp)...)
+}
+
 // decodeRequest parses a FrameRequest payload. since is meaningful only
-// for OpDelta, the one op whose payload carries a version after the
-// names.
-func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, err error) {
+// for OpDelta and sub only for OpQuery — the two ops whose payloads
+// carry extra fields after the names.
+func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, sub []byte, err error) {
 	if len(payload) < 1 {
-		return 0, "", "", 0, fmt.Errorf("transport: empty request")
+		return 0, "", "", 0, nil, fmt.Errorf("transport: empty request")
 	}
 	op = payload[0]
 	rest := payload[1:]
@@ -70,19 +86,22 @@ func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, err
 		return s, nil
 	}
 	if peer, err = cut(); err != nil {
-		return 0, "", "", 0, err
+		return 0, "", "", 0, nil, err
 	}
 	if rel, err = cut(); err != nil {
-		return 0, "", "", 0, err
+		return 0, "", "", 0, nil, err
 	}
-	if op == OpDelta {
+	switch op {
+	case OpDelta:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 {
-			return 0, "", "", 0, fmt.Errorf("transport: truncated delta since version")
+			return 0, "", "", 0, nil, fmt.Errorf("transport: truncated delta since version")
 		}
 		since = n
+	case OpQuery:
+		sub = rest
 	}
-	return op, peer, rel, since, nil
+	return op, peer, rel, since, sub, nil
 }
 
 // checkHello validates a handshake frame, returning a typed error frame

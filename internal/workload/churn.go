@@ -101,6 +101,13 @@ type ChurnNetwork struct {
 	// configure additional background fault noise through its Config.
 	Faults *faults.Transport
 
+	// Ship is the plan-shipping mode every Query issues its requests
+	// with (pdms.ShipNever when unset — the historical mirror behavior).
+	// Set it before turbulence starts; the ship-enabled churn variant
+	// uses pdms.ShipAlways so every stale refresh crosses the shipped
+	// sub-plan path under fault injection.
+	Ship pdms.ShipMode
+
 	donor *GeneratedNetwork
 	spec  NetworkSpec
 
@@ -279,6 +286,7 @@ func (c *ChurnNetwork) Query(ctx context.Context, pol pdms.RetryPolicy, allowSta
 		Query:      c.Local.TitleQuery(0),
 		Retry:      pol,
 		AllowStale: allowStale,
+		Ship:       c.Ship,
 	})
 	if err != nil {
 		return nil, nil, err

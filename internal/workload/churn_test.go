@@ -66,6 +66,19 @@ func TestGenChurnScriptDeterministicAndValid(t *testing.T) {
 // never return garbage — and at quiesce the coordinator's answers are
 // byte-identical to the all-local oracle.
 func TestChurnDifferential(t *testing.T) {
+	runChurnDifferential(t, pdms.ShipNever)
+}
+
+// TestChurnDifferentialShipPlan is the same chaos schedule with every
+// request shipping bound sub-plans to the serving peers: crashes
+// mid-shipped-stream must fail typed, stale-tolerant clients degrade
+// instead of erroring, and the quiesced answers still match the
+// all-local oracle byte for byte.
+func TestChurnDifferentialShipPlan(t *testing.T) {
+	runChurnDifferential(t, pdms.ShipAlways)
+}
+
+func runChurnDifferential(t *testing.T, ship pdms.ShipMode) {
 	cn, err := NewChurnNetwork(
 		NetworkSpec{Topology: Random, Peers: 8, Seed: 11, RowsPerPeer: 6, ExtraEdgeProb: 0.3},
 		faults.Config{Seed: 23, LatencyProb: 0.05, MaxLatency: 2 * time.Millisecond,
@@ -75,6 +88,7 @@ func TestChurnDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cn.Ship = ship
 	script := GenChurnScript(31, 8, 24)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -166,6 +180,11 @@ func TestChurnDifferential(t *testing.T) {
 	if got := AnswerDigest(rows); got != want {
 		t.Fatalf("quiesced digest %s != all-local oracle %s (rows=%d, oracle titles=%d)",
 			got, want, rows.Len(), len(cn.Local.AllTitles))
+	}
+	if ship != pdms.ShipNever {
+		if _, _, ships := cn.Coord.RemoteSyncCounts(); ships == 0 {
+			t.Error("ship-enabled churn run never shipped a plan")
+		}
 	}
 	t.Logf("churn: %d queries (%d degraded, %d typed failures, %d retries spent), %d events",
 		queries, degradedQueries, typedFailures, retriesTotal, len(script))

@@ -34,6 +34,15 @@ func TestPerfLedgerGate(t *testing.T) {
 			t.Errorf("ledger is missing required bench %q (re-run `revere bench`)", name)
 		}
 	}
+	// The plan-shipping acceptance bound, re-checked on the committed
+	// numbers: the cold remote refresh must move at least 10x fewer
+	// wire bytes shipped than mirrored.
+	ship := ledger.Benches[perfledger.BenchColdShip]
+	mirror := ledger.Benches[perfledger.BenchColdMirror]
+	if ship.WireBytesPerOp <= 0 || mirror.WireBytesPerOp < 10*ship.WireBytesPerOp {
+		t.Errorf("committed ledger: plan shipping moved %.0f wire bytes/op vs mirror's %.0f — want >= 10x reduction",
+			ship.WireBytesPerOp, mirror.WireBytesPerOp)
+	}
 	base, ok := ledger.Benches[perfledger.BenchWarm]
 	if !ok || base.NsPerOp <= 0 || base.AllocsPerOp <= 0 {
 		t.Fatalf("ledger %s entry unusable: %+v", perfledger.BenchWarm, base)
