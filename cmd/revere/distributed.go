@@ -121,6 +121,9 @@ func runServe(args []string) error {
 	own := fs.String("own", "", "peer index range lo:hi this process hosts (default: all)")
 	data := fs.String("data", "", "durable store directory: peers persist to DIR/<peer> and restarts recover without rescan")
 	extra := fs.Int("extra", 0, "insert this many extra deterministic rows per served peer after startup")
+	push := fs.Bool("push", false, "serve push subscriptions: subscribed coordinators receive committed changes instead of polling")
+	mutate := fs.Int("mutate", 0, "keep inserting this many extra deterministic rows per served peer after startup, one per -mutate-every tick")
+	mutateEvery := fs.Duration("mutate-every", 50*time.Millisecond, "interval between -mutate insert rounds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,7 +137,14 @@ func runServe(args []string) error {
 			return err
 		}
 	}
+	type servedPeer struct {
+		idx int
+		p   *pdms.Peer
+		rel string
+		off int
+	}
 	served := make([]*pdms.Peer, 0, pr.Hi-pr.Lo)
+	mutated := make([]servedPeer, 0, pr.Hi-pr.Lo)
 	populated, recovered, recRows, replayed := 0, 0, 0, 0
 	for i := pr.Lo; i < pr.Hi; i++ {
 		name := workload.PeerName(i)
@@ -178,12 +188,14 @@ func runServe(args []string) error {
 			}
 		}
 		served = append(served, p)
+		mutated = append(mutated, servedPeer{idx: i, p: p, rel: rel, off: p.Store.Get(rel).Len()})
 	}
 	if *data != "" {
 		fmt.Printf("store %s: populated %d peers, recovered %d peers (%d rows, %d log records replayed)\n",
 			*data, populated, recovered, recRows, replayed)
 	}
 	srv := transport.NewServer(served...)
+	srv.Push = *push
 	ready := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*listen, ready) }()
@@ -197,6 +209,26 @@ func runServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *mutate > 0 {
+		// An ongoing deterministic mutation stream: the write load the
+		// push-replication process tests subscribe against. Offsets
+		// continue past -extra, so every inserted title stays unique and
+		// every process can regenerate the exact sequence.
+		go func() {
+			for k := 0; k < *mutate; k++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*mutateEvery):
+				}
+				for _, sp := range mutated {
+					if err := sp.p.Insert(sp.rel, g.ExtraRow(sp.idx, sp.off+k)); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -235,6 +267,7 @@ func runQuery(args []string) error {
 	ship := fs.String("ship", "never", "plan shipping for stale remote relations: never, auto, or always")
 	explain := fs.Bool("explain", false, "print each branch's join order, cost estimate, and kernel (batch vs tuple-at-a-time) before executing")
 	watch := fs.Duration("watch", 0, "re-run the query at this interval until interrupted (0 = run once)")
+	push := fs.Bool("push", false, "subscribe to each remote peer's change push: mirrors stay current without per-query State probes")
 	var remotes remoteFlag
 	fs.Var(&remotes, "remote", "peer range served remotely, as lo:hi=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -287,6 +320,23 @@ func runQuery(args []string) error {
 		if err := n.AddMapping(m); err != nil {
 			return err
 		}
+	}
+	if *push {
+		seen := make(map[int]bool)
+		for i := range remoteAddr {
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			if err := n.StartPush(ctx, workload.PeerName(i)); err != nil {
+				return err
+			}
+		}
+		defer func() {
+			for i := range seen {
+				n.StopPush(workload.PeerName(i))
+			}
+		}()
 	}
 	// -retry/-timeout select the declarative retry policy; without them
 	// the zero policy keeps the pre-policy single-attempt behavior.
@@ -348,6 +398,12 @@ func runQuery(args []string) error {
 		// rejoined via Delta records, not full relation scans.
 		scans, deltas, ships := n.RemoteSyncCounts()
 		fmt.Printf("sync scans %d deltas %d ships %d\n", scans, deltas, ships)
+		if *push {
+			// Cumulative push counters on their own line: the sync line
+			// above stays byte-identical for the existing parsers.
+			pb, prec, pg := n.PushCounts()
+			fmt.Printf("push batches %d records %d gaps %d\n", pb, prec, pg)
+		}
 		fmt.Printf("answers %d oracle %d digest %s\n",
 			answers.Len(), len(g.AllTitles), AnswerDigest(answers))
 		return nil

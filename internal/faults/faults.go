@@ -96,6 +96,7 @@ var (
 	_ pdms.Transport      = (*Transport)(nil)
 	_ pdms.DeltaTransport = (*Transport)(nil)
 	_ pdms.PlanTransport  = (*Transport)(nil)
+	_ pdms.PushTransport  = (*Transport)(nil)
 )
 
 // New wraps inner with the given fault configuration.
@@ -267,6 +268,36 @@ func (t *Transport) ExecPlan(ctx context.Context, peer string, sp relation.SubPl
 		if t.drawScanDrop() {
 			t.scanDrops.Add(1)
 			return injected("connection drop mid-shipped-plan stream", peer)
+		}
+		return nil
+	})
+}
+
+// Subscribe implements pdms.PushTransport: the fault gate runs up
+// front (a blackout or drop kills the subscription before it starts,
+// exactly like a dead dial), and each delivered push batch may
+// additionally trip a mid-stream connection drop on the same per-batch
+// schedule Scan uses — the slow-network subscriber the resubscribe
+// path exists for. When the inner transport cannot push, every call
+// fails typed as pdms.ErrPushUnsupported (after the gate), so the
+// wrapped stack stays on the poll path exactly like an undecorated
+// scan-only transport.
+func (t *Transport) Subscribe(ctx context.Context, peer string, since map[string]uint64,
+	ack func(pdms.PeerState) error, deliver func([]relation.ChangeRecord) error) error {
+	if err := t.before(ctx, "subscribe", peer); err != nil {
+		return err
+	}
+	pt, can := t.inner.(pdms.PushTransport)
+	if !can {
+		return fmt.Errorf("%w: inner transport cannot push", pdms.ErrPushUnsupported)
+	}
+	return pt.Subscribe(ctx, peer, since, ack, func(recs []relation.ChangeRecord) error {
+		if err := deliver(recs); err != nil {
+			return err
+		}
+		if t.drawScanDrop() {
+			t.scanDrops.Add(1)
+			return injected("connection drop mid-subscription", peer)
 		}
 		return nil
 	})

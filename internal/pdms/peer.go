@@ -54,6 +54,12 @@ type Peer struct {
 	// under serveMu, and ServingDelta serves catch-up records from its
 	// resident log. Nil for ordinary in-memory peers. See OpenDurablePeer.
 	persist *store.Store
+	// feeds are the live push subscriptions fanning this peer's change
+	// records out (FeedSubscribe registers them). Mutated and iterated
+	// only under serveMu's write side, so commit-time fan-out needs no
+	// extra lock; feeds found closed are dropped lazily. Nil until the
+	// first subscription.
+	feeds map[*ChangeFeed]struct{}
 }
 
 // NewPeer creates a peer with the given relation schemas; stored
@@ -164,9 +170,10 @@ func (p *Peer) AddSchema(s relation.Schema) {
 		p.Store.Put(relation.New(s))
 	}
 	ver := p.schemaVer.Add(1)
+	rec := relation.ChangeRecord{Op: relation.ChangeSchema, Rel: s.Name, Ver: ver, Schema: s}
+	p.fanout(rec)
 	if p.persist != nil {
-		p.persist.Append(relation.ChangeRecord{Op: relation.ChangeSchema,
-			Rel: s.Name, Ver: ver, Schema: s})
+		p.persist.Append(rec)
 	}
 	p.serveMu.Unlock()
 	for n := range p.nets {
@@ -213,10 +220,14 @@ func (p *Peer) Insert(rel string, t relation.Tuple) error {
 	if err := p.Store.Insert(rel, t); err != nil {
 		return err
 	}
-	if p.persist != nil {
+	if p.persist != nil || len(p.feeds) > 0 {
 		r := p.Store.Get(rel)
-		return p.persist.Append(relation.ChangeRecord{Op: relation.ChangeInsert,
-			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t})
+		rec := relation.ChangeRecord{Op: relation.ChangeInsert,
+			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t}
+		p.fanout(rec)
+		if p.persist != nil {
+			return p.persist.Append(rec)
+		}
 	}
 	return nil
 }
@@ -232,9 +243,13 @@ func (p *Peer) Delete(rel string, t relation.Tuple) (int, error) {
 	defer p.serveMu.Unlock()
 	r := p.Store.Get(rel)
 	removed := r.Delete(t)
-	if removed > 0 && p.persist != nil {
-		return removed, p.persist.Append(relation.ChangeRecord{Op: relation.ChangeDelete,
-			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t})
+	if removed > 0 && (p.persist != nil || len(p.feeds) > 0) {
+		rec := relation.ChangeRecord{Op: relation.ChangeDelete,
+			Rel: rel, Ver: r.Version(), Rows: r.Len(), Tuple: t}
+		p.fanout(rec)
+		if p.persist != nil {
+			return removed, p.persist.Append(rec)
+		}
 	}
 	return removed, nil
 }
@@ -301,6 +316,11 @@ type Network struct {
 	// byTargetPeer indexes all mappings by target peer (for LAV rewriting).
 	byTargetPeer map[string][]*glav.Mapping
 	subs         []*Subscription
+	// subMu guards the placed materialized views' extents (and the subs
+	// slice) against the push applier goroutine, which propagates pushed
+	// deltas into them concurrently with the single-writer Publish path.
+	// Lock order: remoteMu before subMu, never the reverse.
+	subMu sync.Mutex
 
 	// topoVersion counts topology changes (peers/mappings/schema
 	// additions); the answer cache keys on it so rewritings never
@@ -347,6 +367,13 @@ type Network struct {
 	remoteScans  atomic.Uint64
 	remoteDeltas atomic.Uint64
 	remoteShips  atomic.Uint64
+
+	// pushBatches, pushRecords, and pushGaps count the push-replication
+	// traffic the subscription managers applied — delivered change
+	// batches, records in them, and feed-overflow gaps (PushCounts).
+	pushBatches atomic.Uint64
+	pushRecords atomic.Uint64
+	pushGaps    atomic.Uint64
 
 	// DownProbeInterval is how often the background prober re-checks a
 	// remote peer that graceful degradation marked down
@@ -498,6 +525,7 @@ func (n *Network) RemovePeer(name string) error {
 	delete(n.peers, name)
 	if rp := n.remotes[name]; rp != nil {
 		rp.stopProber() // a down leaver must not keep a prober goroutine alive
+		rp.stopPush()   // nor a push subscription manager
 	}
 	delete(n.remotes, name) // a remote leaver takes its mirror along; the transport stays caller-owned
 	for i, pn := range n.order {
@@ -527,7 +555,10 @@ func (n *Network) RemovePeer(name string) error {
 		n.byTargetPeer[m.TgtPeer] = append(n.byTargetPeer[m.TgtPeer], m)
 	}
 	n.bumpTopology()
-	// Drop hosted subscriptions and subscriptions over its relations.
+	// Drop hosted subscriptions and subscriptions over its relations
+	// (under subMu: a push applier may be fanning into them).
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
 	keptSubs := n.subs[:0]
 	prefix := name + "."
 	for _, sub := range n.subs {

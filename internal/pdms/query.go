@@ -67,7 +67,10 @@ type Request struct {
 	// (DefaultShipRowBudget when 0, unlimited when negative). A plan
 	// that overflows its budget is not truncated — the serving peer
 	// fails it typed (ErrPlanBudget) and the coordinator falls back to
-	// mirroring the relation.
+	// mirroring the relation. When Limit is set, the effective budget
+	// is further clamped to Limit × shipLimitFactor, so an existence
+	// query never licenses a serving peer to stream a huge sub-plan
+	// result; the fail-not-truncate contract keeps the clamp sound.
 	ShipRowBudget int
 }
 
@@ -159,6 +162,7 @@ func (c *Cursor) Retries() int { return c.retries }
 
 // SyncPaths reports, per remote relation this request had to refresh,
 // which path the refresh took — "ship" (remote sub-plan execution),
+// "push" (replica already current from a live push subscription),
 // "delta" (change-record catch-up), or "scan" (full mirror re-scan) —
 // in (peer, relation) order. Empty when every referenced replica was
 // already current. Available immediately.
@@ -405,6 +409,15 @@ func (n *Network) Query(ctx context.Context, req Request) (*Cursor, error) {
 			shipBudget = uint64(req.ShipRowBudget)
 		case req.ShipRowBudget < 0:
 			shipBudget = 0
+		}
+		// A limited query needs at most Limit answers, so cap what any
+		// shipped sub-plan may stream back. Sound because budgets fail
+		// typed rather than truncate: a too-tight clamp falls back to
+		// mirroring, never drops answers.
+		if req.Limit > 0 {
+			if lim := uint64(req.Limit) * shipLimitFactor; shipBudget == 0 || lim < shipBudget {
+				shipBudget = lim
+			}
 		}
 		r, sh, paths, err := n.fetchReferenced(ctx, e.rws, req.Retry, budget,
 			req.AllowStale, degraded, req.Ship, shipBudget)

@@ -66,6 +66,22 @@ type RemotePeer struct {
 	// RemovePeer and the prober itself touch it outside remoteMu.
 	proberMu   sync.Mutex
 	proberStop chan struct{}
+	// pushLive marks an established push subscription: pushed records
+	// keep latest/fetched current, so queries skip the State probe
+	// entirely. Atomic because the subscription manager flips it while
+	// queries read it under remoteMu.
+	pushLive atomic.Bool
+	// pushFresh marks, per relation, that the push path refreshed the
+	// replica since the last query referenced it — the flag behind the
+	// "push" entry in Cursor.SyncPaths. Guarded by the owning Network's
+	// remoteMu.
+	pushFresh map[string]bool
+	// pushMu guards the push subscription manager's lifecycle handles
+	// (StartPush/StopPush); its own mutex because StopPush joins the
+	// manager goroutine, which itself takes remoteMu.
+	pushMu     sync.Mutex
+	pushCancel context.CancelFunc
+	pushDone   chan struct{}
 }
 
 // DegradedPeer reports one remote peer a request could not freshen:
@@ -240,6 +256,7 @@ func (n *Network) AddRemotePeer(ctx context.Context, name string, tr Transport) 
 		latest:      latestFPs(st),
 		latestStats: latestStatsMap(st),
 		lastSync:    time.Now(),
+		pushFresh:   make(map[string]bool),
 	}
 	if n.remotes == nil {
 		n.remotes = make(map[string]*RemotePeer)
@@ -287,6 +304,12 @@ func (n *Network) syncRemotes(ctx context.Context, pol RetryPolicy, budget *retr
 	names := make([]string, 0, len(n.remotes))
 	for name := range n.remotes {
 		rp := n.remotes[name]
+		if rp.pushLive.Load() {
+			// Live push subscription: pushed records keep this peer's
+			// fingerprints (and schema) current, so the probe would learn
+			// nothing — the watch path's zero-State-probe property.
+			continue
+		}
 		if allowStale && rp.down.Load() {
 			// Known-down peer: skip the probe, serve the last-good mirror.
 			degraded[name] = &DegradedPeer{Peer: name, Err: rp.lastErr, LastSync: rp.lastSync}
@@ -489,8 +512,15 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 			job := fetchJob{rp: rp, rel: rel, want: want}
 			if got, ok := rp.fetched[rel]; ok {
 				if got == want {
+					if rp.pushFresh[rel] {
+						// The push path refreshed this replica since the last
+						// query referenced it: report it, once.
+						delete(rp.pushFresh, rel)
+						paths = append(paths, SyncPath{Peer: peer, Rel: rel, Path: "push"})
+					}
 					continue // replica already matches the remote fingerprint
 				}
+				delete(rp.pushFresh, rel) // stale replica: any push-fresh mark predates it
 				// Stale but known: hand the worker the current replica and
 				// its fingerprint so it can catch up from the serving peer's
 				// change log instead of re-scanning.
@@ -500,7 +530,13 @@ func (n *Network) fetchReferenced(ctx context.Context, rws []cq.Query, pol Retry
 		}
 	}
 	if len(jobs) == 0 {
-		return 0, nil, nil, nil
+		sort.Slice(paths, func(i, j int) bool {
+			if paths[i].Peer != paths[j].Peer {
+				return paths[i].Peer < paths[j].Peer
+			}
+			return paths[i].Rel < paths[j].Rel
+		})
+		return 0, nil, paths, nil
 	}
 	n.planShips(rws, jobs, mode, shipBudget, degraded)
 

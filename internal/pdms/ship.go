@@ -67,6 +67,16 @@ var ErrPlanBudget = fmt.Errorf("%w: row budget exceeded", ErrPlanUnsupported)
 // answer path, not a tuning knob.
 const DefaultShipRowBudget = 1 << 20
 
+// shipLimitFactor converts a query's answer Limit into a shipped
+// sub-plan row budget: budget = Limit × factor. A sub-plan computes one
+// rewriting's contribution before the coordinator's cross-rewriting
+// dedup, union, and join steps, so its row count can legitimately
+// exceed the final answer count — the factor leaves that headroom.
+// Because budgets fail typed rather than truncate (ErrPlanBudget →
+// mirror fallback, answers stay exact), a clamp that turns out too
+// tight costs only the ship-path savings, never correctness.
+const shipLimitFactor = 64
+
 // shipBindingCap bounds a forwarded binding's distinct value set. A
 // set larger than this is dropped (not truncated — a truncated binding
 // would wrongly exclude rows), so a low-selectivity column never ships
@@ -90,14 +100,16 @@ type PlanTransport interface {
 }
 
 // SyncPath records which refresh path one remote relation took during
-// request preparation: "ship" (remote sub-plan execution), "delta"
-// (change-record catch-up), or "scan" (full mirror re-scan).
+// request preparation: "ship" (remote sub-plan execution), "push"
+// (replica already current from a live push subscription — no bytes
+// moved at query time), "delta" (change-record catch-up), or "scan"
+// (full mirror re-scan).
 type SyncPath struct {
 	// Peer is the remote peer serving the relation.
 	Peer string
 	// Rel is the relation's unqualified name at that peer.
 	Rel string
-	// Path is "ship", "delta", or "scan".
+	// Path is "ship", "push", "delta", or "scan".
 	Path string
 }
 

@@ -3,6 +3,7 @@ package pdms
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/relation"
@@ -80,10 +81,16 @@ const DefaultScanBatch = 256
 // is the differential reference between in-process execution and the
 // TCP transport. The zero value is unusable; use NewLoopback.
 type Loopback struct {
+	// FeedQueue bounds each push subscription's change feed
+	// (DefaultFeedQueue when zero). Tests shrink it to force slow-
+	// subscriber gaps without thousands of mutations.
+	FeedQueue int
+
 	peers     map[string]*Peer
 	scans     atomic.Uint64
 	deltas    atomic.Uint64
 	plans     atomic.Uint64
+	states    atomic.Uint64
 	wireBytes atomic.Uint64
 }
 
@@ -111,6 +118,11 @@ func (l *Loopback) Deltas() uint64 { return l.deltas.Load() }
 // ran (not silently fell back to mirroring).
 func (l *Loopback) Plans() uint64 { return l.plans.Load() }
 
+// States returns how many statistics-fingerprint probes the transport
+// has served — the counter the push-fanout ledger bench uses to prove
+// a live subscription answers watch iterations with zero State probes.
+func (l *Loopback) States() uint64 { return l.states.Load() }
+
 // WireBytes returns the total payload bytes the transport has moved
 // across every operation — the loopback analogue of the TCP client's
 // framed-byte counter, and what the ship-vs-mirror ≥10× byte assertion
@@ -136,6 +148,7 @@ func (l *Loopback) State(ctx context.Context, peer string) (PeerState, error) {
 	if err != nil {
 		return PeerState{}, err
 	}
+	l.states.Add(1)
 	sv, stats := p.ServingState()
 	enc := relation.EncodePeerStats(sv, stats)
 	l.wireBytes.Add(uint64(len(enc)))
@@ -271,8 +284,87 @@ func (l *Loopback) ExecPlan(ctx context.Context, peer string, sp relation.SubPla
 		})
 }
 
+// Subscribe implements PushTransport: the since-list round-trips
+// through its wire codec, the served peer registers a bounded change
+// feed, the ack fingerprint round-trips through the stats codec, and
+// every pushed batch round-trips through the change-batch codec — the
+// same bytes the TCP push path moves. The call blocks draining the
+// feed until ctx is cancelled, the feed gaps (ErrSubscriptionGap), or
+// the served peer closes the feed.
+func (l *Loopback) Subscribe(ctx context.Context, peer string, since map[string]uint64,
+	ack func(PeerState) error, deliver func([]relation.ChangeRecord) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p, err := l.peer(peer)
+	if err != nil {
+		return err
+	}
+	encSince := relation.EncodeSubscribeSince(sinceList(since))
+	l.wireBytes.Add(uint64(len(encSince)))
+	decSince, err := relation.DecodeSubscribeSince(encSince)
+	if err != nil {
+		return fmt.Errorf("pdms: loopback since round trip: %w", err)
+	}
+	sinceMap := make(map[string]uint64, len(decSince))
+	for _, rv := range decSince {
+		sinceMap[rv.Rel] = rv.Ver
+	}
+	max := l.FeedQueue
+	if max <= 0 {
+		max = DefaultFeedQueue
+	}
+	feed, sv, stats := p.FeedSubscribe(sinceMap, max)
+	defer feed.Close()
+	stop := context.AfterFunc(ctx, feed.Close)
+	defer stop()
+	encAck := relation.EncodePeerStats(sv, stats)
+	l.wireBytes.Add(uint64(len(encAck)))
+	sv, decStats, err := relation.DecodePeerStats(encAck)
+	if err != nil {
+		return fmt.Errorf("pdms: loopback stats round trip: %w", err)
+	}
+	if err := ack(PeerState{SchemaVersion: sv, Relations: decStats}); err != nil {
+		return err
+	}
+	for {
+		recs, err := feed.Next()
+		if err != nil {
+			if err == ErrFeedClosed {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			return err
+		}
+		enc := relation.EncodeChangeBatch(recs)
+		l.wireBytes.Add(uint64(len(enc)))
+		decoded, err := relation.DecodeChangeBatch(enc)
+		if err != nil {
+			return fmt.Errorf("pdms: loopback change batch round trip: %w", err)
+		}
+		if err := deliver(decoded); err != nil {
+			return err
+		}
+	}
+}
+
+// sinceList renders a since map as the sorted slice the wire codec
+// carries.
+func sinceList(since map[string]uint64) []relation.RelVersion {
+	out := make([]relation.RelVersion, 0, len(since))
+	for rel, ver := range since {
+		out = append(out, relation.RelVersion{Rel: rel, Ver: ver})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out
+}
+
 // compile-time proof the loopback is a PlanTransport.
 var _ PlanTransport = (*Loopback)(nil)
+
+// compile-time proof the loopback is a PushTransport.
+var _ PushTransport = (*Loopback)(nil)
 
 // Close implements Transport; a loopback holds no resources.
 func (l *Loopback) Close() error { return nil }

@@ -40,7 +40,9 @@ func (n *Network) Subscribe(atPeer, name string, def cq.Query) (*Subscription, e
 		return nil, err
 	}
 	sub := &Subscription{AtPeer: atPeer, MV: mv}
+	n.subMu.Lock()
 	n.subs = append(n.subs, sub)
+	n.subMu.Unlock()
 	return sub, nil
 }
 
@@ -78,14 +80,29 @@ func (n *Network) Publish(peer, rel string, u view.Updategram) (*PublishStats, e
 	post := n.GlobalDB()
 	stats := &PublishStats{}
 	qu := view.Updategram{Relation: qualified, Inserts: u.Inserts, Deletes: u.Deletes}
-	// The prepared update (scratch databases with the delta installed) is
-	// shared by every affected subscription — built lazily on the first
-	// one instead of rebuilt per view.
+	if err := n.fanoutViews(pre, post, qu, stats); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// fanoutViews propagates one qualified base updategram into every
+// placed materialized view whose definition mentions the relation —
+// the one-to-many half of §3.1.2's "updategrams on base data can be
+// combined to create updategrams for views". The prepared update
+// (scratch databases with the delta installed) is shared by every
+// affected subscription — built lazily on the first one instead of
+// rebuilt per view. Shared by Publish (the in-process single-writer
+// path) and the push applier (a concurrent goroutine), so the views'
+// extents are guarded by subMu.
+func (n *Network) fanoutViews(pre, post *relation.Database, qu view.Updategram, stats *PublishStats) error {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
 	var prepared *view.PreparedUpdate
 	for _, sub := range n.subs {
 		mentions := false
 		for _, a := range sub.MV.View.Def.Body {
-			if a.Pred == qualified {
+			if a.Pred == qu.Relation {
 				mentions = true
 				break
 			}
@@ -97,22 +114,84 @@ func (n *Network) Publish(peer, rel string, u view.Updategram) (*PublishStats, e
 		if prepared == nil {
 			var err error
 			if prepared, err = view.PrepareUpdate(pre, post, qu); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		delta, err := sub.MV.DeltaFrom(prepared)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stats.TuplesShipped += delta.Size()
 		if err := sub.MV.ApplyDelta(delta); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return stats, nil
+	return nil
+}
+
+// refreshViews recomputes every placed view's extent from scratch
+// against db — the correctness fallback when incremental propagation
+// fails. A view whose refresh fails keeps its old extent (the next
+// propagation retries).
+func (n *Network) refreshViews(db *relation.Database) {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	for _, sub := range n.subs {
+		if err := sub.MV.Refresh(db); err != nil {
+			continue
+		}
+	}
+}
+
+// hasSubs reports whether any materialized views are placed, under
+// subMu (the push applier reads it concurrently with Subscribe).
+func (n *Network) hasSubs() bool {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	return len(n.subs) > 0
+}
+
+// ViewExtent returns a race-free snapshot (clone) of a placed view's
+// current extent. The push applier maintains extents from its own
+// goroutine, so direct Extent reads while a subscription is live would
+// race; this accessor takes the same lock the applier holds.
+func (n *Network) ViewExtent(sub *Subscription) *relation.Relation {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	if sub.MV.Extent == nil {
+		return nil
+	}
+	return sub.MV.Extent.Clone()
 }
 
 // InsertAndPublish is a convenience wrapper publishing a single insert.
 func (n *Network) InsertAndPublish(peer, rel string, t relation.Tuple) (*PublishStats, error) {
 	return n.Publish(peer, rel, view.Updategram{Relation: rel, Inserts: []relation.Tuple{t}})
+}
+
+// PublishThroughView updates base data *through* a placed view — the
+// §3.1.2 extension update_through.go implements, wired into the
+// network's publish fan-out: the view-level updategram is translated
+// into base-relation updategrams (rejecting ambiguous or side-effecting
+// translations), each applied through Publish so the change propagates
+// into every other placed view exactly like a direct base update.
+func (n *Network) PublishThroughView(sub *Subscription, u view.Updategram) (*PublishStats, error) {
+	baseUpdates, err := view.TranslateUpdate(sub.MV.View, n.GlobalDB(), u)
+	if err != nil {
+		return nil, err
+	}
+	total := &PublishStats{}
+	for _, bu := range baseUpdates {
+		peer, rel := glav.SplitQualified(bu.Relation)
+		if peer == "" {
+			return nil, fmt.Errorf("pdms: view %s over unqualified relation %q", sub.MV.View.Name, bu.Relation)
+		}
+		st, err := n.Publish(peer, rel, view.Updategram{Relation: rel, Inserts: bu.Inserts, Deletes: bu.Deletes})
+		if err != nil {
+			return nil, err
+		}
+		total.ViewsTouched += st.ViewsTouched
+		total.TuplesShipped += st.TuplesShipped
+	}
+	return total, nil
 }

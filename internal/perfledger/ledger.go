@@ -62,9 +62,14 @@ type Bench struct {
 	// it at zero).
 	RetriesPerOp float64 `json:"retries_per_op"`
 	// WireBytesPerOp is the mean framed bytes one operation moved over
-	// the transport (only recorded by the cold-remote benches, where
-	// bytes on the wire are the measured quantity).
+	// the transport (only recorded by the cold-remote and push-fanout
+	// benches, where bytes on the wire are the measured quantity).
 	WireBytesPerOp float64 `json:"wire_bytes_per_op,omitempty"`
+	// StateProbesPerOp is the mean per-operation State probe count (only
+	// recorded by the push-fanout bench, whose acceptance property is
+	// that a live subscription answers watch iterations with zero
+	// probes).
+	StateProbesPerOp float64 `json:"state_probes_per_op,omitempty"`
 }
 
 // The stable bench names the ledger records and the gate requires.
@@ -104,6 +109,13 @@ const (
 	// O(relation) on the wire, the baseline BenchColdShip must beat by
 	// at least 10x (Run enforces the ratio).
 	BenchColdMirror = "cold_remote_mirror"
+	// BenchPushFanout is the subscribed watch iteration: the remote fact
+	// relation mirrored once, then a live push subscription keeps it
+	// current — each operation inserts one row at the serving peer,
+	// waits for the push apply, and re-queries. Run enforces its
+	// acceptance bounds: zero State probes per operation and
+	// O(changed-rows) wire bytes.
+	BenchPushFanout = "push_fanout"
 )
 
 // RequiredBenches is the bench-name contract shared by `revere bench`
@@ -112,13 +124,14 @@ const (
 var RequiredBenches = []string{
 	BenchWarm, BenchWarmRemote, BenchDegraded, BenchRecovery,
 	BenchSkewed, BenchWarmBatch, BenchColdShip, BenchColdMirror,
+	BenchPushFanout,
 }
 
 // CurrentPR is the PR number `revere bench` stamps into the ledger it
 // writes (and the N of the default BENCH_N.json output name). Bump it
 // each PR that regenerates the ledger; the gate keys on Latest, so old
 // ledgers stay behind as the committed perf trajectory.
-const CurrentPR = 9
+const CurrentPR = 10
 
 // Latest resolves the newest BENCH_N.json in dir — the baseline
 // TestPerfLedgerGate compares a live measurement against, so the gate
@@ -443,9 +456,11 @@ func WarmBatch() (Bench, error) {
 // (remote over loopback) serves the Zipf-skewed 50k-row fact relation;
 // peer "home" (local, the coordinator) holds a selective 8-key tail
 // dimension plus the empty fact vocabulary relation, mapped to src's.
-func coldRemoteNet() (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
-	fail := func(err error) (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
-		return nil, nil, pdms.Request{}, err
+// The served src peer is returned too, so the push-fanout bench can
+// keep mutating it.
+func coldRemoteNet() (*pdms.Network, *pdms.Loopback, *pdms.Peer, pdms.Request, error) {
+	fail := func(err error) (*pdms.Network, *pdms.Loopback, *pdms.Peer, pdms.Request, error) {
+		return nil, nil, nil, pdms.Request{}, err
 	}
 	db, _, err := workload.SkewedJoin(workload.SkewedJoinSpec{FactRows: 50000, DimKeys: 64, Seed: 42})
 	if err != nil {
@@ -482,7 +497,7 @@ func coldRemoteNet() (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
 	}
 	req := pdms.Request{Peer: "home", Query: cq.MustParse("q(P, L) :- fact(K, P), dim(K, L)"),
 		Reform: pdms.ReformOptions{MaxDepth: 3}}
-	return n, lb, req, nil
+	return n, lb, src, req, nil
 }
 
 // coldRemote measures the cold remote skewed join under the given ship
@@ -490,7 +505,7 @@ func coldRemoteNet() (*pdms.Network, *pdms.Loopback, pdms.Request, error) {
 // relation is refreshed — by shipped sub-plan or full mirror scan — on
 // each query, and the loopback byte counter prices the refresh path.
 func coldRemote(mode pdms.ShipMode) (Bench, error) {
-	n, lb, req, err := coldRemoteNet()
+	n, lb, _, req, err := coldRemoteNet()
 	if err != nil {
 		return Bench{}, err
 	}
@@ -530,6 +545,81 @@ func ColdShip() (Bench, error) { return coldRemote(pdms.ShipAlways) }
 // ColdMirror measures BenchColdMirror (the full-scan baseline).
 func ColdMirror() (Bench, error) { return coldRemote(pdms.ShipNever) }
 
+// PushFanout measures BenchPushFanout: the remote fact relation is
+// mirrored once through the poll path, then a push subscription keeps
+// it current. Each operation inserts one dim-matched row at the serving
+// peer, waits for the push apply, and re-runs the warm query — so the
+// wire carries exactly the changed rows and the query skips the State
+// probe entirely. The loopback's probe and byte counters price both
+// properties; Run gates them.
+func PushFanout() (Bench, error) {
+	n, lb, src, req, err := coldRemoteNet()
+	if err != nil {
+		return Bench{}, err
+	}
+	ctx := context.Background()
+	if _, _, err := runQuery(n, req); err != nil { // mirror the fact relation once
+		return Bench{}, err
+	}
+	if err := n.StartPush(ctx, "src"); err != nil {
+		return Bench{}, err
+	}
+	defer n.StopPush("src")
+	lctx, lcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer lcancel()
+	if err := n.WaitPushLive(lctx, "src"); err != nil {
+		return Bench{}, err
+	}
+	seq := 0
+	pushOne := func() error {
+		key := fmt.Sprintf("k%d", 40+seq%8) // dim-matched: the answer set must grow
+		t := relation.Tuple{relation.SV(key), relation.SV(fmt.Sprintf("pushed%d", seq))}
+		seq++
+		if err := src.Insert("fact", t); err != nil {
+			return err
+		}
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		return n.WaitPushApplied(wctx, "src", "fact", src.Store.Get("fact").Version())
+	}
+	// One warm-up op establishes the subscription (the first apply only
+	// lands once the ack anchored the fingerprints) before counting.
+	if err := pushOne(); err != nil {
+		return Bench{}, err
+	}
+	if _, _, err := runQuery(n, req); err != nil {
+		return Bench{}, err
+	}
+	answers, ops := 0, int64(0)
+	wireBase, probeBase := lb.WireBytes(), lb.States()
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := pushOne(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			a, _, err := runQuery(n, req)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			answers = a
+			ops++
+		}
+	})
+	if benchErr != nil {
+		return Bench{}, benchErr
+	}
+	bench := record(r, answers, 0)
+	if ops > 0 {
+		bench.WireBytesPerOp = float64(lb.WireBytes()-wireBase) / float64(ops)
+		bench.StateProbesPerOp = float64(lb.States()-probeBase) / float64(ops)
+	}
+	return bench, nil
+}
+
 // benchQueries benchmarks repeated materialized queries of req.
 func benchQueries(n *pdms.Network, req pdms.Request) (Bench, error) {
 	answers, retries := 0, int64(0)
@@ -566,6 +656,7 @@ func Run() (*Ledger, error) {
 		{BenchWarmBatch, WarmBatch},
 		{BenchColdShip, ColdShip},
 		{BenchColdMirror, ColdMirror},
+		{BenchPushFanout, PushFanout},
 	} {
 		b, err := bench.run()
 		if err != nil {
@@ -584,6 +675,18 @@ func Run() (*Ledger, error) {
 	if ship.WireBytesPerOp <= 0 || mirror.WireBytesPerOp < 10*ship.WireBytesPerOp {
 		return nil, fmt.Errorf("perfledger: plan shipping moved %.0f wire bytes/op vs mirror's %.0f — want >= 10x reduction",
 			ship.WireBytesPerOp, mirror.WireBytesPerOp)
+	}
+	// This PR's acceptance bound: a subscribed watch iteration must move
+	// O(changed-rows) wire bytes (one pushed record, far under a frame)
+	// and answer with zero State probes — the push path's whole point.
+	pf := l.Benches[BenchPushFanout]
+	if pf.WireBytesPerOp <= 0 || pf.WireBytesPerOp >= 4096 {
+		return nil, fmt.Errorf("perfledger: push fanout moved %.0f wire bytes/op — want O(changed-rows), in (0, 4096)",
+			pf.WireBytesPerOp)
+	}
+	if pf.StateProbesPerOp != 0 {
+		return nil, fmt.Errorf("perfledger: push fanout spent %.2f State probes/op — want 0 (push-live queries must skip the probe)",
+			pf.StateProbesPerOp)
 	}
 	return l, nil
 }

@@ -31,9 +31,17 @@ func FuzzWireDecode(f *testing.F) {
 		Bindings:  []SubPlanBinding{{Var: "K", Values: []Value{SV("k1"), IV(2)}}},
 		RowBudget: 1 << 20,
 	}))
+	f.Add(EncodeSubscribeSince([]RelVersion{{Rel: "course", Ver: 41}, {Rel: "subject", Ver: 7}}))
 	var frame bytes.Buffer
 	WriteFrame(&frame, FrameTupleBatch, EncodeTupleBatch([]Tuple{{IV(42)}}))
 	f.Add(frame.Bytes())
+	// A framed Subscribe request as the transport sends it: op byte 6,
+	// peer name, empty relation, then the since-list.
+	var subReq bytes.Buffer
+	payload := append([]byte{6}, appendString(appendString(nil, "mit"), "")...)
+	payload = append(payload, EncodeSubscribeSince([]RelVersion{{Rel: "subject", Ver: 3}})...)
+	WriteFrame(&subReq, FrameRequest, payload)
+	f.Add(subReq.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		DecodeHello(data)
@@ -61,6 +69,12 @@ func FuzzWireDecode(f *testing.F) {
 			enc := EncodeChangeBatch(recs)
 			if r2, err := DecodeChangeBatch(enc); err != nil || !bytes.Equal(enc, EncodeChangeBatch(r2)) {
 				t.Fatalf("change batch round trip: %v -> %v (%v)", recs, r2, err)
+			}
+		}
+		if since, err := DecodeSubscribeSince(data); err == nil {
+			enc := EncodeSubscribeSince(since)
+			if s2, err := DecodeSubscribeSince(enc); err != nil || !bytes.Equal(enc, EncodeSubscribeSince(s2)) {
+				t.Fatalf("subscribe-since round trip: %v -> %v (%v)", since, s2, err)
 			}
 		}
 		if sp, err := DecodeSubPlan(data); err == nil {

@@ -405,6 +405,14 @@ const (
 	// refuses to stream an unbounded result. Request-level: the client
 	// falls back to mirroring the relation on the same connection.
 	ErrCodeRowBudget uint64 = 8
+	// ErrCodeSubscribeGap reports a push subscription whose change feed
+	// overflowed: the subscriber drained too slowly, the serving side
+	// evicted it rather than block or buffer unboundedly, and records
+	// were irrecoverably dropped from the stream. The frame ends the
+	// subscription (the serving side closes the connection after writing
+	// it); the subscriber falls back to the poll path and may resubscribe
+	// from its refreshed (version, rows) fingerprints.
+	ErrCodeSubscribeGap uint64 = 9
 )
 
 // WireError is a protocol-level error decoded from a FrameError frame.
@@ -767,6 +775,67 @@ func DecodeSubPlan(payload []byte) (SubPlan, error) {
 		return SubPlan{}, fmt.Errorf("relation: %d trailing bytes after subplan", len(rest[sz:]))
 	}
 	return sp, nil
+}
+
+// RelVersion pairs a relation name with the mutation version a
+// subscriber has already applied — one entry of a Subscribe request's
+// since-list. The serving side preloads catch-up change records for
+// every listed relation its durable log still covers; relations it
+// cannot cover (or does not know) simply start streaming from the
+// subscription point, and the acknowledging stats frame tells the
+// subscriber which replicas are stale and must heal through the poll
+// path.
+type RelVersion struct {
+	// Rel is the relation's unqualified name at the serving peer.
+	Rel string
+	// Ver is the relation's mutation version the subscriber last
+	// applied.
+	Ver uint64
+}
+
+// EncodeSubscribeSince renders a Subscribe request's since-list as the
+// trailing section of the request payload: an entry count, then per
+// entry the relation name and applied version. Callers sort entries by
+// relation name so the encoding — and anything fingerprinted on it —
+// is deterministic.
+func EncodeSubscribeSince(since []RelVersion) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(since)))
+	for _, rv := range since {
+		buf = appendString(buf, rv.Rel)
+		buf = binary.AppendUvarint(buf, rv.Ver)
+	}
+	return buf
+}
+
+// DecodeSubscribeSince parses a Subscribe since-list, rejecting
+// trailing bytes. Like every decoder in this file it bounds-checks the
+// count before allocating, so corrupt or hostile payloads fail with an
+// error, never a panic or an outsized allocation.
+func DecodeSubscribeSince(payload []byte) ([]RelVersion, error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)) {
+		return nil, fmt.Errorf("relation: truncated subscribe since count")
+	}
+	rest := payload[sz:]
+	since := make([]RelVersion, 0, capAlloc(n))
+	for i := uint64(0); i < n; i++ {
+		var rv RelVersion
+		var err error
+		rv.Rel, rest, err = decodeString(rest)
+		if err != nil {
+			return nil, err
+		}
+		rv.Ver, sz = binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("relation: truncated subscribe since version")
+		}
+		rest = rest[sz:]
+		since = append(since, rv)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after subscribe since list", len(rest))
+	}
+	return since, nil
 }
 
 // capAlloc caps a pre-allocation count: counts are attacker-controlled

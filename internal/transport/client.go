@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,11 +108,12 @@ func (c *Client) backoffSleep(ctx context.Context, pol pdms.RetryPolicy, retry i
 }
 
 // compile-time proof the client is a pdms.Transport, a
-// pdms.DeltaTransport, and a pdms.PlanTransport.
+// pdms.DeltaTransport, a pdms.PlanTransport, and a pdms.PushTransport.
 var (
 	_ pdms.Transport      = (*Client)(nil)
 	_ pdms.DeltaTransport = (*Client)(nil)
 	_ pdms.PlanTransport  = (*Client)(nil)
+	_ pdms.PushTransport  = (*Client)(nil)
 )
 
 // errClientClosed reports a request against a Client after Close —
@@ -530,6 +532,101 @@ func (c *Client) ExecPlan(ctx context.Context, peer string, sp relation.SubPlan,
 			}
 		}
 	})
+}
+
+// Subscribe implements pdms.PushTransport: one OpSubscribe exchange on
+// a dedicated connection (never pooled — the subscription owns it for
+// its whole life, and the server closes it when the subscription ends).
+// The server's stats-frame ack reaches ack, then every pushed delta
+// frame's records reach deliver in commit order, until ctx dies, the
+// server ends the subscription, or a callback fails. The error
+// classifies the ending: pdms.ErrPushUnsupported for a push-disabled or
+// pre-push server (terminal — poll instead), pdms.ErrSubscriptionGap
+// for a feed overflow (resubscribe after the poll path heals), and
+// pdms.ErrPeerUnreachable-class for connection failures. The client's
+// redial Policy deliberately does not apply: the subscription manager
+// owns resubscribe pacing.
+func (c *Client) Subscribe(ctx context.Context, peer string, since map[string]uint64,
+	ack func(pdms.PeerState) error, deliver func([]relation.ChangeRecord) error) error {
+	sinceList := make([]relation.RelVersion, 0, len(since))
+	for rel, ver := range since {
+		sinceList = append(sinceList, relation.RelVersion{Rel: rel, Ver: ver})
+	}
+	sort.Slice(sinceList, func(i, j int) bool { return sinceList[i].Rel < sinceList[j].Rel })
+	cc, err := c.dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer cc.c.Close()
+	stop := context.AfterFunc(ctx, func() {
+		cc.c.SetDeadline(time.Now()) // unblock the blocking frame read
+	})
+	defer stop()
+	err = func() error {
+		request := encodeSubscribeRequest(peer, sinceList)
+		if err := relation.WriteFrame(cc.bw, relation.FrameRequest, request); err != nil {
+			return fmt.Errorf("%w: subscribe write: %w", pdms.ErrPeerUnreachable, err)
+		}
+		if err := cc.bw.Flush(); err != nil {
+			return fmt.Errorf("%w: subscribe write: %w", pdms.ErrPeerUnreachable, err)
+		}
+		c.wireBytes.Add(uint64(frameOverhead + len(request)))
+		acked := false
+		for {
+			typ, payload, err := relation.ReadFrame(cc.br)
+			if err != nil {
+				return fmt.Errorf("%w: subscription: %w", pdms.ErrPeerUnreachable, err)
+			}
+			c.wireBytes.Add(uint64(frameOverhead + len(payload)))
+			switch typ {
+			case relation.FrameStats:
+				if acked {
+					return errors.New("transport: duplicate stats frame in subscription")
+				}
+				sv, stats, err := relation.DecodePeerStats(payload)
+				if err != nil {
+					return err
+				}
+				if err := ack(pdms.PeerState{SchemaVersion: sv, Relations: stats}); err != nil {
+					return err
+				}
+				acked = true
+			case relation.FrameDelta:
+				if !acked {
+					return errors.New("transport: delta before stats ack in subscription")
+				}
+				recs, err := relation.DecodeChangeBatch(payload)
+				if err != nil {
+					return err
+				}
+				if err := deliver(recs); err != nil {
+					return err
+				}
+			case relation.FrameError:
+				we, derr := relation.DecodeError(payload)
+				if derr != nil {
+					return derr
+				}
+				switch we.Code {
+				case relation.ErrCodeBadRequest:
+					// How push-disabled servers — and pre-push servers, for
+					// which the op itself is unknown — refuse a subscription.
+					return fmt.Errorf("%w: %w", pdms.ErrPushUnsupported, we)
+				case relation.ErrCodeSubscribeGap:
+					return fmt.Errorf("%w: %w", pdms.ErrSubscriptionGap, we)
+				}
+				return we
+			default:
+				return fmt.Errorf("transport: unexpected frame type %d in subscription", typ)
+			}
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		// The watchdog poisoned the connection; whatever the read saw is
+		// really a cancellation.
+		return cerr
+	}
+	return err
 }
 
 // Scan implements pdms.Transport: the relation's tuples stream in as

@@ -1,0 +1,470 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/pdms"
+	"repro/internal/relation"
+)
+
+// pushCoord builds a coordinator with a local "local" peer (class
+// vocabulary) and the "served" peer behind tr, bridged by the
+// course→class mapping — the minimal topology where pushed updategrams
+// must cross a mapping to become answers.
+func pushCoord(t *testing.T, tr pdms.Transport) *pdms.Network {
+	t.Helper()
+	n := pdms.NewNetwork()
+	local := pdms.NewPeer("local", relation.NewSchema("class", relation.Attr("t"), relation.IntAttr("s")))
+	if err := n.AddPeer(local); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddRemotePeer(context.Background(), "served", tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMapping(mustMapping(t)); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// pushOracle builds the all-local twin: the served peer lives in the
+// same process, so its answers are ground truth with no replication at
+// all.
+func pushOracle(t *testing.T, served *pdms.Peer) *pdms.Network {
+	t.Helper()
+	n := pdms.NewNetwork()
+	local := pdms.NewPeer("local", relation.NewSchema("class", relation.Attr("t"), relation.IntAttr("s")))
+	if err := n.AddPeer(local); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPeer(served); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMapping(mustMapping(t)); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// classRequest is the local-vocabulary query every push differential
+// answers: both attributes, so inserts and deletes are fully visible.
+func classRequest() pdms.Request {
+	return pdms.Request{Peer: "local", Query: cq.MustParse("q(T, S) :- class(T, S)")}
+}
+
+// digestAndPaths drains one query into its canonical sorted wire form
+// plus the per-relation sync paths the refresh took.
+func digestAndPaths(t *testing.T, n *pdms.Network, req pdms.Request) ([]byte, []pdms.SyncPath) {
+	t.Helper()
+	cur, err := n.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cur.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return relation.EncodeTupleBatch(rel.SortRows().Rows()), cur.SyncPaths()
+}
+
+// tallyPaths tallies already-collected sync paths by kind (countPaths
+// in ship_test.go runs its own query; here the digest query's paths
+// are what matter).
+func tallyPaths(paths []pdms.SyncPath) map[string]int {
+	out := make(map[string]int)
+	for _, p := range paths {
+		out[p.Path]++
+	}
+	return out
+}
+
+// pushMutate commits one round of mutations — three inserts and one
+// delete — on a served peer, returning its resulting mutation version.
+func pushMutate(t *testing.T, p *pdms.Peer, round int) uint64 {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		row := relation.Tuple{relation.SV(fmt.Sprintf("new-r%d-%d", round, i)), relation.IV(int64(1000*round + i))}
+		if err := p.Insert("course", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gone := relation.Tuple{relation.SV(fmt.Sprintf("c%05d", round)), relation.IV(int64(round))}
+	if n, err := p.Delete("course", gone); err != nil || n != 1 {
+		t.Fatalf("delete round %d: n=%d err=%v", round, n, err)
+	}
+	return p.Store.Get("course").Version()
+}
+
+// TestPushDifferentialTCP is the transport-level acceptance anchor for
+// push replication: the same served-side mutation stream flows to three
+// executions — all-in-process, a coordinator subscribed over loopback,
+// and a coordinator subscribed over real TCP — and after every round
+// all three answer byte-identically, with the two push coordinators
+// refreshing purely on the push path (zero scans, zero State probes
+// per query while the subscription is live).
+func TestPushDifferentialTCP(t *testing.T) {
+	servedA, servedB, servedC := servedPeer(t, 40), servedPeer(t, 40), servedPeer(t, 40)
+	oracle := pushOracle(t, servedA)
+	lb := pdms.NewLoopback(servedB)
+	loopNet := pushCoord(t, lb)
+	srv, addr := startServer(t, servedC)
+	srv.Push = true
+	tcpNet := pushCoord(t, dialT(t, addr))
+
+	// Baseline fills the mirrors through the ordinary poll path.
+	want, _ := digestAndPaths(t, oracle, classRequest())
+	if len(want) == 0 {
+		t.Fatal("empty baseline digest")
+	}
+	for name, n := range map[string]*pdms.Network{"loopback": loopNet, "tcp": tcpNet} {
+		if got, _ := digestAndPaths(t, n, classRequest()); !bytes.Equal(got, want) {
+			t.Fatalf("%s baseline answers differ from in-process", name)
+		}
+	}
+
+	for _, n := range []*pdms.Network{loopNet, tcpNet} {
+		if err := n.StartPush(context.Background(), "served"); err != nil {
+			t.Fatal(err)
+		}
+		defer n.StopPush("served")
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	for _, n := range []*pdms.Network{loopNet, tcpNet} {
+		if err := n.WaitPushLive(wctx, "served"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statesBase, scansBase := lb.States(), lb.Scans()
+
+	for round := 1; round <= 2; round++ {
+		pushMutate(t, servedA, round)
+		verB := pushMutate(t, servedB, round)
+		verC := pushMutate(t, servedC, round)
+		if err := loopNet.WaitPushApplied(wctx, "served", "course", verB); err != nil {
+			t.Fatal(err)
+		}
+		if err := tcpNet.WaitPushApplied(wctx, "served", "course", verC); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := digestAndPaths(t, oracle, classRequest())
+		for name, n := range map[string]*pdms.Network{"loopback": loopNet, "tcp": tcpNet} {
+			got, paths := digestAndPaths(t, n, classRequest())
+			if !bytes.Equal(got, want) {
+				t.Errorf("round %d: %s answers differ from in-process", round, name)
+			}
+			byPath := tallyPaths(paths)
+			if byPath["push"] == 0 || byPath["scan"] != 0 || byPath["delta"] != 0 {
+				t.Errorf("round %d: %s sync paths = %v, want pure push", round, name, paths)
+			}
+		}
+	}
+
+	// While subscribed, queries spent no poll traffic at all: the
+	// loopback's probe and scan counters are exactly where the baseline
+	// left them.
+	if s := lb.States(); s != statesBase {
+		t.Errorf("State probes grew %d -> %d during push-live queries", statesBase, s)
+	}
+	if s := lb.Scans(); s != scansBase {
+		t.Errorf("scans grew %d -> %d during push-live queries", scansBase, s)
+	}
+	for name, n := range map[string]*pdms.Network{"loopback": loopNet, "tcp": tcpNet} {
+		batches, records, gaps := n.PushCounts()
+		if batches == 0 || records < 8 || gaps != 0 {
+			t.Errorf("%s push counts: batches=%d records=%d gaps=%d, want >0/>=8/0",
+				name, batches, records, gaps)
+		}
+	}
+	if got := servedC.FeedCount(); got != 1 {
+		t.Errorf("served peer carries %d feeds, want 1", got)
+	}
+}
+
+// TestPushUnsupportedTCPServer covers the compatibility seam: a server
+// with push disabled refuses OpSubscribe with a request error that the
+// client types as pdms.ErrPushUnsupported (terminal), and a coordinator
+// whose StartPush hits that refusal stays correct on the poll path.
+func TestPushUnsupportedTCPServer(t *testing.T) {
+	served := servedPeer(t, 10)
+	_, addr := startServer(t, served) // Push stays false
+	c := dialT(t, addr)
+
+	err := c.Subscribe(context.Background(), "served", nil,
+		func(pdms.PeerState) error { t.Error("ack on a push-disabled server"); return nil },
+		func([]relation.ChangeRecord) error { t.Error("delta from a push-disabled server"); return nil })
+	if !errors.Is(err, pdms.ErrPushUnsupported) {
+		t.Fatalf("subscribe against push-disabled server: err = %v, want ErrPushUnsupported", err)
+	}
+
+	oracleServed := servedPeer(t, 10)
+	oracle := pushOracle(t, oracleServed)
+	n := pushCoord(t, c)
+	want, _ := digestAndPaths(t, oracle, classRequest())
+	if got, _ := digestAndPaths(t, n, classRequest()); !bytes.Equal(got, want) {
+		t.Fatal("baseline answers differ")
+	}
+	if err := n.StartPush(context.Background(), "served"); err != nil {
+		t.Fatal(err) // the transport can subscribe; the refusal is discovered live
+	}
+	defer n.StopPush("served")
+	// The manager's first subscribe is refused and the refusal is
+	// terminal: the peer never turns push-live.
+	lctx, lcancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer lcancel()
+	if err := n.WaitPushLive(lctx, "served"); err == nil {
+		t.Fatal("push went live against a push-disabled server")
+	}
+	// The poll path still answers mutations exactly.
+	pushMutate(t, oracleServed, 1)
+	pushMutate(t, served, 1)
+	want, _ = digestAndPaths(t, oracle, classRequest())
+	got, paths := digestAndPaths(t, n, classRequest())
+	if !bytes.Equal(got, want) {
+		t.Fatal("poll-path answers differ after mutations")
+	}
+	if byPath := tallyPaths(paths); byPath["push"] != 0 {
+		t.Fatalf("sync paths %v claim push against a push-disabled server", paths)
+	}
+	if batches, _, gaps := n.PushCounts(); batches != 0 || gaps != 0 {
+		t.Fatalf("push counters moved (batches=%d gaps=%d) without a subscription", batches, gaps)
+	}
+}
+
+// TestPushGapResubscribeTCP forces a slow-subscriber eviction over real
+// TCP: with a one-record server-side feed queue, an insert burst
+// overflows the subscription, the server answers with the typed gap
+// error and closes, the client surfaces pdms.ErrSubscriptionGap, and
+// the manager resubscribes — after which the coordinator converges to
+// the oracle answer despite the records lost in the gap.
+func TestPushGapResubscribeTCP(t *testing.T) {
+	served := servedPeer(t, 10)
+	oracleServed := servedPeer(t, 10)
+	oracle := pushOracle(t, oracleServed)
+	srv, addr := startServer(t, served)
+	srv.Push = true
+	srv.FeedQueue = 1
+	n := pushCoord(t, dialT(t, addr))
+
+	if got, _ := digestAndPaths(t, n, classRequest()); len(got) == 0 {
+		t.Fatal("empty baseline digest")
+	}
+	if err := n.StartPush(context.Background(), "served"); err != nil {
+		t.Fatal(err)
+	}
+	defer n.StopPush("served")
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := n.WaitPushLive(wctx, "served"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst inserts until the one-slot feed overflows and the manager
+	// records a gap. Every row also lands in the oracle so the final
+	// differential covers the burst.
+	insert := func(p *pdms.Peer, i int) {
+		t.Helper()
+		row := relation.Tuple{relation.SV(fmt.Sprintf("burst%05d", i)), relation.IV(int64(i))}
+		if err := p.Insert("course", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	rows := 0
+	for {
+		if _, _, gaps := n.PushCounts(); gaps > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("feed never gapped despite FeedQueue=1 burst")
+		}
+		for i := 0; i < 8; i++ {
+			insert(served, rows)
+			insert(oracleServed, rows)
+			rows++
+		}
+	}
+	// The manager resubscribes on its own; one post-gap commit then
+	// advances the acknowledged fingerprints past the burst.
+	if err := n.WaitPushLive(wctx, "served"); err != nil {
+		t.Fatal(err)
+	}
+	insert(served, rows)
+	insert(oracleServed, rows)
+	if err := n.WaitPushApplied(wctx, "served", "course", served.Store.Get("course").Version()); err != nil {
+		t.Fatal(err)
+	}
+	// The gap lost records the subscription never saw; the next query's
+	// poll path heals the replica, and the answer set is exact.
+	want, _ := digestAndPaths(t, oracle, classRequest())
+	got, _ := digestAndPaths(t, n, classRequest())
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-gap answers differ from oracle")
+	}
+	if _, _, gaps := n.PushCounts(); gaps == 0 {
+		t.Fatal("gap counter never moved")
+	}
+}
+
+// rawSub is one raw client subscription driven on its own goroutine.
+type rawSub struct {
+	recs   chan relation.ChangeRecord
+	err    chan error
+	cancel context.CancelFunc
+}
+
+// startSub opens a raw subscription and blocks until the server acks
+// it, so commits after startSub returns are guaranteed to be pushed.
+func startSub(t *testing.T, c *Client) *rawSub {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	s := &rawSub{recs: make(chan relation.ChangeRecord, 1024), err: make(chan error, 1), cancel: cancel}
+	acked := make(chan struct{})
+	go func() {
+		s.err <- c.Subscribe(ctx, "served", nil,
+			func(pdms.PeerState) error { close(acked); return nil },
+			func(recs []relation.ChangeRecord) error {
+				for _, r := range recs {
+					s.recs <- r
+				}
+				return nil
+			})
+	}()
+	select {
+	case <-acked:
+	case err := <-s.err:
+		t.Fatalf("subscription died before ack: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription ack timeout")
+	}
+	return s
+}
+
+// expectRec receives one pushed record or fails.
+func expectRec(t *testing.T, s *rawSub, wantKey string) {
+	t.Helper()
+	select {
+	case r := <-s.recs:
+		if len(r.Tuple) == 0 || r.Tuple[0].S != wantKey {
+			t.Fatalf("pushed record %+v, want key %q", r, wantKey)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no pushed record for %q", wantKey)
+	}
+}
+
+// TestPushSubscriberCrashCleanupTCP kills one of two live TCP
+// subscribers mid-stream: the server's connection reader reaps the dead
+// subscription, the next commit lazily deregisters its feed without
+// ever blocking the serving write path, the surviving subscriber keeps
+// receiving every record, and a fresh resubscribe on the same client
+// works.
+func TestPushSubscriberCrashCleanupTCP(t *testing.T) {
+	p := servedPeer(t, 5)
+	srv, addr := startServer(t, p)
+	srv.Push = true
+	c1, c2 := dialT(t, addr), dialT(t, addr)
+
+	s1, s2 := startSub(t, c1), startSub(t, c2)
+	if got := p.FeedCount(); got != 2 {
+		t.Fatalf("feed count = %d, want 2", got)
+	}
+	ins := func(key string) {
+		t.Helper()
+		if err := p.Insert("course", relation.Tuple{relation.SV(key), relation.IV(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("both")
+	expectRec(t, s1, "both")
+	expectRec(t, s2, "both")
+
+	// Subscriber one crashes: its context dies, poisoning and closing
+	// the connection under the server's feet.
+	s1.cancel()
+	if err := <-s1.err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed subscription: err = %v, want context.Canceled", err)
+	}
+	// The server notices the dead connection and closes the feed; the
+	// following commits deregister it lazily. Serving writes never block
+	// on the corpse.
+	deadline := time.Now().Add(10 * time.Second)
+	reaped := 0
+	for p.FeedCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead subscription never reaped: feed count = %d", p.FeedCount())
+		}
+		ins(fmt.Sprintf("reap%03d", reaped))
+		reaped++
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The survivor saw every post-crash record.
+	for i := 0; i < reaped; i++ {
+		expectRec(t, s2, fmt.Sprintf("reap%03d", i))
+	}
+	// A fresh subscription on the crashed client works immediately.
+	s3 := startSub(t, c1)
+	ins("fresh")
+	expectRec(t, s2, "fresh")
+	expectRec(t, s3, "fresh")
+	if got := p.FeedCount(); got != 2 {
+		t.Errorf("feed count after resubscribe = %d, want 2", got)
+	}
+}
+
+// TestPushSubscriptionWireCut cuts the subscription's socket after a
+// byte budget — the server vanishing mid-push — and asserts the client
+// surfaces a typed unreachable-class error rather than hanging or
+// reporting a clean end.
+func TestPushSubscriptionWireCut(t *testing.T) {
+	p := servedPeer(t, 5)
+	srv, addr := startServer(t, p)
+	srv.Push = true
+	// Enough budget for the hello and the subscription ack, then the
+	// wire dies once pushed frames start flowing.
+	c := dialT(t, dropProxy(t, addr, 600))
+
+	acked := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- c.Subscribe(context.Background(), "served", nil,
+			func(pdms.PeerState) error { close(acked); return nil },
+			func([]relation.ChangeRecord) error { return nil })
+	}()
+	select {
+	case <-acked:
+	case err := <-errc:
+		t.Fatalf("subscription died before ack: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription ack timeout")
+	}
+	// Keep committing until the pushed frames blow the proxy's budget.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			p.Insert("course", relation.Tuple{relation.SV(fmt.Sprintf("cut%05d", i)), relation.IV(int64(i))})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, pdms.ErrPeerUnreachable) {
+			t.Fatalf("cut subscription: err = %v, want ErrPeerUnreachable class", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("subscription survived a cut wire")
+	}
+}

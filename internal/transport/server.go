@@ -25,6 +25,16 @@ type Server struct {
 	// BatchSize is the number of tuples per scan batch frame
 	// (pdms.DefaultScanBatch when zero). Set before Serve.
 	BatchSize int
+	// Push enables OpSubscribe. Off by default: a push-disabled server
+	// answers subscriptions with ErrCodeBadRequest and closes the
+	// connection — byte-identical to a pre-push server, which is what
+	// keeps old and new binaries mixable (the client falls back to
+	// polling either way). Set before Serve.
+	Push bool
+	// FeedQueue bounds each subscription's change feed
+	// (pdms.DefaultFeedQueue when zero). A subscriber that falls this
+	// many records behind is gapped and evicted. Set before Serve.
+	FeedQueue int
 
 	peers map[string]*pdms.Peer
 
@@ -193,6 +203,11 @@ func (s *Server) handle(c net.Conn) {
 			ok = s.serveDelta(bw, p, rel, since)
 		case OpQuery:
 			ok = s.serveQuery(bw, p, sub)
+		case OpSubscribe:
+			// A subscription takes over the connection for its whole
+			// life; whatever way it ends, the connection closes.
+			s.serveSubscribe(br, bw, p, sub)
+			return
 		default:
 			s.sendError(bw, relation.ErrCodeBadRequest, fmt.Sprintf("unknown op %d", op))
 			return
@@ -316,6 +331,102 @@ func (s *Server) serveQuery(bw *bufio.Writer, p *pdms.Peer, sub []byte) bool {
 	}
 	if err := relation.WriteFrame(bw, relation.FrameEnd, nil); err != nil {
 		return false
+	}
+	return bw.Flush() == nil
+}
+
+// serveSubscribe answers OpSubscribe: register a bounded change feed
+// on the served peer, write a stats-frame ack (the peer's fingerprint
+// at subscribe time — the subscriber anchors its freshness on it), then
+// push delta frames as the peer commits until the subscriber hangs up,
+// the server closes, or the feed overflows. Overflow — a slow
+// subscriber — ends the subscription with an ErrCodeSubscribeGap error
+// frame: the subscriber is evicted back to the poll path and may
+// resubscribe from its refreshed fingerprints. Push disabled answers
+// ErrCodeBadRequest exactly like a pre-push server refusing an unknown
+// op, so old clients and old servers interoperate. The connection is
+// dedicated to the subscription either way; the caller closes it.
+func (s *Server) serveSubscribe(br *bufio.Reader, bw *bufio.Writer, p *pdms.Peer, sub []byte) {
+	if !s.Push {
+		s.sendError(bw, relation.ErrCodeBadRequest, "push disabled; poll instead")
+		return
+	}
+	sinceList, err := relation.DecodeSubscribeSince(sub)
+	if err != nil {
+		s.sendError(bw, relation.ErrCodeBadRequest, err.Error())
+		return
+	}
+	since := make(map[string]uint64, len(sinceList))
+	for _, rv := range sinceList {
+		since[rv.Rel] = rv.Ver
+	}
+	max := s.FeedQueue
+	if max <= 0 {
+		max = pdms.DefaultFeedQueue
+	}
+	feed, sv, stats := p.FeedSubscribe(since, max)
+	defer feed.Close()
+	// The subscriber signals unsubscription by closing its connection;
+	// a dedicated reader notices the hangup (or any stray frame, which
+	// is equally terminal) and releases the push loop below.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		for {
+			if _, _, err := relation.ReadFrame(br); err != nil {
+				feed.Close()
+				return
+			}
+		}
+	}()
+	if err := relation.WriteFrame(bw, relation.FrameStats, relation.EncodePeerStats(sv, stats)); err != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+	for {
+		recs, err := feed.Next()
+		if err != nil {
+			if errors.Is(err, pdms.ErrSubscriptionGap) {
+				s.sendError(bw, relation.ErrCodeSubscribeGap,
+					fmt.Sprintf("peer %s change feed overflowed %d records; resubscribe", p.Name, max))
+			}
+			return
+		}
+		if !s.pushBatch(bw, recs) {
+			return
+		}
+	}
+}
+
+// pushBatch writes a drained feed batch as delta frames, splitting it
+// as needed to respect the frame payload cap, and flushes so the
+// subscriber sees the records immediately.
+func (s *Server) pushBatch(bw *bufio.Writer, recs []relation.ChangeRecord) bool {
+	for len(recs) > 0 {
+		n := len(recs)
+		payload := relation.EncodeChangeBatch(recs[:n])
+		for len(payload) > relation.MaxFramePayload && n > 1 {
+			n /= 2
+			payload = relation.EncodeChangeBatch(recs[:n])
+		}
+		if len(payload) > relation.MaxFramePayload {
+			// A single record larger than a frame cannot be pushed.
+			s.sendError(bw, relation.ErrCodeInternal,
+				fmt.Sprintf("change record exceeds one frame (%d bytes)", len(payload)))
+			return false
+		}
+		if err := relation.WriteFrame(bw, relation.FrameDelta, payload); err != nil {
+			return false
+		}
+		recs = recs[n:]
 	}
 	return bw.Flush() == nil
 }

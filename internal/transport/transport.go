@@ -42,6 +42,18 @@ const (
 	// budget answers a request-level ErrCodeRowBudget error. Either
 	// way the client falls back to mirroring on the same connection.
 	OpQuery byte = 5
+	// OpSubscribe registers a push subscription for every relation the
+	// named peer serves (FrameStats ack, then FrameDelta* until either
+	// side ends the subscription). Its payload appends an encoded
+	// since-list (relation.EncodeSubscribeSince) after the peer and
+	// relation names (rel is empty — the subscription covers the whole
+	// peer). Servers with push disabled — and pre-push servers, which do
+	// not know the op — answer ErrCodeBadRequest and close, which the
+	// client reads as "fall back to polling"; a feed overflow mid-stream
+	// is an ErrCodeSubscribeGap error frame followed by a close, after
+	// which the client may resubscribe. The subscriber ends the
+	// subscription by closing the connection.
+	OpSubscribe byte = 6
 )
 
 // encodeRequest renders a FrameRequest payload: op byte, then the peer
@@ -67,9 +79,15 @@ func encodeQueryRequest(peer string, sp relation.SubPlan) []byte {
 	return append(encodeRequest(OpQuery, peer, ""), relation.EncodeSubPlan(sp)...)
 }
 
+// encodeSubscribeRequest renders an OpSubscribe request payload: the
+// common request prefix (empty relation) plus the encoded since-list.
+func encodeSubscribeRequest(peer string, since []relation.RelVersion) []byte {
+	return append(encodeRequest(OpSubscribe, peer, ""), relation.EncodeSubscribeSince(since)...)
+}
+
 // decodeRequest parses a FrameRequest payload. since is meaningful only
-// for OpDelta and sub only for OpQuery — the two ops whose payloads
-// carry extra fields after the names.
+// for OpDelta and sub only for OpQuery and OpSubscribe — the ops whose
+// payloads carry extra fields after the names.
 func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, sub []byte, err error) {
 	if len(payload) < 1 {
 		return 0, "", "", 0, nil, fmt.Errorf("transport: empty request")
@@ -98,7 +116,7 @@ func decodeRequest(payload []byte) (op byte, peer, rel string, since uint64, sub
 			return 0, "", "", 0, nil, fmt.Errorf("transport: truncated delta since version")
 		}
 		since = n
-	case OpQuery:
+	case OpQuery, OpSubscribe:
 		sub = rest
 	}
 	return op, peer, rel, since, sub, nil

@@ -43,6 +43,19 @@ func TestPerfLedgerGate(t *testing.T) {
 		t.Errorf("committed ledger: plan shipping moved %.0f wire bytes/op vs mirror's %.0f — want >= 10x reduction",
 			ship.WireBytesPerOp, mirror.WireBytesPerOp)
 	}
+	// The push-replication acceptance bound, re-checked on the committed
+	// numbers: a subscribed watch iteration must move O(changed-rows)
+	// wire bytes (one pushed record, far under a frame) and answer with
+	// zero State probes — the push path replaces the freshness probe.
+	push := ledger.Benches[perfledger.BenchPushFanout]
+	if push.WireBytesPerOp <= 0 || push.WireBytesPerOp >= 4096 {
+		t.Errorf("committed ledger: push fanout moved %.0f wire bytes/op — want O(changed-rows), in (0, 4096)",
+			push.WireBytesPerOp)
+	}
+	if push.StateProbesPerOp != 0 {
+		t.Errorf("committed ledger: push fanout spent %.2f State probes/op — want 0 (push-live queries skip the probe)",
+			push.StateProbesPerOp)
+	}
 	base, ok := ledger.Benches[perfledger.BenchWarm]
 	if !ok || base.NsPerOp <= 0 || base.AllocsPerOp <= 0 {
 		t.Fatalf("ledger %s entry unusable: %+v", perfledger.BenchWarm, base)

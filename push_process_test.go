@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the OS-process acceptance for the push-replication
+// tentpole: a `revere serve -push` process streams its committed
+// changes to a `revere query -push -watch` coordinator process, which
+// must converge on every mutation with its scan counter frozen — the
+// wire carries updategrams, not rescans — and print a digest
+// byte-identical to a cold coordinator that rescans the same
+// deployment. The second test is the multi-node durability churn: two
+// durable serve processes are SIGKILLed and rejoined (with fingerprint
+// movement) under concurrent watch-mode client load, and every client
+// converges to the cold-rescan oracle digest.
+
+// pushCounterLine matches the query command's cumulative push-counter
+// line (printed only with -push).
+var pushCounterLine = regexp.MustCompile(`^push batches (\d+) records (\d+) gaps (\d+)$`)
+
+// pushWatchResult is one successful iteration of a -push -watch query
+// process: sync counters, push counters, and the answer digest.
+type pushWatchResult struct {
+	scans, deltas          int
+	batches, records, gaps int
+	answers, oracle        int
+	digest                 string
+}
+
+// nextPush blocks until the -push watch coordinator completes one
+// successful iteration (sync line, push line, digest line) and returns
+// it. Failed iterations are skipped, like watchProc.next.
+func (w *watchProc) nextPush(t *testing.T) pushWatchResult {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	var res pushWatchResult
+	haveSync, havePush := false, false
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", s, err)
+		}
+		return n
+	}
+	for {
+		select {
+		case line, ok := <-w.lines:
+			if !ok {
+				t.Fatal("watch coordinator exited mid-test")
+			}
+			line = strings.TrimSpace(line)
+			if m := syncLine.FindStringSubmatch(line); m != nil {
+				res.scans, res.deltas = atoi(m[1]), atoi(m[2])
+				haveSync = true
+				continue
+			}
+			if m := pushCounterLine.FindStringSubmatch(line); m != nil {
+				res.batches, res.records, res.gaps = atoi(m[1]), atoi(m[2]), atoi(m[3])
+				havePush = true
+				continue
+			}
+			if m := digestLine.FindStringSubmatch(line); m != nil {
+				if !haveSync || !havePush {
+					t.Fatal("digest line arrived before its sync/push counter lines")
+				}
+				res.answers, res.oracle, res.digest = atoi(m[1]), atoi(m[2]), m[3]
+				return res
+			}
+		case <-deadline:
+			t.Fatal("no successful push-watch iteration within the deadline")
+		}
+	}
+}
+
+// TestPushProcessWatch boots a `revere serve -push` process that keeps
+// committing a deterministic mutation stream, subscribes a
+// `revere query -push -watch` coordinator process to it, and asserts
+// the coordinator rides the mutation stream to convergence purely on
+// pushed updategrams: after the cold fill, the cumulative scan and
+// delta counters never move again, the push record counter accounts for
+// every committed row, no gap fires, and the converged digest is
+// byte-identical to a cold coordinator that full-scans the final state.
+func TestPushProcessWatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and compiles the binary")
+	}
+	bin := buildRevere(t)
+	const mutateRounds = 5 // rows per served peer, 8 served peers
+
+	p := startServeAt(t, bin, "8:16", "127.0.0.1:0",
+		"-push", "-mutate", strconv.Itoa(mutateRounds), "-mutate-every", "50ms")
+	w := startWatchQuery(t, bin, "-remote", "8:16="+p.addr,
+		"-retry", "3", "-timeout", "2s", "-push", "-watch", "150ms")
+
+	r := w.nextPush(t)
+	if r.scans != 8 {
+		t.Fatalf("cold fill scans = %d, want 8 (one per served relation)", r.scans)
+	}
+	coldScans := r.scans
+	// Ride the stream until every mutated row is visible in the answer
+	// set. The serve process inserts mutateRounds rows into each of the
+	// 8 served peers, and each adds exactly one title to the answers.
+	target := r.oracle + 8*mutateRounds
+	for iters := 0; r.answers < target; iters++ {
+		if iters > 200 {
+			t.Fatalf("never converged: answers %d, want %d", r.answers, target)
+		}
+		r = w.nextPush(t)
+		if r.scans != coldScans || r.deltas != 0 {
+			t.Fatalf("poll traffic during push watch: scans %d deltas %d, want %d/0",
+				r.scans, r.deltas, coldScans)
+		}
+	}
+	if r.answers != target {
+		t.Errorf("converged answers %d, want exactly %d", r.answers, target)
+	}
+	if r.records < 8*mutateRounds {
+		t.Errorf("push records %d, want >= %d (every committed row pushed)", r.records, 8*mutateRounds)
+	}
+	if r.batches == 0 || r.gaps != 0 {
+		t.Errorf("push batches %d gaps %d, want >0 batches and 0 gaps", r.batches, r.gaps)
+	}
+
+	// Differential: a cold coordinator that rescans the final state must
+	// print the same digest the push-fed coordinator converged to.
+	coldOut := runQueryProcessRaw(t, bin, "-remote", "8:16="+p.addr)
+	_, _, coldAnswers, coldDigest := parseQueryOutput(t, coldOut)
+	if coldAnswers != r.answers {
+		t.Errorf("cold coordinator answers %d, push coordinator %d", coldAnswers, r.answers)
+	}
+	if coldDigest != r.digest {
+		t.Errorf("push-fed digest %s != cold-rescan digest %s", r.digest, coldDigest)
+	}
+
+	if err := w.stop(); err != nil {
+		t.Errorf("watch coordinator did not stop cleanly: %v", err)
+	}
+	if err := p.shutdown(); err != nil {
+		t.Errorf("serve process did not shut down cleanly: %v", err)
+	}
+}
+
+// TestDurableMultiNodeChurnUnderWatchLoad is the multi-node churn
+// acceptance: two durable serve processes host disjoint peer ranges,
+// two watch-mode coordinator processes query them concurrently, and
+// each server in turn is SIGKILLed and restarted over its store
+// directory with fingerprint movement (-extra). Both coordinators must
+// ride out both crashes — rejoining each recovered node via Delta
+// records only, never a rescan — and converge to answer digests
+// byte-identical to a cold coordinator that rescans the final
+// deployment.
+func TestDurableMultiNodeChurnUnderWatchLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and compiles the binary")
+	}
+	bin := buildRevere(t)
+	dir1, dir2 := t.TempDir(), t.TempDir()
+
+	_, _, localDigest := runQueryProcess(t, bin)
+
+	p1 := startServeAt(t, bin, "6:11", "127.0.0.1:0", "-data", dir1)
+	p2 := startServeAt(t, bin, "11:16", "127.0.0.1:0", "-data", dir2)
+	for _, p := range []*serveProc{p1, p2} {
+		if populated, recovered, _, _ := recoverySummary(t, p); populated != 5 || recovered != 0 {
+			t.Fatalf("fresh start populated %d recovered %d, want 5/0", populated, recovered)
+		}
+	}
+
+	remoteArgs := []string{"-remote", "6:11=" + p1.addr, "-remote", "11:16=" + p2.addr,
+		"-retry", "3", "-timeout", "2s", "-watch", "300ms"}
+	w1 := startWatchQuery(t, bin, remoteArgs...)
+	w2 := startWatchQuery(t, bin, remoteArgs...)
+	watchers := []*watchProc{w1, w2}
+
+	// Healthy baseline from both concurrent clients.
+	base := make([]watchResult, len(watchers))
+	for i, w := range watchers {
+		base[i] = w.next(t)
+		if base[i].digest != localDigest {
+			t.Fatalf("watcher %d healthy digest %s != all-local %s", i+1, base[i].digest, localDigest)
+		}
+		if base[i].scans != 10 || base[i].deltas != 0 {
+			t.Fatalf("watcher %d cold sync scans %d deltas %d, want 10/0", i+1, base[i].scans, base[i].deltas)
+		}
+	}
+
+	// converge drains successful iterations until the watcher's answer
+	// count reaches want, returning that iteration.
+	converge := func(w *watchProc, idx, want int) watchResult {
+		t.Helper()
+		r := w.next(t)
+		for iters := 0; r.answers != want; iters++ {
+			if iters > 200 {
+				t.Fatalf("watcher %d never converged: answers %d, want %d", idx, r.answers, want)
+			}
+			r = w.next(t)
+		}
+		return r
+	}
+
+	// Crash and rejoin each server in turn, with -extra 1 moving every
+	// recovered peer's fingerprint so the rejoin ships real deltas.
+	oracle := base[0].oracle
+	p1.kill()
+	p1b := startServeAt(t, bin, "6:11", p1.addr, "-data", dir1, "-extra", "1")
+	if populated, recovered, _, _ := recoverySummary(t, p1b); populated != 0 || recovered != 5 {
+		t.Fatalf("first restart populated %d recovered %d, want 0/5 (recovery, not rescan)", populated, recovered)
+	}
+	for i, w := range watchers {
+		converge(w, i+1, oracle+5)
+	}
+
+	p2.kill()
+	p2b := startServeAt(t, bin, "11:16", p2.addr, "-data", dir2, "-extra", "1")
+	if populated, recovered, _, _ := recoverySummary(t, p2b); populated != 0 || recovered != 5 {
+		t.Fatalf("second restart populated %d recovered %d, want 0/5 (recovery, not rescan)", populated, recovered)
+	}
+	final := make([]watchResult, len(watchers))
+	for i, w := range watchers {
+		final[i] = converge(w, i+1, oracle+10)
+		// Both rejoins shipped Delta catch-ups only: one per recovered
+		// relation, with the scan counter frozen at the cold fill.
+		if final[i].scans != base[i].scans {
+			t.Errorf("watcher %d re-scanned: scans %d, want still %d", i+1, final[i].scans, base[i].scans)
+		}
+		if final[i].deltas != 10 {
+			t.Errorf("watcher %d rejoin deltas %d, want 10 (one per recovered relation)", i+1, final[i].deltas)
+		}
+	}
+	if final[0].digest != final[1].digest {
+		t.Errorf("concurrent watchers disagree: %s vs %s", final[0].digest, final[1].digest)
+	}
+
+	// Cold-rescan oracle: a fresh coordinator full-scans the final
+	// deployment and must land on the same bytes.
+	coldOut := runQueryProcessRaw(t, bin, "-remote", "6:11="+p1b.addr, "-remote", "11:16="+p2b.addr)
+	coldScans, coldDeltas, coldAnswers, coldDigest := parseQueryOutput(t, coldOut)
+	if coldScans != 10 || coldDeltas != 0 {
+		t.Errorf("cold coordinator sync scans %d deltas %d, want 10/0", coldScans, coldDeltas)
+	}
+	if coldAnswers != oracle+10 {
+		t.Errorf("cold coordinator answers %d, want %d", coldAnswers, oracle+10)
+	}
+	for i, r := range final {
+		if r.digest != coldDigest {
+			t.Errorf("watcher %d digest %s != cold-rescan digest %s", i+1, r.digest, coldDigest)
+		}
+	}
+
+	for i, w := range watchers {
+		if err := w.stop(); err != nil {
+			t.Errorf("watcher %d did not stop cleanly: %v", i+1, err)
+		}
+	}
+	for i, p := range []*serveProc{p1b, p2b} {
+		if err := p.shutdown(); err != nil {
+			t.Errorf("server %d did not shut down cleanly: %v", i+1, err)
+		}
+	}
+}
